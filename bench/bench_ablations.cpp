@@ -1,0 +1,163 @@
+// Ablations of GILL's calibrated parameters — the knobs the appendix
+// justifies empirically:
+//   * the 0.94 reconstitution-power stop threshold (§17.2, Fig. 11);
+//   * the 100 s correlation window (§17.1);
+//   * γ, the candidate-pool fraction of the anchor selection (§18.4,
+//     "we tested a range from 1% to 50%");
+//   * the two-day correlation-group construction time (§17.1: one day is
+//     unstable, ten days barely better than two).
+// Each sweep shows the trade-off that motivates the paper's default.
+#include <map>
+#include <memory>
+
+#include "anchor/component2.hpp"
+#include "bench_util.hpp"
+#include "netbase/prefix_alloc.hpp"
+#include "filters/filters.hpp"
+#include "redundancy/component1.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+
+namespace {
+
+using namespace gill;
+
+struct StreamFixture {
+  topo::AsTopology topology;
+  std::unique_ptr<sim::Internet> internet;
+  bgp::UpdateStream stream;
+
+  StreamFixture() : topology(topo::generate_artificial(
+                        {.as_count = 350, .seed = 71})) {
+    sim::InternetConfig config;
+    for (bgp::AsNumber as = 0; as < 300; as += 4) {
+      config.vp_hosts.push_back(as);
+      if (as < 48) config.vp_hosts.push_back(as);
+    }
+    std::mt19937_64 prefix_rng(72);
+    config.prefixes = net::PrefixAllocator::assign(350, prefix_rng, 5);
+    config.rng_seed = 73;
+    internet = std::make_unique<sim::Internet>(topology, config);
+    sim::WorkloadConfig workload;
+    workload.seed = 74;
+    workload.duration = 2 * 3600;
+    workload.hotspot_fraction = 0.3;
+    stream = sim::generate_workload(*internet, 10, workload);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Ablations — GILL's calibrated parameters",
+                "§17.1 (window, construction time), §17.2 (RP threshold), "
+                "§18.4 (γ)");
+  bench::Stopwatch watch;
+  StreamFixture fixture;
+  std::printf("stream: %zu updates\n\n", fixture.stream.size());
+
+  // --- RP stop threshold (default 0.94) ------------------------------------
+  std::printf("(a) reconstitution-power stop threshold:\n");
+  bench::row({"threshold", "|U|/|V|", "mean RP"}, 12);
+  for (const double threshold : {0.5, 0.8, 0.9, 0.94, 0.99}) {
+    red::Component1Config config;
+    config.rp_threshold = threshold;
+    const auto result = red::find_redundant_updates(fixture.stream, config);
+    bench::row({bench::num(threshold, 2),
+                bench::num(result.retained_fraction(), 3),
+                bench::num(result.mean_rp, 3)},
+               12);
+  }
+  bench::note("the paper picks 0.94: past it, extra retention buys little "
+              "RP (the Fig. 11 knee)");
+
+  // --- correlation window (default 100 s) -----------------------------------
+  std::printf("\n(b) correlation window:\n");
+  bench::row({"window (s)", "|U|/|V|", "mean RP"}, 12);
+  for (const bgp::Timestamp window : {10, 50, 100, 300, 900}) {
+    red::Component1Config config;
+    config.correlation_window = window;
+    const auto result = red::find_redundant_updates(fixture.stream, config);
+    bench::row({std::to_string(window),
+                bench::num(result.retained_fraction(), 3),
+                bench::num(result.mean_rp, 3)},
+               12);
+  }
+  bench::note("too small splits one event's updates into separate bursts "
+              "(more retained); too large merges distinct events");
+
+  // --- γ, the anchor candidate-pool fraction (default 10%) ------------------
+  std::printf("\n(c) anchor-selection gamma (volume-vs-redundancy knob):\n");
+  // Synthetic score matrix: 40 VPs in 8 redundancy clusters of 5; the
+  // least redundant VP of each cluster (lowest index) is also the most
+  // expensive, so redundancy-only selection picks costly feeds.
+  constexpr std::size_t kVps = 40;
+  std::vector<std::vector<double>> scores(kVps,
+                                          std::vector<double>(kVps, 0.2));
+  std::vector<double> volumes(kVps);
+  std::vector<bgp::VpId> vps(kVps);
+  for (std::size_t i = 0; i < kVps; ++i) {
+    vps[i] = static_cast<bgp::VpId>(i);
+    volumes[i] = 10.0 + static_cast<double>(4 - i % 5) * 100.0;
+    scores[i][i] = 1.0;
+    for (std::size_t j = 0; j < kVps; ++j) {
+      if (i != j && i / 5 == j / 5) scores[i][j] = 0.95;
+    }
+  }
+  bench::row({"gamma", "#anchors", "mean anchor volume"}, 20);
+  for (const double gamma : {0.01, 0.05, 0.10, 0.25, 0.50}) {
+    anchor::Component2Config config;
+    config.gamma = gamma;
+    config.stop_threshold = 0.9;
+    const auto result = anchor::select_anchors(scores, vps, volumes, config);
+    double volume = 0.0;
+    for (const auto position : result.anchor_positions) {
+      volume += volumes[position];
+    }
+    bench::row({bench::num(gamma, 2),
+                std::to_string(result.anchors.size()),
+                bench::num(volume / std::max<std::size_t>(
+                                        result.anchors.size(), 1), 1)},
+               20);
+  }
+  bench::note("low gamma = pure redundancy minimization; higher gamma "
+              "admits more candidates and picks cheaper (lower-volume) "
+              "ones — the paper settles on 10%");
+
+  // --- correlation-group construction time (default: two days) -------------
+  std::printf("\n(d) correlation-group construction time (training length):\n");
+  bench::row({"training (h)", "filter match on next window"}, 26);
+  for (const int hours : {1, 2, 4, 8}) {
+    sim::InternetConfig config;
+    for (bgp::AsNumber as = 0; as < 300; as += 4) {
+      config.vp_hosts.push_back(as);
+    }
+    std::mt19937_64 prefix_rng(72);
+    config.prefixes = net::PrefixAllocator::assign(350, prefix_rng, 5);
+    config.rng_seed = 75;
+    sim::Internet internet(fixture.topology, config);
+    sim::WorkloadConfig training_workload;
+    training_workload.seed = 76;
+    training_workload.duration = hours * 3600;
+    training_workload.hotspot_fraction = 0.3;
+    const auto training =
+        sim::generate_workload(internet, 10, training_workload);
+    const auto component1 = red::find_redundant_updates(training);
+    const auto filters = filt::generate_filters(component1, {});
+
+    sim::WorkloadConfig test_workload;
+    test_workload.seed = 77;
+    test_workload.hotspot_fraction = 0.3;
+    const auto test = sim::generate_workload(
+        internet, (hours + 1) * 3600 + 100, test_workload);
+    const auto stats = filt::apply_filters(filters, test);
+    bench::row({std::to_string(hours), bench::pct(stats.matched_fraction())},
+               26);
+  }
+  bench::note("longer training covers more of the recurrent event space; "
+              "returns diminish — the paper's two days balance stability "
+              "and compute (94% stable ranking vs 95.8% at ten days)");
+
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 12: event-selection matrices over the five Table 5 AS categories —
+// GILL's balanced stratification vs. plain random selection. Random
+// selection oversamples whatever the event mix is biased toward; balanced
+// selection equalizes the 15 unordered category pairs.
+#include "anchor/event_selection.hpp"
+#include "bench_util.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+
+namespace {
+
+void print_matrix(const gill::anchor::SelectionMatrix& matrix) {
+  using namespace gill;
+  const char* names[] = {"Stub", "Transit-1", "Transit-2", "Hypergiant",
+                         "Tier-one"};
+  std::printf("%-12s", "");
+  for (const char* name : names) std::printf("%-12s", name);
+  std::printf("\n");
+  for (std::size_t a = 0; a < topo::kCategoryCount; ++a) {
+    std::printf("%-12s", names[a]);
+    for (std::size_t b = 0; b < topo::kCategoryCount; ++b) {
+      std::printf("%-12s", bench::num(matrix[a][b], 3).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace gill;
+  bench::header("Fig. 12 — Balanced vs random event selection",
+                "Fig. 12 and §18.1: share of selected events per AS-category "
+                "pair");
+  bench::Stopwatch watch;
+
+  const auto topology =
+      topo::generate_artificial({.as_count = 800, .seed = 13});
+  const auto categories = topo::classify_ases(topology);
+
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 800; as += 6) config.vp_hosts.push_back(as);
+  config.rng_seed = 14;
+  sim::Internet internet(topology, config);
+  sim::WorkloadConfig workload;
+  workload.seed = 15;
+  workload.duration = 4 * 3600;
+  workload.link_failures_per_hour = 60;
+  workload.origin_changes_per_hour = 20;
+  sim::generate_workload(internet, 0, workload);
+
+  anchor::EventSelectionConfig selection;
+  selection.per_type_quota = 150;
+  const auto candidates = anchor::candidate_events(
+      internet.ground_truth(), config.vp_hosts.size(), selection);
+  bench::note(std::to_string(candidates.size()) + " candidate events after "
+              "the non-global visibility filter");
+
+  const auto balanced =
+      anchor::select_events(candidates, categories, selection);
+  std::printf("\n(a) Balanced selection (%zu events):\n", balanced.size());
+  print_matrix(anchor::selection_matrix(balanced, categories));
+
+  selection.balanced = false;
+  const auto random = anchor::select_events(candidates, categories, selection);
+  std::printf("\n(b) Random selection (%zu events):\n", random.size());
+  print_matrix(anchor::selection_matrix(random, categories));
+
+  std::printf("\npaper: random selection concentrates on Transit-2 pairs "
+              "(up to 0.26) while balanced keeps every pair near 0.07\n");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,330 @@
+// Fig. 4: how VP coverage (fraction of ASes hosting a VP) limits three
+// canonical analyses — AS-topology mapping (p2p/c2p links observed),
+// link-failure localization (p2p/c2p), and forged-origin hijack detection
+// (Type-1/Type-2). The paper runs C-BGP on 6k-AS (1k for localization)
+// topologies; we run our Gao-Rexford engine on 2000/600-AS topologies
+// (scaled for a single core; the curves' shape is coverage-driven, not
+// size-driven).
+#include <algorithm>
+#include <random>
+#include <set>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "simulator/routing.hpp"
+#include "topology/generator.hpp"
+#include "usecases/detectors.hpp"
+
+namespace {
+
+using namespace gill;
+using sim::DestinationRouting;
+using sim::RoutingEngine;
+using topo::AsTopology;
+
+const std::vector<double> kCoverages{0.005, 0.01, 0.02, 0.05, 0.10,
+                                     0.15,  0.25, 0.50, 0.75, 1.00};
+constexpr int kTrials = 3;
+
+struct MappingResult {
+  std::vector<double> p2p;  // per coverage
+  std::vector<double> c2p;
+};
+
+/// Observability of links vs coverage: VPs are added in a random order and
+/// each link records the earliest VP whose best-path set exposes it.
+MappingResult mapping_experiment(const AsTopology& topology,
+                                 const std::vector<DestinationRouting>& trees,
+                                 std::mt19937_64& rng) {
+  const std::uint32_t n = topology.as_count();
+  std::unordered_map<std::uint64_t, bool> is_p2p;
+  for (const auto& link : topology.links()) {
+    is_p2p[link.key()] = link.is_p2p();
+  }
+
+  MappingResult result;
+  result.p2p.assign(kCoverages.size(), 0.0);
+  result.c2p.assign(kCoverages.size(), 0.0);
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<bgp::AsNumber> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+
+    std::unordered_map<std::uint64_t, std::uint32_t> first_seen;
+    first_seen.reserve(topology.link_count());
+    for (std::uint32_t position = 0; position < n; ++position) {
+      const bgp::AsNumber host = order[position];
+      for (const auto& tree : trees) {
+        if (!tree.has_route(host)) continue;
+        bgp::AsNumber current = host;
+        while (tree.next_hop(current) != current) {
+          const bgp::AsNumber next = tree.next_hop(current);
+          const std::uint64_t key = topo::Link{current, next}.key();
+          auto [it, inserted] = first_seen.try_emplace(key, position);
+          (void)it;
+          current = next;
+        }
+      }
+    }
+
+    std::size_t total_p2p = 0, total_c2p = 0;
+    for (const auto& link : topology.links()) {
+      (link.is_p2p() ? total_p2p : total_c2p) += 1;
+    }
+    for (std::size_t c = 0; c < kCoverages.size(); ++c) {
+      const auto host_count =
+          std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                         kCoverages[c] * n));
+      std::size_t seen_p2p = 0, seen_c2p = 0;
+      for (const auto& [key, position] : first_seen) {
+        if (position < host_count) {
+          (is_p2p.at(key) ? seen_p2p : seen_c2p) += 1;
+        }
+      }
+      result.p2p[c] += static_cast<double>(seen_p2p) /
+                       static_cast<double>(total_p2p) / kTrials;
+      result.c2p[c] += static_cast<double>(seen_c2p) /
+                       static_cast<double>(total_c2p) / kTrials;
+    }
+  }
+  return result;
+}
+
+struct HijackResult {
+  std::vector<double> type1;
+  std::vector<double> type2;
+};
+
+/// A Type-X hijack for every victim; detected at coverage c when at least
+/// one sampled AS routes through the attacker.
+HijackResult hijack_experiment(const AsTopology& topology,
+                               std::mt19937_64& rng) {
+  const std::uint32_t n = topology.as_count();
+  RoutingEngine engine(topology);
+  HijackResult result;
+  result.type1.assign(kCoverages.size(), 0.0);
+  result.type2.assign(kCoverages.size(), 0.0);
+
+  std::uniform_int_distribution<bgp::AsNumber> any_as(0, n - 1);
+  // Per-trial VP orders (shared across victims for speed).
+  std::vector<std::vector<std::uint32_t>> position(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<bgp::AsNumber> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    position[trial].resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) position[trial][order[i]] = i;
+  }
+
+  for (int type = 1; type <= 2; ++type) {
+    auto& out = type == 1 ? result.type1 : result.type2;
+    std::vector<double> detected(kCoverages.size(), 0.0);
+    std::size_t hijacks = 0;
+    for (bgp::AsNumber victim = 0; victim < n; ++victim) {
+      bgp::AsNumber attacker = any_as(rng);
+      if (attacker == victim) attacker = (victim + 1) % n;
+      std::vector<bgp::AsNumber> tail;
+      if (type == 1) {
+        tail = {victim};
+      } else {
+        bgp::AsNumber mid = victim;
+        for (const bgp::AsNumber neighbor : topology.neighbors(victim)) {
+          if (neighbor != attacker) {
+            mid = neighbor;
+            break;
+          }
+        }
+        tail = {mid, victim};
+      }
+      const auto routing = engine.compute(
+          {sim::Seed{victim, 0, {}},
+           sim::Seed{attacker, static_cast<std::uint16_t>(type), tail}});
+      ++hijacks;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        std::uint32_t earliest = n;
+        for (bgp::AsNumber as = 0; as < n; ++as) {
+          if (routing.has_route(as) && routing.seed_index(as) == 1) {
+            earliest = std::min(earliest, position[trial][as]);
+          }
+        }
+        for (std::size_t c = 0; c < kCoverages.size(); ++c) {
+          const auto host_count = std::max<std::uint32_t>(
+              1, static_cast<std::uint32_t>(kCoverages[c] * n));
+          if (earliest < host_count) detected[c] += 1.0 / kTrials;
+        }
+      }
+    }
+    for (std::size_t c = 0; c < kCoverages.size(); ++c) {
+      out[c] = detected[c] / static_cast<double>(hijacks);
+    }
+  }
+  return result;
+}
+
+struct LocalizationResult {
+  std::vector<double> p2p;
+  std::vector<double> c2p;
+};
+
+/// Random link failures; a failure is localized at coverage c when the
+/// intersection of the sampled VPs' old-minus-new link sets is exactly the
+/// failed link (Feldmann-style tomography).
+LocalizationResult localization_experiment(const AsTopology& topology,
+                                           std::size_t failure_count,
+                                           std::mt19937_64& rng) {
+  const std::uint32_t n = topology.as_count();
+  RoutingEngine engine(topology);
+  std::vector<DestinationRouting> trees(n);
+  for (bgp::AsNumber origin = 0; origin < n; ++origin) {
+    trees[origin] = engine.compute(origin);
+  }
+
+  std::vector<std::vector<std::uint32_t>> position(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<bgp::AsNumber> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    position[trial].resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) position[trial][order[i]] = i;
+  }
+
+  LocalizationResult result;
+  result.p2p.assign(kCoverages.size(), 0.0);
+  result.c2p.assign(kCoverages.size(), 0.0);
+  std::size_t p2p_failures = 0, c2p_failures = 0;
+
+  std::uniform_int_distribution<std::size_t> any_link(
+      0, topology.links().size() - 1);
+  auto path_links = [&](const DestinationRouting& tree, bgp::AsNumber as) {
+    std::vector<std::uint64_t> keys;
+    bgp::AsNumber current = as;
+    while (tree.has_route(as) && tree.next_hop(current) != current) {
+      const bgp::AsNumber next = tree.next_hop(current);
+      keys.push_back(topo::Link{current, next}.key());
+      current = next;
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+
+  for (std::size_t f = 0; f < failure_count; ++f) {
+    const topo::Link link = topology.links()[any_link(rng)];
+    const std::uint64_t failed_key = link.key();
+
+    std::vector<bgp::AsNumber> affected;
+    for (bgp::AsNumber origin = 0; origin < n; ++origin) {
+      if (trees[origin].uses_link(link.a, link.b)) affected.push_back(origin);
+    }
+    engine.fail_link(link.a, link.b);
+
+    // Per observing AS: the links removed from at least one of its paths
+    // (candidate sets of the tomography).
+    std::vector<std::pair<bgp::AsNumber, std::vector<std::uint64_t>>>
+        observations;
+    for (const bgp::AsNumber origin : affected) {
+      const DestinationRouting after = engine.compute(origin);
+      for (bgp::AsNumber as = 0; as < n; ++as) {
+        if (!trees[origin].has_route(as)) continue;
+        const auto old_links = path_links(trees[origin], as);
+        const auto new_links = path_links(after, as);
+        if (old_links == new_links) continue;
+        std::vector<std::uint64_t> removed;
+        std::set_difference(old_links.begin(), old_links.end(),
+                            new_links.begin(), new_links.end(),
+                            std::back_inserter(removed));
+        if (!removed.empty()) observations.emplace_back(as, std::move(removed));
+      }
+    }
+    engine.restore_link(link.a, link.b);
+
+    (link.is_p2p() ? p2p_failures : c2p_failures) += 1;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      for (std::size_t c = 0; c < kCoverages.size(); ++c) {
+        const auto host_count = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(kCoverages[c] * n));
+        std::vector<std::uint64_t> intersection;
+        bool first = true;
+        bool any = false;
+        for (const auto& [as, removed] : observations) {
+          if (position[trial][as] >= host_count) continue;
+          any = true;
+          if (first) {
+            intersection = removed;
+            first = false;
+          } else {
+            std::vector<std::uint64_t> next;
+            std::set_intersection(intersection.begin(), intersection.end(),
+                                  removed.begin(), removed.end(),
+                                  std::back_inserter(next));
+            intersection = std::move(next);
+          }
+          if (intersection.empty()) break;
+        }
+        const bool localized = any && intersection.size() == 1 &&
+                               intersection[0] == failed_key;
+        if (localized) {
+          (link.is_p2p() ? result.p2p[c] : result.c2p[c]) += 1.0 / kTrials;
+        }
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < kCoverages.size(); ++c) {
+    if (p2p_failures) {
+      result.p2p[c] /= static_cast<double>(p2p_failures);
+    }
+    if (c2p_failures) {
+      result.c2p[c] /= static_cast<double>(c2p_failures);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gill;
+  bench::header(
+      "Fig. 4 — Impact of VP coverage on three canonical analyses",
+      "Fig. 4 of the paper (pruned/artificial topologies, C-BGP): link "
+      "observability, failure localization, forged-origin hijack detection "
+      "vs. % of ASes hosting a VP");
+  bench::note("scaled: 2000-AS topology (paper: 6k) for mapping/hijacks, "
+              "600-AS (paper: 1k) with 300 failures (paper: 1k) for "
+              "localization; 3 VP-placement trials per point");
+
+  bench::Stopwatch watch;
+  std::mt19937_64 rng(4242);
+
+  const auto big = topo::generate_artificial({.as_count = 2000, .seed = 1});
+  sim::RoutingEngine engine(big);
+  std::vector<sim::DestinationRouting> trees(big.as_count());
+  for (bgp::AsNumber origin = 0; origin < big.as_count(); ++origin) {
+    trees[origin] = engine.compute(origin);
+  }
+  const auto mapping = mapping_experiment(big, trees, rng);
+  trees.clear();
+  trees.shrink_to_fit();
+  const auto hijacks = hijack_experiment(big, rng);
+
+  const auto small = topo::generate_artificial({.as_count = 600, .seed = 2});
+  const auto localization = localization_experiment(small, 300, rng);
+
+  bench::row({"coverage", "p2p-links", "c2p-links", "p2p-fail", "c2p-fail",
+              "type1-hij", "type2-hij"});
+  for (std::size_t c = 0; c < kCoverages.size(); ++c) {
+    bench::row({bench::pct(kCoverages[c], 1), bench::pct(mapping.p2p[c]),
+                bench::pct(mapping.c2p[c]), bench::pct(localization.p2p[c]),
+                bench::pct(localization.c2p[c]), bench::pct(hijacks.type1[c]),
+                bench::pct(hijacks.type2[c])});
+  }
+
+  std::printf("\nKey observations (paper, at ~1%% coverage): ~16%% p2p links "
+              "observed; ~10%% p2p failures localized; ~24%% Type-1 and "
+              "~32%% Type-2 hijacks undetected.\n");
+  std::printf("At 50%% coverage the paper reports ~90%% p2p links mapped, "
+              "~95%% p2p failures localized, ~4%% Type-1 hijacks missed.\n");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

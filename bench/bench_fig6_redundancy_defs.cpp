@@ -1,0 +1,72 @@
+// Fig. 6 + §4.2 measurements: redundancy among VPs for the three gradually
+// stricter redundancy definitions, and the fraction of updates redundant
+// with at least one other update. The paper computes this over one hour of
+// RIS+RV data from 100 random VPs (median of 30 seeds); we generate the
+// hour with the event simulator.
+#include "bench_util.hpp"
+#include "bgp/delta.hpp"
+#include "redundancy/definitions.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+
+int main() {
+  using namespace gill;
+  bench::header("Fig. 6 — Redundancy among 100 VPs under Defs 1/2/3",
+                "Fig. 6 and §4.2: VP vp1 is redundant with vp2 if >90% of "
+                "vp1's updates are redundant with an update of vp2");
+  bench::note("simulated hour on a 500-AS topology, 100 VPs; median over 5 "
+              "seeds (paper: 30 seeds)");
+  bench::Stopwatch watch;
+
+  const auto topology = topo::generate_artificial({.as_count = 500, .seed = 7});
+  constexpr int kSeeds = 5;
+  std::vector<double> vp_fraction[3];
+  std::vector<double> update_fraction[3];
+
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sim::InternetConfig config;
+    // 100 VPs over 89 distinct ASes: RIS/RV host several VPs per AS
+    // (1537 VPs in 816 ASes, §2), and co-located VPs export near-identical
+    // feeds — a major redundancy source.
+    for (bgp::AsNumber as = 0; as < 445; as += 5) {
+      config.vp_hosts.push_back(as);
+      if (as < 55) config.vp_hosts.push_back(as);  // 11 duplicated hosts
+    }
+    config.rng_seed = 100 + seed;
+    sim::Internet internet(topology, config);
+    sim::WorkloadConfig workload;
+    workload.seed = 200 + seed;
+    workload.link_failures_per_hour = 40;
+    workload.hotspot_fraction = 0.4;
+    const auto stream = sim::generate_workload(internet, 0, workload);
+
+    const auto annotated = bgp::DeltaTracker::annotate_stream(stream);
+    const red::RedundancyAnalyzer analyzer(annotated);
+    for (int d = 0; d < 3; ++d) {
+      const auto definition = static_cast<red::Definition>(d + 1);
+      vp_fraction[d].push_back(analyzer.redundant_vp_fraction(definition));
+      update_fraction[d].push_back(
+          analyzer.redundant_update_fraction(definition));
+    }
+  }
+
+  auto median = [](std::vector<double> values) {
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+  };
+
+  bench::row({"definition", "VPs redundant", "paper", "updates red.",
+              "paper"}, 16);
+  const char* paper_vp[] = {"70%", "26%", "22%"};
+  const char* paper_upd[] = {"97%", "77%", "70%"};
+  for (int d = 0; d < 3; ++d) {
+    bench::row({"Def. " + std::to_string(d + 1),
+                bench::pct(median(vp_fraction[d])), paper_vp[d],
+                bench::pct(median(update_fraction[d])), paper_upd[d]},
+               16);
+  }
+  bench::note("expected shape: both columns decrease monotonically with "
+              "stricter definitions and stay substantial even for Def. 3");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

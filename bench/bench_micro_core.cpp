@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) of the hot paths every experiment
+// rests on: prefix parsing, trie lookups, wire encode/decode, MRT
+// round-trips, filter decisions, Gao-Rexford route computation and the
+// per-VP feature Dijkstra. These are the numbers behind the Table 1
+// capacity model's stage costs.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "features/features.hpp"
+#include "filters/filters.hpp"
+#include "mrt/mrt.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "simulator/routing.hpp"
+#include "topology/generator.hpp"
+#include "wire/messages.hpp"
+
+namespace {
+
+using namespace gill;
+
+void BM_PrefixParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Prefix::parse("203.0.113.128/25"));
+  }
+}
+BENCHMARK(BM_PrefixParse);
+
+void BM_PrefixParseV6(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Prefix::parse("2001:db8:dead:beef::/64"));
+  }
+}
+BENCHMARK(BM_PrefixParseV6);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  net::PrefixTrie<int> trie;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    trie.insert(net::Prefix(net::IpAddress::v4(static_cast<std::uint32_t>(rng())),
+                            8 + static_cast<unsigned>(rng() % 17)),
+                i);
+  }
+  const auto probe = net::Prefix::parse("172.16.32.0/24").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(probe));
+  }
+  state.SetLabel("100k-entry trie");
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+wire::UpdateMessage sample_update_message() {
+  wire::UpdateMessage update;
+  update.nlri = {net::Prefix::parse("203.0.113.0/24").value()};
+  update.path = bgp::AsPath{65001, 65002, 65003, 65004};
+  update.communities = bgp::CommunitySet{{65001, 100}, {65002, 200}};
+  update.next_hop = 0x0A000001;
+  return update;
+}
+
+void BM_WireEncodeUpdate(benchmark::State& state) {
+  const auto update = sample_update_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode(update));
+  }
+}
+BENCHMARK(BM_WireEncodeUpdate);
+
+void BM_WireDecodeUpdate(benchmark::State& state) {
+  const auto bytes = wire::encode(sample_update_message());
+  for (auto _ : state) {
+    std::size_t consumed = 0;
+    benchmark::DoNotOptimize(wire::decode(bytes, consumed));
+  }
+}
+BENCHMARK(BM_WireDecodeUpdate);
+
+bgp::Update sample_stored_update() {
+  bgp::Update u;
+  u.vp = 42;
+  u.time = 1693526400;
+  u.prefix = net::Prefix::parse("203.0.113.0/24").value();
+  u.path = bgp::AsPath{65001, 65002, 65003};
+  u.communities = bgp::CommunitySet{{65001, 100}};
+  return u;
+}
+
+void BM_MrtWrite(benchmark::State& state) {
+  const auto update = sample_stored_update();
+  for (auto _ : state) {
+    mrt::Writer writer;
+    writer.write_update(update);
+    benchmark::DoNotOptimize(writer.buffer().size());
+  }
+}
+BENCHMARK(BM_MrtWrite);
+
+void BM_MrtRead(benchmark::State& state) {
+  mrt::Writer writer;
+  writer.write_update(sample_stored_update());
+  for (auto _ : state) {
+    mrt::Reader reader(writer.buffer());
+    benchmark::DoNotOptimize(reader.next());
+  }
+}
+BENCHMARK(BM_MrtRead);
+
+void BM_FilterAccept(benchmark::State& state) {
+  filt::FilterTable table;
+  std::mt19937_64 rng(2);
+  const auto rules = static_cast<std::size_t>(state.range(0));
+  for (std::size_t r = 0; r < rules; ++r) {
+    table.add_drop(static_cast<bgp::VpId>(rng() % 1000),
+                   net::Prefix(net::IpAddress::v4(
+                                   static_cast<std::uint32_t>(rng())),
+                               24));
+  }
+  const auto probe = sample_stored_update();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.accept(probe));
+  }
+  state.SetLabel(std::to_string(rules) + " rules");
+}
+BENCHMARK(BM_FilterAccept)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_GaoRexfordCompute(benchmark::State& state) {
+  const auto topology = topo::generate_artificial(
+      {.as_count = static_cast<std::uint32_t>(state.range(0)), .seed = 3});
+  sim::RoutingEngine engine(topology);
+  bgp::AsNumber origin = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.compute(origin));
+    origin = (origin + 1) % topology.as_count();
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " ASes");
+}
+BENCHMARK(BM_GaoRexfordCompute)->Arg(500)->Arg(2000)->Arg(6000);
+
+void BM_FeatureDijkstra(benchmark::State& state) {
+  const auto topology = topo::generate_artificial({.as_count = 500, .seed = 4});
+  sim::RoutingEngine engine(topology);
+  feat::VpGraph graph;
+  for (bgp::AsNumber origin = 0; origin < 500; origin += 2) {
+    const auto routing = engine.compute(origin);
+    if (routing.has_route(1)) graph.add_route(routing.path(1));
+  }
+  const feat::FeatureComputer computer(graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computer.node_features(1));
+  }
+  state.SetLabel(std::to_string(graph.node_count()) + " nodes");
+}
+BENCHMARK(BM_FeatureDijkstra);
+
+}  // namespace
+
+BENCHMARK_MAIN();

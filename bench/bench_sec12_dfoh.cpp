@@ -1,0 +1,133 @@
+// §12(c): forged-origin hijack inference (DFOH replication). Three
+// configurations, as in the paper: DFOH_ALL uses all collected routes (the
+// paper's ground-truth approximation — here we additionally have the real
+// simulator ground truth), DFOH_GILL uses GILL-sampled routes and DFOH_R a
+// random-VP sample of identical size. The paper reports TPR 94% vs 71.5%
+// and FPR 14.4% vs 60.1% (~4x better precision for GILL).
+#include "bench_util.hpp"
+#include "netbase/prefix_alloc.hpp"
+#include "sampling/schemes.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+#include "usecases/hijack.hpp"
+
+int main() {
+  using namespace gill;
+  bench::header("§12(c) — DFOH forged-origin hijack inference",
+                "DFOH_GILL vs DFOH_R vs DFOH_ALL (paper: TPR 94% vs 71.5%, "
+                "FPR 14.4% vs 60.1%)");
+  bench::Stopwatch watch;
+
+  const auto topology = topo::generate_artificial({.as_count = 500, .seed = 91});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 400; as += 4) {
+    config.vp_hosts.push_back(as);
+    if (as < 80) config.vp_hosts.push_back(as);
+  }
+  {
+    std::mt19937_64 prefix_rng(92);
+    config.prefixes = net::PrefixAllocator::assign(500, prefix_rng, 4);
+  }
+  config.rng_seed = 93;
+  sim::Internet internet(topology, config);
+  const auto ribs = internet.rib_dump(0);
+  const auto origins = uc::OriginTable::from_rib(ribs);
+
+  sim::WorkloadConfig training_workload;
+  training_workload.seed = 94;
+  training_workload.duration = 4 * 3600;
+  training_workload.hotspot_fraction = 0.25;
+  training_workload.hijacks_per_hour = 0;  // clean baseline view
+  const auto training = sim::generate_workload(internet, 10, training_workload);
+  internet.ground_truth().clear();
+
+  // Evaluation: recurrent background churn (which GILL discards) with a
+  // hijack campaign striking anywhere in the topology.
+  bgp::UpdateStream eval;
+  {
+    sim::WorkloadConfig background;
+    background.seed = 95;
+    background.duration = 3 * 3600;
+    background.hijacks_per_hour = 0;
+    background.hotspot_fraction = 0.25;
+    eval.append(sim::generate_workload(internet, 5 * 3600, background));
+    sim::WorkloadConfig attacks;
+    attacks.seed = 96;
+    attacks.duration = 2 * 3600;
+    attacks.link_failures_per_hour = 0;
+    attacks.moas_per_hour = 0;
+    attacks.origin_changes_per_hour = 18;  // legit new origin adjacencies
+    attacks.community_changes_per_hour = 0;
+    attacks.hijacks_per_hour = 36;
+    attacks.hotspot_fraction = 1.0;  // attacks strike anywhere
+    eval.append(sim::generate_workload(internet, 9 * 3600, attacks));
+    sim::WorkloadConfig background2 = background;
+    background2.seed = 97;
+    eval.append(sim::generate_workload(internet, 12 * 3600, background2));
+    eval.sort();
+  }
+  const auto truths = internet.ground_truth();
+  std::size_t hijack_count = 0;
+  for (const auto& truth : truths) {
+    if (truth.kind == sim::GroundTruth::Kind::kHijack) ++hijack_count;
+  }
+  std::printf("evaluation: %zu updates, %zu forged-origin hijacks\n\n",
+              eval.size(), hijack_count);
+
+  sample::SamplingContext ctx;
+  ctx.all_updates = &eval;
+  ctx.all_ribs = &ribs;
+  ctx.training = &training;
+  ctx.training_ribs = &ribs;
+  ctx.topology = &topology;
+  ctx.vp_hosts = &config.vp_hosts;
+  ctx.truths = &truths;
+  ctx.origins = &origins;
+  ctx.seed = 96;
+
+  // The baseline topological view all DFOH variants share (history).
+  uc::DataSample history;
+  history.ribs = ribs;
+  history.updates = training;
+  bgp::UpdateStream baseline_stream = ribs;
+  baseline_stream.append(training);
+  const auto baseline = uc::BaselineView::from_stream(baseline_stream);
+  const uc::DfohDetector detector(baseline);
+
+  sample::GillSampler gill;
+  const auto gill_sample = gill.sample(ctx, 0);
+  const std::size_t budget = gill_sample.updates.size();
+  sample::RandomVpSampler random_vp;
+  const auto random_sample = random_vp.sample(ctx, budget);
+  uc::DataSample all;
+  all.updates = eval;
+  all.ribs = ribs;
+
+  bench::row({"variant", "cases", "flagged", "TPR", "FPR", "visib."}, 12);
+  struct Variant {
+    const char* name;
+    const uc::DataSample* sample;
+  };
+  const Variant variants[] = {{"DFOH_ALL", &all},
+                              {"DFOH_GILL", &gill_sample},
+                              {"DFOH_R", &random_sample}};
+  for (const auto& variant : variants) {
+    const auto cases = detector.scan(*variant.sample);
+    const auto score = uc::dfoh_score(cases, truths);
+    const double visibility =
+        uc::hijack_visibility_score(*variant.sample, truths, 0);
+    bench::row({variant.name, std::to_string(score.cases),
+                std::to_string(score.flagged),
+                bench::pct(score.true_positive_rate),
+                bench::pct(score.false_positive_rate),
+                bench::pct(visibility)},
+               12);
+  }
+  std::printf("\n(budget for DFOH_GILL and DFOH_R: %zu updates; paper keeps "
+              "the 287-VP volume of the original DFOH deployment)\n", budget);
+  bench::note("expected: DFOH_GILL approaches DFOH_ALL's TPR and keeps the "
+              "FPR low, while DFOH_R misses hijacks (lower TPR / hijack "
+              "visibility) at the same data volume");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

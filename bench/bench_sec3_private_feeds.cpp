@@ -1,0 +1,82 @@
+// §3.1 "Confirmation with real (but private) data": the paper compares the
+// AS links visible from bgp.tools' ~1000 private feeds against RIS+RV and
+// finds large *mutually exclusive* visibility (bgp.tools saw 192k links the
+// public VPs missed; the public VPs saw 401k links bgp.tools missed).
+//
+// We reproduce the structure of that comparison: two independently placed
+// VP deployments of realistic relative size on one simulated Internet, and
+// the sizes of the exclusive link sets.
+#include <numeric>
+#include <random>
+
+#include "bench_util.hpp"
+#include "simulator/internet.hpp"
+#include "topology/generator.hpp"
+#include "usecases/detectors.hpp"
+
+int main() {
+  using namespace gill;
+  bench::header("§3.1 — Disjoint visibility of independent VP deployments",
+                "the bgp.tools vs RIS+RV comparison: each platform sees "
+                "many links the other misses");
+  bench::Stopwatch watch;
+
+  const auto topology = topo::generate_artificial({.as_count = 2000, .seed = 61});
+  const std::uint32_t n = topology.as_count();
+
+  std::mt19937_64 rng(62);
+  std::vector<bgp::AsNumber> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  // "Public platform": 40 hosting ASes (2%); "private platform": 25 other
+  // hosting ASes (the paper's 2.5:1 VP ratio, disjoint placement).
+  sim::InternetConfig config;
+  config.vp_hosts.assign(order.begin(), order.begin() + 65);
+  sim::Internet internet(topology, config);
+
+  std::vector<bgp::VpId> public_vps, private_vps;
+  for (bgp::VpId vp = 0; vp < 40; ++vp) public_vps.push_back(vp);
+  for (bgp::VpId vp = 40; vp < 65; ++vp) private_vps.push_back(vp);
+
+  auto link_set = [&](const std::vector<bgp::VpId>& vps) {
+    std::unordered_set<std::uint64_t> links;
+    for (const auto& link : internet.visible_links(vps)) {
+      links.insert(uc::undirected_link_key(link.from, link.to));
+    }
+    return links;
+  };
+  const auto public_links = link_set(public_vps);
+  const auto private_links = link_set(private_vps);
+
+  std::size_t only_public = 0, only_private = 0, shared = 0;
+  for (const auto key : public_links) {
+    if (private_links.contains(key)) {
+      ++shared;
+    } else {
+      ++only_public;
+    }
+  }
+  for (const auto key : private_links) {
+    if (!public_links.contains(key)) ++only_private;
+  }
+
+  bench::row({"link set", "count"}, 26);
+  bench::row({"public only", std::to_string(only_public)}, 26);
+  bench::row({"private only", std::to_string(only_private)}, 26);
+  bench::row({"seen by both", std::to_string(shared)}, 26);
+  bench::row({"all existing links", std::to_string(topology.link_count())},
+             26);
+
+  const double exclusive_fraction =
+      static_cast<double>(only_public + only_private) /
+      static_cast<double>(public_links.size() + only_private);
+  std::printf("\nexclusive fraction of the union: %s\n",
+              bench::pct(exclusive_fraction).c_str());
+  bench::note("paper: bgp.tools saw 192k links RIS+RV missed and RIS+RV "
+              "saw 401k links bgp.tools missed — the same pattern of "
+              "large mutually exclusive visibility motivates merging "
+              "many more feeds");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

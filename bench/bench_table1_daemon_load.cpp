@@ -1,0 +1,165 @@
+// Table 1 (§8): proportion of updates lost by the BGP daemons on a single
+// CPU, as a function of the number of peers (100 / 1k / 10k), the update
+// rate (average 28K/h vs 99th-percentile 241K/h) and whether GILL's
+// filters are applied.
+//
+// The paper measures this on an Apple M1 Pro. We (a) measure the real
+// per-update costs of this implementation's decode / filter / store stages
+// with the actual daemon pipeline, and (b) evaluate the single-CPU
+// capacity model on both the measured costs and the paper-calibrated
+// defaults. We also reproduce the §8 FRR comparison: a route-map engine
+// evaluating rules by linear scan collapses after a few rules, while the
+// hash-table filters sustain ~1M rules.
+#include <random>
+
+#include "bench_util.hpp"
+#include "daemon/daemon.hpp"
+
+namespace {
+
+using namespace gill;
+
+net::Prefix nth_prefix(std::uint32_t i) {
+  return net::Prefix(net::IpAddress::v4((10u << 24) + (i << 8)), 24);
+}
+
+/// Measures decode+filter+store microcosts by pushing `count` updates
+/// through a real daemon session.
+struct MeasuredCosts {
+  double decode_us;
+  double filter_us;
+  double store_us;
+};
+
+MeasuredCosts measure_costs(std::size_t count) {
+  // Pre-encode `count` updates on the wire.
+  daemon::Transport transport;
+  daemon::FakePeer peer(65010, transport);
+  filt::FilterTable filters;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    filters.add_drop(1, nth_prefix(i % 1000));  // matches everything
+  }
+
+  auto run = [&](const filt::FilterTable* table, daemon::MrtStore* store) {
+    daemon::Transport t;
+    daemon::FakePeer p(65010, t);
+    daemon::BgpDaemon d(1, 65000, t, table, store);
+    d.start(0);
+    p.poll();
+    d.poll(1);
+    p.poll();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      bgp::Update u;
+      u.prefix = nth_prefix(i % 1000);
+      u.path = bgp::AsPath{65010, 65020, 65030};
+      u.communities = bgp::CommunitySet{{65010, 100}};
+      p.send_update(u);
+    }
+    bench::Stopwatch watch;
+    d.poll(2);
+    return watch.seconds() * 1e6 / static_cast<double>(count);
+  };
+
+  const double decode_only = run(nullptr, nullptr);
+  const double decode_filter = run(&filters, nullptr);  // everything dropped
+  daemon::MrtStore store;
+  const double decode_store = run(nullptr, &store);
+  // Persist the MRT buffer to disk to include the write cost.
+  bench::Stopwatch disk;
+  store.save("/tmp/gill_table1_store.mrt");
+  const double disk_us =
+      disk.seconds() * 1e6 / static_cast<double>(store.stored());
+  std::remove("/tmp/gill_table1_store.mrt");
+
+  MeasuredCosts costs;
+  costs.decode_us = decode_only;
+  costs.filter_us = std::max(0.01, decode_filter - decode_only);
+  costs.store_us = std::max(0.1, decode_store - decode_only + disk_us);
+  return costs;
+}
+
+std::string cell(double loss) {
+  if (loss <= 0.0) return "0%";
+  if (loss > 0.6) return "high";
+  return bench::pct(loss, 0);
+}
+
+void print_table(const daemon::CapacityModel& model, double match_fraction) {
+  const double average = 28000.0;
+  const double p99 = 241000.0;
+  bench::row({"", "peers:", "100", "1000", "10000"});
+  for (const bool filters_on : {true, false}) {
+    std::printf("%s\n", filters_on ? "With filters (i.e., GILL)"
+                                   : "Without filters");
+    for (const double rate : {average, p99}) {
+      std::vector<std::string> cells{
+          "", rate == average ? "avg (28K/h)" : "p99 (241K/h)"};
+      for (const std::size_t peers : {100u, 1000u, 10000u}) {
+        cells.push_back(cell(model.loss_fraction(
+            peers, rate, filters_on, filters_on ? match_fraction : 0.0)));
+      }
+      bench::row(cells);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 1 — BGP daemon update loss on one CPU",
+                "Table 1 of the paper (daemons with/without filters at "
+                "average and 99th-percentile update rates)");
+  bench::Stopwatch watch;
+
+  const auto costs = measure_costs(20000);
+  std::printf("measured per-update costs on this machine: decode %.2fus, "
+              "filter %.2fus, store %.2fus\n\n",
+              costs.decode_us, costs.filter_us, costs.store_us);
+
+  const double match = 0.93;  // fraction discarded by GILL's filters (§6)
+
+  std::printf("(a) capacity model with paper-calibrated stage costs:\n");
+  print_table(daemon::CapacityModel{}, match);
+
+  std::printf("\n(b) capacity model with costs measured above:\n");
+  daemon::CapacityModel measured;
+  measured.decode_cost_us = costs.decode_us;
+  measured.filter_cost_us = costs.filter_us;
+  measured.store_cost_us = costs.store_us;
+  print_table(measured, match);
+
+  // --- §8: FRR route-maps vs GILL's filters --------------------------------
+  std::printf("\nFRR route-map comparison (§8): per-update decision cost\n");
+  bench::row({"rules", "route-map us/upd", "hash-filter us/upd"}, 20);
+  std::mt19937_64 rng(5);
+  for (const std::size_t rules : {10u, 100u, 1000u, 10000u}) {
+    filt::RouteMapEngine route_maps;
+    filt::FilterTable filters;
+    for (std::uint32_t r = 0; r < rules; ++r) {
+      route_maps.add_rule(r % 64, nth_prefix(r));
+      filters.add_drop(r % 64, nth_prefix(r));
+    }
+    // Probe with updates that match no rule (worst case for linear scan).
+    bgp::Update probe;
+    probe.vp = 65;
+    probe.prefix = nth_prefix(999999 % 65000);
+    probe.path = bgp::AsPath{1, 2, 3};
+    constexpr int kProbes = 20000;
+    bench::Stopwatch scan;
+    std::size_t sink = 0;
+    for (int i = 0; i < kProbes; ++i) sink += route_maps.accept(probe);
+    const double scan_us = scan.seconds() * 1e6 / kProbes;
+    bench::Stopwatch hash;
+    for (int i = 0; i < kProbes; ++i) sink += filters.accept(probe);
+    const double hash_us = hash.seconds() * 1e6 / kProbes;
+    if (sink == 0) std::printf("?");  // keep the loops alive
+    bench::row({std::to_string(rules), bench::num(scan_us, 3),
+                bench::num(hash_us, 3)},
+               20);
+  }
+  bench::note("paper: an FRR server handles ~10 route-maps, far fewer than "
+              "the ~1M filters GILL generates; hash-indexed filters are "
+              "O(1) per update regardless of the rule count");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Table 3 (§11): the long-term impact simulation. The fraction of ASes
+// deploying a VP sweeps from 2% to 100%; GILL is trained on updates induced
+// by random link failures, then compared against Random-VPs (same update
+// budget) and Best-case (all updates) on three use cases: p2p topology
+// mapping, p2p failure localization, and Type-1 hijack detection.
+#include <random>
+
+#include "bench_util.hpp"
+#include "netbase/prefix_alloc.hpp"
+#include "sampling/schemes.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+#include "usecases/detectors.hpp"
+#include "usecases/failure_localization.hpp"
+#include "usecases/hijack.hpp"
+
+namespace {
+
+using namespace gill;
+
+struct CoverageResult {
+  double retained = 0.0;
+  double anchors = 0.0;
+  double mapping[3];       // GILL, Rnd.VP, Best
+  double localization[3];
+  double hijack[3];
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Table 3 — Long-term impact (coverage sweep)",
+                "Table 3 of the paper: GILL vs Rnd.-VP vs Best-case at "
+                "2/10/25/50/100% of ASes deploying a VP");
+  bench::note("500-AS artificial topology (paper: 1k); GILL trained on "
+              "updates from 500 random link failures, as in the paper");
+  bench::Stopwatch total_watch;
+
+  const auto topology = topo::generate_artificial({.as_count = 500, .seed = 51});
+  const std::uint32_t n = topology.as_count();
+
+  // Ground-truth p2p links for the mapping use case.
+  std::unordered_set<std::uint64_t> p2p_links;
+  for (const auto& link : topology.links()) {
+    if (link.is_p2p()) {
+      p2p_links.insert(uc::undirected_link_key(link.a, link.b));
+    }
+  }
+
+  const std::vector<double> coverages{0.02, 0.10, 0.25, 0.50, 1.00};
+  std::vector<CoverageResult> results;
+
+  for (const double coverage : coverages) {
+    bench::Stopwatch watch;
+    // Deploy VPs at a random `coverage` fraction of ASes (one per AS).
+    std::mt19937_64 rng(60 + static_cast<std::uint64_t>(coverage * 100));
+    std::vector<bgp::AsNumber> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    sim::InternetConfig config;
+    const auto host_count =
+        std::max<std::uint32_t>(2, static_cast<std::uint32_t>(coverage * n));
+    config.vp_hosts.assign(order.begin(), order.begin() + host_count);
+    {
+      // Heavy-tailed per-AS prefix counts: prefixes of one origin receive
+      // correlated updates, which step 3 of Component #1 exploits.
+      std::mt19937_64 prefix_rng(59);
+      config.prefixes = net::PrefixAllocator::assign(n, prefix_rng, 6);
+    }
+    config.rng_seed = 61;
+    sim::Internet internet(topology, config);
+
+    const auto ribs = internet.rib_dump(0);
+    const auto origins = uc::OriginTable::from_rib(ribs);
+
+    // Training: updates induced by random link failures (§11).
+    sim::WorkloadConfig training_workload;
+    training_workload.seed = 62;
+    training_workload.duration = 10 * 3600;
+    training_workload.link_failures_per_hour = 50;  // 500 failures, as §11
+    training_workload.moas_per_hour = 0;
+    training_workload.origin_changes_per_hour = 3;  // Component #2 events
+    training_workload.community_changes_per_hour = 0;
+    training_workload.hijacks_per_hour = 0;
+    training_workload.hotspot_fraction = 1.0;  // random, like the paper
+    const auto training =
+        sim::generate_workload(internet, 10, training_workload);
+    internet.ground_truth().clear();
+
+    // Evaluation: a block of fresh failures (for localization), then a
+    // block of Type-1 hijacks — disjoint so that hijack reactions do not
+    // pollute the localization windows.
+    sim::WorkloadConfig failures_workload;
+    failures_workload.seed = 63;
+    failures_workload.duration = 4 * 3600;
+    failures_workload.link_failures_per_hour = 8;
+    failures_workload.restore_after_min = 1800;  // restores land outside
+    failures_workload.restore_after_max = 2400;  // localization windows
+    failures_workload.moas_per_hour = 0;
+    failures_workload.origin_changes_per_hour = 0;
+    failures_workload.community_changes_per_hour = 0;
+    failures_workload.hijacks_per_hour = 0;
+    failures_workload.hotspot_fraction = 1.0;  // evaluation events anywhere
+    bgp::UpdateStream eval =
+        sim::generate_workload(internet, 6 * 3600, failures_workload);
+    sim::WorkloadConfig attacks_workload = failures_workload;
+    attacks_workload.seed = 65;
+    attacks_workload.duration = 3 * 3600;
+    attacks_workload.link_failures_per_hour = 0;
+    attacks_workload.hijacks_per_hour = 20;
+    eval.append(sim::generate_workload(internet, 11 * 3600, attacks_workload));
+    eval.sort();
+    const auto& truths = internet.ground_truth();
+
+    sample::SamplingContext ctx;
+    ctx.all_updates = &eval;
+    ctx.all_ribs = &ribs;
+    ctx.training = &training;
+    ctx.training_ribs = &ribs;
+    ctx.topology = &topology;
+    ctx.vp_hosts = &config.vp_hosts;
+    ctx.truths = &truths;
+    ctx.origins = &origins;
+    ctx.seed = 64;
+
+    sample::GillConfig gill_config;
+    gill_config.component2.stop_threshold = 0.85;
+    sample::GillSampler gill(gill_config);
+    uc::DataSample gill_sample = gill.sample(ctx, 0);
+    const std::size_t budget = std::max<std::size_t>(gill_sample.updates.size(), 1);
+
+    sample::RandomVpSampler random_vp;
+    uc::DataSample random_sample = random_vp.sample(ctx, budget);
+    uc::DataSample best;
+    best.updates = eval;
+    // §11 compares what the *collected updates* reveal — no RIB snapshots
+    // are part of this experiment in the paper.
+    gill_sample.ribs = bgp::UpdateStream{};
+    random_sample.ribs = bgp::UpdateStream{};
+
+    CoverageResult result;
+    result.retained = static_cast<double>(budget) /
+                      std::max<double>(1.0, static_cast<double>(eval.size()));
+    result.anchors =
+        static_cast<double>(gill.last_pipeline().anchors.size()) /
+        static_cast<double>(config.vp_hosts.size());
+
+    const uc::DataSample* samples[3] = {&gill_sample, &random_sample, &best};
+    for (int s = 0; s < 3; ++s) {
+      result.mapping[s] = uc::topology_mapping_score(*samples[s], p2p_links);
+      // Localization needs the pre-failure routes: every scheme gets the
+      // same public day-0 RIB snapshot (mapping/hijack stay updates-only,
+      // per the §11 protocol).
+      uc::DataSample with_snapshot = *samples[s];
+      with_snapshot.ribs = ribs;
+      result.localization[s] =
+          uc::failure_localization_score(with_snapshot, truths, true);
+      result.hijack[s] = uc::hijack_visibility_score(*samples[s], truths, 1);
+    }
+    results.push_back(result);
+    std::printf("  coverage %s: eval %zu updates, GILL budget %zu, "
+                "%zu anchors (%.1fs)\n",
+                bench::pct(coverage, 0).c_str(), eval.size(), budget,
+                gill.last_pipeline().anchors.size(), watch.seconds());
+  }
+  std::printf("\n");
+
+  std::vector<std::string> head{"coverage"};
+  for (const double c : coverages) head.push_back(bench::pct(c, 0));
+  bench::row(head, 10);
+  auto print_metric = [&](const char* name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const auto& result : results) {
+      cells.push_back(getter(result));
+    }
+    bench::row(cells, 10);
+  };
+  print_metric("retained", [](const CoverageResult& r) {
+    return bench::pct(r.retained, 1);
+  });
+  print_metric("anchors", [](const CoverageResult& r) {
+    return bench::pct(r.anchors, 1);
+  });
+  for (int s = 0; s < 3; ++s) {
+    const char* scheme[] = {"GILL", "Rnd.VP", "Best"};
+    std::printf("\n-- %s --\n", scheme[s]);
+    print_metric("topo-p2p", [&](const CoverageResult& r) {
+      return bench::pct(r.mapping[s], 0);
+    });
+    print_metric("fail-p2p", [&](const CoverageResult& r) {
+      return bench::pct(r.localization[s], 0);
+    });
+    print_metric("hijack-1", [&](const CoverageResult& r) {
+      return bench::pct(r.hijack[s], 0);
+    });
+  }
+
+  std::printf("\nExpected takeaways (paper): GILL retains a shrinking "
+              "fraction as coverage grows (18%% -> 4.4%%) with shrinking "
+              "anchor share (17%% -> 0.4%%); Best-case > GILL >> Rnd.-VP "
+              "everywhere, and GILL at 50%% coverage with ~RIS/RV-today "
+              "volume triples p2p mapping vs 2%% coverage.\n");
+  std::printf("elapsed: %.1fs\n", total_watch.seconds());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// and simple wall-clock timing. Every bench binary regenerates one table or
+// figure of the paper and prints paper-vs-measured context in its header.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gill::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+/// Prints one table row of fixed-width cells.
+inline void row(const std::vector<std::string>& cells, int width = 12) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string pct(double fraction, int decimals = 1) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+inline std::string num(double value, int decimals = 1) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gill::bench

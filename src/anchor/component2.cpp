@@ -1,0 +1,98 @@
+#include "anchor/component2.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gill::anchor {
+
+Component2Result select_anchors(
+    const std::vector<std::vector<double>>& scores,
+    const std::vector<VpId>& vps, const std::vector<double>& volumes,
+    const Component2Config& config) {
+  Component2Result result;
+  const std::size_t v = scores.size();
+  if (v == 0) return result;
+
+  std::vector<bool> selected(v, false);
+
+  // Initialization: the most redundant VP — the one with the lowest sum of
+  // Euclidean distances, i.e. the highest total redundancy score.
+  std::size_t first = 0;
+  double best_total = -1.0;
+  for (std::size_t i = 0; i < v; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < v; ++j) {
+      if (j != i) total += scores[i][j];
+    }
+    if (total > best_total) {
+      best_total = total;
+      first = i;
+    }
+  }
+  selected[first] = true;
+  result.anchor_positions.push_back(first);
+
+  // P(O, v): maximum redundancy of v with any selected VP — maintained
+  // incrementally as anchors are added.
+  std::vector<double> max_redundancy(v, 0.0);
+  for (std::size_t i = 0; i < v; ++i) {
+    if (!selected[i]) max_redundancy[i] = scores[i][first];
+  }
+
+  while (result.anchor_positions.size() < config.max_anchors) {
+    // Collect nonselected VPs and check the stop condition.
+    std::vector<std::size_t> remaining;
+    for (std::size_t i = 0; i < v; ++i) {
+      if (!selected[i]) remaining.push_back(i);
+    }
+    if (remaining.empty()) break;
+    const bool all_covered =
+        std::all_of(remaining.begin(), remaining.end(), [&](std::size_t i) {
+          return max_redundancy[i] >= config.stop_threshold;
+        });
+    if (all_covered) break;
+
+    // Candidate pool K: the γ-fraction with the lowest maximum redundancy.
+    std::sort(remaining.begin(), remaining.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (max_redundancy[a] != max_redundancy[b]) {
+                  return max_redundancy[a] < max_redundancy[b];
+                }
+                return a < b;
+              });
+    const std::size_t pool_size = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.gamma *
+                                    static_cast<double>(remaining.size())));
+
+    // Within K, pick the lowest-volume VP.
+    std::size_t chosen = remaining[0];
+    double lowest_volume = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < pool_size; ++k) {
+      const std::size_t candidate = remaining[k];
+      const double volume =
+          candidate < volumes.size() ? volumes[candidate] : 0.0;
+      if (volume < lowest_volume) {
+        lowest_volume = volume;
+        chosen = candidate;
+      }
+    }
+
+    selected[chosen] = true;
+    result.anchor_positions.push_back(chosen);
+    for (std::size_t i = 0; i < v; ++i) {
+      if (!selected[i]) {
+        max_redundancy[i] = std::max(max_redundancy[i], scores[i][chosen]);
+      }
+    }
+  }
+
+  if (!vps.empty()) {
+    result.anchors.reserve(result.anchor_positions.size());
+    for (std::size_t position : result.anchor_positions) {
+      result.anchors.push_back(vps[position]);
+    }
+  }
+  return result;
+}
+
+}  // namespace gill::anchor

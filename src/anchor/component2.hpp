@@ -1,0 +1,42 @@
+// Step 4 of Component #2 (§18.4): greedy, volume-aware anchor-VP selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace gill::anchor {
+
+using bgp::VpId;
+
+struct Component2Config {
+  /// γ: fraction of nonselected VPs admitted to the candidate pool each
+  /// iteration (lowest maximum-redundancy first). Paper default: 10%.
+  double gamma = 0.10;
+  /// Stop once every nonselected VP has P(O, v) at least this value (the
+  /// paper's "redundancy score equal to one", relaxed because min-max
+  /// scaled scores reach exactly 1.0 only for the single most redundant
+  /// pair; on RIS/RV-sized data the literal rule stops at 178 anchors).
+  double stop_threshold = 0.9;
+  /// Hard cap as a safety valve for degenerate score matrices.
+  std::size_t max_anchors = SIZE_MAX;
+};
+
+struct Component2Result {
+  /// Selected anchors in selection order (positions into the VP list the
+  /// score matrix was built over).
+  std::vector<std::size_t> anchor_positions;
+  /// Same anchors resolved through `vps` when provided to select_anchors.
+  std::vector<VpId> anchors;
+};
+
+/// Greedy anchor selection over a symmetric redundancy-score matrix
+/// (1 = most redundant pair). `volumes[i]` is VP i's update volume over the
+/// probing window; lower-volume candidates win within the γ-pool.
+Component2Result select_anchors(
+    const std::vector<std::vector<double>>& scores,
+    const std::vector<VpId>& vps, const std::vector<double>& volumes,
+    const Component2Config& config = {});
+
+}  // namespace gill::anchor

@@ -1,0 +1,126 @@
+#include "anchor/event_inference.hpp"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bgp/delta.hpp"
+
+namespace gill::anchor {
+
+namespace {
+
+std::uint64_t link_key(bgp::AsNumber a, bgp::AsNumber b) {
+  const bgp::AsNumber lo = a < b ? a : b;
+  const bgp::AsNumber hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::vector<InferredEvent> infer_events(const bgp::UpdateStream& rib,
+                                        const bgp::UpdateStream& stream,
+                                        const EventInferenceConfig& config) {
+  // Known state seeded from the RIB dump.
+  std::unordered_set<std::uint64_t> known_links;
+  std::unordered_map<net::Prefix, bgp::AsNumber, net::PrefixHash> last_origin;
+  for (const auto& entry : rib) {
+    for (const auto& link : entry.path.links()) {
+      known_links.insert(link_key(link.from, link.to));
+    }
+    if (!entry.path.empty()) {
+      last_origin[entry.prefix] = entry.path.origin();
+    }
+  }
+
+  // Pending events keyed by entity, with accumulated observers.
+  struct Pending {
+    AnchorEvent event;
+    std::unordered_set<bgp::VpId> observers;
+  };
+  std::map<std::pair<int, std::uint64_t>, Pending> open;  // (type, entity)
+  std::vector<InferredEvent> result;
+
+  auto entity_of = [](AnchorEvent::Type type, std::uint64_t id) {
+    return std::make_pair(static_cast<int>(type), id);
+  };
+  auto touch = [&](AnchorEvent::Type type, std::uint64_t entity,
+                   bgp::AsNumber as1, bgp::AsNumber as2, bgp::VpId vp,
+                   bgp::Timestamp time) {
+    const auto key = entity_of(type, entity);
+    auto it = open.find(key);
+    if (it != open.end() &&
+        time - it->second.event.end <= config.dedup_window) {
+      // Same ongoing event: extend and add the observer.
+      it->second.event.end = time + config.settle_time;
+      it->second.observers.insert(vp);
+      return;
+    }
+    if (it != open.end()) {
+      result.push_back(InferredEvent{it->second.event,
+                                     it->second.observers.size()});
+      open.erase(it);
+    }
+    Pending pending;
+    pending.event.type = type;
+    pending.event.start = time;
+    pending.event.end = time + config.settle_time;
+    pending.event.as1 = as1;
+    pending.event.as2 = as2;
+    pending.observers.insert(vp);
+    open.emplace(key, std::move(pending));
+  };
+
+  bgp::DeltaTracker tracker;
+  // Seed the tracker with RIB entries so the first in-stream update has
+  // correct implicit-withdrawal sets.
+  for (const auto& entry : rib) tracker.annotate(entry);
+
+  for (const auto& update : stream) {
+    const auto annotated = tracker.annotate(update);
+    // New links.
+    for (const auto& link : annotated.links) {
+      const std::uint64_t key = link_key(link.from, link.to);
+      if (known_links.insert(key).second) {
+        touch(AnchorEvent::Type::kNewLink, key, link.from, link.to, update.vp,
+              update.time);
+      }
+    }
+    // Outages (implicitly withdrawn links).
+    for (const auto& link : annotated.withdrawn_links) {
+      touch(AnchorEvent::Type::kOutage, link_key(link.from, link.to),
+            link.from, link.to, update.vp, update.time);
+    }
+    // Origin changes.
+    if (!update.withdrawal && !update.path.empty()) {
+      const bgp::AsNumber origin = update.path.origin();
+      auto [it, inserted] = last_origin.try_emplace(update.prefix, origin);
+      if (!inserted && it->second != origin) {
+        touch(AnchorEvent::Type::kOriginChange,
+              net::hash_value(update.prefix), it->second, origin, update.vp,
+              update.time);
+        it->second = origin;
+      }
+    }
+  }
+  for (auto& [key, pending] : open) {
+    result.push_back(
+        InferredEvent{pending.event, pending.observers.size()});
+  }
+  return result;
+}
+
+std::vector<AnchorEvent> filter_non_global(
+    const std::vector<InferredEvent>& events, std::size_t vp_count,
+    double max_visibility) {
+  std::vector<AnchorEvent> result;
+  const double limit = max_visibility * static_cast<double>(vp_count);
+  for (const auto& inferred : events) {
+    if (inferred.observer_count == 0) continue;
+    if (static_cast<double>(inferred.observer_count) >= limit) continue;
+    result.push_back(inferred.event);
+  }
+  return result;
+}
+
+}  // namespace gill::anchor

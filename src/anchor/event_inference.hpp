@@ -1,0 +1,42 @@
+// Data-driven BGP event inference (§18.1: "GILL infers the start and end of
+// these events by processing all the data that it collects").
+//
+// The deployed system has no ground truth — it must find new-link, outage
+// and origin-change events in the stream itself. This inference replays the
+// stream over the initial RIBs and emits:
+//   * kNewLink      — a directed AS adjacency never seen in any route before;
+//   * kOutage       — a link implicitly withdrawn from at least one route;
+//   * kOriginChange — a prefix whose observed origin AS changes.
+// Events are deduplicated per entity within the correlation window, carry
+// observer counts for the §18.1 visibility filter, and feed select_events().
+#pragma once
+
+#include "anchor/event_selection.hpp"
+#include "bgp/update.hpp"
+
+namespace gill::anchor {
+
+/// A candidate event with its observing VPs (for the visibility filter).
+struct InferredEvent {
+  AnchorEvent event;
+  std::size_t observer_count = 0;
+};
+
+struct EventInferenceConfig {
+  Timestamp settle_time = 150;
+  /// Minimum quiet time before the same entity may produce a new event.
+  Timestamp dedup_window = bgp::kTimestampSlack;
+};
+
+/// Infers candidate events from a collection stream. `rib` seeds the
+/// already-known links and origins.
+std::vector<InferredEvent> infer_events(
+    const bgp::UpdateStream& rib, const bgp::UpdateStream& stream,
+    const EventInferenceConfig& config = {});
+
+/// Applies the §18.1 visibility filter and strips observer counts.
+std::vector<AnchorEvent> filter_non_global(
+    const std::vector<InferredEvent>& events, std::size_t vp_count,
+    double max_visibility = 0.5);
+
+}  // namespace gill::anchor

@@ -1,0 +1,148 @@
+#include "anchor/event_selection.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gill::anchor {
+
+namespace {
+
+/// Unordered pair of categories as a flat index over the 15 combinations.
+std::size_t pair_index(AsCategory a, AsCategory b) {
+  auto x = static_cast<std::size_t>(a) - 1;
+  auto y = static_cast<std::size_t>(b) - 1;
+  if (x > y) std::swap(x, y);
+  // Row-major upper triangle of a 5x5 matrix.
+  return x * topo::kCategoryCount - x * (x + 1) / 2 + y;
+}
+
+bool overlaps(const AnchorEvent& a, const AnchorEvent& b) {
+  return a.start <= b.end && b.start <= a.end;
+}
+
+}  // namespace
+
+std::vector<AnchorEvent> candidate_events(
+    const std::vector<sim::GroundTruth>& truths, std::size_t vp_count,
+    const EventSelectionConfig& config) {
+  std::vector<AnchorEvent> candidates;
+  const double max_observers =
+      config.max_visibility * static_cast<double>(vp_count);
+  for (const auto& truth : truths) {
+    // Visibility filter: local (non-global) events only.
+    if (truth.observers.empty()) continue;
+    if (static_cast<double>(truth.observers.size()) >= max_observers) continue;
+
+    AnchorEvent event;
+    event.start = truth.time;
+    event.end = truth.time + config.settle_time;
+    switch (truth.kind) {
+      case sim::GroundTruth::Kind::kLinkFailure:
+        event.type = AnchorEvent::Type::kOutage;
+        event.as1 = truth.link_a;
+        event.as2 = truth.link_b;
+        break;
+      case sim::GroundTruth::Kind::kLinkRestore:
+        event.type = AnchorEvent::Type::kNewLink;
+        event.as1 = truth.link_a;
+        event.as2 = truth.link_b;
+        break;
+      case sim::GroundTruth::Kind::kOriginChange:
+      case sim::GroundTruth::Kind::kMoas:
+      case sim::GroundTruth::Kind::kHijack:
+        event.type = AnchorEvent::Type::kOriginChange;
+        event.as1 = truth.origin;
+        event.as2 = truth.other_as;
+        break;
+      default:
+        continue;  // community changes / transients are not probing events
+    }
+    candidates.push_back(event);
+  }
+  return candidates;
+}
+
+std::vector<AnchorEvent> select_events(
+    const std::vector<AnchorEvent>& candidates,
+    const std::vector<AsCategory>& categories,
+    const EventSelectionConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::vector<AnchorEvent> selected;
+
+  auto try_add = [&](const AnchorEvent& event) {
+    if (config.require_non_overlapping) {
+      for (const auto& other : selected) {
+        if (overlaps(event, other)) return false;
+      }
+    }
+    selected.push_back(event);
+    return true;
+  };
+
+  // Without a category map (e.g. a platform that has not loaded an AS
+  // classification yet) stratification is impossible: fall back to random.
+  if (!config.balanced || categories.empty()) {
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    const std::size_t target = 3 * config.per_type_quota;
+    for (std::size_t index : order) {
+      if (selected.size() >= target) break;
+      try_add(candidates[index]);
+    }
+    return selected;
+  }
+
+  // Balanced: per type, per unordered category pair, up to quota/15 events.
+  constexpr std::size_t kPairCount =
+      topo::kCategoryCount * (topo::kCategoryCount + 1) / 2;  // 15
+  const std::size_t per_pair =
+      std::max<std::size_t>(1, config.per_type_quota / kPairCount);
+
+  for (const auto type :
+       {AnchorEvent::Type::kNewLink, AnchorEvent::Type::kOutage,
+        AnchorEvent::Type::kOriginChange}) {
+    std::array<std::vector<std::size_t>, kPairCount> buckets;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const AnchorEvent& event = candidates[i];
+      if (event.type != type) continue;
+      if (event.as1 >= categories.size() || event.as2 >= categories.size()) {
+        continue;
+      }
+      buckets[pair_index(categories[event.as1], categories[event.as2])]
+          .push_back(i);
+    }
+    for (auto& bucket : buckets) {
+      std::shuffle(bucket.begin(), bucket.end(), rng);
+      std::size_t taken = 0;
+      for (std::size_t index : bucket) {
+        if (taken >= per_pair) break;
+        if (try_add(candidates[index])) ++taken;
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const AnchorEvent& a, const AnchorEvent& b) {
+              return a.start < b.start;
+            });
+  return selected;
+}
+
+SelectionMatrix selection_matrix(const std::vector<AnchorEvent>& events,
+                                 const std::vector<AsCategory>& categories) {
+  SelectionMatrix matrix{};
+  if (events.empty()) return matrix;
+  for (const auto& event : events) {
+    if (event.as1 >= categories.size() || event.as2 >= categories.size()) {
+      continue;
+    }
+    const auto a = static_cast<std::size_t>(categories[event.as1]) - 1;
+    const auto b = static_cast<std::size_t>(categories[event.as2]) - 1;
+    const double share = 1.0 / static_cast<double>(events.size());
+    matrix[a][b] += share;
+    if (a != b) matrix[b][a] += share;
+  }
+  return matrix;
+}
+
+}  // namespace gill::anchor

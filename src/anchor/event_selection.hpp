@@ -1,0 +1,67 @@
+// Step 1 of Component #2 (§18.1): select a large, unbiased set of local BGP
+// events to gauge pairwise VP redundancy.
+//
+// Candidates are non-global events (seen by >=1 VP but by fewer than 50% of
+// them) of three types: new links, outages, and origin changes. The final
+// sample is stratified over the 15 unordered pairs of Table 5 AS categories
+// so core and edge ASes are equally represented (Fig. 12).
+#pragma once
+
+#include <array>
+#include <random>
+#include <vector>
+
+#include "simulator/internet.hpp"
+#include "topology/topology.hpp"
+
+namespace gill::anchor {
+
+using bgp::AsNumber;
+using bgp::Timestamp;
+using topo::AsCategory;
+
+/// One selected redundancy-probing event.
+struct AnchorEvent {
+  enum class Type { kNewLink, kOutage, kOriginChange };
+  Type type{};
+  Timestamp start = 0;
+  Timestamp end = 0;
+  AsNumber as1 = 0;  // link end / old origin
+  AsNumber as2 = 0;  // link end / new origin
+};
+
+struct EventSelectionConfig {
+  /// Target number of events per type (750 in the paper; 3x this total).
+  std::size_t per_type_quota = 750;
+  /// Events seen by at least this fraction of VPs are "global" -> excluded.
+  double max_visibility = 0.5;
+  /// Balanced (paper) vs. plain random (Fig. 12 comparison) selection.
+  bool balanced = true;
+  /// Reject candidates overlapping an already selected event in time.
+  bool require_non_overlapping = false;
+  /// How long after its trigger an event's convergence window lasts.
+  Timestamp settle_time = 150;
+  std::uint64_t seed = 1;
+};
+
+/// Converts simulator ground truth into candidate events, applying the
+/// visibility filter. Restores become kNewLink, failures kOutage, and
+/// origin changes / MOAS / hijacks kOriginChange.
+std::vector<AnchorEvent> candidate_events(
+    const std::vector<sim::GroundTruth>& truths, std::size_t vp_count,
+    const EventSelectionConfig& config);
+
+/// Stratified (or random, per config) sampling of the final event set.
+std::vector<AnchorEvent> select_events(
+    const std::vector<AnchorEvent>& candidates,
+    const std::vector<AsCategory>& categories,
+    const EventSelectionConfig& config);
+
+/// Fig. 12: fraction of selected events per unordered category pair;
+/// matrix[a][b] == matrix[b][a], indexed by AsCategory value - 1.
+using SelectionMatrix =
+    std::array<std::array<double, topo::kCategoryCount>, topo::kCategoryCount>;
+SelectionMatrix selection_matrix(const std::vector<AnchorEvent>& events,
+                                 const std::vector<AsCategory>& categories);
+
+}  // namespace gill::anchor

@@ -1,0 +1,51 @@
+// Steps 2-3 of Component #2 (§18.2-§18.3): per-event per-VP feature-delta
+// vectors, column normalization, pairwise Euclidean distances, and the
+// min-max-scaled redundancy scores R(vn, vm) in [0, 1] (1 = most redundant).
+#pragma once
+
+#include <vector>
+
+#include "anchor/event_selection.hpp"
+#include "bgp/rib.hpp"
+#include "features/features.hpp"
+
+namespace gill::anchor {
+
+using bgp::UpdateStream;
+using bgp::VpId;
+
+/// Feature matrix M(e): one 15-dim row per VP.
+struct EventFeatureMatrix {
+  std::vector<feat::EventVector> rows;  // indexed by VP position
+};
+
+/// Replays a stream while maintaining per-VP graphs and snapshots the
+/// Table 6 features of each event's AS pair at the event's start and end.
+class EventFeatureExtractor {
+ public:
+  /// `vps` lists the VPs (rows of every matrix, in this order).
+  explicit EventFeatureExtractor(std::vector<VpId> vps);
+
+  /// `rib_dump` seeds the initial graphs; `updates` is the collection
+  /// stream covering every event window; `events` must be start-sorted.
+  std::vector<EventFeatureMatrix> extract(
+      const UpdateStream& rib_dump, const UpdateStream& updates,
+      const std::vector<AnchorEvent>& events);
+
+  const std::vector<VpId>& vps() const noexcept { return vps_; }
+
+ private:
+  std::vector<VpId> vps_;
+};
+
+/// §18.3 step 1: z-normalizes each column of M(e) in place (mean 0, unit
+/// standard deviation; constant columns become zero).
+void normalize_columns(EventFeatureMatrix& matrix);
+
+/// §18.3 steps 2-3: pairwise redundancy scores in [0, 1]. Distances are the
+/// paper's sum of squared differences, averaged over events, then min-max
+/// inverted. Returns a symmetric VxV matrix (diagonal = 1).
+std::vector<std::vector<double>> redundancy_scores(
+    std::vector<EventFeatureMatrix> matrices);
+
+}  // namespace gill::anchor

@@ -1,0 +1,47 @@
+#include "bgp/as_path.hpp"
+
+#include <algorithm>
+
+namespace gill::bgp {
+
+std::size_t AsPath::unique_length() const noexcept {
+  std::size_t n = 0;
+  AsNumber previous = 0;
+  bool first = true;
+  for (AsNumber hop : hops_) {
+    if (first || hop != previous) ++n;
+    previous = hop;
+    first = false;
+  }
+  return n;
+}
+
+void AsPath::prepend(AsNumber as, unsigned count) {
+  hops_.insert(hops_.begin(), count, as);
+}
+
+bool AsPath::contains(AsNumber as) const noexcept {
+  return std::find(hops_.begin(), hops_.end(), as) != hops_.end();
+}
+
+std::vector<AsLink> AsPath::links() const {
+  std::vector<AsLink> result;
+  if (hops_.size() < 2) return result;
+  result.reserve(hops_.size() - 1);
+  for (std::size_t i = 0; i + 1 < hops_.size(); ++i) {
+    if (hops_[i] == hops_[i + 1]) continue;  // prepend repetition
+    result.push_back(AsLink{hops_[i], hops_[i + 1]});
+  }
+  return result;
+}
+
+std::string AsPath::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(hops_[i]);
+  }
+  return out;
+}
+
+}  // namespace gill::bgp

@@ -1,0 +1,70 @@
+// AS path: the sequence of ASes a route announcement traversed.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace gill::bgp {
+
+/// An AS_PATH attribute. Element 0 is the neighbor the receiving router
+/// heard the route from; the last element is the origin AS. Prepending is
+/// represented by repeated elements, exactly as on the wire.
+class AsPath {
+ public:
+  AsPath() = default;
+  AsPath(std::initializer_list<AsNumber> hops) : hops_(hops) {}
+  explicit AsPath(std::vector<AsNumber> hops) : hops_(std::move(hops)) {}
+
+  const std::vector<AsNumber>& hops() const noexcept { return hops_; }
+  bool empty() const noexcept { return hops_.empty(); }
+  std::size_t size() const noexcept { return hops_.size(); }
+  AsNumber operator[](std::size_t i) const noexcept { return hops_[i]; }
+
+  /// The AS that originated the route (last hop); 0 if empty.
+  AsNumber origin() const noexcept { return hops_.empty() ? 0 : hops_.back(); }
+
+  /// The AS adjacent to the receiver (first hop); 0 if empty.
+  AsNumber first() const noexcept { return hops_.empty() ? 0 : hops_.front(); }
+
+  /// Path length after collapsing prepend repetitions (the metric BGP
+  /// shortest-path comparison conceptually uses the raw length for, but
+  /// topology analyses want unique hops).
+  std::size_t unique_length() const noexcept;
+
+  /// Adds `as` at the front `count` times (what an AS does when exporting).
+  void prepend(AsNumber as, unsigned count = 1);
+
+  /// True if `as` already appears in the path (BGP loop prevention).
+  bool contains(AsNumber as) const noexcept;
+
+  /// The set of directed AS links (from, to) along the path, skipping
+  /// prepend repetitions. Reading direction: receiver side toward origin.
+  std::vector<AsLink> links() const;
+
+  /// "6 2 1 4"-style rendering.
+  std::string str() const;
+
+  friend auto operator<=>(const AsPath&, const AsPath&) noexcept = default;
+
+ private:
+  std::vector<AsNumber> hops_;
+};
+
+struct AsPathHash {
+  std::size_t operator()(const AsPath& path) const noexcept {
+    std::uint64_t h = 14695981039346656037ull;
+    for (AsNumber hop : path.hops()) {
+      h ^= hop;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace gill::bgp

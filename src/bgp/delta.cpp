@@ -1,0 +1,71 @@
+#include "bgp/delta.hpp"
+
+#include <algorithm>
+
+namespace gill::bgp {
+
+namespace {
+
+template <typename T>
+std::vector<T> sorted_difference(const std::vector<T>& a,
+                                 const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<AsLink> AnnotatedUpdate::effective_links() const {
+  return sorted_difference(links, withdrawn_links);
+}
+
+CommunitySet AnnotatedUpdate::effective_communities() const {
+  return sorted_difference(communities, withdrawn_communities);
+}
+
+AnnotatedUpdate DeltaTracker::annotate(const Update& update) {
+  AnnotatedUpdate annotated;
+  annotated.update = update;
+
+  std::vector<AsLink> new_links = update.path.links();
+  std::sort(new_links.begin(), new_links.end());
+  new_links.erase(std::unique(new_links.begin(), new_links.end()),
+                  new_links.end());
+  CommunitySet new_communities = update.communities;  // already sorted
+
+  const Key key{update.vp, update.prefix};
+  auto it = state_.find(key);
+  if (it != state_.end()) {
+    // Lw = links of the previous route that are not on the new path.
+    annotated.withdrawn_links = sorted_difference(it->second.links, new_links);
+    annotated.withdrawn_communities =
+        sorted_difference(it->second.communities, new_communities);
+  }
+  annotated.links = new_links;
+  annotated.communities = new_communities;
+
+  if (update.withdrawal) {
+    state_.erase(key);
+  } else {
+    state_[key] = Previous{std::move(new_links), std::move(new_communities)};
+    annotated.links = annotated.update.path.links();
+    std::sort(annotated.links.begin(), annotated.links.end());
+    annotated.links.erase(
+        std::unique(annotated.links.begin(), annotated.links.end()),
+        annotated.links.end());
+  }
+  return annotated;
+}
+
+std::vector<AnnotatedUpdate> DeltaTracker::annotate_stream(
+    const UpdateStream& stream) {
+  DeltaTracker tracker;
+  std::vector<AnnotatedUpdate> out;
+  out.reserve(stream.size());
+  for (const Update& u : stream) out.push_back(tracker.annotate(u));
+  return out;
+}
+
+}  // namespace gill::bgp

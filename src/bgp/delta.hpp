@@ -1,0 +1,62 @@
+// Implicit-withdrawal deltas of §4.2.
+//
+// The paper denotes an update u(v, t, p, L, Lw, C, Cw): L is the set of AS
+// links in the new AS path, Lw the links of the *previous* path for (v, p)
+// that the new update renders obsolete; C / Cw likewise for communities.
+// DeltaTracker replays a stream in time order and annotates each update
+// with those four sets.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/update.hpp"
+
+namespace gill::bgp {
+
+/// An update annotated with the §4.2 link/community delta sets. Link and
+/// community vectors are sorted so that subset tests are linear merges.
+struct AnnotatedUpdate {
+  Update update;
+  std::vector<AsLink> links;            // L  : links in the new path
+  std::vector<AsLink> withdrawn_links;  // Lw : links implicitly withdrawn
+  CommunitySet communities;             // C  : communities on the update
+  CommunitySet withdrawn_communities;   // Cw : communities withdrawn
+
+  /// L \ Lw, the genuinely new link information (used by conditions 2/3).
+  std::vector<AsLink> effective_links() const;
+  /// C \ Cw.
+  CommunitySet effective_communities() const;
+};
+
+/// Stateful annotator: feed updates in time order, per the stream they were
+/// collected in. State is keyed by (vp, prefix).
+class DeltaTracker {
+ public:
+  /// Annotates one update and advances the per-(vp,prefix) state.
+  AnnotatedUpdate annotate(const Update& update);
+
+  /// Convenience: annotates an entire time-sorted stream.
+  static std::vector<AnnotatedUpdate> annotate_stream(
+      const UpdateStream& stream);
+
+ private:
+  struct Key {
+    VpId vp;
+    net::Prefix prefix;
+    friend bool operator==(const Key&, const Key&) noexcept = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(net::hash_value(k.prefix) * 31 + k.vp);
+    }
+  };
+  struct Previous {
+    std::vector<AsLink> links;
+    CommunitySet communities;
+  };
+
+  std::unordered_map<Key, Previous, KeyHash> state_;
+};
+
+}  // namespace gill::bgp

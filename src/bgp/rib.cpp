@@ -1,0 +1,45 @@
+#include "bgp/rib.hpp"
+
+namespace gill::bgp {
+
+void Rib::apply(const Update& update) {
+  if (update.withdrawal) {
+    routes_.erase(update.prefix);
+    return;
+  }
+  routes_[update.prefix] =
+      Route{update.path, update.communities, update.time};
+}
+
+const Route* Rib::find(const net::Prefix& prefix) const {
+  auto it = routes_.find(prefix);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+UpdateStream Rib::dump(VpId vp, Timestamp time) const {
+  UpdateStream out;
+  for (const auto& [prefix, route] : routes_) {
+    Update u;
+    u.vp = vp;
+    u.time = time;
+    u.prefix = prefix;
+    u.path = route.path;
+    u.communities = route.communities;
+    out.push(std::move(u));
+  }
+  out.sort();
+  return out;
+}
+
+void RibSet::apply(const UpdateStream& stream) {
+  for (const Update& u : stream) apply(u);
+}
+
+void RibSet::apply(const Update& update) { ribs_[update.vp].apply(update); }
+
+const Rib* RibSet::find(VpId vp) const {
+  auto it = ribs_.find(vp);
+  return it == ribs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gill::bgp

@@ -1,0 +1,62 @@
+// Routing Information Base: the set of best routes a VP currently holds.
+// Platforms dump RIB snapshots every few hours (§2, §8); GILL rebuilds a
+// VP's RIB at time t from the last dump plus subsequent updates (§18).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/update.hpp"
+
+namespace gill::bgp {
+
+/// One installed route.
+struct Route {
+  AsPath path;
+  CommunitySet communities;
+  Timestamp installed = 0;
+
+  friend bool operator==(const Route&, const Route&) noexcept = default;
+};
+
+/// The RIB of a single VP.
+class Rib {
+ public:
+  /// Applies an announcement or withdrawal for this VP.
+  void apply(const Update& update);
+
+  const Route* find(const net::Prefix& prefix) const;
+  std::size_t size() const noexcept { return routes_.size(); }
+  bool empty() const noexcept { return routes_.empty(); }
+
+  /// Snapshot of all (prefix, route) entries, unordered.
+  const std::unordered_map<net::Prefix, Route, net::PrefixHash>& routes()
+      const noexcept {
+    return routes_;
+  }
+
+  /// Emits the RIB as a list of announcement updates stamped `time`
+  /// (a TABLE_DUMP-style snapshot for VP `vp`).
+  UpdateStream dump(VpId vp, Timestamp time) const;
+
+ private:
+  std::unordered_map<net::Prefix, Route, net::PrefixHash> routes_;
+};
+
+/// RIBs for an entire platform, keyed by VP.
+class RibSet {
+ public:
+  /// Replays `stream` (must be time-sorted) into per-VP RIBs.
+  void apply(const UpdateStream& stream);
+  void apply(const Update& update);
+
+  const Rib* find(VpId vp) const;
+  Rib& at(VpId vp) { return ribs_[vp]; }
+  const std::unordered_map<VpId, Rib>& ribs() const noexcept { return ribs_; }
+
+ private:
+  std::unordered_map<VpId, Rib> ribs_;
+};
+
+}  // namespace gill::bgp

@@ -1,0 +1,79 @@
+// Fundamental BGP vocabulary types used across the whole code base.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gill::bgp {
+
+/// Autonomous System number (4-byte ASN per RFC 6793).
+using AsNumber = std::uint32_t;
+
+/// Identifier of a vantage point (a BGP router feeding the platform).
+using VpId = std::uint32_t;
+
+/// Seconds since an arbitrary epoch. All simulation time is integral
+/// seconds; sub-second behaviour is irrelevant to every algorithm in the
+/// paper (the finest constant is the 100 s correlation slack).
+using Timestamp = std::int64_t;
+
+/// The 100-second slack used throughout the paper: when comparing update
+/// timestamps (§4.2 condition 1, §17.2 identity), when building correlation
+/// groups (§17.1), and when matching reconstituted updates.
+inline constexpr Timestamp kTimestampSlack = 100;
+
+/// A directed AS-level adjacency as it appears in an AS path, read from the
+/// route receiver toward the origin: `from` announced the route to `to`...
+/// i.e. the pair (path[i], path[i+1]).
+struct AsLink {
+  AsNumber from = 0;
+  AsNumber to = 0;
+
+  friend auto operator<=>(const AsLink&, const AsLink&) noexcept = default;
+};
+
+struct AsLinkHash {
+  std::size_t operator()(const AsLink& link) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(link.from) << 32) | link.to);
+  }
+};
+
+/// A classic RFC 1997 BGP community, stored as asn:value packed in 32 bits.
+struct Community {
+  std::uint16_t asn = 0;
+  std::uint16_t value = 0;
+
+  constexpr Community() = default;
+  constexpr Community(std::uint16_t a, std::uint16_t v) : asn(a), value(v) {}
+
+  constexpr std::uint32_t packed() const noexcept {
+    return (static_cast<std::uint32_t>(asn) << 16) | value;
+  }
+  static constexpr Community from_packed(std::uint32_t raw) noexcept {
+    return Community(static_cast<std::uint16_t>(raw >> 16),
+                     static_cast<std::uint16_t>(raw & 0xFFFF));
+  }
+
+  std::string str() const {
+    return std::to_string(asn) + ":" + std::to_string(value);
+  }
+
+  friend auto operator<=>(const Community&, const Community&) noexcept =
+      default;
+};
+
+/// A sorted, duplicate-free set of communities (kept as a flat vector —
+/// updates carry few communities and flat storage beats node containers).
+using CommunitySet = std::vector<Community>;
+
+/// Inserts `community` preserving sorted/unique invariants.
+void insert_community(CommunitySet& set, Community community);
+
+/// True if every element of `a` is in `b` (both sorted).
+bool is_subset(const CommunitySet& a, const CommunitySet& b) noexcept;
+
+}  // namespace gill::bgp

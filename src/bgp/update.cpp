@@ -1,0 +1,94 @@
+#include "bgp/update.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace gill::bgp {
+
+std::string Update::str() const {
+  std::string out = "vp" + std::to_string(vp) + " t=" + std::to_string(time) +
+                    " " + prefix.str();
+  if (withdrawal) {
+    out += " WITHDRAW";
+  } else {
+    out += " path=[" + path.str() + "]";
+    if (!communities.empty()) {
+      out += " comms=[";
+      for (std::size_t i = 0; i < communities.size(); ++i) {
+        if (i) out += ' ';
+        out += communities[i].str();
+      }
+      out += ']';
+    }
+  }
+  return out;
+}
+
+bool identical_updates(const Update& a, const Update& b) noexcept {
+  if (a.vp != b.vp || a.prefix != b.prefix || a.withdrawal != b.withdrawal) {
+    return false;
+  }
+  if (a.path != b.path || a.communities != b.communities) return false;
+  const Timestamp dt = a.time > b.time ? a.time - b.time : b.time - a.time;
+  return dt < kTimestampSlack;
+}
+
+UpdateStream::UpdateStream(std::vector<Update> updates)
+    : updates_(std::move(updates)) {
+  sort();
+}
+
+void UpdateStream::push(Update update) { updates_.push_back(std::move(update)); }
+
+void UpdateStream::sort() {
+  std::stable_sort(updates_.begin(), updates_.end(),
+                   [](const Update& a, const Update& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.vp != b.vp) return a.vp < b.vp;
+                     return a.prefix < b.prefix;
+                   });
+}
+
+UpdateStream UpdateStream::window(Timestamp from, Timestamp to) const {
+  UpdateStream out;
+  for (const Update& u : updates_) {
+    if (u.time >= from && u.time < to) out.push(u);
+  }
+  return out;
+}
+
+UpdateStream UpdateStream::by_vp(VpId vp) const {
+  UpdateStream out;
+  for (const Update& u : updates_) {
+    if (u.vp == vp) out.push(u);
+  }
+  return out;
+}
+
+std::vector<VpId> UpdateStream::vps() const {
+  std::set<VpId> seen;
+  for (const Update& u : updates_) seen.insert(u.vp);
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<net::Prefix> UpdateStream::prefixes() const {
+  std::set<net::Prefix> seen;
+  for (const Update& u : updates_) seen.insert(u.prefix);
+  return {seen.begin(), seen.end()};
+}
+
+void UpdateStream::append(const UpdateStream& other) {
+  updates_.insert(updates_.end(), other.updates_.begin(),
+                  other.updates_.end());
+}
+
+void insert_community(CommunitySet& set, Community community) {
+  auto it = std::lower_bound(set.begin(), set.end(), community);
+  if (it == set.end() || *it != community) set.insert(it, community);
+}
+
+bool is_subset(const CommunitySet& a, const CommunitySet& b) noexcept {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace gill::bgp

@@ -1,0 +1,71 @@
+// The BGP update record as stored by a collection platform (§2): the four
+// attributes the paper identifies as relevant — timestamp, prefix, AS path,
+// communities — plus the observing vantage point and a withdrawal flag.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/types.hpp"
+#include "netbase/prefix.hpp"
+
+namespace gill::bgp {
+
+/// One stored BGP update.
+struct Update {
+  VpId vp = 0;
+  Timestamp time = 0;
+  net::Prefix prefix;
+  AsPath path;             // empty for withdrawals
+  CommunitySet communities;
+  bool withdrawal = false;
+
+  std::string str() const;
+
+  friend bool operator==(const Update&, const Update&) noexcept = default;
+};
+
+/// §17.2 update identity: same VP, prefix, AS path and communities, and
+/// timestamps within the 100 s slack.
+bool identical_updates(const Update& a, const Update& b) noexcept;
+
+/// A time-ordered sequence of updates from many VPs (one collection run).
+class UpdateStream {
+ public:
+  UpdateStream() = default;
+  explicit UpdateStream(std::vector<Update> updates);
+
+  void push(Update update);
+
+  /// Sorts by (time, vp, prefix) — call once after bulk generation.
+  void sort();
+
+  const std::vector<Update>& updates() const noexcept { return updates_; }
+  std::vector<Update>& updates() noexcept { return updates_; }
+  std::size_t size() const noexcept { return updates_.size(); }
+  bool empty() const noexcept { return updates_.empty(); }
+
+  auto begin() const noexcept { return updates_.begin(); }
+  auto end() const noexcept { return updates_.end(); }
+
+  /// All updates with `from <= time < to`.
+  UpdateStream window(Timestamp from, Timestamp to) const;
+
+  /// All updates observed by `vp`.
+  UpdateStream by_vp(VpId vp) const;
+
+  /// The distinct VPs appearing in the stream, ascending.
+  std::vector<VpId> vps() const;
+
+  /// The distinct prefixes appearing in the stream.
+  std::vector<net::Prefix> prefixes() const;
+
+  void append(const UpdateStream& other);
+
+ private:
+  std::vector<Update> updates_;
+};
+
+}  // namespace gill::bgp

@@ -1,0 +1,122 @@
+// The GILL platform orchestrator (Fig. 9, §8-§9): manages one BGP daemon
+// per peer over in-memory transports, mirrors incoming updates for the
+// sampling algorithms, periodically re-runs Components #1/#2, regenerates
+// filters and loads them into the daemons, and publishes the two supporting
+// documents (the filter description and the anchor-VP list).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "daemon/daemon.hpp"
+#include "sampling/gill_pipeline.hpp"
+#include "topology/topology.hpp"
+
+namespace gill::collect {
+
+using bgp::Timestamp;
+using bgp::VpId;
+
+struct PlatformConfig {
+  /// Component #1 refresh period (16 days in the paper, §7).
+  Timestamp component1_refresh = 16 * 86400;
+  /// Component #2 refresh period (one year, §7).
+  Timestamp component2_refresh = 365 * 86400;
+  sample::GillConfig gill;
+  bgp::AsNumber local_as = 65000;
+};
+
+/// One managed peering session.
+struct Peer {
+  VpId vp = 0;
+  bgp::AsNumber as = 0;
+  std::unique_ptr<daemon::Transport> transport;
+  std::unique_ptr<daemon::BgpDaemon> daemon;
+  std::unique_ptr<daemon::FakePeer> remote;
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config = {});
+
+  /// Starts a new peering session; returns the assigned VP id. The remote
+  /// end is a FakePeer handle the caller drives (tests / simulation).
+  VpId add_peer(bgp::AsNumber peer_as, Timestamp now);
+
+  daemon::FakePeer& remote(VpId vp) { return *peers_.at(vp).remote; }
+  const daemon::BgpDaemon& daemon_of(VpId vp) const {
+    return *peers_.at(vp).daemon;
+  }
+  std::size_t peer_count() const noexcept { return peers_.size(); }
+
+  /// Drives all sessions: polls daemons and remotes, expires hold timers,
+  /// and refreshes filters when a sampling period elapsed.
+  void step(Timestamp now);
+
+  /// Re-runs the GILL pipeline on the mirrored data and installs the new
+  /// filters (invoked automatically by step(); public for tests/examples).
+  void refresh_filters(Timestamp now,
+                       const std::vector<topo::AsCategory>& categories = {});
+
+  /// All updates retained so far (the public database).
+  const daemon::MrtStore& store() const noexcept { return store_; }
+
+  /// The mirror buffer currently held for the next sampling run.
+  const bgp::UpdateStream& mirror() const noexcept { return mirror_; }
+
+  const filt::FilterTable& filters() const noexcept { return filters_; }
+  const std::vector<VpId>& anchors() const noexcept { return anchors_; }
+
+  /// The two published documents (§9).
+  std::string published_filter_document() const;
+  std::string published_anchor_document() const;
+
+  /// §14 "custom services": a peering operator registers forwarding rules
+  /// so that updates for their prefixes are pushed to them *before* any
+  /// discarding — full visibility of one's own address space in exchange
+  /// for contributing a feed.
+  using ForwardingSink = std::function<void(const bgp::Update&)>;
+  void add_forwarding_rule(const net::Prefix& prefix, ForwardingSink sink);
+  std::size_t forwarding_rule_count() const noexcept {
+    return forwarding_rules_.size();
+  }
+
+ private:
+  void forward(const bgp::Update& update) const;
+
+  PlatformConfig config_;
+  std::vector<std::pair<net::Prefix, ForwardingSink>> forwarding_rules_;
+  std::map<VpId, Peer> peers_;
+  VpId next_vp_ = 0;
+  daemon::MrtStore store_;
+  filt::FilterTable filters_;
+  std::vector<VpId> anchors_;
+  /// Temporary full mirror feeding the sampling algorithms (Fig. 9); the
+  /// orchestrator drops it after each refresh.
+  bgp::UpdateStream mirror_;
+  Timestamp last_component1_ = 0;
+  bool pipeline_ran_ = false;
+};
+
+/// The platform-growth model behind Fig. 2 and Fig. 3: calibrated to the
+/// endpoints the paper reports (74k ASes and ~1.1% coverage in 2023, 28K
+/// updates/hour per VP on average, billions per day in total).
+struct GrowthModel {
+  /// Number of ASes participating in global routing in `year`.
+  static double internet_ases(double year);
+  /// ASes hosting at least one RIS/RV VP.
+  static double vp_hosting_ases(double year);
+  /// Fraction of ASes hosting a VP (Fig. 2 bottom).
+  static double coverage(double year) {
+    return vp_hosting_ases(year) / internet_ases(year);
+  }
+  /// Hourly updates exported by one VP (Fig. 3a).
+  static double updates_per_vp_hour(double year);
+  /// Hourly updates across all VPs (Fig. 3b; quadratic compound effect).
+  static double total_updates_per_hour(double year);
+  /// Total VPs (RIS+RV run several VPs per hosting AS).
+  static double total_vps(double year);
+};
+
+}  // namespace gill::collect

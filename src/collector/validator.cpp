@@ -1,0 +1,111 @@
+#include "collector/validator.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace gill::collect {
+
+std::string_view to_string(RouteVerdict verdict) noexcept {
+  switch (verdict) {
+    case RouteVerdict::kOk: return "ok";
+    case RouteVerdict::kMartianPrefix: return "martian-prefix";
+    case RouteVerdict::kPathLoop: return "path-loop";
+    case RouteVerdict::kOriginMismatch: return "origin-mismatch";
+    case RouteVerdict::kFabricatedPath: return "fabricated-path";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t link_key(bgp::AsNumber a, bgp::AsNumber b) {
+  const bgp::AsNumber lo = a < b ? a : b;
+  const bgp::AsNumber hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// True if the path revisits an AS after having left it (prepending — the
+/// same AS repeated consecutively — is fine).
+bool has_loop(const bgp::AsPath& path) {
+  std::unordered_set<bgp::AsNumber> seen;
+  bgp::AsNumber previous = 0;
+  bool first = true;
+  for (const bgp::AsNumber hop : path.hops()) {
+    if (!first && hop == previous) continue;  // prepend repetition
+    if (!seen.insert(hop).second) return true;
+    previous = hop;
+    first = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RouteValidator::is_martian(const net::Prefix& prefix) {
+  static const std::array<const char*, 10> kMartians = {
+      "0.0.0.0/8",      // "this network"
+      "10.0.0.0/8",     // RFC 1918
+      "127.0.0.0/8",    // loopback
+      "169.254.0.0/16", // link local
+      "172.16.0.0/12",  // RFC 1918
+      "192.168.0.0/16", // RFC 1918
+      "224.0.0.0/4",    // multicast
+      "240.0.0.0/4",    // reserved
+      "fe80::/10",      // v6 link local
+      "ff00::/8",       // v6 multicast
+  };
+  for (const char* text : kMartians) {
+    const auto martian = net::Prefix::parse(text).value();
+    if (martian.family() == prefix.family() && martian.covers(prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+RouteVerdict RouteValidator::validate(const bgp::Update& update) const {
+  if (update.withdrawal) return RouteVerdict::kOk;  // nothing to fabricate
+  if (is_martian(update.prefix)) return RouteVerdict::kMartianPrefix;
+  if (has_loop(update.path)) return RouteVerdict::kPathLoop;
+
+  if (const auto it = origins_.find(update.prefix); it != origins_.end()) {
+    if (it->second.observations >= config_.origin_stability_threshold &&
+        !update.path.empty() &&
+        update.path.origin() != it->second.origin) {
+      return RouteVerdict::kOriginMismatch;
+    }
+  }
+
+  std::size_t new_links = 0;
+  for (const auto& link : update.path.links()) {
+    if (!links_.contains(link_key(link.from, link.to))) ++new_links;
+  }
+  if (!links_.empty() && new_links >= config_.max_new_links_per_path) {
+    return RouteVerdict::kFabricatedPath;
+  }
+  return RouteVerdict::kOk;
+}
+
+void RouteValidator::learn(const bgp::Update& update) {
+  if (update.withdrawal) return;
+  for (const auto& link : update.path.links()) {
+    links_.insert(link_key(link.from, link.to));
+  }
+  if (!update.path.empty()) {
+    OriginState& state = origins_[update.prefix];
+    if (state.origin == update.path.origin()) {
+      ++state.observations;
+    } else {
+      state.origin = update.path.origin();
+      state.observations = 1;
+    }
+  }
+}
+
+RouteVerdict RouteValidator::validate_and_learn(const bgp::Update& update) {
+  const RouteVerdict verdict = validate(update);
+  if (verdict == RouteVerdict::kOk) learn(update);
+  return verdict;
+}
+
+}  // namespace gill::collect

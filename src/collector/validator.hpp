@@ -1,0 +1,77 @@
+// Route plausibility validation — the §14 research direction ("nothing
+// prevents an attacker with an AS from announcing fake updates once it
+// peers with GILL... GILL opens up new research problems in verifying the
+// correctness of the collected BGP updates").
+//
+// The validator performs the checks a collection platform can make without
+// cryptographic route attestation:
+//   * martian / reserved prefixes are never legitimate announcements;
+//   * AS paths must be loop-free (a repeated non-adjacent AS is forged or
+//     a routing bug — either way untrustworthy);
+//   * the origin should match the stable origin learned for the prefix
+//     (a mismatch is a MOAS event or an origin hijack: quarantine);
+//   * paths splicing together multiple never-observed adjacencies look
+//     fabricated (one new link is normal topology growth; several new
+//     links appearing at once in a single path is the signature of a
+//     crafted path).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bgp/update.hpp"
+
+namespace gill::collect {
+
+enum class RouteVerdict : std::uint8_t {
+  kOk,
+  kMartianPrefix,    // reserved / non-routable space
+  kPathLoop,         // repeated non-adjacent AS in the path
+  kOriginMismatch,   // origin differs from the learned stable origin
+  kFabricatedPath,   // too many never-observed adjacencies at once
+};
+
+std::string_view to_string(RouteVerdict verdict) noexcept;
+
+struct ValidatorConfig {
+  /// A path introducing at least this many unknown adjacencies is flagged.
+  std::size_t max_new_links_per_path = 3;
+  /// Observations needed before an origin counts as "stable".
+  std::size_t origin_stability_threshold = 3;
+};
+
+/// Learns the plausible world from accepted updates and judges new ones.
+class RouteValidator {
+ public:
+  explicit RouteValidator(ValidatorConfig config = {}) : config_(config) {}
+
+  /// Checks `update` against the current state (does not learn from it).
+  RouteVerdict validate(const bgp::Update& update) const;
+
+  /// Absorbs a trusted update (e.g. one that passed validation, or
+  /// bootstrap data from an established feed).
+  void learn(const bgp::Update& update);
+
+  /// Convenience: validate, then learn if the verdict is kOk.
+  RouteVerdict validate_and_learn(const bgp::Update& update);
+
+  std::size_t known_link_count() const noexcept { return links_.size(); }
+
+  /// True for reserved/special-use space (RFC 1918, loopback, multicast,
+  /// documentation, link-local, and the v6 equivalents).
+  static bool is_martian(const net::Prefix& prefix);
+
+ private:
+  struct OriginState {
+    bgp::AsNumber origin = 0;
+    std::size_t observations = 0;
+  };
+
+  ValidatorConfig config_;
+  std::unordered_set<std::uint64_t> links_;
+  std::unordered_map<net::Prefix, OriginState, net::PrefixHash> origins_;
+};
+
+}  // namespace gill::collect

@@ -1,0 +1,49 @@
+#include "collector/vetting.hpp"
+
+#include <vector>
+
+namespace gill::collect {
+
+std::string_view to_string(VettingOutcome outcome) noexcept {
+  switch (outcome) {
+    case VettingOutcome::kAccepted: return "accepted";
+    case VettingOutcome::kEmailMismatch: return "email-mismatch";
+    case VettingOutcome::kNotAsOwner: return "not-as-owner";
+    case VettingOutcome::kUnknownRequest: return "unknown-request";
+  }
+  return "?";
+}
+
+std::string PeeringVetting::domain_of(const std::string& email) {
+  const auto at = email.rfind('@');
+  if (at == std::string::npos || at + 1 >= email.size()) return {};
+  return email.substr(at + 1);
+}
+
+std::uint64_t PeeringVetting::submit(const PeeringRequest& request) {
+  const std::uint64_t token = next_token_++;
+  pending_[token] = request;
+  return token;
+}
+
+VettingOutcome PeeringVetting::confirm(std::uint64_t token,
+                                       const std::string& sender_email) {
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return VettingOutcome::kUnknownRequest;
+  const PeeringRequest request = it->second;
+
+  // (i) the confirmation email must come from the address on the form.
+  if (sender_email != request.contact_email) {
+    return VettingOutcome::kEmailMismatch;
+  }
+  // (ii) cross-check AS ownership against the registry (PeeringDB in §9).
+  if (!registry_->owns(domain_of(sender_email), request.as)) {
+    pending_.erase(it);
+    return VettingOutcome::kNotAsOwner;
+  }
+  pending_.erase(it);
+  accepted_.push_back(request);
+  return VettingOutcome::kAccepted;
+}
+
+}  // namespace gill::collect

@@ -1,0 +1,76 @@
+// Automated peering-session vetting (§9): a network operator submits the
+// web form (AS number + contact email + router address); GILL then requires
+// a confirmation email from that address and cross-checks against a
+// PeeringDB-like registry that the sender's domain really operates the AS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "bgp/types.hpp"
+
+namespace gill::collect {
+
+/// Stand-in for PeeringDB [43]: which contact domains operate which ASes.
+class AsOwnershipRegistry {
+ public:
+  void register_owner(const std::string& email_domain, bgp::AsNumber as) {
+    owners_[email_domain].insert(as);
+  }
+  bool owns(const std::string& email_domain, bgp::AsNumber as) const {
+    const auto it = owners_.find(email_domain);
+    return it != owners_.end() && it->second.contains(as);
+  }
+
+ private:
+  std::map<std::string, std::set<bgp::AsNumber>> owners_;
+};
+
+struct PeeringRequest {
+  bgp::AsNumber as = 0;
+  std::string contact_email;
+  std::string router_address;
+};
+
+enum class VettingOutcome {
+  kAccepted,        // session may be configured
+  kEmailMismatch,   // confirmation came from a different address
+  kNotAsOwner,      // PeeringDB cross-check failed
+  kUnknownRequest,  // no pending request for this token
+};
+
+std::string_view to_string(VettingOutcome outcome) noexcept;
+
+/// The two-step authentication workflow.
+class PeeringVetting {
+ public:
+  explicit PeeringVetting(const AsOwnershipRegistry& registry)
+      : registry_(&registry) {}
+
+  /// Step 1: the web form. Returns the token the confirmation email must
+  /// reference.
+  std::uint64_t submit(const PeeringRequest& request);
+
+  /// Step 2: a confirmation email arrives from `sender_email` for `token`.
+  VettingOutcome confirm(std::uint64_t token, const std::string& sender_email);
+
+  /// Requests vetted successfully so far.
+  const std::vector<PeeringRequest>& accepted() const noexcept {
+    return accepted_;
+  }
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+
+  /// "user@example.net" -> "example.net" (empty if malformed).
+  static std::string domain_of(const std::string& email);
+
+ private:
+  const AsOwnershipRegistry* registry_;
+  std::map<std::uint64_t, PeeringRequest> pending_;
+  std::vector<PeeringRequest> accepted_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace gill::collect

@@ -1,0 +1,77 @@
+#include "daemon/bmp_ingest.hpp"
+
+namespace gill::daemon {
+
+void BmpIngest::ingest(const wire::BmpRouteMonitoring& monitoring,
+                       Timestamp now) {
+  const Timestamp when = monitoring.peer.timestamp_sec != 0
+                             ? static_cast<Timestamp>(
+                                   monitoring.peer.timestamp_sec)
+                             : now;
+  auto process = [&](Update update) {
+    ++stats_.updates_received;
+    if (mirror_) mirror_(update);
+    if (filters_ && !filters_->accept(update)) {
+      ++stats_.updates_filtered;
+      return;
+    }
+    if (store_) {
+      store_->store(update);
+      ++stats_.updates_stored;
+    }
+  };
+
+  const auto& message = monitoring.update;
+  auto withdrawal = [&](const net::Prefix& prefix) {
+    Update update;
+    update.vp = vp_;
+    update.time = when;
+    update.prefix = prefix;
+    update.withdrawal = true;
+    process(std::move(update));
+  };
+  auto announcement = [&](const net::Prefix& prefix) {
+    Update update;
+    update.vp = vp_;
+    update.time = when;
+    update.prefix = prefix;
+    update.path = message.path;
+    update.communities = message.communities;
+    process(std::move(update));
+  };
+  for (const auto& prefix : message.withdrawn) withdrawal(prefix);
+  for (const auto& prefix : message.withdrawn_v6) withdrawal(prefix);
+  for (const auto& prefix : message.nlri) announcement(prefix);
+  for (const auto& prefix : message.nlri_v6) announcement(prefix);
+}
+
+void BmpIngest::feed(std::span<const std::uint8_t> data, Timestamp now) {
+  pending_.insert(pending_.end(), data.begin(), data.end());
+  std::size_t offset = 0;
+  while (offset < pending_.size()) {
+    std::size_t consumed = 0;
+    const auto message = wire::decode_bmp(
+        std::span(pending_.data() + offset, pending_.size() - offset),
+        consumed);
+    if (!message) {
+      if (consumed == 0) break;  // incomplete
+      stats_.garbage_bytes += consumed;
+      offset += consumed;
+      continue;
+    }
+    offset += consumed;
+    ++stats_.messages;
+    if (const auto* monitoring =
+            std::get_if<wire::BmpRouteMonitoring>(&*message)) {
+      ++stats_.route_monitoring;
+      ingest(*monitoring, now);
+    } else if (std::holds_alternative<wire::BmpPeerUp>(*message) ||
+               std::holds_alternative<wire::BmpPeerDown>(*message)) {
+      ++stats_.peer_events;
+    }
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+}  // namespace gill::daemon

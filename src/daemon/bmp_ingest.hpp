@@ -1,0 +1,53 @@
+// BMP ingestion adaptor (§14): lets a router feed GILL through the BGP
+// Monitoring Protocol instead of a native peering session. Route
+// Monitoring messages are unwrapped into stored updates and pushed through
+// the same mirror -> filter -> store pipeline as the BGP daemon's.
+#pragma once
+
+#include <functional>
+
+#include "daemon/daemon.hpp"
+#include "wire/bmp.hpp"
+
+namespace gill::daemon {
+
+struct BmpIngestStats {
+  std::size_t messages = 0;
+  std::size_t route_monitoring = 0;
+  std::size_t peer_events = 0;       // peer up/down
+  std::size_t updates_received = 0;  // per-prefix announcements/withdrawals
+  std::size_t updates_filtered = 0;
+  std::size_t updates_stored = 0;
+  std::size_t garbage_bytes = 0;
+};
+
+/// Stateful decoder for one BMP byte stream.
+class BmpIngest {
+ public:
+  /// `vp` identifies the monitored router; `filters`/`store` may be null.
+  BmpIngest(VpId vp, const filt::FilterTable* filters, MrtStore* store)
+      : vp_(vp), filters_(filters), store_(store) {}
+
+  /// Feeds raw bytes; `now` stamps stored updates (BMP's per-peer
+  /// timestamp is preferred when present).
+  void feed(std::span<const std::uint8_t> data, Timestamp now);
+
+  const BmpIngestStats& stats() const noexcept { return stats_; }
+
+  /// Pre-filter tap (same contract as BgpDaemon::set_mirror).
+  void set_mirror(std::function<void(const Update&)> mirror) {
+    mirror_ = std::move(mirror);
+  }
+
+ private:
+  void ingest(const wire::BmpRouteMonitoring& monitoring, Timestamp now);
+
+  VpId vp_;
+  const filt::FilterTable* filters_;
+  MrtStore* store_;
+  BmpIngestStats stats_;
+  std::vector<std::uint8_t> pending_;
+  std::function<void(const Update&)> mirror_;
+};
+
+}  // namespace gill::daemon

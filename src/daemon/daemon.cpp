@@ -1,0 +1,277 @@
+#include "daemon/daemon.hpp"
+
+#include <algorithm>
+
+namespace gill::daemon {
+
+std::vector<std::uint8_t> ByteQueue::read(std::size_t max) {
+  const std::size_t n = std::min(max, buffer_.size());
+  std::vector<std::uint8_t> out(buffer_.begin(),
+                                buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+std::string_view to_string(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kConnect: return "Connect";
+    case SessionState::kOpenSent: return "OpenSent";
+    case SessionState::kOpenConfirm: return "OpenConfirm";
+    case SessionState::kEstablished: return "Established";
+  }
+  return "?";
+}
+
+BgpDaemon::BgpDaemon(VpId vp, bgp::AsNumber local_as, Transport& transport,
+                     const filt::FilterTable* filters, MrtStore* store)
+    : vp_(vp),
+      local_as_(local_as),
+      transport_(&transport),
+      filters_(filters),
+      store_(store) {}
+
+void BgpDaemon::send(const wire::Message& message) {
+  const auto bytes = wire::encode(message);
+  transport_->to_peer.write(bytes);
+}
+
+void BgpDaemon::start(Timestamp now) {
+  wire::OpenMessage open;
+  open.as = local_as_;
+  open.hold_time = hold_time_;
+  open.bgp_id = 0x0A000001;
+  send(open);
+  state_ = SessionState::kOpenSent;
+  last_heard_ = now;
+}
+
+void BgpDaemon::reset(std::uint8_t code, std::uint8_t subcode) {
+  send(wire::NotificationMessage{code, subcode});
+  ++stats_.notifications_sent;
+  state_ = SessionState::kIdle;
+  peer_as_ = 0;
+  // Buffered bytes are dropped by poll() once it observes the reset; they
+  // cannot be cleared here because poll() is iterating the buffer.
+  reset_requested_ = true;
+}
+
+void BgpDaemon::ingest_update(const wire::UpdateMessage& message,
+                              Timestamp now) {
+  auto process = [&](Update update) {
+    ++stats_.updates_received;
+    if (mirror_) mirror_(update);
+    if (rib_dump_interval_ > 0) rib_.apply(update);
+    if (filters_ && !filters_->accept(update)) {
+      ++stats_.updates_filtered;
+      return;
+    }
+    if (store_) {
+      store_->store(update);
+      ++stats_.updates_stored;
+    }
+  };
+
+  for (const auto& prefix : message.withdrawn) {
+    Update update;
+    update.vp = vp_;
+    update.time = now;
+    update.prefix = prefix;
+    update.withdrawal = true;
+    process(std::move(update));
+  }
+  for (const auto& prefix : message.withdrawn_v6) {
+    Update update;
+    update.vp = vp_;
+    update.time = now;
+    update.prefix = prefix;
+    update.withdrawal = true;
+    process(std::move(update));
+  }
+  auto announce = [&](const net::Prefix& prefix) {
+    Update update;
+    update.vp = vp_;
+    update.time = now;
+    update.prefix = prefix;
+    update.path = message.path;
+    update.communities = message.communities;
+    process(std::move(update));
+  };
+  for (const auto& prefix : message.nlri) announce(prefix);
+  for (const auto& prefix : message.nlri_v6) announce(prefix);
+}
+
+void BgpDaemon::handle(const wire::Message& message, Timestamp now) {
+  ++stats_.messages_received;
+  last_heard_ = now;
+  switch (wire::type_of(message)) {
+    case wire::MessageType::kOpen: {
+      if (state_ != SessionState::kOpenSent &&
+          state_ != SessionState::kConnect) {
+        reset(6, 0);  // FSM error
+        return;
+      }
+      peer_as_ = std::get<wire::OpenMessage>(message).as;
+      send(wire::KeepaliveMessage{});
+      state_ = SessionState::kOpenConfirm;
+      return;
+    }
+    case wire::MessageType::kKeepalive: {
+      if (state_ == SessionState::kOpenConfirm) {
+        state_ = SessionState::kEstablished;
+      }
+      return;
+    }
+    case wire::MessageType::kUpdate: {
+      if (state_ != SessionState::kEstablished) {
+        reset(5, 0);  // FSM error: update before Established
+        return;
+      }
+      ingest_update(std::get<wire::UpdateMessage>(message), now);
+      return;
+    }
+    case wire::MessageType::kNotification: {
+      state_ = SessionState::kIdle;
+      peer_as_ = 0;
+      return;
+    }
+  }
+}
+
+void BgpDaemon::poll(Timestamp now) {
+  const auto incoming = transport_->to_daemon.read();
+  pending_.insert(pending_.end(), incoming.begin(), incoming.end());
+
+  std::size_t offset = 0;
+  while (offset < pending_.size()) {
+    std::size_t consumed = 0;
+    const auto message = wire::decode(
+        std::span(pending_.data() + offset, pending_.size() - offset),
+        consumed);
+    if (message) {
+      handle(*message, now);
+      offset += consumed;
+      if (reset_requested_) break;  // drop the rest of the buffer
+    } else if (consumed > 0) {
+      stats_.garbage_bytes += consumed;
+      offset += consumed;
+    } else {
+      break;  // incomplete message: wait for more bytes
+    }
+  }
+  if (reset_requested_) {
+    pending_.clear();
+    reset_requested_ = false;
+  } else {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+void BgpDaemon::tick(Timestamp now) {
+  if (state_ == SessionState::kEstablished ||
+      state_ == SessionState::kOpenConfirm) {
+    if (now - last_heard_ > hold_time_) {
+      reset(4, 0);  // hold timer expired
+    }
+  }
+  // Periodic RIB snapshot (§8): the current table, stamped `now`, written
+  // as TABLE_DUMP-style records alongside the update records.
+  if (rib_dump_interval_ > 0 && store_ != nullptr &&
+      now - last_rib_dump_ >= rib_dump_interval_ && !rib_.empty()) {
+    const auto snapshot = rib_.dump(vp_, now);
+    for (const auto& entry : snapshot) store_->store_rib_entry(entry);
+    last_rib_dump_ = now;
+    ++rib_dumps_;
+  }
+}
+
+void FakePeer::send(const wire::Message& message) {
+  transport_->to_daemon.write(wire::encode(message));
+}
+
+void FakePeer::poll() {
+  const auto incoming = transport_->to_peer.read();
+  pending_.insert(pending_.end(), incoming.begin(), incoming.end());
+  std::size_t offset = 0;
+  while (offset < pending_.size()) {
+    std::size_t consumed = 0;
+    const auto message = wire::decode(
+        std::span(pending_.data() + offset, pending_.size() - offset),
+        consumed);
+    if (!message) {
+      if (consumed == 0) break;
+      offset += consumed;
+      continue;
+    }
+    offset += consumed;
+    switch (wire::type_of(*message)) {
+      case wire::MessageType::kOpen: {
+        wire::OpenMessage open;
+        open.as = as_;
+        open.bgp_id = 0x0A000002;
+        send(open);
+        send(wire::KeepaliveMessage{});
+        break;
+      }
+      case wire::MessageType::kKeepalive:
+        established_ = true;
+        break;
+      default:
+        break;
+    }
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void FakePeer::send_keepalive() { send(wire::KeepaliveMessage{}); }
+
+void FakePeer::send_update(const Update& update) {
+  wire::UpdateMessage message;
+  if (update.withdrawal) {
+    if (update.prefix.family() == net::Family::v4) {
+      message.withdrawn.push_back(update.prefix);
+    } else {
+      message.withdrawn_v6.push_back(update.prefix);
+    }
+  } else {
+    if (update.prefix.family() == net::Family::v4) {
+      message.nlri.push_back(update.prefix);
+    } else {
+      message.nlri_v6.push_back(update.prefix);
+    }
+    message.path = update.path;
+    message.communities = update.communities;
+    message.next_hop = 0x0A000002;
+  }
+  send(message);
+}
+
+void FakePeer::send_synthetic_burst(std::size_t count,
+                                    std::uint32_t prefix_base) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Update update;
+    update.prefix = net::Prefix(
+        net::IpAddress::v4(prefix_base + (static_cast<std::uint32_t>(i) << 8)),
+        24);
+    update.path = bgp::AsPath{as_, as_ + 1, as_ + 2};
+    send_update(update);
+  }
+}
+
+double CapacityModel::loss_fraction(std::size_t peers,
+                                    double updates_per_hour, bool filters_on,
+                                    double match_fraction) const {
+  const double updates_per_second =
+      static_cast<double>(peers) * updates_per_hour / 3600.0;
+  const double matched = filters_on ? match_fraction : 0.0;
+  const double per_update_cost =
+      decode_cost_us + (filters_on ? filter_cost_us : 0.0) +
+      (1.0 - matched) * store_cost_us;
+  const double demand = updates_per_second * per_update_cost;
+  if (demand <= cpu_budget_us_per_s) return 0.0;
+  return 1.0 - cpu_budget_us_per_s / demand;
+}
+
+}  // namespace gill::daemon

@@ -1,0 +1,189 @@
+#include "features/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace gill::feat {
+
+FeatureComputer::Distances FeatureComputer::dijkstra(AsNumber source) const {
+  Distances result;
+  if (!graph_->has_node(source)) return result;
+
+  std::unordered_map<AsNumber, double> distance;
+  using Entry = std::pair<double, AsNumber>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  distance[source] = 0.0;
+  queue.emplace(0.0, source);
+
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    const auto it = distance.find(u);
+    if (it != distance.end() && d > it->second) continue;  // stale
+    if (u != source) {
+      result.sum += d;
+      result.harmonic_sum += 1.0 / d;
+      result.max = std::max(result.max, d);
+      ++result.reached;
+    }
+    for (const auto& [v, weight] : graph_->out(u)) {
+      const double next = d + 1.0 / static_cast<double>(weight);
+      const auto vit = distance.find(v);
+      if (vit == distance.end() || next < vit->second) {
+        distance[v] = next;
+        queue.emplace(next, v);
+      }
+    }
+  }
+  return result;
+}
+
+double FeatureComputer::closeness(AsNumber as) const {
+  const Distances d = dijkstra(as);
+  if (d.reached == 0 || d.sum == 0.0) return 0.0;
+  // Wasserman-Faust normalization: (r / (n-1)) * (r / sum) where r is the
+  // number of reachable nodes — comparable across graph sizes.
+  const auto n = static_cast<double>(graph_->node_count());
+  const auto r = static_cast<double>(d.reached);
+  if (n <= 1.0) return 0.0;
+  return (r / (n - 1.0)) * (r / d.sum);
+}
+
+double FeatureComputer::harmonic(AsNumber as) const {
+  return dijkstra(as).harmonic_sum;
+}
+
+double FeatureComputer::eccentricity(AsNumber as) const {
+  return dijkstra(as).max;
+}
+
+double FeatureComputer::average_neighbor_degree(AsNumber as) const {
+  const auto& out = graph_->out(as);
+  if (out.empty()) return 0.0;
+  double weighted_sum = 0.0;
+  double weight_sum = 0.0;
+  for (const auto& [neighbor, weight] : out) {
+    weighted_sum += static_cast<double>(weight) *
+                    static_cast<double>(graph_->undirected_degree(neighbor));
+    weight_sum += static_cast<double>(weight);
+  }
+  return weighted_sum / weight_sum;
+}
+
+double FeatureComputer::triangles(AsNumber as) const {
+  const auto neighbors = graph_->undirected_neighbors(as);
+  if (neighbors.size() < 2) return 0.0;
+  std::unordered_set<AsNumber> set(neighbors.begin(), neighbors.end());
+  std::size_t count = 0;
+  for (AsNumber u : neighbors) {
+    for (AsNumber v : graph_->undirected_neighbors(u)) {
+      if (v > u && set.contains(v)) ++count;
+    }
+  }
+  return static_cast<double>(count);
+}
+
+double FeatureComputer::clustering(AsNumber as) const {
+  // Onnela weighted clustering: mean over neighbor pairs of the geometric
+  // mean of the three (max-normalized) undirected edge weights.
+  const auto neighbors = graph_->undirected_neighbors(as);
+  const std::size_t k = neighbors.size();
+  if (k < 2) return 0.0;
+  const double wmax = std::max<std::uint32_t>(graph_->max_weight(), 1);
+  auto undirected_weight = [&](AsNumber a, AsNumber b) -> double {
+    return static_cast<double>(
+        std::max(graph_->weight(a, b), graph_->weight(b, a)));
+  };
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double w_uv = undirected_weight(neighbors[i], neighbors[j]);
+      if (w_uv == 0.0) continue;
+      const double w_au = undirected_weight(as, neighbors[i]);
+      const double w_av = undirected_weight(as, neighbors[j]);
+      sum += std::cbrt((w_au / wmax) * (w_av / wmax) * (w_uv / wmax));
+    }
+  }
+  return 2.0 * sum / (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double FeatureComputer::jaccard(AsNumber a, AsNumber b) const {
+  const auto na = graph_->undirected_neighbors(a);
+  const auto nb = graph_->undirected_neighbors(b);
+  if (na.empty() && nb.empty()) return 0.0;
+  std::vector<AsNumber> intersection;
+  std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                        std::back_inserter(intersection));
+  const double union_size = static_cast<double>(na.size() + nb.size()) -
+                            static_cast<double>(intersection.size());
+  return union_size == 0.0
+             ? 0.0
+             : static_cast<double>(intersection.size()) / union_size;
+}
+
+double FeatureComputer::adamic_adar(AsNumber a, AsNumber b) const {
+  const auto na = graph_->undirected_neighbors(a);
+  const auto nb = graph_->undirected_neighbors(b);
+  std::vector<AsNumber> intersection;
+  std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                        std::back_inserter(intersection));
+  double sum = 0.0;
+  for (AsNumber shared : intersection) {
+    const double degree =
+        static_cast<double>(graph_->undirected_degree(shared));
+    if (degree > 1.0) sum += 1.0 / std::log(degree);
+  }
+  return sum;
+}
+
+double FeatureComputer::preferential_attachment(AsNumber a, AsNumber b) const {
+  return static_cast<double>(graph_->undirected_degree(a)) *
+         static_cast<double>(graph_->undirected_degree(b));
+}
+
+NodeFeatures FeatureComputer::node_features(AsNumber as) const {
+  NodeFeatures features{};
+  if (!graph_->has_node(as)) return features;
+  const Distances d = dijkstra(as);
+  const auto n = static_cast<double>(graph_->node_count());
+  const auto r = static_cast<double>(d.reached);
+  features[0] = (d.reached == 0 || d.sum == 0.0 || n <= 1.0)
+                    ? 0.0
+                    : (r / (n - 1.0)) * (r / d.sum);
+  features[1] = d.harmonic_sum;
+  features[2] = average_neighbor_degree(as);
+  features[3] = d.max;
+  features[4] = triangles(as);
+  features[5] = clustering(as);
+  return features;
+}
+
+PairFeatures FeatureComputer::pair_features(AsNumber a, AsNumber b) const {
+  return PairFeatures{jaccard(a, b), adamic_adar(a, b),
+                      preferential_attachment(a, b)};
+}
+
+EventVector event_vector(const VpGraph& start_graph, const VpGraph& end_graph,
+                         AsNumber as1, AsNumber as2) {
+  const FeatureComputer start(start_graph);
+  const FeatureComputer end(end_graph);
+  EventVector vector{};
+  const NodeFeatures s1 = start.node_features(as1);
+  const NodeFeatures e1 = end.node_features(as1);
+  const NodeFeatures s2 = start.node_features(as2);
+  const NodeFeatures e2 = end.node_features(as2);
+  for (std::size_t i = 0; i < kNodeFeatureCount; ++i) {
+    vector[2 * i] = s1[i] - e1[i];
+    vector[2 * i + 1] = s2[i] - e2[i];
+  }
+  const PairFeatures sp = start.pair_features(as1, as2);
+  const PairFeatures ep = end.pair_features(as1, as2);
+  for (std::size_t i = 0; i < kPairFeatureCount; ++i) {
+    vector[2 * kNodeFeatureCount + i] = sp[i] - ep[i];
+  }
+  return vector;
+}
+
+}  // namespace gill::feat

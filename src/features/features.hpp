@@ -1,0 +1,75 @@
+// The 15 topological features of Table 6 (§18.2).
+//
+// Node-based (computed per AS):          index
+//   Closeness centrality   (weighted)      0
+//   Harmonic centrality    (weighted)      1
+//   Average neighbor degree (weighted)     2
+//   Eccentricity           (weighted)      3
+//   Number of triangles    (unweighted)    4
+//   Clustering coefficient (weighted)      5
+// Pair-based (computed per AS pair):
+//   Jaccard                (unweighted)    6
+//   Adamic-Adar            (unweighted)    7
+//   Preferential attachment (unweighted)   8
+//
+// Distances for the centrality features use edge length 1/weight, so
+// heavily used adjacencies are "shorter". The full §18.2 event vector is
+// 12 node dims (6 features x 2 ASes, start - end) + 3 pair dims.
+#pragma once
+
+#include <array>
+
+#include "features/vp_graph.hpp"
+
+namespace gill::feat {
+
+inline constexpr std::size_t kNodeFeatureCount = 6;
+inline constexpr std::size_t kPairFeatureCount = 3;
+inline constexpr std::size_t kEventVectorSize =
+    2 * kNodeFeatureCount + kPairFeatureCount;  // 15
+
+using NodeFeatures = std::array<double, kNodeFeatureCount>;
+using PairFeatures = std::array<double, kPairFeatureCount>;
+using EventVector = std::array<double, kEventVectorSize>;
+
+/// Computes Table 6 features on one VP graph. Stateless between calls.
+class FeatureComputer {
+ public:
+  explicit FeatureComputer(const VpGraph& graph) : graph_(&graph) {}
+
+  /// All six node features of `as` (zeros if the node is absent).
+  NodeFeatures node_features(AsNumber as) const;
+
+  /// The three pair features of (a, b).
+  PairFeatures pair_features(AsNumber a, AsNumber b) const;
+
+  // Individual features, exposed for tests and ablations.
+  double closeness(AsNumber as) const;
+  double harmonic(AsNumber as) const;
+  double average_neighbor_degree(AsNumber as) const;
+  double eccentricity(AsNumber as) const;
+  double triangles(AsNumber as) const;
+  double clustering(AsNumber as) const;
+  double jaccard(AsNumber a, AsNumber b) const;
+  double adamic_adar(AsNumber a, AsNumber b) const;
+  double preferential_attachment(AsNumber a, AsNumber b) const;
+
+ private:
+  struct Distances {
+    double sum = 0.0;
+    double harmonic_sum = 0.0;
+    double max = 0.0;
+    std::size_t reached = 0;
+  };
+  /// Single-source weighted shortest paths over out-edges from `as`.
+  Distances dijkstra(AsNumber as) const;
+
+  const VpGraph* graph_;
+};
+
+/// §18.2 event vector: node features of both event ASes plus pair features,
+/// evaluated as (value at event start) - (value at event end).
+EventVector event_vector(const VpGraph& start_graph, const VpGraph& end_graph,
+                         AsNumber as1, AsNumber as2);
+
+}  // namespace gill::feat

@@ -1,0 +1,97 @@
+#include "features/vp_graph.hpp"
+
+#include <algorithm>
+
+namespace gill::feat {
+
+namespace {
+const std::unordered_map<AsNumber, std::uint32_t> kEmptyAdjacency;
+}
+
+void VpGraph::bump(AsNumber from, AsNumber to, std::int32_t delta) {
+  NodeState& source = nodes_[from];
+  NodeState& target = nodes_[to];
+  auto it = source.out.find(to);
+  const std::uint32_t old_weight = it == source.out.end() ? 0 : it->second;
+  const auto new_weight =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(old_weight) + delta);
+  if (old_weight == 0 && delta > 0) ++edge_count_;
+  if (new_weight == 0) {
+    if (it != source.out.end()) {
+      source.out.erase(it);
+      target.in.erase(from);
+      --edge_count_;
+    }
+  } else {
+    source.out[to] = new_weight;
+    target.in[from] = new_weight;
+    max_weight_ = std::max(max_weight_, new_weight);
+  }
+  // Drop fully isolated nodes so node_count() reflects the visible graph.
+  auto drop_if_isolated = [this](AsNumber as) {
+    auto node = nodes_.find(as);
+    if (node != nodes_.end() && node->second.out.empty() &&
+        node->second.in.empty()) {
+      nodes_.erase(node);
+    }
+  };
+  drop_if_isolated(from);
+  drop_if_isolated(to);
+}
+
+void VpGraph::add_route(const AsPath& path) {
+  for (const auto& link : path.links()) bump(link.from, link.to, +1);
+}
+
+void VpGraph::remove_route(const AsPath& path) {
+  for (const auto& link : path.links()) {
+    if (weight(link.from, link.to) > 0) bump(link.from, link.to, -1);
+  }
+}
+
+void VpGraph::replace_route(const AsPath& old_path, const AsPath& new_path) {
+  if (old_path == new_path) return;
+  remove_route(old_path);
+  add_route(new_path);
+}
+
+std::uint32_t VpGraph::weight(AsNumber from, AsNumber to) const {
+  const auto node = nodes_.find(from);
+  if (node == nodes_.end()) return 0;
+  const auto it = node->second.out.find(to);
+  return it == node->second.out.end() ? 0 : it->second;
+}
+
+const std::unordered_map<AsNumber, std::uint32_t>& VpGraph::out(
+    AsNumber as) const {
+  const auto node = nodes_.find(as);
+  return node == nodes_.end() ? kEmptyAdjacency : node->second.out;
+}
+
+const std::unordered_map<AsNumber, std::uint32_t>& VpGraph::in(
+    AsNumber as) const {
+  const auto node = nodes_.find(as);
+  return node == nodes_.end() ? kEmptyAdjacency : node->second.in;
+}
+
+std::vector<AsNumber> VpGraph::undirected_neighbors(AsNumber as) const {
+  std::vector<AsNumber> result;
+  const auto node = nodes_.find(as);
+  if (node == nodes_.end()) return result;
+  result.reserve(node->second.out.size() + node->second.in.size());
+  for (const auto& [to, _] : node->second.out) result.push_back(to);
+  for (const auto& [from, _] : node->second.in) result.push_back(from);
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<AsNumber> VpGraph::nodes() const {
+  std::vector<AsNumber> result;
+  result.reserve(nodes_.size());
+  for (const auto& [as, _] : nodes_) result.push_back(as);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace gill::feat

@@ -1,0 +1,72 @@
+// Per-VP weighted directed AS graph G_v(t) (§18).
+//
+// Built from the AS paths of the best routes a VP holds at time t: each
+// directed adjacency (path[i] -> path[i+1]) is an edge whose weight is the
+// number of routes in the RIB whose path contains it. Directed, because two
+// identical paths in opposite directions must not look redundant (§18).
+// Supports incremental route replacement so the anchor pipeline can slide
+// through a stream without rebuilding graphs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+
+namespace gill::feat {
+
+using bgp::AsNumber;
+using bgp::AsPath;
+
+class VpGraph {
+ public:
+  /// Adds every directed link of `path` with weight +1.
+  void add_route(const AsPath& path);
+
+  /// Removes a previously added route (weights decrement; empty edges and
+  /// nodes are dropped).
+  void remove_route(const AsPath& path);
+
+  /// Replaces `old_path` by `new_path` (either may be empty).
+  void replace_route(const AsPath& old_path, const AsPath& new_path);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+  bool has_node(AsNumber as) const { return nodes_.contains(as); }
+
+  /// Weight of directed edge (from, to); 0 if absent.
+  std::uint32_t weight(AsNumber from, AsNumber to) const;
+
+  /// Out-neighbors with weights.
+  const std::unordered_map<AsNumber, std::uint32_t>& out(AsNumber as) const;
+  /// In-neighbors with weights.
+  const std::unordered_map<AsNumber, std::uint32_t>& in(AsNumber as) const;
+
+  /// Undirected neighbor set (union of in and out), deduplicated, sorted.
+  std::vector<AsNumber> undirected_neighbors(AsNumber as) const;
+
+  /// Total degree (|in| + |out| counted per unique undirected neighbor).
+  std::size_t undirected_degree(AsNumber as) const {
+    return undirected_neighbors(as).size();
+  }
+
+  /// Maximum edge weight in the graph (for Onnela weight normalization).
+  std::uint32_t max_weight() const noexcept { return max_weight_; }
+
+  /// All node ids currently present.
+  std::vector<AsNumber> nodes() const;
+
+ private:
+  struct NodeState {
+    std::unordered_map<AsNumber, std::uint32_t> out;
+    std::unordered_map<AsNumber, std::uint32_t> in;
+  };
+  void bump(AsNumber from, AsNumber to, std::int32_t delta);
+
+  std::unordered_map<AsNumber, NodeState> nodes_;
+  std::size_t edge_count_ = 0;
+  std::uint32_t max_weight_ = 0;
+};
+
+}  // namespace gill::feat

@@ -1,0 +1,271 @@
+#include "feed/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gill::feed {
+
+namespace {
+
+void dump_string(const std::string& text, std::string& out) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Json& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    const double number = value.as_number();
+    if (number == std::floor(number) && std::abs(number) < 1e15) {
+      out += std::to_string(static_cast<std::int64_t>(number));
+    } else {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.17g", number);
+      out += buffer;
+    }
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const auto& element : value.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      dump_value(element, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, element] : value.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      dump_string(key, out);
+      out += ':';
+      dump_value(element, out);
+    }
+    out += '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse() {
+    auto value = parse_value(0);
+    skip_whitespace();
+    if (!value || position_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_whitespace() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  bool consume(char expected) {
+    skip_whitespace();
+    if (position_ < text_.size() && text_[position_] == expected) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(position_, word.size()) == word) {
+      position_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_whitespace();
+    if (position_ >= text_.size()) return std::nullopt;
+    const char c = text_[position_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') {
+      auto text = parse_string();
+      if (!text) return std::nullopt;
+      return Json(std::move(*text));
+    }
+    if (c == 't') return literal("true") ? std::optional<Json>(Json(true))
+                                         : std::nullopt;
+    if (c == 'f') return literal("false") ? std::optional<Json>(Json(false))
+                                          : std::nullopt;
+    if (c == 'n') return literal("null") ? std::optional<Json>(Json(nullptr))
+                                         : std::nullopt;
+    return parse_number();
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = position_;
+    if (position_ < text_.size() && text_[position_] == '-') ++position_;
+    while (position_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
+            text_[position_] == '.' || text_[position_] == 'e' ||
+            text_[position_] == 'E' || text_[position_] == '+' ||
+            text_[position_] == '-')) {
+      ++position_;
+    }
+    double value = 0.0;
+    const auto* begin = text_.data() + start;
+    const auto* end = text_.data() + position_;
+    const auto [next, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || next != end || begin == end) return std::nullopt;
+    return Json(value);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (position_ < text_.size()) {
+      const char c = text_[position_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (position_ >= text_.size()) return std::nullopt;
+      const char escape = text_[position_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (position_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[position_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs rejected).
+          if (code >= 0xD800 && code <= 0xDFFF) return std::nullopt;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    if (!consume('[')) return std::nullopt;
+    JsonArray array;
+    skip_whitespace();
+    if (consume(']')) {
+      Json result(std::move(array));
+      return result;
+    }
+    while (true) {
+      auto value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      if (consume(']')) {
+        Json result(std::move(array));
+        return result;
+      }
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    if (!consume('{')) return std::nullopt;
+    JsonObject object;
+    skip_whitespace();
+    if (consume('}')) {
+      Json result(std::move(object));
+      return result;
+    }
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      object.emplace(std::move(*key), std::move(*value));
+      if (consume('}')) {
+        Json result(std::move(object));
+        return result;
+      }
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace gill::feed

@@ -1,0 +1,83 @@
+// A minimal JSON value model, parser and writer — no external dependency.
+//
+// Supports the subset of JSON the live-feed protocol uses: objects,
+// arrays, strings (with \" \\ \/ \b \f \n \r \t and \uXXXX for BMP code
+// points), doubles/integers, booleans and null. Not a general-purpose
+// library: inputs larger than the recursion budget or with exotic escapes
+// are rejected rather than mangled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace gill::feed {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool value) : value_(value) {}
+  Json(double value) : value_(value) {}
+  Json(std::int64_t value) : value_(static_cast<double>(value)) {}
+  Json(int value) : value_(static_cast<double>(value)) {}
+  Json(std::string value) : value_(std::move(value)) {}
+  Json(const char* value) : value_(std::string(value)) {}
+  Json(JsonArray value) : value_(std::move(value)) {}
+  Json(JsonObject value) : value_(std::move(value)) {}
+
+  bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  bool is_array() const noexcept {
+    return std::holds_alternative<JsonArray>(value_);
+  }
+  bool is_object() const noexcept {
+    return std::holds_alternative<JsonObject>(value_);
+  }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+
+  /// Object member access; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto& object = as_object();
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  /// Serializes to compact JSON text.
+  std::string dump() const;
+
+  /// Parses one JSON document; nullopt on malformed input.
+  static std::optional<Json> parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace gill::feed

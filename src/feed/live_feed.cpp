@@ -1,0 +1,209 @@
+#include "feed/live_feed.hpp"
+
+#include <algorithm>
+
+#include "feed/json.hpp"
+
+namespace gill::feed {
+
+std::string encode_live(const LiveMessage& message) {
+  JsonObject object;
+  object["type"] = Json("UPDATE");
+  object["timestamp"] = Json(static_cast<double>(message.timestamp));
+  object["peer_asn"] = Json(std::to_string(message.peer_asn));
+  object["vp"] = Json(static_cast<double>(message.vp));
+
+  JsonArray path;
+  for (const bgp::AsNumber hop : message.path.hops()) {
+    path.emplace_back(static_cast<double>(hop));
+  }
+  object["path"] = Json(std::move(path));
+
+  if (!message.communities.empty()) {
+    JsonArray communities;
+    for (const bgp::Community community : message.communities) {
+      JsonArray pair;
+      pair.emplace_back(static_cast<double>(community.asn));
+      pair.emplace_back(static_cast<double>(community.value));
+      communities.emplace_back(std::move(pair));
+    }
+    object["community"] = Json(std::move(communities));
+  }
+
+  if (!message.announcements.empty()) {
+    JsonArray prefixes;
+    for (const auto& prefix : message.announcements) {
+      prefixes.emplace_back(prefix.str());
+    }
+    JsonObject announcement;
+    announcement["prefixes"] = Json(std::move(prefixes));
+    JsonArray announcements;
+    announcements.emplace_back(std::move(announcement));
+    object["announcements"] = Json(std::move(announcements));
+  }
+  if (!message.withdrawals.empty()) {
+    JsonArray withdrawals;
+    for (const auto& prefix : message.withdrawals) {
+      withdrawals.emplace_back(prefix.str());
+    }
+    object["withdrawals"] = Json(std::move(withdrawals));
+  }
+  return Json(std::move(object)).dump();
+}
+
+std::optional<LiveMessage> decode_live(std::string_view text) {
+  const auto document = Json::parse(text);
+  if (!document || !document->is_object()) return std::nullopt;
+  const Json* type = document->find("type");
+  if (!type || !type->is_string() || type->as_string() != "UPDATE") {
+    return std::nullopt;
+  }
+
+  LiveMessage message;
+  if (const Json* timestamp = document->find("timestamp");
+      timestamp && timestamp->is_number()) {
+    message.timestamp = static_cast<bgp::Timestamp>(timestamp->as_number());
+  } else {
+    return std::nullopt;
+  }
+  if (const Json* vp = document->find("vp"); vp && vp->is_number()) {
+    message.vp = static_cast<bgp::VpId>(vp->as_number());
+  }
+  if (const Json* peer = document->find("peer_asn");
+      peer && peer->is_string()) {
+    message.peer_asn = static_cast<bgp::AsNumber>(
+        std::strtoul(peer->as_string().c_str(), nullptr, 10));
+  }
+  if (const Json* path = document->find("path")) {
+    if (!path->is_array()) return std::nullopt;
+    std::vector<bgp::AsNumber> hops;
+    for (const auto& hop : path->as_array()) {
+      if (!hop.is_number()) return std::nullopt;
+      hops.push_back(static_cast<bgp::AsNumber>(hop.as_number()));
+    }
+    message.path = bgp::AsPath(std::move(hops));
+  }
+  if (const Json* communities = document->find("community")) {
+    if (!communities->is_array()) return std::nullopt;
+    for (const auto& pair : communities->as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2 ||
+          !pair.as_array()[0].is_number() || !pair.as_array()[1].is_number()) {
+        return std::nullopt;
+      }
+      bgp::insert_community(
+          message.communities,
+          bgp::Community(
+              static_cast<std::uint16_t>(pair.as_array()[0].as_number()),
+              static_cast<std::uint16_t>(pair.as_array()[1].as_number())));
+    }
+  }
+  if (const Json* announcements = document->find("announcements")) {
+    if (!announcements->is_array()) return std::nullopt;
+    for (const auto& announcement : announcements->as_array()) {
+      const Json* prefixes = announcement.find("prefixes");
+      if (!prefixes || !prefixes->is_array()) return std::nullopt;
+      for (const auto& prefix_text : prefixes->as_array()) {
+        if (!prefix_text.is_string()) return std::nullopt;
+        const auto prefix = net::Prefix::parse(prefix_text.as_string());
+        if (!prefix) return std::nullopt;
+        message.announcements.push_back(*prefix);
+      }
+    }
+  }
+  if (const Json* withdrawals = document->find("withdrawals")) {
+    if (!withdrawals->is_array()) return std::nullopt;
+    for (const auto& prefix_text : withdrawals->as_array()) {
+      if (!prefix_text.is_string()) return std::nullopt;
+      const auto prefix = net::Prefix::parse(prefix_text.as_string());
+      if (!prefix) return std::nullopt;
+      message.withdrawals.push_back(*prefix);
+    }
+  }
+  return message;
+}
+
+std::vector<LiveMessage> to_live_messages(const bgp::UpdateStream& stream) {
+  std::vector<LiveMessage> messages;
+  for (const auto& update : stream) {
+    const bool mergeable =
+        !messages.empty() && messages.back().vp == update.vp &&
+        messages.back().timestamp == update.time &&
+        (update.withdrawal ||
+         (messages.back().path == update.path &&
+          messages.back().communities == update.communities));
+    if (mergeable && update.withdrawal) {
+      messages.back().withdrawals.push_back(update.prefix);
+      continue;
+    }
+    if (mergeable && !update.withdrawal && !messages.back().announcements.empty()) {
+      messages.back().announcements.push_back(update.prefix);
+      continue;
+    }
+    LiveMessage message;
+    message.vp = update.vp;
+    message.timestamp = update.time;
+    message.peer_asn = update.path.empty() ? 0 : update.path.first();
+    if (update.withdrawal) {
+      message.withdrawals.push_back(update.prefix);
+    } else {
+      message.path = update.path;
+      message.communities = update.communities;
+      message.announcements.push_back(update.prefix);
+    }
+    messages.push_back(std::move(message));
+  }
+  return messages;
+}
+
+bgp::UpdateStream from_live_messages(
+    const std::vector<LiveMessage>& messages) {
+  bgp::UpdateStream stream;
+  for (const auto& message : messages) {
+    for (const auto& prefix : message.announcements) {
+      bgp::Update update;
+      update.vp = message.vp;
+      update.time = message.timestamp;
+      update.prefix = prefix;
+      update.path = message.path;
+      update.communities = message.communities;
+      stream.push(std::move(update));
+    }
+    for (const auto& prefix : message.withdrawals) {
+      bgp::Update update;
+      update.vp = message.vp;
+      update.time = message.timestamp;
+      update.prefix = prefix;
+      update.withdrawal = true;
+      stream.push(std::move(update));
+    }
+  }
+  stream.sort();
+  return stream;
+}
+
+std::string encode_stream_ndjson(const bgp::UpdateStream& stream) {
+  std::string out;
+  for (const auto& message : to_live_messages(stream)) {
+    out += encode_live(message);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<bgp::UpdateStream> decode_stream_ndjson(std::string_view text) {
+  std::vector<LiveMessage> messages;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    auto message = decode_live(line);
+    if (!message) return std::nullopt;
+    messages.push_back(std::move(*message));
+  }
+  return from_live_messages(messages);
+}
+
+}  // namespace gill::feed

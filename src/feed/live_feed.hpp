@@ -1,0 +1,58 @@
+// RIS-Live-style streaming feed codec (§9): GILL bootstraps its visibility
+// by ingesting all RIS VPs through the RIS Live WebSocket API and all RV
+// VPs through a near-real-time proxy. This module implements the message
+// format: one JSON document per BGP message, carrying the peer, timestamp,
+// AS path, communities, announcements and withdrawals.
+//
+// Message shape (a faithful simplification of ris-live's `ris_message`):
+//
+//   {"type": "UPDATE",
+//    "timestamp": 1693526400,
+//    "peer_asn": "65010",
+//    "vp": 42,
+//    "path": [65010, 65020, 64500],
+//    "community": [[65010, 100], [65020, 200]],
+//    "announcements": [{"prefixes": ["203.0.113.0/24"]}],
+//    "withdrawals": ["198.51.100.0/24"]}
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/update.hpp"
+
+namespace gill::feed {
+
+/// One live-feed message: possibly several announcements and withdrawals
+/// sharing the path attributes (exactly like one BGP UPDATE).
+struct LiveMessage {
+  bgp::VpId vp = 0;
+  bgp::Timestamp timestamp = 0;
+  bgp::AsNumber peer_asn = 0;
+  bgp::AsPath path;
+  bgp::CommunitySet communities;
+  std::vector<net::Prefix> announcements;
+  std::vector<net::Prefix> withdrawals;
+
+  friend bool operator==(const LiveMessage&, const LiveMessage&) = default;
+};
+
+/// Encodes one message as a single-line JSON document.
+std::string encode_live(const LiveMessage& message);
+
+/// Parses one JSON document; nullopt when malformed or not an UPDATE.
+std::optional<LiveMessage> decode_live(std::string_view text);
+
+/// Groups a stored update stream into live messages (adjacent updates from
+/// one VP with identical attributes and timestamp share one message).
+std::vector<LiveMessage> to_live_messages(const bgp::UpdateStream& stream);
+
+/// Expands live messages back into one stored update per prefix.
+bgp::UpdateStream from_live_messages(const std::vector<LiveMessage>& messages);
+
+/// Convenience: newline-delimited JSON round trip for whole streams.
+std::string encode_stream_ndjson(const bgp::UpdateStream& stream);
+std::optional<bgp::UpdateStream> decode_stream_ndjson(std::string_view text);
+
+}  // namespace gill::feed

@@ -1,0 +1,193 @@
+#include "netbase/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace gill::net {
+
+std::string_view to_string(Family family) noexcept {
+  return family == Family::v4 ? "IPv4" : "IPv6";
+}
+
+IpAddress IpAddress::v4(std::uint32_t host_order) noexcept {
+  IpAddress a;
+  a.family_ = Family::v4;
+  a.bytes_[0] = static_cast<std::uint8_t>(host_order >> 24);
+  a.bytes_[1] = static_cast<std::uint8_t>(host_order >> 16);
+  a.bytes_[2] = static_cast<std::uint8_t>(host_order >> 8);
+  a.bytes_[3] = static_cast<std::uint8_t>(host_order);
+  return a;
+}
+
+IpAddress IpAddress::v6(const std::array<std::uint8_t, 16>& bytes) noexcept {
+  IpAddress a;
+  a.family_ = Family::v6;
+  a.bytes_ = bytes;
+  return a;
+}
+
+std::uint32_t IpAddress::v4_value() const noexcept {
+  return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+         static_cast<std::uint32_t>(bytes_[3]);
+}
+
+bool IpAddress::bit(unsigned index) const noexcept {
+  const unsigned byte = index / 8;
+  const unsigned offset = index % 8;
+  return (bytes_[byte] >> (7 - offset)) & 1u;
+}
+
+namespace {
+
+std::optional<IpAddress> parse_v4(std::string_view text) {
+  std::uint32_t value = 0;
+  int parts = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+    ++parts;
+    p = next;
+    if (p < end) {
+      if (*p != '.' || parts == 4) return std::nullopt;
+      ++p;
+      if (p == end) return std::nullopt;  // trailing dot
+    }
+  }
+  if (parts != 4) return std::nullopt;
+  return IpAddress::v4(value);
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  // Split on ':' handling a single '::' gap.
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+  std::vector<std::uint16_t>* current = &head;
+
+  std::size_t i = 0;
+  if (text.starts_with("::")) {
+    seen_gap = true;
+    current = &tail;
+    i = 2;
+  }
+  while (i < text.size()) {
+    if (text[i] == ':') {
+      if (seen_gap) return std::nullopt;  // second '::' is invalid
+      seen_gap = true;
+      current = &tail;
+      ++i;
+      continue;
+    }
+    std::size_t group_end = text.find(':', i);
+    if (group_end == std::string_view::npos) group_end = text.size();
+    std::string_view group = text.substr(i, group_end - i);
+    if (group.empty() || group.size() > 4) return std::nullopt;
+    unsigned value = 0;
+    auto [next, ec] =
+        std::from_chars(group.data(), group.data() + group.size(), value, 16);
+    if (ec != std::errc{} || next != group.data() + group.size() ||
+        value > 0xFFFF) {
+      return std::nullopt;
+    }
+    current->push_back(static_cast<std::uint16_t>(value));
+    i = group_end;
+    if (i < text.size()) {
+      ++i;  // skip ':'
+      if (i == text.size() && !(seen_gap && tail.empty() &&
+                                text.ends_with("::"))) {
+        return std::nullopt;  // trailing single ':'
+      }
+    }
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if (seen_gap ? total >= 8 : total != 8) return std::nullopt;
+
+  std::array<std::uint8_t, 16> bytes{};
+  std::size_t pos = 0;
+  for (std::uint16_t group : head) {
+    bytes[pos++] = static_cast<std::uint8_t>(group >> 8);
+    bytes[pos++] = static_cast<std::uint8_t>(group & 0xFF);
+  }
+  pos = 16 - tail.size() * 2;
+  for (std::uint16_t group : tail) {
+    bytes[pos++] = static_cast<std::uint8_t>(group >> 8);
+    bytes[pos++] = static_cast<std::uint8_t>(group & 0xFF);
+  }
+  return IpAddress::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::string IpAddress::str() const {
+  char buffer[64];
+  if (is_v4()) {
+    std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3]);
+    return buffer;
+  }
+  // Find the longest run of zero 16-bit groups to compress with '::'.
+  std::array<std::uint16_t, 8> groups;
+  for (std::size_t g = 0; g < 8; ++g) {
+    groups[g] = static_cast<std::uint16_t>((bytes_[g * 2] << 8) |
+                                           bytes_[g * 2 + 1]);
+  }
+  int best_start = -1;
+  int best_len = 0;
+  for (int g = 0; g < 8;) {
+    if (groups[static_cast<std::size_t>(g)] != 0) {
+      ++g;
+      continue;
+    }
+    int start = g;
+    while (g < 8 && groups[static_cast<std::size_t>(g)] == 0) ++g;
+    if (g - start > best_len) {
+      best_len = g - start;
+      best_start = start;
+    }
+  }
+  if (best_len < 2) best_start = -1;  // do not compress a single group
+
+  std::string out;
+  for (int g = 0; g < 8; ++g) {
+    if (g == best_start) {
+      out += "::";
+      g += best_len - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buffer, sizeof buffer, "%x",
+                  groups[static_cast<std::size_t>(g)]);
+    out += buffer;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::uint64_t hash_value(const IpAddress& address) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto& bytes = address.bytes();
+  const std::size_t n = address.byte_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<std::uint8_t>(address.family());
+  h *= 1099511628211ull;
+  return h;
+}
+
+}  // namespace gill::net

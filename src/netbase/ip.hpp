@@ -1,0 +1,78 @@
+// IP address model shared by every layer of the GILL reproduction.
+//
+// Both IPv4 and IPv6 addresses are stored in a single 16-byte value type so
+// that BGP updates, RIB entries, MRT records and wire messages can carry
+// either family without variants spreading through the code base.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gill::net {
+
+/// Address family of an IP address or prefix.
+enum class Family : std::uint8_t { v4 = 4, v6 = 6 };
+
+/// Returns "IPv4" / "IPv6".
+std::string_view to_string(Family family) noexcept;
+
+/// An IPv4 or IPv6 address.
+///
+/// IPv4 addresses occupy the first 4 bytes of the internal buffer; the
+/// remaining bytes are guaranteed to be zero, so byte-wise comparison is a
+/// total order within a family.
+class IpAddress {
+ public:
+  /// The unspecified IPv4 address (0.0.0.0).
+  constexpr IpAddress() noexcept = default;
+
+  /// Builds an IPv4 address from a host-order 32-bit value.
+  static IpAddress v4(std::uint32_t host_order) noexcept;
+
+  /// Builds an IPv6 address from 16 network-order bytes.
+  static IpAddress v6(const std::array<std::uint8_t, 16>& bytes) noexcept;
+
+  /// Parses dotted-quad or RFC 4291 textual form. Returns nullopt on error.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  Family family() const noexcept { return family_; }
+  bool is_v4() const noexcept { return family_ == Family::v4; }
+  bool is_v6() const noexcept { return family_ == Family::v6; }
+
+  /// Network-order bytes; 4 significant bytes for IPv4, 16 for IPv6.
+  const std::array<std::uint8_t, 16>& bytes() const noexcept { return bytes_; }
+
+  /// Number of significant bytes (4 or 16).
+  std::size_t byte_count() const noexcept { return is_v4() ? 4u : 16u; }
+
+  /// Number of significant bits (32 or 128).
+  unsigned bit_count() const noexcept { return is_v4() ? 32u : 128u; }
+
+  /// Host-order value of an IPv4 address. Precondition: is_v4().
+  std::uint32_t v4_value() const noexcept;
+
+  /// Value of bit `index` counted from the most significant bit.
+  bool bit(unsigned index) const noexcept;
+
+  /// Canonical textual form (dotted quad / compressed IPv6).
+  std::string str() const;
+
+  friend auto operator<=>(const IpAddress& a, const IpAddress& b) noexcept {
+    if (auto c = a.family_ <=> b.family_; c != 0) return c;
+    return a.bytes_ <=> b.bytes_;
+  }
+  friend bool operator==(const IpAddress&, const IpAddress&) noexcept = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+  Family family_ = Family::v4;
+};
+
+/// 64-bit FNV-1a over the significant bytes, for use in hash maps.
+std::uint64_t hash_value(const IpAddress& address) noexcept;
+
+}  // namespace gill::net

@@ -1,0 +1,79 @@
+#include "netbase/prefix.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace gill::net {
+
+namespace {
+
+// Zeroes every bit of `bytes` from bit `length` (MSB-first) onward.
+std::array<std::uint8_t, 16> mask_bytes(const std::array<std::uint8_t, 16>& in,
+                                        unsigned length) {
+  std::array<std::uint8_t, 16> out{};
+  const unsigned full = length / 8;
+  for (unsigned i = 0; i < full && i < 16; ++i) out[i] = in[i];
+  const unsigned rem = length % 8;
+  if (full < 16 && rem != 0) {
+    const std::uint8_t mask = static_cast<std::uint8_t>(0xFF00u >> rem);
+    out[full] = static_cast<std::uint8_t>(in[full] & mask);
+  }
+  return out;
+}
+
+}  // namespace
+
+Prefix::Prefix(const IpAddress& address, unsigned length) noexcept {
+  length_ = static_cast<std::uint8_t>(std::min(length, address.bit_count()));
+  const auto masked = mask_bytes(address.bytes(), length_);
+  address_ = address.is_v4()
+                 ? IpAddress::v4((static_cast<std::uint32_t>(masked[0]) << 24) |
+                                 (static_cast<std::uint32_t>(masked[1]) << 16) |
+                                 (static_cast<std::uint32_t>(masked[2]) << 8) |
+                                 masked[3])
+                 : IpAddress::v6(masked);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const auto address = IpAddress::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  unsigned length = 0;
+  const std::string_view len_text = text.substr(slash + 1);
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size()) {
+    return std::nullopt;
+  }
+  if (length > address->bit_count()) return std::nullopt;
+  return Prefix(*address, length);
+}
+
+bool Prefix::contains(const IpAddress& address) const noexcept {
+  if (address.family() != family()) return false;
+  for (unsigned i = 0; i < length_; ++i) {
+    if (address.bit(i) != address_.bit(i)) return false;
+  }
+  return true;
+}
+
+bool Prefix::covers(const Prefix& other) const noexcept {
+  if (other.family() != family() || other.length_ < length_) return false;
+  return contains(other.address_);
+}
+
+std::string Prefix::str() const {
+  return address_.str() + "/" + std::to_string(length_);
+}
+
+std::uint64_t hash_value(const Prefix& prefix) noexcept {
+  std::uint64_t h = hash_value(prefix.address());
+  h ^= prefix.length() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace gill::net

@@ -1,0 +1,60 @@
+// IP prefixes (CIDR blocks), the unit of BGP reachability announcements.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip.hpp"
+
+namespace gill::net {
+
+/// An IPv4 or IPv6 prefix in canonical form (all host bits zero).
+class Prefix {
+ public:
+  /// 0.0.0.0/0.
+  Prefix() noexcept = default;
+
+  /// Builds a prefix, zeroing any bits beyond `length`. `length` is clamped
+  /// to the family's bit count.
+  Prefix(const IpAddress& address, unsigned length) noexcept;
+
+  /// Parses "a.b.c.d/len" or "v6addr/len". Returns nullopt on error.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  const IpAddress& address() const noexcept { return address_; }
+  unsigned length() const noexcept { return length_; }
+  Family family() const noexcept { return address_.family(); }
+
+  /// True if `address` falls inside this prefix (same family required).
+  bool contains(const IpAddress& address) const noexcept;
+
+  /// True if `other` is equal to or more specific than this prefix.
+  bool covers(const Prefix& other) const noexcept;
+
+  /// "10.0.0.0/8"-style canonical text.
+  std::string str() const;
+
+  friend auto operator<=>(const Prefix& a, const Prefix& b) noexcept {
+    if (auto c = a.address_ <=> b.address_; c != 0) return c;
+    return a.length_ <=> b.length_;
+  }
+  friend bool operator==(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  IpAddress address_;
+  std::uint8_t length_ = 0;
+};
+
+/// Hash suitable for unordered containers.
+std::uint64_t hash_value(const Prefix& prefix) noexcept;
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& prefix) const noexcept {
+    return static_cast<std::size_t>(hash_value(prefix));
+  }
+};
+
+}  // namespace gill::net

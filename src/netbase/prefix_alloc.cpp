@@ -1,0 +1,59 @@
+#include "netbase/prefix_alloc.hpp"
+
+#include <cmath>
+
+namespace gill::net {
+
+Prefix PrefixAllocator::v4_slot(std::uint32_t index) {
+  // 10.0.0.0/8 provides 2^16 /24s; continue into 100.64.0.0/10 and then the
+  // remaining unicast space above 128.0.0.0 for very large simulations.
+  std::uint32_t base;
+  if (index < (1u << 16)) {
+    base = (10u << 24) | (index << 8);
+  } else if (index < (1u << 16) + (1u << 14)) {
+    base = (100u << 24) | (64u << 16) | ((index - (1u << 16)) << 8);
+  } else {
+    base = (128u << 24) + ((index - (1u << 16) - (1u << 14)) << 8);
+  }
+  return Prefix(IpAddress::v4(base), 24);
+}
+
+Prefix PrefixAllocator::v6_slot(std::uint32_t index) {
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0xfd;
+  bytes[1] = static_cast<std::uint8_t>(index >> 24);
+  bytes[2] = static_cast<std::uint8_t>(index >> 16);
+  bytes[3] = static_cast<std::uint8_t>(index >> 8);
+  bytes[4] = static_cast<std::uint8_t>(index);
+  return Prefix(IpAddress::v6(bytes), 48);
+}
+
+unsigned PrefixAllocator::sample_prefix_count(std::mt19937_64& rng,
+                                              unsigned max_count) {
+  // Inverse-transform sampling of P(k) ∝ k^-2.1 over k ∈ [1, max_count].
+  // With exponent a = 2.1, the CDF inverse is k = (1 - u·(1 - M^(1-a)))^(1/(1-a)).
+  constexpr double kExponent = 2.1;
+  const double one_minus_a = 1.0 - kExponent;
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = uniform(rng);
+  const double m_term = std::pow(static_cast<double>(max_count), one_minus_a);
+  const double k = std::pow(1.0 - u * (1.0 - m_term), 1.0 / one_minus_a);
+  const auto count = static_cast<unsigned>(k);
+  return std::min(std::max(count, 1u), max_count);
+}
+
+std::vector<std::vector<Prefix>> PrefixAllocator::assign(
+    std::uint32_t as_count, std::mt19937_64& rng, unsigned max_per_as) {
+  std::vector<std::vector<Prefix>> result(as_count);
+  std::uint32_t next_slot = 0;
+  for (std::uint32_t as = 0; as < as_count; ++as) {
+    const unsigned count = sample_prefix_count(rng, max_per_as);
+    result[as].reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+      result[as].push_back(v4_slot(next_slot++));
+    }
+  }
+  return result;
+}
+
+}  // namespace gill::net

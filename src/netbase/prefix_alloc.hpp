@@ -1,0 +1,42 @@
+// Deterministic synthetic prefix allocation for simulated ASes.
+//
+// The simulator needs every AS to originate one or more prefixes whose
+// per-AS counts follow the heavy-tailed distribution observed on the real
+// Internet (§3.1: "the number of prefixes announced by the ASes follows the
+// distribution observed in the real Internet"). This allocator hands out
+// non-overlapping IPv4 /24s (and optionally IPv6 /48s) indexed by AS.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace gill::net {
+
+/// Allocates globally unique synthetic prefixes.
+class PrefixAllocator {
+ public:
+  /// Returns the `index`-th IPv4 /24 in a flat enumeration of 10.0.0.0/8
+  /// then 100.64.0.0/10 and beyond. Indices up to ~16M are unique.
+  static Prefix v4_slot(std::uint32_t index);
+
+  /// Returns the `index`-th IPv6 /48 under 2001:db8::/32-style space
+  /// (fd00::/8 is used to get 40 free bits).
+  static Prefix v6_slot(std::uint32_t index);
+
+  /// Samples a per-AS prefix count from a discrete power-law-like
+  /// distribution (P(k) ∝ k^-2.1, truncated at `max_count`), matching the
+  /// heavy tail of announced-prefix counts per origin AS.
+  static unsigned sample_prefix_count(std::mt19937_64& rng,
+                                      unsigned max_count = 64);
+
+  /// Assigns each of `as_count` ASes a contiguous run of unique /24s whose
+  /// lengths follow sample_prefix_count(). Element i holds AS i's prefixes.
+  static std::vector<std::vector<Prefix>> assign(std::uint32_t as_count,
+                                                 std::mt19937_64& rng,
+                                                 unsigned max_per_as = 64);
+};
+
+}  // namespace gill::net

@@ -1,0 +1,154 @@
+// Binary trie keyed by IP prefixes with longest-prefix-match lookup.
+//
+// Used by the filter engine and the use-case analyses (e.g. MOAS detection
+// needs "is this prefix covered by an existing, differently-originated
+// prefix?"). One trie holds a single address family; PrefixTrie below wraps
+// a v4 and a v6 trie behind one interface.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace gill::net {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  /// Inserts or overwrites the value stored at `prefix`.
+  void insert(const Prefix& prefix, Value value) {
+    Node* node = descend_or_create(prefix);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Exact-match lookup.
+  const Value* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+
+  Value* find(const Prefix& prefix) {
+    return const_cast<Value*>(std::as_const(*this).find(prefix));
+  }
+
+  /// Longest-prefix match: the most specific stored prefix covering
+  /// `prefix`. Returns the matched prefix and its value, or nullopt.
+  std::optional<std::pair<Prefix, const Value*>> longest_match(
+      const Prefix& prefix) const {
+    const Node* root = root_for(prefix.family());
+    if (!root) return std::nullopt;
+    const Node* best = nullptr;
+    unsigned best_len = 0;
+    const Node* node = root;
+    unsigned depth = 0;
+    while (true) {
+      if (node->value) {
+        best = node;
+        best_len = depth;
+      }
+      if (depth == prefix.length()) break;
+      const Node* child =
+          prefix.address().bit(depth) ? node->one.get() : node->zero.get();
+      if (!child) break;
+      node = child;
+      ++depth;
+    }
+    if (!best) return std::nullopt;
+    return std::make_pair(Prefix(prefix.address(), best_len), &*best->value);
+  }
+
+  /// Removes `prefix` if present; returns true if something was removed.
+  bool erase(const Prefix& prefix) {
+    Node* node = const_cast<Node*>(descend(prefix));
+    if (!node || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Visits every stored (prefix, value) pair in trie order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::vector<std::uint8_t> bits;
+    if (v4_root_) visit(*v4_root_, Family::v4, bits, fn);
+    bits.clear();
+    if (v6_root_) visit(*v6_root_, Family::v6, bits, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+  };
+
+  const Node* root_for(Family family) const {
+    return family == Family::v4 ? v4_root_.get() : v6_root_.get();
+  }
+
+  Node* descend_or_create(const Prefix& prefix) {
+    std::unique_ptr<Node>& root =
+        prefix.family() == Family::v4 ? v4_root_ : v6_root_;
+    if (!root) root = std::make_unique<Node>();
+    Node* node = root.get();
+    for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+      std::unique_ptr<Node>& child =
+          prefix.address().bit(depth) ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    return node;
+  }
+
+  const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_for(prefix.family());
+    for (unsigned depth = 0; node && depth < prefix.length(); ++depth) {
+      node = prefix.address().bit(depth) ? node->one.get() : node->zero.get();
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  static void visit(const Node& node, Family family,
+                    std::vector<std::uint8_t>& bits, Fn& fn) {
+    if (node.value) {
+      std::array<std::uint8_t, 16> bytes{};
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+      }
+      IpAddress address =
+          family == Family::v4
+              ? IpAddress::v4((static_cast<std::uint32_t>(bytes[0]) << 24) |
+                              (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                              (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                              bytes[3])
+              : IpAddress::v6(bytes);
+      fn(Prefix(address, static_cast<unsigned>(bits.size())), *node.value);
+    }
+    if (node.zero) {
+      bits.push_back(0);
+      visit(*node.zero, family, bits, fn);
+      bits.pop_back();
+    }
+    if (node.one) {
+      bits.push_back(1);
+      visit(*node.one, family, bits, fn);
+      bits.pop_back();
+    }
+  }
+
+  std::unique_ptr<Node> v4_root_;
+  std::unique_ptr<Node> v6_root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gill::net

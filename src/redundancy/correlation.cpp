@@ -1,0 +1,90 @@
+#include "redundancy/correlation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gill::red {
+
+namespace {
+
+bool signature_less(const UpdateSignature& a, const UpdateSignature& b) {
+  if (a.vp != b.vp) return a.vp < b.vp;
+  if (a.path != b.path) return a.path < b.path;
+  if (a.communities != b.communities) return a.communities < b.communities;
+  return a.withdrawal < b.withdrawal;
+}
+
+/// Canonical (sorted, deduplicated) form of a burst's attribute set.
+std::vector<UpdateSignature> canonicalize(std::vector<UpdateSignature> set) {
+  std::sort(set.begin(), set.end(), signature_less);
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+std::uint64_t set_hash(const std::vector<UpdateSignature>& set) {
+  std::uint64_t h = 14695981039346656037ull;
+  UpdateSignatureHash hasher;
+  for (const auto& s : set) {
+    h ^= hasher(s);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PrefixCorrelations PrefixCorrelations::build(const std::vector<Update>& updates,
+                                             Timestamp window) {
+  PrefixCorrelations result;
+  // Map from canonical-set hash to candidate group ids (collision-checked).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_set_hash;
+
+  std::vector<UpdateSignature> burst;
+  Timestamp last_time = 0;
+  auto flush = [&] {
+    if (burst.empty()) return;
+    std::vector<UpdateSignature> canonical = canonicalize(std::move(burst));
+    burst.clear();
+    const std::uint64_t h = set_hash(canonical);
+    for (std::uint32_t id : by_set_hash[h]) {
+      if (result.groups_[id].members == canonical) {
+        ++result.groups_[id].weight;
+        return;
+      }
+    }
+    const auto id = static_cast<std::uint32_t>(result.groups_.size());
+    by_set_hash[h].push_back(id);
+    for (const auto& member : canonical) {
+      result.index_[member].push_back(id);
+    }
+    result.groups_.push_back(CorrelationGroup{std::move(canonical), 1});
+  };
+
+  for (const Update& update : updates) {
+    if (!burst.empty() && update.time - last_time >= window) flush();
+    burst.push_back(UpdateSignature::of(update));
+    last_time = update.time;
+  }
+  flush();
+  return result;
+}
+
+const std::vector<std::uint32_t>& PrefixCorrelations::groups_containing(
+    const UpdateSignature& signature) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  const auto it = index_.find(signature);
+  return it == index_.end() ? kEmpty : it->second;
+}
+
+const CorrelationGroup* PrefixCorrelations::heaviest_group_for(
+    const UpdateSignature& signature) const {
+  const auto& ids = groups_containing(signature);
+  const CorrelationGroup* best = nullptr;
+  for (std::uint32_t id : ids) {
+    const CorrelationGroup& group = groups_[id];
+    if (!best || group.weight > best->weight) best = &group;
+  }
+  return best;
+}
+
+}  // namespace gill::red

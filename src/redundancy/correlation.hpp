@@ -1,0 +1,84 @@
+// Correlation groups (§17.1): per-prefix sets of update attributes that
+// appear together within the 100 s correlation window. Within a prefix an
+// update is identified by (VP, AS path, communities, withdrawal flag); a
+// group's weight counts how many bursts produced exactly that attribute set.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/update.hpp"
+
+namespace gill::red {
+
+using bgp::AsPath;
+using bgp::CommunitySet;
+using bgp::Timestamp;
+using bgp::Update;
+using bgp::VpId;
+
+/// Update identity *within a correlation group* (prefix and time excluded).
+struct UpdateSignature {
+  VpId vp = 0;
+  AsPath path;
+  CommunitySet communities;
+  bool withdrawal = false;
+
+  static UpdateSignature of(const Update& update) {
+    return UpdateSignature{update.vp, update.path, update.communities,
+                           update.withdrawal};
+  }
+
+  friend bool operator==(const UpdateSignature&,
+                         const UpdateSignature&) noexcept = default;
+};
+
+struct UpdateSignatureHash {
+  std::size_t operator()(const UpdateSignature& s) const noexcept {
+    std::uint64_t h = bgp::AsPathHash{}(s.path);
+    h = h * 1099511628211ull ^ s.vp;
+    for (const auto c : s.communities) h = h * 1099511628211ull ^ c.packed();
+    h = h * 1099511628211ull ^ (s.withdrawal ? 1 : 0);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One correlation group: a deduplicated, canonically ordered attribute set
+/// plus its occurrence weight.
+struct CorrelationGroup {
+  std::vector<UpdateSignature> members;  // sorted canonical order
+  std::uint32_t weight = 1;
+};
+
+/// The correlation groups of a single prefix with a signature index.
+class PrefixCorrelations {
+ public:
+  /// Builds groups from the prefix's updates (must be time-sorted).
+  /// A burst is a maximal run of updates where consecutive inter-arrival
+  /// gaps stay below `window`.
+  static PrefixCorrelations build(const std::vector<Update>& updates,
+                                  Timestamp window = bgp::kTimestampSlack);
+
+  const std::vector<CorrelationGroup>& groups() const noexcept {
+    return groups_;
+  }
+
+  /// Corr(p, u): ids of groups containing `signature` (empty if unseen).
+  const std::vector<std::uint32_t>& groups_containing(
+      const UpdateSignature& signature) const;
+
+  /// maxweight(Corr(p, u)): the members of the heaviest group containing
+  /// `signature`; ties break toward the lowest group id (deterministic
+  /// stand-in for the paper's random pick). Returns nullptr if unseen.
+  const CorrelationGroup* heaviest_group_for(
+      const UpdateSignature& signature) const;
+
+ private:
+  std::vector<CorrelationGroup> groups_;
+  std::unordered_map<UpdateSignature, std::vector<std::uint32_t>,
+                     UpdateSignatureHash>
+      index_;
+};
+
+}  // namespace gill::red

@@ -1,0 +1,158 @@
+#include "redundancy/definitions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace gill::red {
+
+bool condition1(const AnnotatedUpdate& u1,
+                const AnnotatedUpdate& u2) noexcept {
+  if (u1.update.prefix != u2.update.prefix) return false;
+  const Timestamp dt = u1.update.time > u2.update.time
+                           ? u1.update.time - u2.update.time
+                           : u2.update.time - u1.update.time;
+  return dt < bgp::kTimestampSlack;
+}
+
+namespace {
+
+template <typename T>
+bool sorted_includes(const std::vector<T>& sub, const std::vector<T>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+}  // namespace
+
+bool condition2(const AnnotatedUpdate& u1,
+                const AnnotatedUpdate& u2) noexcept {
+  // L and Lw are disjoint by construction, so L \ Lw == L; computing the
+  // difference anyway keeps the code aligned with the paper's notation.
+  return sorted_includes(u1.effective_links(), u2.effective_links());
+}
+
+bool condition3(const AnnotatedUpdate& u1,
+                const AnnotatedUpdate& u2) noexcept {
+  return sorted_includes(u1.effective_communities(),
+                         u2.effective_communities());
+}
+
+bool redundant_with(const AnnotatedUpdate& u1, const AnnotatedUpdate& u2,
+                    Definition definition) noexcept {
+  if (!condition1(u1, u2)) return false;
+  if (definition == Definition::kDef1) return true;
+  if (!condition2(u1, u2)) return false;
+  if (definition == Definition::kDef2) return true;
+  return condition3(u1, u2);
+}
+
+RedundancyAnalyzer::RedundancyAnalyzer(
+    const std::vector<AnnotatedUpdate>& updates)
+    : updates_(&updates) {
+  std::map<net::Prefix, std::vector<std::size_t>> groups;
+  std::map<VpId, bool> vp_seen;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    groups[updates[i].update.prefix].push_back(i);
+    vp_seen[updates[i].update.vp] = true;
+  }
+  by_prefix_.reserve(groups.size());
+  for (auto& [prefix, indices] : groups) {
+    by_prefix_.push_back(std::move(indices));
+  }
+  vps_.reserve(vp_seen.size());
+  for (const auto& [vp, _] : vp_seen) vps_.push_back(vp);
+}
+
+double RedundancyAnalyzer::redundant_update_fraction(
+    Definition definition) const {
+  const auto& updates = *updates_;
+  if (updates.empty()) return 0.0;
+  std::size_t redundant = 0;
+  for (const auto& group : by_prefix_) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const AnnotatedUpdate& u1 = updates[group[i]];
+      bool found = false;
+      // Scan the 100 s neighborhood in both directions (time-sorted group).
+      for (std::size_t j = i; j-- > 0 && !found;) {
+        const AnnotatedUpdate& u2 = updates[group[j]];
+        if (u1.update.time - u2.update.time >= bgp::kTimestampSlack) break;
+        found = redundant_with(u1, u2, definition);
+      }
+      for (std::size_t j = i + 1; j < group.size() && !found; ++j) {
+        const AnnotatedUpdate& u2 = updates[group[j]];
+        if (u2.update.time - u1.update.time >= bgp::kTimestampSlack) break;
+        found = redundant_with(u1, u2, definition);
+      }
+      if (found) ++redundant;
+    }
+  }
+  return static_cast<double>(redundant) / static_cast<double>(updates.size());
+}
+
+std::vector<std::vector<bool>> RedundancyAnalyzer::vp_redundancy_matrix(
+    Definition definition, double threshold) const {
+  const auto& updates = *updates_;
+  const std::size_t v = vps_.size();
+  std::unordered_map<VpId, std::size_t> vp_index;
+  for (std::size_t i = 0; i < v; ++i) vp_index[vps_[i]] = i;
+
+  // counts[a][b] = number of updates from VP a redundant with >=1 update
+  // from VP b.
+  std::vector<std::vector<std::size_t>> counts(v,
+                                               std::vector<std::size_t>(v, 0));
+  std::vector<std::size_t> totals(v, 0);
+  std::vector<bool> matched(v);
+
+  for (const auto& group : by_prefix_) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const AnnotatedUpdate& u1 = updates[group[i]];
+      const std::size_t a = vp_index[u1.update.vp];
+      ++totals[a];
+      std::fill(matched.begin(), matched.end(), false);
+      for (std::size_t j = i; j-- > 0;) {
+        const AnnotatedUpdate& u2 = updates[group[j]];
+        if (u1.update.time - u2.update.time >= bgp::kTimestampSlack) break;
+        if (redundant_with(u1, u2, definition)) {
+          matched[vp_index[u2.update.vp]] = true;
+        }
+      }
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        const AnnotatedUpdate& u2 = updates[group[j]];
+        if (u2.update.time - u1.update.time >= bgp::kTimestampSlack) break;
+        if (redundant_with(u1, u2, definition)) {
+          matched[vp_index[u2.update.vp]] = true;
+        }
+      }
+      for (std::size_t b = 0; b < v; ++b) {
+        if (matched[b] && b != a) ++counts[a][b];
+      }
+    }
+  }
+
+  std::vector<std::vector<bool>> result(v, std::vector<bool>(v, false));
+  for (std::size_t a = 0; a < v; ++a) {
+    if (totals[a] == 0) continue;
+    for (std::size_t b = 0; b < v; ++b) {
+      if (a == b) continue;
+      result[a][b] = static_cast<double>(counts[a][b]) >
+                     threshold * static_cast<double>(totals[a]);
+    }
+  }
+  return result;
+}
+
+double RedundancyAnalyzer::redundant_vp_fraction(Definition definition,
+                                                 double threshold) const {
+  if (vps_.empty()) return 0.0;
+  const auto matrix = vp_redundancy_matrix(definition, threshold);
+  std::size_t redundant = 0;
+  for (std::size_t a = 0; a < vps_.size(); ++a) {
+    if (std::any_of(matrix[a].begin(), matrix[a].end(),
+                    [](bool x) { return x; })) {
+      ++redundant;
+    }
+  }
+  return static_cast<double>(redundant) / static_cast<double>(vps_.size());
+}
+
+}  // namespace gill::red

@@ -1,0 +1,191 @@
+#include "redundancy/reconstitution.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace gill::red {
+
+PrefixReconstitution::PrefixReconstitution(std::vector<Update> updates,
+                                           Timestamp window)
+    : updates_(std::move(updates)),
+      corr_(PrefixCorrelations::build(updates_, window)),
+      window_(window) {
+  std::map<VpId, std::vector<std::size_t>> by_vp;
+  for (std::size_t i = 0; i < updates_.size(); ++i) {
+    by_signature_[UpdateSignature::of(updates_[i])].push_back(i);
+    by_vp[updates_[i].vp].push_back(i);
+  }
+  for (auto& [vp, indices] : by_vp) {
+    vps_.push_back(vp);
+    updates_by_vp_.push_back(std::move(indices));
+  }
+}
+
+std::size_t PrefixReconstitution::reconstitute(
+    const std::vector<VpId>& selected_vps, std::vector<bool>& matched,
+    std::size_t* candidate_count) const {
+  matched.assign(updates_.size(), false);
+  std::size_t unmatched_candidates = 0;
+  std::size_t candidates = 0;
+
+  for (VpId vp : selected_vps) {
+    const auto it = std::lower_bound(vps_.begin(), vps_.end(), vp);
+    if (it == vps_.end() || *it != vp) continue;
+    const auto& indices = updates_by_vp_[it - vps_.begin()];
+    for (std::size_t index : indices) {
+      const Update& u = updates_[index];
+      const CorrelationGroup* group =
+          corr_.heaviest_group_for(UpdateSignature::of(u));
+      if (!group) continue;
+      // Reconstitute every member of the group at u's timestamp and try to
+      // match it against an unmatched update of V.
+      for (const UpdateSignature& member : group->members) {
+        ++candidates;
+        const auto vit = by_signature_.find(member);
+        bool found = false;
+        if (vit != by_signature_.end()) {
+          for (std::size_t candidate : vit->second) {
+            if (matched[candidate]) continue;
+            const Timestamp dt = updates_[candidate].time > u.time
+                                     ? updates_[candidate].time - u.time
+                                     : u.time - updates_[candidate].time;
+            if (dt < window_) {
+              matched[candidate] = true;
+              found = true;
+              break;
+            }
+          }
+          // Already-matched duplicates still count as correct: the
+          // reconstitution produced an update that exists in V.
+          if (!found) {
+            for (std::size_t candidate : vit->second) {
+              const Timestamp dt = updates_[candidate].time > u.time
+                                       ? updates_[candidate].time - u.time
+                                       : u.time - updates_[candidate].time;
+              if (dt < window_) {
+                found = true;
+                break;
+              }
+            }
+          }
+        }
+        if (!found) ++unmatched_candidates;
+      }
+    }
+  }
+  if (candidate_count) *candidate_count = candidates;
+  return unmatched_candidates;
+}
+
+double PrefixReconstitution::reconstitution_power(
+    const std::vector<VpId>& selected_vps) const {
+  if (updates_.empty()) return 1.0;
+  std::vector<bool> matched;
+  reconstitute(selected_vps, matched, nullptr);
+  const auto count = static_cast<std::size_t>(
+      std::count(matched.begin(), matched.end(), true));
+  return static_cast<double>(count) / static_cast<double>(updates_.size());
+}
+
+double PrefixReconstitution::incorrect_reconstitution_fraction(
+    const std::vector<VpId>& selected_vps) const {
+  std::vector<bool> matched;
+  std::size_t candidates = 0;
+  const std::size_t unmatched = reconstitute(selected_vps, matched, &candidates);
+  return candidates == 0 ? 0.0
+                         : static_cast<double>(unmatched) /
+                               static_cast<double>(candidates);
+}
+
+std::size_t PrefixReconstitution::marginal_gain(std::size_t vp_position,
+                                                std::vector<bool>& matched,
+                                                bool commit) const {
+  std::size_t gained = 0;
+  std::vector<std::size_t> touched;
+  for (const std::size_t index : updates_by_vp_[vp_position]) {
+    const Update& u = updates_[index];
+    const CorrelationGroup* group =
+        corr_.heaviest_group_for(UpdateSignature::of(u));
+    if (!group) continue;
+    for (const UpdateSignature& member : group->members) {
+      const auto vit = by_signature_.find(member);
+      if (vit == by_signature_.end()) continue;
+      for (const std::size_t candidate : vit->second) {
+        if (matched[candidate]) continue;
+        const Timestamp dt = updates_[candidate].time > u.time
+                                 ? updates_[candidate].time - u.time
+                                 : u.time - updates_[candidate].time;
+        if (dt < window_) {
+          matched[candidate] = true;
+          touched.push_back(candidate);
+          ++gained;
+          break;
+        }
+      }
+    }
+  }
+  if (!commit) {
+    for (const std::size_t index : touched) matched[index] = false;
+  }
+  return gained;
+}
+
+PrefixReconstitution::GreedyResult PrefixReconstitution::greedy_select(
+    double rp_threshold) const {
+  GreedyResult result;
+  if (updates_.empty()) {
+    result.final_rp = 1.0;
+    return result;
+  }
+
+  // Lazy greedy: marginal gains only shrink as the matched set grows (the
+  // objective is close to submodular), so stale upper bounds from previous
+  // rounds prune most candidate evaluations.
+  std::vector<bool> matched(updates_.size(), false);
+  std::size_t matched_count = 0;
+  std::size_t selected_updates = 0;
+  std::vector<VpId> selected;
+
+  struct Entry {
+    std::size_t gain;  // possibly stale upper bound
+    std::size_t vp_position;
+  };
+  auto compare = [](const Entry& a, const Entry& b) {
+    return a.gain < b.gain;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(compare)> queue(
+      compare);
+  for (std::size_t position = 0; position < vps_.size(); ++position) {
+    queue.push(Entry{updates_.size() + 1, position});  // force evaluation
+  }
+
+  const auto total = static_cast<double>(updates_.size());
+  while (!queue.empty() &&
+         static_cast<double>(matched_count) / total < rp_threshold) {
+    Entry top = queue.top();
+    queue.pop();
+    const std::size_t fresh_gain =
+        marginal_gain(top.vp_position, matched, /*commit=*/false);
+    if (fresh_gain == 0) continue;  // this VP can never help again
+    if (!queue.empty() && fresh_gain < queue.top().gain) {
+      top.gain = fresh_gain;  // stale: requeue with the updated bound
+      queue.push(top);
+      continue;
+    }
+    // Accept: commit the matches.
+    matched_count += marginal_gain(top.vp_position, matched, /*commit=*/true);
+    selected.push_back(vps_[top.vp_position]);
+    selected_updates += updates_by_vp_[top.vp_position].size();
+    result.rp_curve.push_back(static_cast<double>(matched_count) / total);
+    result.retained_fraction_curve.push_back(
+        static_cast<double>(selected_updates) / total);
+  }
+
+  result.selected_vps = std::move(selected);
+  result.final_rp = static_cast<double>(matched_count) / total;
+  result.selected_update_count = selected_updates;
+  return result;
+}
+
+}  // namespace gill::red

@@ -1,0 +1,70 @@
+// Reconstitution power (§17.2): how much of a prefix's update set V can be
+// identically rebuilt from a subset U using the correlation groups, and the
+// greedy per-VP selection of the least redundant updates.
+#pragma once
+
+#include <vector>
+
+#include "redundancy/correlation.hpp"
+
+namespace gill::red {
+
+/// Per-prefix reconstitution analysis over a fixed update set V.
+class PrefixReconstitution {
+ public:
+  /// `updates` = V for one prefix, time-sorted.
+  PrefixReconstitution(std::vector<Update> updates,
+                       Timestamp window = bgp::kTimestampSlack);
+
+  /// RP(V, U) where U = all updates of V sent by the VPs in `selected_vps`.
+  /// Reconstitution follows §17.2: every u in U reconstitutes the members
+  /// of its heaviest correlation group stamped with u's timestamp; matches
+  /// against V require identical attributes and a < 100 s timestamp gap.
+  double reconstitution_power(const std::vector<VpId>& selected_vps) const;
+
+  /// One greedy pass (§17.2): iteratively adds the VP whose updates most
+  /// improve RP until `rp_threshold` is reached or no VP helps.
+  struct GreedyResult {
+    std::vector<VpId> selected_vps;
+    /// RP after each selection (drives Fig. 11).
+    std::vector<double> rp_curve;
+    /// |U| / |V| after each selection.
+    std::vector<double> retained_fraction_curve;
+    double final_rp = 0.0;
+    std::size_t selected_update_count = 0;
+  };
+  GreedyResult greedy_select(double rp_threshold = 0.94) const;
+
+  const std::vector<Update>& updates() const noexcept { return updates_; }
+  const PrefixCorrelations& correlations() const noexcept { return corr_; }
+
+  /// Fraction of reconstituted updates that do NOT match anything in V —
+  /// the "false positive rate" §17.2 reports as 4.6% on real data.
+  double incorrect_reconstitution_fraction(
+      const std::vector<VpId>& selected_vps) const;
+
+ private:
+  /// Marks (in `matched`) the updates of V reconstituted by `selected_vps`;
+  /// returns the number of reconstituted candidates that matched nothing.
+  std::size_t reconstitute(const std::vector<VpId>& selected_vps,
+                           std::vector<bool>& matched,
+                           std::size_t* candidate_count) const;
+
+  /// Number of additional updates of V the VP at `vp_position` (an index
+  /// into vps_) would reconstitute on top of `matched`. With commit=false
+  /// the matched vector is left untouched.
+  std::size_t marginal_gain(std::size_t vp_position,
+                            std::vector<bool>& matched, bool commit) const;
+
+  std::vector<Update> updates_;
+  PrefixCorrelations corr_;
+  Timestamp window_;
+  /// V indexed by signature -> time-sorted update indices, for matching.
+  std::unordered_map<UpdateSignature, std::vector<std::size_t>,
+                     UpdateSignatureHash>
+      by_signature_;
+  std::vector<VpId> vps_;
+  std::vector<std::vector<std::size_t>> updates_by_vp_;  // parallel to vps_
+};
+
+}  // namespace gill::red

@@ -1,0 +1,400 @@
+#include "sampling/schemes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <random>
+#include <set>
+
+#include "bgp/delta.hpp"
+#include "usecases/detectors.hpp"
+
+namespace gill::sample {
+
+namespace {
+
+std::vector<bgp::VpId> all_vps(const SamplingContext& context) {
+  std::set<bgp::VpId> vps;
+  for (const auto& update : *context.all_updates) vps.insert(update.vp);
+  if (context.all_ribs) {
+    for (const auto& entry : *context.all_ribs) vps.insert(entry.vp);
+  }
+  return {vps.begin(), vps.end()};
+}
+
+std::map<bgp::VpId, std::size_t> volume_per_vp(const UpdateStream& stream) {
+  std::map<bgp::VpId, std::size_t> volumes;
+  for (const auto& update : stream) ++volumes[update.vp];
+  return volumes;
+}
+
+}  // namespace
+
+DataSample collect_vps(const SamplingContext& context,
+                       const std::vector<bgp::VpId>& vps, std::size_t budget) {
+  DataSample sample;
+  const std::set<bgp::VpId> selected(vps.begin(), vps.end());
+  for (const auto& update : *context.all_updates) {
+    if (!selected.contains(update.vp)) continue;
+    if (budget != 0 && sample.updates.size() >= budget) break;
+    sample.updates.push(update);
+  }
+  if (context.all_ribs) {
+    for (const auto& entry : *context.all_ribs) {
+      if (selected.contains(entry.vp)) sample.ribs.push(entry);
+    }
+  }
+  return sample;
+}
+
+// --- GILL ---------------------------------------------------------------------
+
+DataSample GillSampler::sample(const SamplingContext& context,
+                               std::size_t budget) const {
+  std::vector<topo::AsCategory> categories;
+  if (context.topology) categories = topo::classify_ases(*context.topology);
+
+  const UpdateStream& training =
+      context.training ? *context.training : *context.all_updates;
+  const UpdateStream& training_ribs =
+      context.training_ribs ? *context.training_ribs
+                            : (context.all_ribs ? *context.all_ribs
+                                                : UpdateStream{});
+  pipeline_ = run_gill_pipeline(training_ribs, training, categories, config_);
+
+  DataSample sample;
+  for (const auto& update : *context.all_updates) {
+    if (!pipeline_.filters.accept(update)) continue;
+    if (budget != 0 && sample.updates.size() >= budget) break;
+    sample.updates.push(update);
+  }
+  if (context.all_ribs) {
+    for (const auto& entry : *context.all_ribs) {
+      if (pipeline_.filters.is_anchor(entry.vp)) sample.ribs.push(entry);
+    }
+  }
+  return sample;
+}
+
+DataSample GillUpdSampler::sample(const SamplingContext& context,
+                                  std::size_t budget) const {
+  GillConfig config;
+  config.use_anchors = false;
+  GillSampler gill(config);
+  return gill.sample(context, budget);
+}
+
+DataSample GillVpSampler::sample(const SamplingContext& context,
+                                 std::size_t budget) const {
+  GillConfig config;
+  GillSampler gill(config);
+  gill.sample(context, 0);  // run the pipeline for its anchors
+  const auto& anchors = gill.last_pipeline().anchors;
+  return collect_vps(context, anchors, budget);
+}
+
+// --- Naive baselines -------------------------------------------------------------
+
+DataSample RandomUpdateSampler::sample(const SamplingContext& context,
+                                       std::size_t budget) const {
+  std::mt19937_64 rng(context.seed);
+  const auto& updates = context.all_updates->updates();
+  std::vector<std::size_t> order(updates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  if (budget != 0 && order.size() > budget) order.resize(budget);
+  std::sort(order.begin(), order.end());
+  DataSample sample;
+  for (const std::size_t index : order) sample.updates.push(updates[index]);
+  return sample;
+}
+
+DataSample RandomVpSampler::sample(const SamplingContext& context,
+                                   std::size_t budget) const {
+  std::mt19937_64 rng(context.seed);
+  std::vector<bgp::VpId> vps = all_vps(context);
+  std::shuffle(vps.begin(), vps.end(), rng);
+
+  const auto volumes = volume_per_vp(*context.all_updates);
+  std::vector<bgp::VpId> selected;
+  std::size_t total = 0;
+  for (const bgp::VpId vp : vps) {
+    selected.push_back(vp);
+    const auto it = volumes.find(vp);
+    total += it == volumes.end() ? 0 : it->second;
+    if (budget != 0 && total >= budget) break;
+  }
+  return collect_vps(context, selected, budget);
+}
+
+DataSample AsDistanceSampler::sample(const SamplingContext& context,
+                                     std::size_t budget) const {
+  std::mt19937_64 rng(context.seed);
+  std::vector<bgp::VpId> vps = all_vps(context);
+  if (vps.empty() || !context.topology || !context.vp_hosts) {
+    return RandomVpSampler().sample(context, budget);
+  }
+  const auto& topology = *context.topology;
+  const auto& hosts = *context.vp_hosts;
+
+  // BFS hop distances from each VP host (unweighted AS graph).
+  auto bfs_from = [&](bgp::AsNumber source) {
+    std::vector<unsigned> distance(topology.as_count(), UINT32_MAX);
+    std::queue<bgp::AsNumber> queue;
+    distance[source] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+      const bgp::AsNumber u = queue.front();
+      queue.pop();
+      for (const bgp::AsNumber v : topology.neighbors(u)) {
+        if (distance[v] == UINT32_MAX) {
+          distance[v] = distance[u] + 1;
+          queue.push(v);
+        }
+      }
+    }
+    return distance;
+  };
+
+  const auto volumes = volume_per_vp(*context.all_updates);
+  std::uniform_int_distribution<std::size_t> pick(0, vps.size() - 1);
+  std::vector<bgp::VpId> selected{vps[pick(rng)]};
+  std::vector<unsigned> min_distance =
+      bfs_from(hosts[selected[0]]);  // distance to nearest selected VP
+  std::size_t total = volumes.contains(selected[0])
+                          ? volumes.at(selected[0])
+                          : 0;
+
+  std::set<bgp::VpId> chosen(selected.begin(), selected.end());
+  while ((budget == 0 || total < budget) && chosen.size() < vps.size()) {
+    bgp::VpId best = vps[0];
+    unsigned best_distance = 0;
+    for (const bgp::VpId vp : vps) {
+      if (chosen.contains(vp)) continue;
+      const unsigned d = min_distance[hosts[vp]];
+      if (d != UINT32_MAX && d > best_distance) {
+        best_distance = d;
+        best = vp;
+      }
+    }
+    if (best_distance == 0) {
+      // Everything remaining is adjacent/unreachable: fall back to any VP.
+      for (const bgp::VpId vp : vps) {
+        if (!chosen.contains(vp)) {
+          best = vp;
+          break;
+        }
+      }
+    }
+    chosen.insert(best);
+    selected.push_back(best);
+    total += volumes.contains(best) ? volumes.at(best) : 0;
+    const auto d = bfs_from(hosts[best]);
+    for (std::size_t i = 0; i < min_distance.size(); ++i) {
+      min_distance[i] = std::min(min_distance[i], d[i]);
+    }
+    if (budget == 0) break;  // no budget: single farthest pick round
+  }
+  return collect_vps(context, selected, budget);
+}
+
+DataSample UnbiasedSampler::sample(const SamplingContext& context,
+                                   std::size_t budget) const {
+  std::vector<bgp::VpId> vps = all_vps(context);
+  if (!context.topology || !context.vp_hosts) {
+    return RandomVpSampler().sample(context, budget);
+  }
+  const auto categories = topo::classify_ases(*context.topology);
+  const auto& hosts = *context.vp_hosts;
+
+  // Reference distribution: category shares over *all* ASes.
+  std::array<double, topo::kCategoryCount> reference{};
+  for (const auto category : categories) {
+    reference[static_cast<std::size_t>(category) - 1] +=
+        1.0 / static_cast<double>(categories.size());
+  }
+  auto bias_of = [&](const std::vector<bgp::VpId>& selected) {
+    std::array<double, topo::kCategoryCount> shares{};
+    for (const bgp::VpId vp : selected) {
+      shares[static_cast<std::size_t>(categories[hosts[vp]]) - 1] +=
+          1.0 / static_cast<double>(selected.size());
+    }
+    double bias = 0.0;
+    for (std::size_t c = 0; c < topo::kCategoryCount; ++c) {
+      const double d = shares[c] - reference[c];
+      bias += d * d;
+    }
+    return bias;
+  };
+
+  const auto volumes = volume_per_vp(*context.all_updates);
+  auto total_volume = [&](const std::vector<bgp::VpId>& selected) {
+    std::size_t total = 0;
+    for (const bgp::VpId vp : selected) {
+      total += volumes.contains(vp) ? volumes.at(vp) : 0;
+    }
+    return total;
+  };
+
+  std::vector<bgp::VpId> selected = vps;
+  while (selected.size() > 1 && budget != 0 &&
+         total_volume(selected) > budget) {
+    // Remove the VP whose removal yields the lowest bias.
+    std::size_t best_index = 0;
+    double best_bias = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      std::vector<bgp::VpId> trial = selected;
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+      const double bias = bias_of(trial);
+      if (bias < best_bias) {
+        best_bias = bias;
+        best_index = i;
+      }
+    }
+    selected.erase(selected.begin() + static_cast<std::ptrdiff_t>(best_index));
+  }
+  return collect_vps(context, selected, budget);
+}
+
+// --- Definition-based specifics ------------------------------------------------
+
+DataSample DefinitionSampler::sample(const SamplingContext& context,
+                                     std::size_t budget) const {
+  const auto annotated =
+      bgp::DeltaTracker::annotate_stream(*context.all_updates);
+  red::RedundancyAnalyzer analyzer(annotated);
+  const auto& vps = analyzer.vps();
+  if (vps.empty()) return {};
+
+  // Pairwise "fraction of a's updates redundant with b" approximated by the
+  // boolean redundancy matrix; greedy selection minimizes redundancy with
+  // the already selected set.
+  const auto matrix = analyzer.vp_redundancy_matrix(definition_, 0.5);
+  const auto volumes = volume_per_vp(*context.all_updates);
+
+  std::vector<std::size_t> order;  // positions into vps
+  std::vector<bool> used(vps.size(), false);
+  // Start with the VP least redundant with everyone.
+  std::size_t first = 0;
+  std::size_t lowest = SIZE_MAX;
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    const auto count = static_cast<std::size_t>(
+        std::count(matrix[i].begin(), matrix[i].end(), true));
+    if (count < lowest) {
+      lowest = count;
+      first = i;
+    }
+  }
+  order.push_back(first);
+  used[first] = true;
+  std::size_t total = volumes.contains(vps[first]) ? volumes.at(vps[first]) : 0;
+
+  while ((budget == 0 || total < budget) && order.size() < vps.size()) {
+    std::size_t best = SIZE_MAX;
+    std::size_t best_redundancy = SIZE_MAX;
+    for (std::size_t i = 0; i < vps.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t redundancy = 0;
+      for (const std::size_t j : order) {
+        if (matrix[i][j]) ++redundancy;
+        if (matrix[j][i]) ++redundancy;
+      }
+      if (redundancy < best_redundancy) {
+        best_redundancy = redundancy;
+        best = i;
+      }
+    }
+    if (best == SIZE_MAX) break;
+    used[best] = true;
+    order.push_back(best);
+    total += volumes.contains(vps[best]) ? volumes.at(vps[best]) : 0;
+    if (budget == 0) break;
+  }
+
+  std::vector<bgp::VpId> selected;
+  selected.reserve(order.size());
+  for (const std::size_t i : order) selected.push_back(vps[i]);
+  return collect_vps(context, selected, budget);
+}
+
+// --- Use-case specifics -----------------------------------------------------------
+
+std::string_view to_string(UseCase use_case) noexcept {
+  switch (use_case) {
+    case UseCase::kTransientPaths: return "I";
+    case UseCase::kMoas: return "II";
+    case UseCase::kTopologyMapping: return "III";
+    case UseCase::kActionComms: return "IV";
+    case UseCase::kUnchangedPaths: return "V";
+  }
+  return "?";
+}
+
+double score_use_case(UseCase use_case, const DataSample& sample,
+                      const SamplingContext& context) {
+  static const uc::OriginTable kEmptyOrigins;
+  const auto& truths = *context.truths;
+  switch (use_case) {
+    case UseCase::kTransientPaths:
+      return uc::transient_detection_score(sample, truths);
+    case UseCase::kMoas:
+      return uc::moas_detection_score(
+          sample, context.origins ? *context.origins : kEmptyOrigins, truths);
+    case UseCase::kTopologyMapping: {
+      // Reference: links visible in the full data (per §10 "687K distinct
+      // AS links observed").
+      DataSample all;
+      all.updates = *context.all_updates;
+      if (context.all_ribs) all.ribs = *context.all_ribs;
+      return uc::topology_mapping_score(sample, uc::observed_links(all));
+    }
+    case UseCase::kActionComms:
+      return uc::action_community_score(sample, truths);
+    case UseCase::kUnchangedPaths:
+      return uc::unchanged_path_score(sample, truths);
+  }
+  return 0.0;
+}
+
+DataSample UseCaseSampler::sample(const SamplingContext& context,
+                                  std::size_t budget) const {
+  const std::vector<bgp::VpId> vps = all_vps(context);
+  const auto volumes = volume_per_vp(*context.all_updates);
+
+  std::vector<bgp::VpId> selected;
+  std::set<bgp::VpId> chosen;
+  std::size_t total = 0;
+  double current_score = 0.0;
+
+  while ((budget == 0 || total < budget) && chosen.size() < vps.size()) {
+    bgp::VpId best = 0;
+    double best_gain = -1.0;
+    std::size_t best_volume = 0;
+    for (const bgp::VpId vp : vps) {
+      if (chosen.contains(vp)) continue;
+      std::vector<bgp::VpId> trial = selected;
+      trial.push_back(vp);
+      const DataSample trial_sample = collect_vps(context, trial, budget);
+      const double score = score_use_case(use_case_, trial_sample, context);
+      const auto volume = volumes.contains(vp) ? volumes.at(vp) : 0;
+      // Gain per update: the trade-off the paper's specifics optimize.
+      const double gain = (score - current_score) /
+                          static_cast<double>(std::max<std::size_t>(volume, 1));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = vp;
+        best_volume = volume;
+      }
+    }
+    if (best_gain < 0.0) break;
+    chosen.insert(best);
+    selected.push_back(best);
+    total += best_volume;
+    current_score = score_use_case(
+        use_case_, collect_vps(context, selected, budget), context);
+    if (budget == 0) break;
+  }
+  return collect_vps(context, selected, budget);
+}
+
+}  // namespace gill::sample

@@ -1,0 +1,176 @@
+// Every sampling scheme benchmarked in §10 (Table 2) plus the §11 baseline:
+//   GILL (full pipeline), GILL-upd, GILL-vp,
+//   naive: Rnd.-Upd., Rnd.-VP, AS-Dist., Unbiased,
+//   definition-based specifics (Defs 1-3),
+//   use-case-based specifics (one per §10 use case).
+// All schemes consume the same inputs and return a DataSample; budgets are
+// expressed in retained updates so every baseline processes the same data
+// volume as GILL, exactly as the paper enforces.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "redundancy/definitions.hpp"
+#include "sampling/gill_pipeline.hpp"
+#include "simulator/internet.hpp"
+#include "usecases/data_sample.hpp"
+
+namespace gill::sample {
+
+using uc::DataSample;
+
+/// Everything a scheme may look at.
+struct SamplingContext {
+  /// Updates of the evaluation window, all VPs (what RIS/RV would store).
+  const UpdateStream* all_updates = nullptr;
+  /// Full RIB dump at the window start.
+  const UpdateStream* all_ribs = nullptr;
+  /// Earlier training window for GILL's components (may alias all_updates
+  /// when no separate training data exists).
+  const UpdateStream* training = nullptr;
+  const UpdateStream* training_ribs = nullptr;
+  /// AS topology, for AS-Dist./Unbiased and Table 5 categories.
+  const topo::AsTopology* topology = nullptr;
+  /// VpId -> hosting AS.
+  const std::vector<bgp::AsNumber>* vp_hosts = nullptr;
+  /// Ground truth of the evaluation window — only the use-case-based
+  /// specifics may use it (they optimize their own objective, §10).
+  const std::vector<sim::GroundTruth>* truths = nullptr;
+  const uc::OriginTable* origins = nullptr;
+  std::uint64_t seed = 1;
+};
+
+/// Base interface. `budget` caps retained updates; 0 = scheme-defined
+/// natural volume (only meaningful for GILL, which sets the budget).
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual std::string name() const = 0;
+  virtual DataSample sample(const SamplingContext& context,
+                            std::size_t budget) const = 0;
+};
+
+// --- GILL and simplified variants -------------------------------------------
+
+class GillSampler : public Sampler {
+ public:
+  explicit GillSampler(GillConfig config = {}) : config_(std::move(config)) {}
+  std::string name() const override { return "GILL"; }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+
+  /// The pipeline result of the last sample() call (filters, anchors, ...).
+  const GillPipelineResult& last_pipeline() const { return pipeline_; }
+
+ private:
+  GillConfig config_;
+  mutable GillPipelineResult pipeline_;
+};
+
+/// GILL-upd: Component #1 only (update granularity, no anchors).
+class GillUpdSampler : public Sampler {
+ public:
+  std::string name() const override { return "GILL-upd"; }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+};
+
+/// GILL-vp: Component #2 only (keep everything from anchors, nothing else).
+class GillVpSampler : public Sampler {
+ public:
+  std::string name() const override { return "GILL-vp"; }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+};
+
+// --- Naive baselines ----------------------------------------------------------
+
+class RandomUpdateSampler : public Sampler {
+ public:
+  std::string name() const override { return "Rnd.-Upd."; }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+};
+
+class RandomVpSampler : public Sampler {
+ public:
+  std::string name() const override { return "Rnd.-VP"; }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+};
+
+/// Picks VPs maximizing pairwise AS-level (BFS hop) distance.
+class AsDistanceSampler : public Sampler {
+ public:
+  std::string name() const override { return "AS-Dist."; }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+};
+
+/// Sermpezis-style bias minimization: starts from all VPs and iteratively
+/// removes the VP whose removal best reduces the category-distribution bias
+/// until the budget is met.
+class UnbiasedSampler : public Sampler {
+ public:
+  std::string name() const override { return "Unbiased"; }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+};
+
+// --- Definition-based specifics ------------------------------------------------
+
+/// Greedy VP selection minimizing redundancy under one §4.2 definition.
+class DefinitionSampler : public Sampler {
+ public:
+  explicit DefinitionSampler(red::Definition definition)
+      : definition_(definition) {}
+  std::string name() const override {
+    return "Def. " + std::to_string(static_cast<int>(definition_));
+  }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+
+ private:
+  red::Definition definition_;
+};
+
+// --- Use-case-based specifics ----------------------------------------------------
+
+/// The §10 use cases a specific sampler can optimize for.
+enum class UseCase {
+  kTransientPaths,   // I
+  kMoas,             // II
+  kTopologyMapping,  // III
+  kActionComms,      // IV
+  kUnchangedPaths,   // V
+};
+
+std::string_view to_string(UseCase use_case) noexcept;
+
+/// Greedy VP selection maximizing the use case's own score per update —
+/// deliberately overfit to its objective (§10 "Use-case-based specifics").
+class UseCaseSampler : public Sampler {
+ public:
+  explicit UseCaseSampler(UseCase use_case) : use_case_(use_case) {}
+  std::string name() const override {
+    return std::string("Spec. ") + std::string(to_string(use_case_));
+  }
+  DataSample sample(const SamplingContext& context,
+                    std::size_t budget) const override;
+
+ private:
+  UseCase use_case_;
+};
+
+/// Scores a sample on one §10 use case (shared by benches and samplers).
+double score_use_case(UseCase use_case, const DataSample& sample,
+                      const SamplingContext& context);
+
+/// Collects every update (and the RIBs) of the given VPs, stopping at
+/// `budget` retained updates. Shared by all VP-granularity schemes.
+DataSample collect_vps(const SamplingContext& context,
+                       const std::vector<bgp::VpId>& vps, std::size_t budget);
+
+}  // namespace gill::sample

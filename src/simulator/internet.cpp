@@ -1,0 +1,540 @@
+#include "simulator/internet.hpp"
+
+#include <algorithm>
+
+#include "netbase/prefix_alloc.hpp"
+
+namespace gill::sim {
+
+Internet::Internet(const topo::AsTopology& topology, InternetConfig config)
+    : topology_(&topology),
+      config_(std::move(config)),
+      engine_(topology),
+      rng_(config_.rng_seed) {
+  const std::uint32_t n = topology.as_count();
+  if (config_.prefixes.empty()) {
+    config_.prefixes.resize(n);
+    for (AsNumber as = 0; as < n; ++as) {
+      config_.prefixes[as].push_back(net::PrefixAllocator::v4_slot(as));
+    }
+  }
+  origin_trees_.resize(n);
+  std::vector<AsNumber> origins;
+  for (AsNumber as = 0; as < n; ++as) {
+    for (const net::Prefix& p : config_.prefixes[as]) {
+      origin_by_prefix_[p] = as;
+    }
+    if (!config_.prefixes[as].empty()) origins.push_back(as);
+  }
+  recompute_origin_trees(origins);
+}
+
+AsNumber Internet::origin_of(const net::Prefix& prefix) const {
+  auto it = origin_by_prefix_.find(prefix);
+  return it == origin_by_prefix_.end() ? 0 : it->second;
+}
+
+void Internet::recompute_origin_trees(const std::vector<AsNumber>& origins) {
+  for (AsNumber origin : origins) {
+    if (!config_.prefixes[origin].empty()) {
+      origin_trees_[origin] = engine_.compute(origin);
+    }
+  }
+}
+
+std::vector<AsNumber> Internet::origins_using_link(AsNumber a,
+                                                   AsNumber b) const {
+  std::vector<AsNumber> out;
+  for (AsNumber origin = 0; origin < topology_->as_count(); ++origin) {
+    if (origin_trees_[origin].as_count() == 0) continue;
+    if (origin_trees_[origin].uses_link(a, b)) out.push_back(origin);
+  }
+  return out;
+}
+
+CommunitySet Internet::communities_for(const bgp::AsPath& path,
+                                       const net::Prefix& prefix) const {
+  CommunitySet set;
+  if (path.empty()) return set;
+  const AsNumber origin = path.origin();
+  // Origin tag: stable informational community ("geo code" style).
+  bgp::insert_community(
+      set, Community(static_cast<std::uint16_t>(origin % 65521),
+                     static_cast<std::uint16_t>(0x0200 | (origin % 50))));
+  if (path.size() >= 2) {
+    // Ingress tag set by the VP's first hop, encoding the relationship the
+    // route was learned over — informational communities correlate with the
+    // AS path (§18.2 reports 93% correlation), which this model reproduces.
+    const AsNumber hop = path[1];
+    int rel_code = 0;
+    if (auto rel = topology_->relationship(path[0], hop)) {
+      rel_code = (*rel == topo::Relationship::kPeerToPeer) ? 2 : 1;
+    }
+    bgp::insert_community(
+        set, Community(static_cast<std::uint16_t>(hop % 65521),
+                       static_cast<std::uint16_t>(0x0100 | rel_code)));
+    // Sparse per-origin salt breaks perfect path<->community correlation
+    // without differentiating the prefixes of one origin (updates for all
+    // prefixes of an AS carry identical communities, as real ones do —
+    // Component #1's cross-prefix step depends on this).
+    const std::uint64_t salt =
+        (static_cast<std::uint64_t>(origin) << 20) ^ (hop * 0x9e3779b9ull);
+    if (salt % 8 == 0) {
+      bgp::insert_community(
+          set, Community(static_cast<std::uint16_t>(hop % 65521),
+                         static_cast<std::uint16_t>(0x0300 | (salt % 16))));
+    }
+  }
+  if (auto it = community_overrides_.find(prefix);
+      it != community_overrides_.end()) {
+    for (Community c : it->second) bgp::insert_community(set, c);
+  }
+  return set;
+}
+
+Timestamp Internet::delay_for(const bgp::AsPath& path,
+                              std::mt19937_64& rng) const {
+  const auto hops = static_cast<Timestamp>(path.empty() ? 4 : path.size());
+  std::uniform_int_distribution<Timestamp> jitter(0, config_.jitter);
+  return config_.per_hop_delay * hops + jitter(rng);
+}
+
+Update Internet::make_update(VpId vp, const net::Prefix& prefix,
+                             const bgp::AsPath& path, Timestamp t) const {
+  Update u;
+  u.vp = vp;
+  u.time = t;
+  u.prefix = prefix;
+  u.path = path;
+  u.communities = communities_for(path, prefix);
+  return u;
+}
+
+Update Internet::make_withdrawal(VpId vp, const net::Prefix& prefix,
+                                 Timestamp t) const {
+  Update u;
+  u.vp = vp;
+  u.time = t;
+  u.prefix = prefix;
+  u.withdrawal = true;
+  return u;
+}
+
+UpdateStream Internet::diff_and_emit(
+    const std::vector<std::pair<const DestinationRouting*,
+                                const DestinationRouting*>>& changes,
+    const std::vector<AsNumber>& affected_origins,
+    const std::vector<const net::Prefix*>& explicit_prefixes, Timestamp t,
+    GroundTruth* truth) {
+  UpdateStream out;
+  for (std::size_t c = 0; c < changes.size(); ++c) {
+    const DestinationRouting* before = changes[c].first;
+    const DestinationRouting* after = changes[c].second;
+    // Which prefixes this routing change applies to.
+    std::vector<net::Prefix> prefixes;
+    if (c < explicit_prefixes.size() && explicit_prefixes[c] != nullptr) {
+      prefixes.push_back(*explicit_prefixes[c]);
+    } else if (c < affected_origins.size()) {
+      prefixes = config_.prefixes[affected_origins[c]];
+    }
+    if (prefixes.empty()) continue;
+
+    for (VpId vp = 0; vp < config_.vp_hosts.size(); ++vp) {
+      const AsNumber host = config_.vp_hosts[vp];
+      const bgp::AsPath old_path =
+          before ? before->path(host) : bgp::AsPath{};
+      const bgp::AsPath new_path = after ? after->path(host) : bgp::AsPath{};
+      if (old_path == new_path) continue;
+      if (truth) truth->observers.push_back(vp);
+
+      const Timestamp arrival =
+          t + delay_for(new_path.empty() ? old_path : new_path, rng_);
+
+      // Optional path exploration: a short-lived intermediate route through
+      // another neighbor that is about to become stale too.
+      bool explored = false;
+      bgp::AsPath transient;
+      if (!old_path.empty() && !new_path.empty() &&
+          config_.path_exploration_probability > 0) {
+        std::uniform_real_distribution<double> coin(0.0, 1.0);
+        if (coin(rng_) < config_.path_exploration_probability && before) {
+          const AsNumber old_first =
+              old_path.size() >= 2 ? old_path[1] : 0;
+          for (AsNumber neighbor : topology_->neighbors(host)) {
+            if (neighbor == old_first) continue;
+            if (!before->has_route(neighbor)) continue;
+            bgp::AsPath via = before->path(neighbor);
+            if (via.contains(host)) continue;
+            std::vector<AsNumber> hops{host};
+            hops.insert(hops.end(), via.hops().begin(), via.hops().end());
+            transient = bgp::AsPath(std::move(hops));
+            if (transient != new_path && transient != old_path) {
+              explored = true;
+            }
+            break;
+          }
+        }
+      }
+
+      for (const net::Prefix& prefix : prefixes) {
+        if (explored) {
+          const Timestamp mid = t + (arrival - t) / 2;
+          out.push(make_update(vp, prefix, transient, mid));
+          GroundTruth transient_truth;
+          transient_truth.kind = GroundTruth::Kind::kTransientPath;
+          transient_truth.time = mid;
+          transient_truth.vp = vp;
+          transient_truth.prefix = prefix;
+          transient_truth.observers.push_back(vp);
+          truths_.push_back(std::move(transient_truth));
+        }
+        if (new_path.empty()) {
+          out.push(make_withdrawal(vp, prefix, arrival));
+        } else {
+          out.push(make_update(vp, prefix, new_path, arrival));
+        }
+      }
+    }
+    if (truth) {
+      std::sort(truth->observers.begin(), truth->observers.end());
+      truth->observers.erase(
+          std::unique(truth->observers.begin(), truth->observers.end()),
+          truth->observers.end());
+    }
+  }
+  out.sort();
+  return out;
+}
+
+UpdateStream Internet::fail_link(AsNumber a, AsNumber b, Timestamp t) {
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kLinkFailure;
+  truth.time = t;
+  truth.link_a = a;
+  truth.link_b = b;
+  if (auto rel = topology_->relationship(a, b)) {
+    truth.link_is_p2p = (*rel == topo::Relationship::kPeerToPeer);
+  }
+
+  const std::vector<AsNumber> affected = origins_using_link(a, b);
+  std::vector<net::Prefix> affected_overrides;
+  for (auto& [prefix, ov] : overrides_) {
+    if (ov.routing.uses_link(a, b)) affected_overrides.push_back(prefix);
+  }
+  engine_.fail_link(a, b);
+  failure_scope_[topo::Link{a, b}.key()] = affected;
+
+  // Recompute new trees, then diff old vs new.
+  std::vector<DestinationRouting> old_trees;
+  old_trees.reserve(affected.size());
+  std::vector<std::pair<const DestinationRouting*, const DestinationRouting*>>
+      changes;
+  std::vector<const net::Prefix*> explicit_prefixes;
+  for (AsNumber origin : affected) {
+    old_trees.push_back(std::move(origin_trees_[origin]));
+    origin_trees_[origin] = engine_.compute(origin);
+  }
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    changes.emplace_back(&old_trees[i], &origin_trees_[affected[i]]);
+    explicit_prefixes.push_back(nullptr);
+  }
+  std::vector<DestinationRouting> old_override_trees;
+  old_override_trees.reserve(affected_overrides.size());
+  for (const net::Prefix& prefix : affected_overrides) {
+    PrefixOverride& ov = overrides_.at(prefix);
+    old_override_trees.push_back(std::move(ov.routing));
+    ov.routing = engine_.compute(old_override_trees.back().seeds());
+  }
+  for (std::size_t i = 0; i < affected_overrides.size(); ++i) {
+    changes.emplace_back(&old_override_trees[i],
+                         &overrides_.at(affected_overrides[i]).routing);
+    explicit_prefixes.push_back(&affected_overrides[i]);
+  }
+
+  std::vector<AsNumber> origin_list = affected;
+  origin_list.resize(changes.size(), 0);  // overrides use explicit prefixes
+  UpdateStream out =
+      diff_and_emit(changes, origin_list, explicit_prefixes, t, &truth);
+  truths_.push_back(std::move(truth));
+  return out;
+}
+
+UpdateStream Internet::restore_link(AsNumber a, AsNumber b, Timestamp t) {
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kLinkRestore;
+  truth.time = t;
+  truth.link_a = a;
+  truth.link_b = b;
+  engine_.restore_link(a, b);
+
+  std::vector<AsNumber> affected;
+  if (auto it = failure_scope_.find(topo::Link{a, b}.key());
+      it != failure_scope_.end()) {
+    affected = it->second;
+    failure_scope_.erase(it);
+  } else {
+    for (AsNumber origin = 0; origin < topology_->as_count(); ++origin) {
+      if (!config_.prefixes[origin].empty()) affected.push_back(origin);
+    }
+  }
+
+  std::vector<DestinationRouting> old_trees;
+  std::vector<std::pair<const DestinationRouting*, const DestinationRouting*>>
+      changes;
+  std::vector<const net::Prefix*> explicit_prefixes;
+  old_trees.reserve(affected.size());
+  for (AsNumber origin : affected) {
+    old_trees.push_back(std::move(origin_trees_[origin]));
+    origin_trees_[origin] = engine_.compute(origin);
+  }
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    changes.emplace_back(&old_trees[i], &origin_trees_[affected[i]]);
+    explicit_prefixes.push_back(nullptr);
+  }
+  // Overrides may also heal.
+  std::vector<net::Prefix> override_prefixes;
+  for (auto& [prefix, ov] : overrides_) override_prefixes.push_back(prefix);
+  std::vector<DestinationRouting> old_override_trees;
+  old_override_trees.reserve(override_prefixes.size());
+  for (const net::Prefix& prefix : override_prefixes) {
+    PrefixOverride& ov = overrides_.at(prefix);
+    old_override_trees.push_back(std::move(ov.routing));
+    ov.routing = engine_.compute(old_override_trees.back().seeds());
+  }
+  for (std::size_t i = 0; i < override_prefixes.size(); ++i) {
+    changes.emplace_back(&old_override_trees[i],
+                         &overrides_.at(override_prefixes[i]).routing);
+    explicit_prefixes.push_back(&override_prefixes[i]);
+  }
+
+  std::vector<AsNumber> origin_list = affected;
+  origin_list.resize(changes.size(), 0);
+  UpdateStream out =
+      diff_and_emit(changes, origin_list, explicit_prefixes, t, &truth);
+  truths_.push_back(std::move(truth));
+  return out;
+}
+
+UpdateStream Internet::start_hijack(AsNumber attacker,
+                                    const net::Prefix& prefix, int type,
+                                    Timestamp t) {
+  const AsNumber origin = origin_of(prefix);
+  std::vector<AsNumber> tail;
+  if (type <= 1) {
+    tail = {origin};
+  } else {
+    // Type-2+: the attacker forges its adjacency to a real neighbor of the
+    // origin so that only the attacker-side link is bogus.
+    AsNumber mid = origin;
+    for (AsNumber neighbor : topology_->neighbors(origin)) {
+      if (neighbor != attacker) {
+        mid = neighbor;
+        break;
+      }
+    }
+    tail = {mid, origin};
+    for (int extra = 3; extra <= type; ++extra) {
+      tail.insert(tail.begin(), mid);  // degenerate padding for Type>2
+    }
+  }
+
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kHijack;
+  truth.time = t;
+  truth.origin = origin;
+  truth.other_as = attacker;
+  truth.hijack_type = type;
+  truth.prefix = prefix;
+
+  const DestinationRouting* before = &routing_for(prefix);
+  PrefixOverride ov;
+  ov.routing = engine_.compute(
+      {Seed{origin, 0, {}},
+       Seed{attacker, static_cast<std::uint16_t>(type), tail}});
+  // Keep the pre-event routing alive while diffing.
+  DestinationRouting old_copy = *before;
+  overrides_[prefix] = std::move(ov);
+
+  UpdateStream out = diff_and_emit({{&old_copy, &overrides_[prefix].routing}},
+                                   {origin}, {&prefix}, t, &truth);
+  overrides_[prefix].truth = truth;
+  truths_.push_back(std::move(truth));
+  return out;
+}
+
+UpdateStream Internet::start_moas(AsNumber new_origin,
+                                  const net::Prefix& prefix, Timestamp t) {
+  const AsNumber origin = origin_of(prefix);
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kMoas;
+  truth.time = t;
+  truth.origin = origin;
+  truth.other_as = new_origin;
+  truth.prefix = prefix;
+
+  DestinationRouting old_copy = routing_for(prefix);
+  PrefixOverride ov;
+  ov.routing =
+      engine_.compute({Seed{origin, 0, {}}, Seed{new_origin, 0, {}}});
+  overrides_[prefix] = std::move(ov);
+
+  UpdateStream out = diff_and_emit({{&old_copy, &overrides_[prefix].routing}},
+                                   {origin}, {&prefix}, t, &truth);
+  overrides_[prefix].truth = truth;
+  truths_.push_back(std::move(truth));
+  return out;
+}
+
+UpdateStream Internet::change_origin(AsNumber new_origin,
+                                     const net::Prefix& prefix, Timestamp t) {
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kOriginChange;
+  truth.time = t;
+  truth.origin = origin_of(prefix);
+  truth.other_as = new_origin;
+  truth.prefix = prefix;
+
+  DestinationRouting old_copy = routing_for(prefix);
+  PrefixOverride ov;
+  ov.routing = engine_.compute(new_origin);
+  overrides_[prefix] = std::move(ov);
+
+  UpdateStream out = diff_and_emit({{&old_copy, &overrides_[prefix].routing}},
+                                   {truth.origin}, {&prefix}, t, &truth);
+  truths_.push_back(std::move(truth));
+  return out;
+}
+
+UpdateStream Internet::clear_prefix_override(const net::Prefix& prefix,
+                                             Timestamp t) {
+  auto it = overrides_.find(prefix);
+  if (it == overrides_.end()) return {};
+  DestinationRouting old_copy = std::move(it->second.routing);
+  overrides_.erase(it);
+  const AsNumber origin = origin_of(prefix);
+  return diff_and_emit({{&old_copy, &origin_trees_[origin]}}, {origin},
+                       {&prefix}, t, nullptr);
+}
+
+UpdateStream Internet::change_community(const net::Prefix& prefix,
+                                        Community community, bool is_action,
+                                        Timestamp t) {
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kCommunityChange;
+  truth.time = t;
+  truth.prefix = prefix;
+  truth.community = community;
+  truth.action_community = is_action;
+
+  community_overrides_[prefix] = CommunitySet{community};
+
+  // Unchanged-path updates: every VP with a route re-announces with the new
+  // community set and the identical AS path (use case V).
+  UpdateStream out;
+  const DestinationRouting& routing = routing_for(prefix);
+  for (VpId vp = 0; vp < config_.vp_hosts.size(); ++vp) {
+    const AsNumber host = config_.vp_hosts[vp];
+    if (!routing.has_route(host)) continue;
+    const bgp::AsPath path = routing.path(host);
+    out.push(make_update(vp, prefix, path, t + delay_for(path, rng_)));
+    truth.observers.push_back(vp);
+  }
+  out.sort();
+  truths_.push_back(std::move(truth));
+  return out;
+}
+
+UpdateStream Internet::announce_prefix(AsNumber as, const net::Prefix& prefix,
+                                       Timestamp t) {
+  if (origin_by_prefix_.contains(prefix)) return {};
+  const bool had_prefixes = !config_.prefixes[as].empty();
+  config_.prefixes[as].push_back(prefix);
+  origin_by_prefix_[prefix] = as;
+  if (!had_prefixes) {
+    origin_trees_[as] = engine_.compute(as);
+  }
+  UpdateStream out;
+  const DestinationRouting& routing = origin_trees_[as];
+  for (VpId vp = 0; vp < config_.vp_hosts.size(); ++vp) {
+    const AsNumber host = config_.vp_hosts[vp];
+    if (!routing.has_route(host)) continue;
+    const bgp::AsPath path = routing.path(host);
+    out.push(make_update(vp, prefix, path, t + delay_for(path, rng_)));
+  }
+  out.sort();
+  return out;
+}
+
+const DestinationRouting& Internet::routing_for(
+    const net::Prefix& prefix) const {
+  if (auto it = overrides_.find(prefix); it != overrides_.end()) {
+    return it->second.routing;
+  }
+  return origin_trees_[origin_of(prefix)];
+}
+
+const DestinationRouting& Internet::routing_for_origin(AsNumber origin) const {
+  return origin_trees_[origin];
+}
+
+bgp::AsPath Internet::vp_path(VpId vp, const net::Prefix& prefix) const {
+  return routing_for(prefix).path(config_.vp_hosts[vp]);
+}
+
+CommunitySet Internet::vp_communities(VpId vp,
+                                      const net::Prefix& prefix) const {
+  return communities_for(vp_path(vp, prefix), prefix);
+}
+
+UpdateStream Internet::rib_dump(Timestamp t) const {
+  UpdateStream out;
+  for (VpId vp = 0; vp < config_.vp_hosts.size(); ++vp) {
+    out.append(rib_dump_vp(vp, t));
+  }
+  out.sort();
+  return out;
+}
+
+UpdateStream Internet::rib_dump_vp(VpId vp, Timestamp t) const {
+  UpdateStream out;
+  const AsNumber host = config_.vp_hosts[vp];
+  for (AsNumber origin = 0; origin < topology_->as_count(); ++origin) {
+    if (config_.prefixes[origin].empty()) continue;
+    if (origin_trees_[origin].as_count() == 0) continue;
+    for (const net::Prefix& prefix : config_.prefixes[origin]) {
+      const DestinationRouting& routing = routing_for(prefix);
+      if (!routing.has_route(host)) continue;
+      out.push(make_update(vp, prefix, routing.path(host), t));
+    }
+  }
+  return out;
+}
+
+std::vector<bgp::AsLink> Internet::visible_links(
+    const std::vector<VpId>& vps) const {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<bgp::AsLink> out;
+  auto add_path = [&](const bgp::AsPath& path) {
+    for (const bgp::AsLink& link : path.links()) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(link.from) << 32) | link.to;
+      if (seen.insert(key).second) out.push_back(link);
+    }
+  };
+  for (VpId vp : vps) {
+    const AsNumber host = config_.vp_hosts[vp];
+    for (AsNumber origin = 0; origin < topology_->as_count(); ++origin) {
+      if (config_.prefixes[origin].empty()) continue;
+      if (origin_trees_[origin].as_count() == 0) continue;
+      if (origin_trees_[origin].has_route(host)) {
+        add_path(origin_trees_[origin].path(host));
+      }
+    }
+    for (const auto& [prefix, ov] : overrides_) {
+      if (ov.routing.has_route(host)) add_path(ov.routing.path(host));
+    }
+  }
+  return out;
+}
+
+}  // namespace gill::sim

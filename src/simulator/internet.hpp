@@ -1,0 +1,201 @@
+// The simulated Internet: topology + announced prefixes + deployed VPs +
+// per-destination routing state, with an event engine that produces the
+// timestamped BGP update streams a collection platform would receive.
+//
+// Events supported (these drive every experiment in the paper):
+//   * link failure / restoration         -> path changes, withdrawals
+//   * forged-origin hijack (Type-X)      -> §3.1, §11, §12 hijack use cases
+//   * MOAS announcement / origin change  -> use case II, anchor events
+//   * community changes                  -> action communities (IV) and
+//                                           unchanged-path updates (V)
+//   * path exploration                   -> transient paths (use case I)
+//
+// Every event records ground truth so benches can score detections.
+#pragma once
+
+#include <optional>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "bgp/update.hpp"
+#include "netbase/prefix.hpp"
+#include "simulator/routing.hpp"
+#include "topology/topology.hpp"
+
+namespace gill::sim {
+
+using bgp::Community;
+using bgp::CommunitySet;
+using bgp::Timestamp;
+using bgp::Update;
+using bgp::UpdateStream;
+using bgp::VpId;
+
+/// Tuning knobs of the simulated world.
+struct InternetConfig {
+  /// ASes hosting a VP; VpId i corresponds to vp_hosts[i].
+  std::vector<AsNumber> vp_hosts;
+  /// Per-AS announced prefixes; element `as` lists AS `as`'s prefixes.
+  /// If empty, every AS announces one /24.
+  std::vector<std::vector<net::Prefix>> prefixes;
+  /// Update propagation delay: per-hop seconds plus uniform jitter, keeping
+  /// event-correlated updates inside the paper's 100 s window.
+  Timestamp per_hop_delay = 3;
+  Timestamp jitter = 30;
+  /// Probability that a VP whose route changes emits a short-lived
+  /// intermediate (path-exploration) route first.
+  double path_exploration_probability = 0.0;
+  std::uint64_t rng_seed = 1;
+};
+
+/// Ground truth of one simulated event.
+struct GroundTruth {
+  enum class Kind {
+    kLinkFailure,
+    kLinkRestore,
+    kHijack,
+    kMoas,
+    kOriginChange,
+    kCommunityChange,
+    kTransientPath,
+  };
+  Kind kind{};
+  Timestamp time = 0;
+  // Link events.
+  AsNumber link_a = 0, link_b = 0;
+  bool link_is_p2p = false;
+  // Hijack / MOAS / origin-change events.
+  AsNumber origin = 0;    // legitimate / old origin
+  AsNumber other_as = 0;  // attacker / new origin
+  int hijack_type = 0;
+  net::Prefix prefix;
+  // Community events.
+  Community community{};
+  bool action_community = false;
+  // Transient paths: the VP that exposed one.
+  VpId vp = 0;
+  /// VPs that observed at least one update caused by this event.
+  std::vector<VpId> observers;
+};
+
+/// Simulated Internet with event-driven update generation.
+class Internet {
+ public:
+  Internet(const topo::AsTopology& topology, InternetConfig config);
+
+  const topo::AsTopology& topology() const noexcept { return *topology_; }
+  const std::vector<AsNumber>& vp_hosts() const noexcept {
+    return config_.vp_hosts;
+  }
+  std::size_t vp_count() const noexcept { return config_.vp_hosts.size(); }
+  const std::vector<std::vector<net::Prefix>>& prefixes() const noexcept {
+    return config_.prefixes;
+  }
+  /// The AS that legitimately originates `prefix` (by the static plan).
+  AsNumber origin_of(const net::Prefix& prefix) const;
+
+  // --- Events -----------------------------------------------------------
+
+  /// Fails the undirected link (a, b); returns the updates VPs observe.
+  UpdateStream fail_link(AsNumber a, AsNumber b, Timestamp t);
+
+  /// Restores a previously failed link.
+  UpdateStream restore_link(AsNumber a, AsNumber b, Timestamp t);
+
+  /// Starts a Type-`type` forged-origin hijack: `attacker` announces
+  /// `prefix` (owned by its legitimate origin) with a forged path of
+  /// `type` extra hops ending at the true origin.
+  UpdateStream start_hijack(AsNumber attacker, const net::Prefix& prefix,
+                            int type, Timestamp t);
+
+  /// Ends an ongoing hijack / MOAS / origin override on `prefix`.
+  UpdateStream clear_prefix_override(const net::Prefix& prefix, Timestamp t);
+
+  /// `new_origin` additionally announces `prefix` (a MOAS conflict).
+  UpdateStream start_moas(AsNumber new_origin, const net::Prefix& prefix,
+                          Timestamp t);
+
+  /// Moves `prefix` from its current origin to `new_origin` exclusively.
+  UpdateStream change_origin(AsNumber new_origin, const net::Prefix& prefix,
+                             Timestamp t);
+
+  /// The origin attaches (or replaces) an extra community on `prefix`,
+  /// producing unchanged-path updates at every VP with a route.
+  UpdateStream change_community(const net::Prefix& prefix, Community community,
+                                bool is_action, Timestamp t);
+
+  /// AS `as` starts announcing a brand-new prefix (world growth; drives
+  /// the Fig. 7 aging experiment — new prefixes match no filter).
+  UpdateStream announce_prefix(AsNumber as, const net::Prefix& prefix,
+                               Timestamp t);
+
+  // --- State inspection ---------------------------------------------------
+
+  /// Current best AS path from VP `vp` to `prefix` (empty if unreachable).
+  bgp::AsPath vp_path(VpId vp, const net::Prefix& prefix) const;
+
+  /// Communities VP `vp` currently sees on `prefix`.
+  CommunitySet vp_communities(VpId vp, const net::Prefix& prefix) const;
+
+  /// Full RIB dump of every VP at time `t` (one announcement per prefix).
+  UpdateStream rib_dump(Timestamp t) const;
+
+  /// RIB dump restricted to one VP.
+  UpdateStream rib_dump_vp(VpId vp, Timestamp t) const;
+
+  /// Routing state for the destination prefix (override or origin tree).
+  const DestinationRouting& routing_for(const net::Prefix& prefix) const;
+
+  /// Routing tree for a legitimate origin AS.
+  const DestinationRouting& routing_for_origin(AsNumber origin) const;
+
+  const std::vector<GroundTruth>& ground_truth() const noexcept {
+    return truths_;
+  }
+  std::vector<GroundTruth>& ground_truth() noexcept { return truths_; }
+
+  /// Directed AS links on the best path of at least one VP right now.
+  std::vector<bgp::AsLink> visible_links(const std::vector<VpId>& vps) const;
+
+ private:
+  struct PrefixOverride {
+    DestinationRouting routing;
+    std::optional<GroundTruth> truth;  // hijack/MOAS metadata
+  };
+
+  UpdateStream diff_and_emit(
+      const std::vector<std::pair<const DestinationRouting*,
+                                  const DestinationRouting*>>& changes,
+      const std::vector<AsNumber>& affected_origins,
+      const std::vector<const net::Prefix*>& explicit_prefixes, Timestamp t,
+      GroundTruth* truth);
+
+  Update make_update(VpId vp, const net::Prefix& prefix, const bgp::AsPath& path,
+                     Timestamp t) const;
+  Update make_withdrawal(VpId vp, const net::Prefix& prefix, Timestamp t) const;
+  CommunitySet communities_for(const bgp::AsPath& path,
+                               const net::Prefix& prefix) const;
+  Timestamp delay_for(const bgp::AsPath& path, std::mt19937_64& rng) const;
+
+  void recompute_origin_trees(const std::vector<AsNumber>& origins);
+  std::vector<AsNumber> origins_using_link(AsNumber a, AsNumber b) const;
+
+  const topo::AsTopology* topology_;
+  InternetConfig config_;
+  RoutingEngine engine_;
+  mutable std::mt19937_64 rng_;
+
+  std::vector<DestinationRouting> origin_trees_;  // index = origin AS
+  std::unordered_map<net::Prefix, PrefixOverride, net::PrefixHash> overrides_;
+  std::unordered_map<net::Prefix, CommunitySet, net::PrefixHash>
+      community_overrides_;
+  std::unordered_map<net::Prefix, AsNumber, net::PrefixHash> origin_by_prefix_;
+  /// Origins whose trees were invalidated by each failed link, so that
+  /// restoration recomputes exactly those.
+  std::unordered_map<std::uint64_t, std::vector<AsNumber>> failure_scope_;
+  std::vector<GroundTruth> truths_;
+};
+
+}  // namespace gill::sim

@@ -1,0 +1,191 @@
+#include "simulator/routing.hpp"
+
+#include <algorithm>
+
+namespace gill::sim {
+
+AsPath DestinationRouting::path(AsNumber as) const {
+  if (cls_[as] == RouteClass::kNone) return AsPath{};
+  std::vector<AsNumber> hops;
+  AsNumber current = as;
+  // Bounded walk: the next-hop graph is a forest rooted at the seeds, but
+  // guard against corruption with an explicit hop budget.
+  for (std::uint32_t guard = 0; guard <= as_count(); ++guard) {
+    hops.push_back(current);
+    if (next_[current] == current) {  // reached a seed
+      const std::uint8_t seed = seed_[current];
+      if (seed < seeds_.size()) {
+        const auto& tail = seeds_[seed].tail;
+        hops.insert(hops.end(), tail.begin(), tail.end());
+      }
+      return AsPath(std::move(hops));
+    }
+    current = next_[current];
+  }
+  return AsPath{};  // unreachable unless state is corrupt
+}
+
+void RoutingEngine::fail_link(AsNumber a, AsNumber b) {
+  down_links_.insert(topo::Link{a, b}.key());
+}
+
+void RoutingEngine::restore_link(AsNumber a, AsNumber b) {
+  down_links_.erase(topo::Link{a, b}.key());
+}
+
+bool RoutingEngine::link_up(AsNumber a, AsNumber b) const noexcept {
+  if (down_links_.empty()) return true;
+  return !down_links_.contains(topo::Link{a, b}.key());
+}
+
+namespace {
+
+/// Bucket queue keyed by path length; pops nodes in nondecreasing length.
+class LengthBuckets {
+ public:
+  void push(std::uint16_t length, AsNumber as) {
+    if (length >= buckets_.size()) buckets_.resize(length + 1);
+    buckets_[length].push_back(as);
+    if (length < cursor_) cursor_ = length;
+  }
+
+  /// Pops the next (length, as); returns false when empty.
+  bool pop(std::uint16_t& length, AsNumber& as) {
+    while (cursor_ < buckets_.size()) {
+      if (buckets_[cursor_].empty()) {
+        ++cursor_;
+        continue;
+      }
+      as = buckets_[cursor_].back();
+      buckets_[cursor_].pop_back();
+      length = static_cast<std::uint16_t>(cursor_);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::vector<AsNumber>> buckets_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+DestinationRouting RoutingEngine::compute(const std::vector<Seed>& seeds) const {
+  const std::uint32_t n = topology_->as_count();
+  DestinationRouting routing;
+  routing.cls_.assign(n, RouteClass::kNone);
+  routing.len_.assign(n, 0xFFFF);
+  routing.next_.assign(n, 0);
+  routing.seed_.assign(n, 0xFF);
+  routing.seeds_ = seeds;
+
+  auto& cls = routing.cls_;
+  auto& len = routing.len_;
+  auto& next = routing.next_;
+  auto& seed_of = routing.seed_;
+
+  // Candidate acceptance shared by all phases. Returns true if the route
+  // (klass, length, via) replaces the current one at `as`.
+  auto better = [&](AsNumber as, RouteClass klass, std::uint16_t length,
+                    AsNumber via) {
+    if (cls[as] == RouteClass::kNone) return true;
+    if (klass != cls[as]) return klass > cls[as];
+    if (length != len[as]) return length < len[as];
+    return via < next[as];
+  };
+
+  // --- Seeds -------------------------------------------------------------
+  LengthBuckets up;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const Seed& seed = seeds[i];
+    // Between two origins at one AS (rare), prefer the shorter base path.
+    if (better(seed.as, RouteClass::kOrigin, seed.base_length, seed.as)) {
+      cls[seed.as] = RouteClass::kOrigin;
+      len[seed.as] = seed.base_length;
+      next[seed.as] = seed.as;
+      seed_of[seed.as] = static_cast<std::uint8_t>(i);
+      up.push(seed.base_length, seed.as);
+    }
+  }
+
+  // --- Phase 1: customer routes climb the provider hierarchy -------------
+  {
+    std::uint16_t length;
+    AsNumber u;
+    while (up.pop(length, u)) {
+      if (len[u] != length) continue;  // stale entry
+      if (cls[u] != RouteClass::kOrigin && cls[u] != RouteClass::kCustomer) {
+        continue;
+      }
+      for (AsNumber provider : topology_->providers(u)) {
+        if (!link_up(u, provider)) continue;
+        const auto candidate = static_cast<std::uint16_t>(length + 1);
+        if (better(provider, RouteClass::kCustomer, candidate, u)) {
+          const bool repush =
+              cls[provider] == RouteClass::kNone || len[provider] != candidate;
+          cls[provider] = RouteClass::kCustomer;
+          len[provider] = candidate;
+          next[provider] = u;
+          seed_of[provider] = seed_of[u];
+          if (repush) up.push(candidate, provider);
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: one hop across peer links --------------------------------
+  // Peer routes are not re-exported to other peers, so a single pass over
+  // all peer adjacencies from customer/origin-routed nodes suffices.
+  {
+    // Snapshot: only routes that existed after phase 1 may cross a peering.
+    std::vector<std::uint32_t> exporters;
+    for (AsNumber u = 0; u < n; ++u) {
+      if (cls[u] == RouteClass::kOrigin || cls[u] == RouteClass::kCustomer) {
+        exporters.push_back(u);
+      }
+    }
+    for (AsNumber u : exporters) {
+      for (AsNumber peer : topology_->peers(u)) {
+        if (!link_up(u, peer)) continue;
+        const auto candidate = static_cast<std::uint16_t>(len[u] + 1);
+        if (better(peer, RouteClass::kPeer, candidate, u)) {
+          cls[peer] = RouteClass::kPeer;
+          len[peer] = candidate;
+          next[peer] = u;
+          seed_of[peer] = seed_of[u];
+        }
+      }
+    }
+  }
+
+  // --- Phase 3: provider routes descend to customers ----------------------
+  {
+    LengthBuckets down;
+    for (AsNumber u = 0; u < n; ++u) {
+      if (cls[u] != RouteClass::kNone) down.push(len[u], u);
+    }
+    std::uint16_t length;
+    AsNumber u;
+    while (down.pop(length, u)) {
+      if (len[u] != length) continue;  // stale
+      for (AsNumber customer : topology_->customers(u)) {
+        if (!link_up(u, customer)) continue;
+        const auto candidate = static_cast<std::uint16_t>(length + 1);
+        if (better(customer, RouteClass::kProvider, candidate, u)) {
+          const bool repush =
+              cls[customer] == RouteClass::kNone || len[customer] != candidate;
+          cls[customer] = RouteClass::kProvider;
+          len[customer] = candidate;
+          next[customer] = u;
+          seed_of[customer] = seed_of[u];
+          if (repush) down.push(candidate, customer);
+        }
+      }
+    }
+  }
+
+  return routing;
+}
+
+}  // namespace gill::sim

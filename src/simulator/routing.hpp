@@ -1,0 +1,122 @@
+// Gao-Rexford route computation (the C-BGP substitute, §3.1).
+//
+// For one destination (one or more origin "seeds") the engine computes the
+// policy-compliant best route of every AS:
+//   * preference: customer-learned > peer-learned > provider-learned;
+//   * within a class: shortest AS path, then lowest next-hop AS id;
+//   * export: customer routes go to everyone; peer/provider routes go to
+//     customers only (valley-free propagation).
+// The fixed point is computed with the classic three-phase bucket BFS
+// (customer-up, one peer step, provider-down) in O(E) per destination.
+//
+// Multiple seeds model MOAS conflicts and forged-origin hijacks: a Type-X
+// hijack seeds the attacker with `base_length = X` and a forged path tail,
+// so hijacked routes compete with legitimate ones at the correct length.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "topology/topology.hpp"
+
+namespace gill::sim {
+
+using bgp::AsNumber;
+using bgp::AsPath;
+
+/// Preference class of an installed route; larger is preferred.
+enum class RouteClass : std::uint8_t {
+  kNone = 0,
+  kProvider = 1,
+  kPeer = 2,
+  kCustomer = 3,
+  kOrigin = 4,
+};
+
+/// One announcement source for a destination prefix.
+struct Seed {
+  AsNumber as = 0;
+  /// Virtual extra hops before `tail` (forged-path length for hijacks).
+  std::uint16_t base_length = 0;
+  /// Forged path suffix appended after `as` in extracted paths, e.g. the
+  /// victim origin for a Type-1 hijack.
+  std::vector<AsNumber> tail;
+};
+
+/// Best-route state of every AS for one destination.
+class DestinationRouting {
+ public:
+  DestinationRouting() = default;
+
+  bool has_route(AsNumber as) const noexcept {
+    return cls_[as] != RouteClass::kNone;
+  }
+  RouteClass route_class(AsNumber as) const noexcept { return cls_[as]; }
+  std::uint16_t length(AsNumber as) const noexcept { return len_[as]; }
+  AsNumber next_hop(AsNumber as) const noexcept { return next_[as]; }
+
+  /// The full AS path observed at `as` (leading with `as` itself, ending at
+  /// the origin — including any forged tail). Empty if no route.
+  AsPath path(AsNumber as) const;
+
+  /// Index into seeds() of the origin `as` routes toward; 0xFF if none.
+  std::uint8_t seed_index(AsNumber as) const noexcept { return seed_[as]; }
+
+  const std::vector<Seed>& seeds() const noexcept { return seeds_; }
+
+  /// True if the undirected link (a, b) carries traffic in this routing
+  /// tree, i.e. it is some AS's next hop.
+  bool uses_link(AsNumber a, AsNumber b) const noexcept {
+    return (cls_[a] != RouteClass::kNone && next_[a] == b && a != b) ||
+           (cls_[b] != RouteClass::kNone && next_[b] == a && a != b);
+  }
+
+  std::uint32_t as_count() const noexcept {
+    return static_cast<std::uint32_t>(cls_.size());
+  }
+
+ private:
+  friend class RoutingEngine;
+  std::vector<RouteClass> cls_;
+  std::vector<std::uint16_t> len_;
+  std::vector<AsNumber> next_;
+  std::vector<std::uint8_t> seed_;
+  std::vector<Seed> seeds_;
+};
+
+/// Computes DestinationRouting fixed points over one topology.
+class RoutingEngine {
+ public:
+  explicit RoutingEngine(const topo::AsTopology& topology)
+      : topology_(&topology) {}
+
+  /// Undirected keys (topo::Link::key) of links to treat as down.
+  void set_down_links(std::unordered_set<std::uint64_t> down) {
+    down_links_ = std::move(down);
+  }
+  const std::unordered_set<std::uint64_t>& down_links() const noexcept {
+    return down_links_;
+  }
+  void fail_link(AsNumber a, AsNumber b);
+  void restore_link(AsNumber a, AsNumber b);
+
+  /// Computes best routes of every AS toward the given seeds.
+  DestinationRouting compute(const std::vector<Seed>& seeds) const;
+
+  /// Single-origin convenience.
+  DestinationRouting compute(AsNumber origin) const {
+    return compute(std::vector<Seed>{Seed{origin, 0, {}}});
+  }
+
+  const topo::AsTopology& topology() const noexcept { return *topology_; }
+
+ private:
+  bool link_up(AsNumber a, AsNumber b) const noexcept;
+
+  const topo::AsTopology* topology_;
+  std::unordered_set<std::uint64_t> down_links_;
+};
+
+}  // namespace gill::sim

@@ -1,0 +1,192 @@
+#include "simulator/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gill::sim {
+
+namespace {
+
+/// One scheduled event, applied in time order.
+struct Scheduled {
+  enum class What {
+    kFail,
+    kRestore,
+    kMoas,
+    kMoasEnd,
+    kOriginChange,
+    kCommunity,
+    kHijack,
+    kHijackEnd,
+  };
+  What what{};
+  Timestamp time = 0;
+  AsNumber a = 0, b = 0;
+  net::Prefix prefix;
+  Community community{};
+  bool action = false;
+  int hijack_type = 1;
+};
+
+}  // namespace
+
+bool is_action_community_value(std::uint16_t value) noexcept {
+  return (value & 0xFF00) == 0x0600;
+}
+
+UpdateStream generate_workload(Internet& internet, Timestamp start,
+                               const WorkloadConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  const topo::AsTopology& topology = internet.topology();
+  const auto& links = topology.links();
+  const std::uint32_t n = topology.as_count();
+
+  auto count_for = [&](double per_hour) {
+    return static_cast<std::size_t>(per_hour * static_cast<double>(config.duration) /
+                                    3600.0 + 0.5);
+  };
+  std::uniform_int_distribution<Timestamp> when(0, config.duration - 1);
+
+  // Hot pools: the subset of links/ASes that event randomness draws from.
+  // Built from pool_seed so that separate windows share the same hot set.
+  const double fraction = std::clamp(config.hotspot_fraction, 0.0, 1.0);
+  std::mt19937_64 pool_rng(config.pool_seed);
+  std::vector<std::size_t> link_pool(links.size());
+  std::iota(link_pool.begin(), link_pool.end(), 0);
+  std::shuffle(link_pool.begin(), link_pool.end(), pool_rng);
+  link_pool.resize(std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(links.size()))));
+  std::vector<AsNumber> as_pool(n);
+  std::iota(as_pool.begin(), as_pool.end(), 0);
+  std::shuffle(as_pool.begin(), as_pool.end(), pool_rng);
+  as_pool.resize(std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * static_cast<double>(n))));
+
+  std::uniform_int_distribution<std::size_t> link_pick(0, link_pool.size() - 1);
+  std::uniform_int_distribution<std::size_t> as_pick(0, as_pool.size() - 1);
+  auto link_index = [&]() { return link_pool[link_pick(rng)]; };
+  auto any_as = [&]() { return as_pool[as_pick(rng)]; };
+
+  auto random_prefix = [&]() -> net::Prefix {
+    for (int tries = 0; tries < 64; ++tries) {
+      const AsNumber as = any_as();
+      const auto& list = internet.prefixes()[as];
+      if (!list.empty()) {
+        std::uniform_int_distribution<std::size_t> pick(0, list.size() - 1);
+        return list[pick(rng)];
+      }
+    }
+    return internet.prefixes()[0].empty() ? net::Prefix{}
+                                          : internet.prefixes()[0][0];
+  };
+
+  std::vector<Scheduled> schedule;
+
+  std::uniform_int_distribution<Timestamp> restore_delay(
+      config.restore_after_min, config.restore_after_max);
+  for (std::size_t i = 0; i < count_for(config.link_failures_per_hour); ++i) {
+    Scheduled fail;
+    fail.what = Scheduled::What::kFail;
+    fail.time = start + when(rng);
+    const topo::Link& link = links[link_index()];
+    fail.a = link.a;
+    fail.b = link.b;
+    Scheduled restore = fail;
+    restore.what = Scheduled::What::kRestore;
+    restore.time = fail.time + restore_delay(rng);
+    schedule.push_back(fail);
+    schedule.push_back(restore);
+  }
+  for (std::size_t i = 0; i < count_for(config.moas_per_hour); ++i) {
+    Scheduled moas;
+    moas.what = Scheduled::What::kMoas;
+    moas.time = start + when(rng);
+    moas.prefix = random_prefix();
+    moas.a = any_as();  // the conflicting second origin
+    Scheduled end = moas;
+    end.what = Scheduled::What::kMoasEnd;
+    end.time = moas.time + restore_delay(rng);
+    schedule.push_back(moas);
+    schedule.push_back(end);
+  }
+  for (std::size_t i = 0; i < count_for(config.origin_changes_per_hour); ++i) {
+    Scheduled oc;
+    oc.what = Scheduled::What::kOriginChange;
+    oc.time = start + when(rng);
+    oc.prefix = random_prefix();
+    oc.a = any_as();
+    schedule.push_back(oc);
+  }
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (std::size_t i = 0; i < count_for(config.community_changes_per_hour);
+       ++i) {
+    Scheduled cc;
+    cc.what = Scheduled::What::kCommunity;
+    cc.time = start + when(rng);
+    cc.prefix = random_prefix();
+    cc.action = coin(rng) < config.action_community_fraction;
+    const AsNumber tagger = internet.origin_of(cc.prefix);
+    const auto base = static_cast<std::uint16_t>(
+        cc.action ? 0x0600 : 0x0400);
+    cc.community =
+        Community(static_cast<std::uint16_t>(tagger % 65521),
+                  static_cast<std::uint16_t>(base | (rng() % 64)));
+    schedule.push_back(cc);
+  }
+  for (std::size_t i = 0; i < count_for(config.hijacks_per_hour); ++i) {
+    Scheduled hijack;
+    hijack.what = Scheduled::What::kHijack;
+    hijack.time = start + when(rng);
+    hijack.prefix = random_prefix();
+    do {
+      hijack.a = any_as();  // attacker
+    } while (hijack.a == internet.origin_of(hijack.prefix));
+    hijack.hijack_type = coin(rng) < 0.7 ? 1 : 2;
+    Scheduled end = hijack;
+    end.what = Scheduled::What::kHijackEnd;
+    end.time = hijack.time + restore_delay(rng);
+    schedule.push_back(hijack);
+    schedule.push_back(end);
+  }
+
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Scheduled& x, const Scheduled& y) {
+                     return x.time < y.time;
+                   });
+
+  UpdateStream stream;
+  for (const Scheduled& event : schedule) {
+    switch (event.what) {
+      case Scheduled::What::kFail:
+        stream.append(internet.fail_link(event.a, event.b, event.time));
+        break;
+      case Scheduled::What::kRestore:
+        stream.append(internet.restore_link(event.a, event.b, event.time));
+        break;
+      case Scheduled::What::kMoas:
+        stream.append(internet.start_moas(event.a, event.prefix, event.time));
+        break;
+      case Scheduled::What::kMoasEnd:
+      case Scheduled::What::kHijackEnd:
+        stream.append(
+            internet.clear_prefix_override(event.prefix, event.time));
+        break;
+      case Scheduled::What::kOriginChange:
+        stream.append(
+            internet.change_origin(event.a, event.prefix, event.time));
+        break;
+      case Scheduled::What::kCommunity:
+        stream.append(internet.change_community(event.prefix, event.community,
+                                                event.action, event.time));
+        break;
+      case Scheduled::What::kHijack:
+        stream.append(internet.start_hijack(event.a, event.prefix,
+                                            event.hijack_type, event.time));
+        break;
+    }
+  }
+  stream.sort();
+  return stream;
+}
+
+}  // namespace gill::sim

@@ -1,0 +1,46 @@
+// Random event workloads: produce the "one hour of RIS/RV data" streams the
+// paper's measurements and benchmarks run on (§4.2, §10), with per-event
+// ground truth for scoring detections.
+#pragma once
+
+#include <random>
+
+#include "simulator/internet.hpp"
+
+namespace gill::sim {
+
+/// Event mix for one generated window. Rates are events per hour.
+struct WorkloadConfig {
+  Timestamp duration = 3600;
+  double link_failures_per_hour = 30.0;
+  /// Failed links are restored after a uniform delay in this range.
+  Timestamp restore_after_min = 200;
+  Timestamp restore_after_max = 1200;
+  double moas_per_hour = 4.0;
+  double origin_changes_per_hour = 4.0;
+  double community_changes_per_hour = 15.0;
+  /// Fraction of community changes that attach an *action* community.
+  double action_community_fraction = 0.4;
+  double hijacks_per_hour = 2.0;
+  std::uint64_t seed = 1;
+  /// Real BGP activity is heavy-tailed: a small set of links and prefixes
+  /// produces most events (flapping links, unstable origins). Events are
+  /// drawn from a "hot" pool containing this fraction of links/ASes. The
+  /// pool depends on pool_seed only, so consecutive windows on the same
+  /// world share it — which is what makes filters trained on one window
+  /// match the next (Fig. 7).
+  double hotspot_fraction = 1.0;
+  std::uint64_t pool_seed = 424242;
+};
+
+/// Values tagged as traffic-engineering actions in the simulated community
+/// space (the stand-in for the 8683 action communities of [60]).
+bool is_action_community_value(std::uint16_t value) noexcept;
+
+/// Schedules and applies a random event mix on `internet`, returning every
+/// update the VPs observed (time-sorted). Ground truth accumulates in
+/// internet.ground_truth().
+UpdateStream generate_workload(Internet& internet, Timestamp start,
+                               const WorkloadConfig& config);
+
+}  // namespace gill::sim

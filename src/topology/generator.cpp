@@ -1,0 +1,252 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace gill::topo {
+
+namespace {
+
+/// Undirected edge set produced by the random-graph stage, before
+/// relationships are assigned.
+struct RawGraph {
+  std::uint32_t node_count = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+};
+
+std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+/// Chung-Lu style generator: endpoint i is drawn with probability
+/// proportional to w_i = (i+1)^(-1/(exponent-1)), which yields a power-law
+/// degree distribution with the requested exponent.
+RawGraph chung_lu(std::uint32_t n, double average_degree, double exponent,
+                  std::mt19937_64& rng) {
+  RawGraph graph;
+  graph.node_count = n;
+  std::vector<double> cumulative(n);
+  const double alpha = -1.0 / (exponent - 1.0);
+  double sum = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sum += std::pow(static_cast<double>(i + 1), alpha);
+    cumulative[i] = sum;
+  }
+  std::uniform_real_distribution<double> uniform(0.0, sum);
+  auto draw = [&] {
+    const double x = uniform(rng);
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    return static_cast<std::uint32_t>(it - cumulative.begin());
+  };
+
+  const auto target_edges =
+      static_cast<std::size_t>(average_degree * n / 2.0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(target_edges * 2);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = target_edges * 50;
+  while (graph.edges.size() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    const std::uint32_t a = draw();
+    const std::uint32_t b = draw();
+    if (a == b) continue;
+    if (!seen.insert(edge_key(a, b)).second) continue;
+    graph.edges.emplace_back(a, b);
+  }
+
+  // Connectivity: attach every node of a non-giant component to the global
+  // hub (node 0 has the largest expected degree).
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<std::uint32_t> rank(n, 0);
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t x) -> std::uint32_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (rank[a] < rank[b]) std::swap(a, b);
+    parent[b] = a;
+    if (rank[a] == rank[b]) ++rank[a];
+  };
+  for (const auto& [a, b] : graph.edges) unite(a, b);
+  const std::uint32_t hub_root = find(0);
+  for (std::uint32_t v = 1; v < n; ++v) {
+    if (find(v) != hub_root) {
+      graph.edges.emplace_back(v, 0);
+      unite(v, 0);
+    }
+  }
+  return graph;
+}
+
+/// The paper's tiering + relationship recipe (§3.1): the `tier1_count`
+/// highest-degree nodes form a fully meshed Tier-1; levels are BFS depth
+/// from the Tier-1 set; same level => p2p, different level => c2p with the
+/// deeper node as customer.
+AsTopology assign_relationships(const RawGraph& graph,
+                                std::uint32_t tier1_count) {
+  const std::uint32_t n = graph.node_count;
+  std::vector<std::vector<std::uint32_t>> adjacency(n);
+  for (const auto& [a, b] : graph.edges) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+
+  std::vector<std::uint32_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return adjacency[a].size() != adjacency[b].size()
+                         ? adjacency[a].size() > adjacency[b].size()
+                         : a < b;
+            });
+  tier1_count = std::min<std::uint32_t>(tier1_count, n);
+  std::vector<AsNumber> tier1(by_degree.begin(),
+                              by_degree.begin() + tier1_count);
+
+  // BFS levels from the Tier-1 set.
+  std::vector<std::uint16_t> level(n, 0xFFFF);
+  std::queue<std::uint32_t> queue;
+  for (std::uint32_t t : tier1) {
+    level[t] = 0;
+    queue.push(t);
+  }
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop();
+    for (std::uint32_t v : adjacency[u]) {
+      if (level[v] == 0xFFFF) {
+        level[v] = static_cast<std::uint16_t>(level[u] + 1);
+        queue.push(v);
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (level[v] == 0xFFFF) level[v] = 1;  // isolated safety net
+  }
+
+  AsTopology topology(n);
+  for (const auto& [a, b] : graph.edges) {
+    if (level[a] == level[b]) {
+      topology.add_p2p(a, b);
+    } else if (level[a] > level[b]) {
+      topology.add_c2p(a, b);  // deeper node pays the shallower one
+    } else {
+      topology.add_c2p(b, a);
+    }
+  }
+  // Fully mesh the Tier-1 clique.
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      topology.add_p2p(tier1[i], tier1[j]);
+    }
+  }
+  topology.set_tier1(std::move(tier1));
+  topology.set_levels(std::move(level));
+  topology.freeze();
+  return topology;
+}
+
+}  // namespace
+
+AsTopology generate_artificial(const ArtificialParams& params) {
+  std::mt19937_64 rng(params.seed);
+  RawGraph graph = chung_lu(params.as_count, params.average_degree,
+                            params.degree_exponent, rng);
+  return assign_relationships(graph, params.tier1_count);
+}
+
+AsTopology generate_pruned(const PrunedParams& params) {
+  std::mt19937_64 rng(params.seed ^ 0x9e3779b97f4a7c15ull);
+  const auto seed_size = static_cast<std::uint32_t>(
+      params.seed_multiplier * params.target_as_count);
+  RawGraph graph =
+      chung_lu(seed_size, params.average_degree, params.degree_exponent, rng);
+
+  // Iteratively remove leaves (degree <= 1) until the target size; if no
+  // leaf remains, fall back to removing the lowest-degree nodes.
+  std::vector<std::unordered_set<std::uint32_t>> adjacency(seed_size);
+  for (const auto& [a, b] : graph.edges) {
+    adjacency[a].insert(b);
+    adjacency[b].insert(a);
+  }
+  std::vector<std::uint8_t> removed(seed_size, 0);
+  std::uint32_t alive = seed_size;
+  while (alive > params.target_as_count) {
+    std::vector<std::uint32_t> leaves;
+    for (std::uint32_t v = 0; v < seed_size; ++v) {
+      if (!removed[v] && adjacency[v].size() <= 1) leaves.push_back(v);
+    }
+    if (leaves.empty()) {
+      // No leaf left: drop the minimum-degree node to guarantee progress.
+      std::uint32_t best = 0;
+      std::size_t best_degree = SIZE_MAX;
+      for (std::uint32_t v = 0; v < seed_size; ++v) {
+        if (!removed[v] && adjacency[v].size() < best_degree) {
+          best_degree = adjacency[v].size();
+          best = v;
+        }
+      }
+      leaves.push_back(best);
+    }
+    for (std::uint32_t v : leaves) {
+      if (alive == params.target_as_count) break;
+      removed[v] = 1;
+      --alive;
+      for (std::uint32_t u : adjacency[v]) adjacency[u].erase(v);
+      adjacency[v].clear();
+    }
+  }
+
+  // Compact surviving node ids.
+  std::vector<std::uint32_t> new_id(seed_size, 0);
+  std::uint32_t next = 0;
+  for (std::uint32_t v = 0; v < seed_size; ++v) {
+    if (!removed[v]) new_id[v] = next++;
+  }
+  RawGraph pruned;
+  pruned.node_count = alive;
+  for (std::uint32_t v = 0; v < seed_size; ++v) {
+    if (removed[v]) continue;
+    for (std::uint32_t u : adjacency[v]) {
+      if (u > v) pruned.edges.emplace_back(new_id[v], new_id[u]);
+    }
+  }
+  return assign_relationships(pruned, params.tier1_count);
+}
+
+AsTopology fig5_topology() {
+  AsTopology topology(8);
+  // Core: AS1 and AS3 peer at the top.
+  topology.add_p2p(1, 3);
+  // Customer-to-provider edges.
+  topology.add_c2p(2, 1);
+  topology.add_c2p(4, 1);
+  topology.add_c2p(6, 2);
+  topology.add_c2p(6, 3);
+  topology.add_c2p(7, 5);
+  // Peerings at the edge.
+  topology.add_p2p(2, 4);
+  topology.add_p2p(5, 6);
+  topology.set_tier1({1, 3});
+  std::vector<std::uint16_t> levels{0, 0, 1, 0, 1, 2, 1, 3};
+  topology.set_levels(std::move(levels));
+  topology.freeze();
+  return topology;
+}
+
+}  // namespace gill::topo

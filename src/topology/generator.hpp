@@ -1,0 +1,55 @@
+// Topology generators (§3.1).
+//
+// The paper uses (a) ten artificial topologies built with the Hyperbolic
+// Graph Generator (power-law degree exponent 2.1, average degree 6.1,
+// tiered Gao-Rexford relationships) and (b) CAIDA's AS-relationship graph
+// pruned to 6k/1k ASes. We have neither the HGG nor the CAIDA dataset, so:
+//
+//  * generate_artificial() uses a Chung-Lu random graph with the same
+//    degree-distribution targets, then applies the paper's own tiering and
+//    relationship-assignment recipe verbatim (top-3 degree = fully-meshed
+//    Tier-1; BFS levels; same level => p2p, different level => c2p).
+//  * generate_pruned() grows a larger Chung-Lu seed graph and iteratively
+//    removes leaves until the target size, mirroring the paper's pruning of
+//    the CAIDA graph.
+//
+// Both substitutions preserve what the evaluation depends on: heavy-tailed
+// degrees, a meshed core, valley-free policy structure, and p2p links that
+// concentrate toward the edge.
+#pragma once
+
+#include <random>
+
+#include "topology/topology.hpp"
+
+namespace gill::topo {
+
+struct ArtificialParams {
+  std::uint32_t as_count = 1000;
+  double average_degree = 6.1;   // Beta-index match with CAIDA (§3.1)
+  double degree_exponent = 2.1;  // power-law exponent (§3.1)
+  std::uint32_t tier1_count = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Builds one artificial AS topology. Connected, frozen, tiered.
+AsTopology generate_artificial(const ArtificialParams& params);
+
+struct PrunedParams {
+  std::uint32_t target_as_count = 1000;
+  double seed_multiplier = 3.0;  // seed graph size = multiplier * target
+  double average_degree = 6.1;
+  double degree_exponent = 2.1;
+  std::uint32_t tier1_count = 3;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the "pruned known topology" stand-in: larger seed graph, leaves
+/// iteratively removed until `target_as_count` ASes remain.
+AsTopology generate_pruned(const PrunedParams& params);
+
+/// The 7-AS topology of Fig. 5 / Fig. 10 (AS ids 1..7; id 0 is unused).
+/// AS4 originates p1/p2 in the paper's scenario and AS6 originates p3.
+AsTopology fig5_topology();
+
+}  // namespace gill::topo

@@ -1,0 +1,177 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace gill::topo {
+
+AsTopology::AsTopology(std::uint32_t as_count)
+    : providers_(as_count), customers_(as_count), peers_(as_count) {}
+
+void AsTopology::add_c2p(AsNumber customer, AsNumber provider) {
+  if (customer == provider || adjacent(customer, provider)) return;
+  providers_[customer].push_back(provider);
+  customers_[provider].push_back(customer);
+  links_.push_back(Link{customer, provider, Relationship::kCustomerToProvider});
+}
+
+void AsTopology::add_p2p(AsNumber a, AsNumber b) {
+  if (a == b || adjacent(a, b)) return;
+  peers_[a].push_back(b);
+  peers_[b].push_back(a);
+  const AsNumber lo = std::min(a, b);
+  const AsNumber hi = std::max(a, b);
+  links_.push_back(Link{lo, hi, Relationship::kPeerToPeer});
+}
+
+void AsTopology::freeze() {
+  for (auto& v : providers_) std::sort(v.begin(), v.end());
+  for (auto& v : customers_) std::sort(v.begin(), v.end());
+  for (auto& v : peers_) std::sort(v.begin(), v.end());
+}
+
+std::vector<AsNumber> AsTopology::neighbors(AsNumber as) const {
+  std::vector<AsNumber> out;
+  out.reserve(degree(as));
+  out.insert(out.end(), providers_[as].begin(), providers_[as].end());
+  out.insert(out.end(), peers_[as].begin(), peers_[as].end());
+  out.insert(out.end(), customers_[as].begin(), customers_[as].end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t AsTopology::p2p_link_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(links_.begin(), links_.end(),
+                    [](const Link& l) { return l.is_p2p(); }));
+}
+
+std::optional<Relationship> AsTopology::relationship(AsNumber a,
+                                                     AsNumber b) const {
+  auto contains = [](const std::vector<AsNumber>& v, AsNumber x) {
+    return std::binary_search(v.begin(), v.end(), x) ||
+           std::find(v.begin(), v.end(), x) != v.end();
+  };
+  if (contains(peers_[a], b)) return Relationship::kPeerToPeer;
+  if (contains(providers_[a], b) || contains(customers_[a], b)) {
+    return Relationship::kCustomerToProvider;
+  }
+  return std::nullopt;
+}
+
+bool AsTopology::adjacent(AsNumber a, AsNumber b) const {
+  auto contains = [](const std::vector<AsNumber>& v, AsNumber x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  return contains(providers_[a], b) || contains(customers_[a], b) ||
+         contains(peers_[a], b);
+}
+
+namespace {
+
+// Iterative post-order DFS accumulating cone membership. Cone size is the
+// number of *distinct* ASes below (and including) the AS in the c2p DAG, so
+// a bitmask/visited set per root is required — overlapping subtrees must
+// not be double-counted.
+std::size_t cone_size_from(const AsTopology& topology, AsNumber root,
+                           std::vector<std::uint8_t>& visited,
+                           std::vector<AsNumber>& touched) {
+  std::size_t count = 0;
+  std::vector<AsNumber> stack{root};
+  while (!stack.empty()) {
+    const AsNumber as = stack.back();
+    stack.pop_back();
+    if (visited[as]) continue;
+    visited[as] = 1;
+    touched.push_back(as);
+    ++count;
+    for (AsNumber customer : topology.customers(as)) {
+      if (!visited[customer]) stack.push_back(customer);
+    }
+  }
+  for (AsNumber as : touched) visited[as] = 0;
+  touched.clear();
+  return count;
+}
+
+}  // namespace
+
+std::size_t AsTopology::customer_cone_size(AsNumber as) const {
+  std::vector<std::uint8_t> visited(as_count(), 0);
+  std::vector<AsNumber> touched;
+  return cone_size_from(*this, as, visited, touched);
+}
+
+std::vector<std::size_t> AsTopology::all_customer_cone_sizes() const {
+  std::vector<std::size_t> sizes(as_count(), 0);
+  std::vector<std::uint8_t> visited(as_count(), 0);
+  std::vector<AsNumber> touched;
+  for (AsNumber as = 0; as < as_count(); ++as) {
+    sizes[as] = cone_size_from(*this, as, visited, touched);
+  }
+  return sizes;
+}
+
+std::string_view to_string(AsCategory category) noexcept {
+  switch (category) {
+    case AsCategory::kStub: return "Stub";
+    case AsCategory::kTransit1: return "Transit-1";
+    case AsCategory::kTransit2: return "Transit-2";
+    case AsCategory::kHypergiant: return "Hypergiant";
+    case AsCategory::kTier1: return "Tier-one";
+  }
+  return "?";
+}
+
+std::vector<AsCategory> classify_ases(const AsTopology& topology) {
+  const std::uint32_t n = topology.as_count();
+  std::vector<AsCategory> categories(n, AsCategory::kStub);
+
+  // Hypergiants: top-15 by degree (substitute for the Böttger PeeringDB
+  // list, which ranks by interconnection footprint).
+  std::vector<AsNumber> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(), [&](AsNumber a, AsNumber b) {
+    return topology.degree(a) != topology.degree(b)
+               ? topology.degree(a) > topology.degree(b)
+               : a < b;
+  });
+  std::unordered_set<AsNumber> hypergiants(
+      by_degree.begin(), by_degree.begin() + std::min<std::size_t>(15, n));
+
+  std::unordered_set<AsNumber> tier1(topology.tier1().begin(),
+                                     topology.tier1().end());
+
+  const std::vector<std::size_t> cones = topology.all_customer_cone_sizes();
+  double transit_cone_sum = 0;
+  std::size_t transit_count = 0;
+  for (AsNumber as = 0; as < n; ++as) {
+    if (topology.is_transit(as)) {
+      transit_cone_sum += static_cast<double>(cones[as]);
+      ++transit_count;
+    }
+  }
+  const double average_cone =
+      transit_count ? transit_cone_sum / static_cast<double>(transit_count)
+                    : 0.0;
+
+  for (AsNumber as = 0; as < n; ++as) {
+    // Highest-ID category wins (Table 5 rule).
+    if (tier1.contains(as)) {
+      categories[as] = AsCategory::kTier1;
+    } else if (hypergiants.contains(as)) {
+      categories[as] = AsCategory::kHypergiant;
+    } else if (topology.is_transit(as)) {
+      categories[as] = static_cast<double>(cones[as]) < average_cone
+                           ? AsCategory::kTransit1
+                           : AsCategory::kTransit2;
+    } else {
+      categories[as] = AsCategory::kStub;
+    }
+  }
+  return categories;
+}
+
+}  // namespace gill::topo

@@ -1,0 +1,132 @@
+// AS-level topology with business relationships (Gao-Rexford model, §2).
+//
+// ASes are dense integers [0, as_count). Links are either
+// customer-to-provider (c2p) or peer-to-peer (p2p). The c2p subgraph is
+// acyclic by construction in both generators (provider levels strictly
+// decrease toward the core), which Gao-Rexford routing requires.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace gill::topo {
+
+using bgp::AsNumber;
+
+/// Business relationship of an undirected AS adjacency.
+enum class Relationship : std::uint8_t {
+  kCustomerToProvider,  // `a` pays `b`
+  kPeerToPeer,          // settlement-free
+};
+
+/// An undirected inter-AS link. For c2p, `a` is the customer and `b` the
+/// provider; for p2p the order is canonical (a < b).
+struct Link {
+  AsNumber a = 0;
+  AsNumber b = 0;
+  Relationship rel = Relationship::kPeerToPeer;
+
+  bool is_p2p() const noexcept { return rel == Relationship::kPeerToPeer; }
+
+  /// Canonical undirected key for set membership regardless of direction.
+  std::uint64_t key() const noexcept {
+    const AsNumber lo = a < b ? a : b;
+    const AsNumber hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  friend bool operator==(const Link&, const Link&) noexcept = default;
+};
+
+/// The AS graph. Construction: add_c2p/add_p2p, then freeze().
+class AsTopology {
+ public:
+  explicit AsTopology(std::uint32_t as_count = 0);
+
+  std::uint32_t as_count() const noexcept {
+    return static_cast<std::uint32_t>(providers_.size());
+  }
+
+  /// Adds `customer` -> `provider`. Duplicate links are ignored.
+  void add_c2p(AsNumber customer, AsNumber provider);
+  /// Adds a peering between `a` and `b`. Duplicate links are ignored.
+  void add_p2p(AsNumber a, AsNumber b);
+
+  /// Sorts adjacency lists; call once after construction. Routing relies on
+  /// sorted neighbor lists for deterministic tie-breaking.
+  void freeze();
+
+  const std::vector<AsNumber>& providers(AsNumber as) const {
+    return providers_[as];
+  }
+  const std::vector<AsNumber>& customers(AsNumber as) const {
+    return customers_[as];
+  }
+  const std::vector<AsNumber>& peers(AsNumber as) const { return peers_[as]; }
+
+  /// All neighbors (providers + peers + customers), sorted, deduplicated.
+  std::vector<AsNumber> neighbors(AsNumber as) const;
+
+  std::size_t degree(AsNumber as) const {
+    return providers_[as].size() + customers_[as].size() + peers_[as].size();
+  }
+  bool is_transit(AsNumber as) const { return !customers_[as].empty(); }
+  bool is_stub(AsNumber as) const { return customers_[as].empty(); }
+
+  const std::vector<Link>& links() const noexcept { return links_; }
+  std::size_t link_count() const noexcept { return links_.size(); }
+  std::size_t p2p_link_count() const noexcept;
+
+  /// Looks up the relationship of (a, b); nullopt if not adjacent.
+  std::optional<Relationship> relationship(AsNumber a, AsNumber b) const;
+
+  /// True if (a, b) are adjacent in either direction / relationship.
+  bool adjacent(AsNumber a, AsNumber b) const;
+
+  /// Size of the customer cone of `as`: the number of ASes reachable by
+  /// repeatedly following provider->customer edges, including `as` itself.
+  std::size_t customer_cone_size(AsNumber as) const;
+
+  /// Customer cone sizes for every AS in one pass (memoized DFS).
+  std::vector<std::size_t> all_customer_cone_sizes() const;
+
+  /// ASes marked as Tier-1 by the generator (empty if none marked).
+  const std::vector<AsNumber>& tier1() const noexcept { return tier1_; }
+  void set_tier1(std::vector<AsNumber> tier1) { tier1_ = std::move(tier1); }
+
+  /// BFS hierarchy level per AS used by the generators (0 = Tier-1).
+  const std::vector<std::uint16_t>& levels() const noexcept { return levels_; }
+  void set_levels(std::vector<std::uint16_t> levels) {
+    levels_ = std::move(levels);
+  }
+
+ private:
+  std::vector<std::vector<AsNumber>> providers_;
+  std::vector<std::vector<AsNumber>> customers_;
+  std::vector<std::vector<AsNumber>> peers_;
+  std::vector<Link> links_;
+  std::vector<AsNumber> tier1_;
+  std::vector<std::uint16_t> levels_;
+};
+
+/// Table 5 AS categories used to stratify event sampling (§18.1).
+enum class AsCategory : std::uint8_t {
+  kStub = 1,
+  kTransit1 = 2,   // transit, customer cone below the transit average
+  kTransit2 = 3,   // other transit
+  kHypergiant = 4, // top-15 degree
+  kTier1 = 5,
+};
+
+std::string_view to_string(AsCategory category) noexcept;
+inline constexpr std::size_t kCategoryCount = 5;
+
+/// Classifies every AS per Table 5. Ambiguities resolve to the highest ID,
+/// as in the paper.
+std::vector<AsCategory> classify_ases(const AsTopology& topology);
+
+}  // namespace gill::topo

@@ -1,0 +1,265 @@
+#include "usecases/as_relationships.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "usecases/detectors.hpp"
+
+namespace gill::uc {
+
+const InferredRelationship* InferredRelationships::find(AsNumber a,
+                                                        AsNumber b) const {
+  const auto it = index.find(undirected_link_key(a, b));
+  return it == index.end() ? nullptr : &entries[it->second];
+}
+
+InferredRelationships infer_relationships(
+    const DataSample& sample, const RelationshipInferenceConfig& config) {
+  // Collect unique paths (RIB entries + updates).
+  std::vector<const bgp::AsPath*> paths;
+  auto collect = [&](const UpdateStream& stream) {
+    for (const auto& update : stream) {
+      if (!update.withdrawal && update.path.size() >= 2) {
+        paths.push_back(&update.path);
+      }
+    }
+  };
+  collect(sample.ribs);
+  collect(sample.updates);
+
+  // Transit degree: number of distinct neighbors an AS has while appearing
+  // in the *middle* of a path (it carried traffic for someone).
+  std::unordered_map<AsNumber, std::unordered_set<AsNumber>> transit_neighbors;
+  for (const auto* path : paths) {
+    const auto& hops = path->hops();
+    for (std::size_t i = 1; i + 1 < hops.size(); ++i) {
+      if (hops[i] == hops[i - 1] || hops[i] == hops[i + 1]) continue;
+      transit_neighbors[hops[i]].insert(hops[i - 1]);
+      transit_neighbors[hops[i]].insert(hops[i + 1]);
+    }
+  }
+  auto transit_degree = [&](AsNumber as) -> std::size_t {
+    const auto it = transit_neighbors.find(as);
+    return it == transit_neighbors.end() ? 0 : it->second.size();
+  };
+
+  // Clique: the top transit-degree ASes.
+  std::vector<AsNumber> ranked;
+  ranked.reserve(transit_neighbors.size());
+  for (const auto& [as, _] : transit_neighbors) ranked.push_back(as);
+  std::sort(ranked.begin(), ranked.end(), [&](AsNumber a, AsNumber b) {
+    const auto da = transit_degree(a);
+    const auto db = transit_degree(b);
+    return da != db ? da > db : a < b;
+  });
+  std::unordered_set<AsNumber> clique(
+      ranked.begin(),
+      ranked.begin() +
+          static_cast<std::ptrdiff_t>(
+              std::min(config.clique_size, ranked.size())));
+
+  // Vote per undirected link: c2p in either direction, or p2p.
+  struct Votes {
+    std::size_t c2p_ab = 0;  // lower-id AS is the customer
+    std::size_t c2p_ba = 0;  // higher-id AS is the customer
+    std::size_t p2p = 0;
+    AsNumber lo = 0, hi = 0;
+  };
+  std::unordered_map<std::uint64_t, Votes> votes;
+  auto vote = [&](AsNumber customer, AsNumber provider, bool peer) {
+    const std::uint64_t key = undirected_link_key(customer, provider);
+    Votes& v = votes[key];
+    v.lo = std::min(customer, provider);
+    v.hi = std::max(customer, provider);
+    if (peer) {
+      ++v.p2p;
+    } else if (customer == v.lo) {
+      ++v.c2p_ab;
+    } else {
+      ++v.c2p_ba;
+    }
+  };
+
+  for (const auto* path : paths) {
+    const auto& hops = path->hops();
+    // Summit: the hop with the highest transit degree (clique members win).
+    std::size_t summit = 0;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      const bool better =
+          (clique.contains(hops[i]) && !clique.contains(hops[summit])) ||
+          (clique.contains(hops[i]) == clique.contains(hops[summit]) &&
+           transit_degree(hops[i]) > transit_degree(hops[summit]));
+      if (better) summit = i;
+    }
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      const AsNumber left = hops[i];
+      const AsNumber right = hops[i + 1];
+      if (left == right) continue;
+      const auto dl = static_cast<double>(std::max<std::size_t>(
+          transit_degree(left), 1));
+      const auto dr = static_cast<double>(std::max<std::size_t>(
+          transit_degree(right), 1));
+      const bool similar = dl / dr < config.peer_degree_ratio &&
+                           dr / dl < config.peer_degree_ratio;
+      const bool at_summit = i == summit || i + 1 == summit;
+      if (at_summit && similar &&
+          (clique.contains(left) || clique.contains(right) ||
+           transit_degree(left) > 0)) {
+        vote(left, right, /*peer=*/true);
+      } else if (i + 1 <= summit) {
+        // Left of the summit the path climbs the hierarchy: each hop
+        // learned the route from its provider, so `left` (closer to the
+        // receiver) is the customer of `right`.
+        vote(left, right, /*peer=*/false);
+      } else {
+        // Right of the summit the path descends toward the origin: `right`
+        // exported the route up to its provider `left`.
+        vote(right, left, /*peer=*/false);
+      }
+    }
+  }
+
+  // Hierarchy signal: BFS depth from the clique over the observed
+  // undirected graph. Real (and simulated) p2p links overwhelmingly connect
+  // ASes at the same depth of the provider hierarchy, while c2p links cross
+  // depths — the same structural prior ASRank exploits via its clique.
+  std::unordered_map<AsNumber, std::unordered_set<AsNumber>> adjacency;
+  for (const auto& [key, v] : votes) {
+    adjacency[v.lo].insert(v.hi);
+    adjacency[v.hi].insert(v.lo);
+  }
+  std::unordered_map<AsNumber, unsigned> depth;
+  {
+    std::vector<AsNumber> frontier;
+    for (const AsNumber as : clique) {
+      if (adjacency.contains(as)) {
+        depth[as] = 0;
+        frontier.push_back(as);
+      }
+    }
+    unsigned level = 0;
+    while (!frontier.empty()) {
+      ++level;
+      std::vector<AsNumber> next;
+      for (const AsNumber u : frontier) {
+        for (const AsNumber v : adjacency[u]) {
+          if (depth.emplace(v, level).second) next.push_back(v);
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+
+  InferredRelationships result;
+  for (const auto& [key, v] : votes) {
+    InferredRelationship entry;
+    const auto da = depth.find(v.lo);
+    const auto db = depth.find(v.hi);
+    const bool have_depths = da != depth.end() && db != depth.end();
+    // Observed-graph depths overestimate the true hierarchy level when
+    // links are missing, so a one-level difference is ambiguous: resolve it
+    // with the path-direction votes (a true c2p link accumulates strongly
+    // one-sided customer->provider votes; a peering does not).
+    const bool depth_decides =
+        have_depths &&
+        (da->second != db->second) &&
+        ((da->second > db->second ? da->second - db->second
+                                  : db->second - da->second) > 1 ||
+         std::max(v.c2p_ab, v.c2p_ba) >=
+             2 * std::min(v.c2p_ab, v.c2p_ba) + v.p2p);
+    if (depth_decides) {
+      // Depth difference: the deeper AS pays the shallower one.
+      entry.rel = topo::Relationship::kCustomerToProvider;
+      entry.a = da->second > db->second ? v.lo : v.hi;  // customer
+      entry.b = da->second > db->second ? v.hi : v.lo;  // provider
+    } else if (have_depths && v.c2p_ab == 0 && v.c2p_ba == 0) {
+      entry.rel = topo::Relationship::kPeerToPeer;
+      entry.a = v.lo;
+      entry.b = v.hi;
+    } else if (have_depths &&
+               std::max(v.c2p_ab, v.c2p_ba) <
+                   3 * std::min(v.c2p_ab + 1, v.c2p_ba + 1)) {
+      // Same depth without a dominant c2p direction: peering.
+      entry.rel = topo::Relationship::kPeerToPeer;
+      entry.a = v.lo;
+      entry.b = v.hi;
+    } else if (v.p2p >= v.c2p_ab && v.p2p >= v.c2p_ba) {
+      entry.rel = topo::Relationship::kPeerToPeer;
+      entry.a = v.lo;
+      entry.b = v.hi;
+    } else if (v.c2p_ab >= v.c2p_ba) {
+      entry.rel = topo::Relationship::kCustomerToProvider;
+      entry.a = v.lo;  // customer
+      entry.b = v.hi;  // provider
+    } else {
+      entry.rel = topo::Relationship::kCustomerToProvider;
+      entry.a = v.hi;
+      entry.b = v.lo;
+    }
+    result.index[key] = result.entries.size();
+    result.entries.push_back(entry);
+  }
+  return result;
+}
+
+std::unordered_map<AsNumber, std::size_t> customer_cones(
+    const InferredRelationships& inferred) {
+  std::unordered_map<AsNumber, std::vector<AsNumber>> customers;
+  std::unordered_set<AsNumber> ases;
+  for (const auto& entry : inferred.entries) {
+    ases.insert(entry.a);
+    ases.insert(entry.b);
+    if (entry.rel == topo::Relationship::kCustomerToProvider) {
+      customers[entry.b].push_back(entry.a);
+    }
+  }
+  std::unordered_map<AsNumber, std::size_t> cones;
+  for (const AsNumber root : ases) {
+    std::unordered_set<AsNumber> visited;
+    std::vector<AsNumber> stack{root};
+    while (!stack.empty()) {
+      const AsNumber as = stack.back();
+      stack.pop_back();
+      if (!visited.insert(as).second) continue;
+      const auto it = customers.find(as);
+      if (it == customers.end()) continue;
+      for (const AsNumber customer : it->second) stack.push_back(customer);
+    }
+    cones[root] = visited.size();
+  }
+  return cones;
+}
+
+RelationshipValidation validate_relationships(
+    const InferredRelationships& inferred, const topo::AsTopology& truth) {
+  RelationshipValidation validation;
+  validation.inferred = inferred.entries.size();
+  for (const auto& entry : inferred.entries) {
+    if (entry.a >= truth.as_count() || entry.b >= truth.as_count()) continue;
+    const auto rel = truth.relationship(entry.a, entry.b);
+    if (!rel.has_value()) continue;
+    ++validation.evaluable;
+    const bool truth_is_p2p = *rel == topo::Relationship::kPeerToPeer;
+    if (truth_is_p2p) {
+      ++validation.p2p_evaluable;
+    } else {
+      ++validation.c2p_evaluable;
+    }
+    if (*rel != entry.rel) continue;
+    if (entry.rel == topo::Relationship::kPeerToPeer) {
+      ++validation.correct;
+      ++validation.p2p_correct;
+    } else {
+      // Direction check: entry.a must really be the customer.
+      const auto& providers = truth.providers(entry.a);
+      if (std::find(providers.begin(), providers.end(), entry.b) !=
+          providers.end()) {
+        ++validation.correct;
+        ++validation.c2p_correct;
+      }
+    }
+  }
+  return validation;
+}
+
+}  // namespace gill::uc

@@ -1,0 +1,84 @@
+// AS-relationship inference and customer cones (§12).
+//
+// A simplified reimplementation of the Luckie et al. [31] / ASRank [11]
+// methodology: compute transit degrees from the collected AS paths, treat
+// the top transit ASes as the clique, locate each path's summit, vote c2p
+// for the uphill/downhill segments and p2p around the summit, and resolve
+// by majority. Customer cones are computed over the inferred c2p DAG.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "usecases/data_sample.hpp"
+
+namespace gill::uc {
+
+using bgp::AsNumber;
+
+struct InferredRelationship {
+  AsNumber a = 0;  // customer for c2p; lower id for p2p
+  AsNumber b = 0;  // provider for c2p; higher id for p2p
+  topo::Relationship rel = topo::Relationship::kPeerToPeer;
+};
+
+struct InferredRelationships {
+  std::vector<InferredRelationship> entries;
+  /// Undirected link key -> index into entries.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+
+  std::size_t size() const noexcept { return entries.size(); }
+  const InferredRelationship* find(AsNumber a, AsNumber b) const;
+};
+
+struct RelationshipInferenceConfig {
+  /// Number of top-transit-degree ASes assumed fully meshed (the clique).
+  std::size_t clique_size = 3;
+  /// Two adjacent hops whose transit degrees are within this ratio at the
+  /// path summit vote p2p instead of c2p.
+  double peer_degree_ratio = 2.0;
+};
+
+/// Infers a relationship for every link observed in the sample.
+InferredRelationships infer_relationships(
+    const DataSample& sample, const RelationshipInferenceConfig& config = {});
+
+/// Customer cone size (number of ASes in the cone, including the AS) per
+/// AS, over the inferred c2p edges.
+std::unordered_map<AsNumber, std::size_t> customer_cones(
+    const InferredRelationships& inferred);
+
+/// Validation against the simulator's ground-truth topology (the stand-in
+/// for the IRR/RIR validation of [31]).
+struct RelationshipValidation {
+  std::size_t inferred = 0;   // links with an inferred relationship
+  std::size_t evaluable = 0;  // of those, links that exist in ground truth
+  std::size_t correct = 0;    // type (and c2p direction) match
+  // Per-type breakdown: p2p inference is the known-hard part of the
+  // problem, so benches report it separately.
+  std::size_t c2p_evaluable = 0;
+  std::size_t c2p_correct = 0;
+  std::size_t p2p_evaluable = 0;
+  std::size_t p2p_correct = 0;
+  double accuracy() const {
+    return evaluable == 0 ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(evaluable);
+  }
+  double c2p_accuracy() const {
+    return c2p_evaluable == 0 ? 0.0
+                              : static_cast<double>(c2p_correct) /
+                                    static_cast<double>(c2p_evaluable);
+  }
+  double p2p_accuracy() const {
+    return p2p_evaluable == 0 ? 0.0
+                              : static_cast<double>(p2p_correct) /
+                                    static_cast<double>(p2p_evaluable);
+  }
+};
+
+RelationshipValidation validate_relationships(
+    const InferredRelationships& inferred, const topo::AsTopology& truth);
+
+}  // namespace gill::uc

@@ -1,0 +1,48 @@
+// The unit of data a sampling scheme hands to an analysis: a set of
+// retained updates plus the RIB entries of fully collected VPs, and the
+// public origin table (prefix -> expected origin) every analysis may
+// consult (users always have access to a RIB snapshot of record).
+#pragma once
+
+#include <unordered_map>
+
+#include "bgp/update.hpp"
+
+namespace gill::uc {
+
+using bgp::Timestamp;
+using bgp::Update;
+using bgp::UpdateStream;
+using bgp::VpId;
+
+struct DataSample {
+  UpdateStream updates;
+  /// RIB-snapshot entries (announcements) of fully collected VPs.
+  UpdateStream ribs;
+
+  std::size_t update_volume() const noexcept { return updates.size(); }
+};
+
+/// prefix -> legitimate origin AS, from a reference RIB snapshot.
+class OriginTable {
+ public:
+  OriginTable() = default;
+
+  /// Builds the table from a full RIB dump (majority origin per prefix).
+  static OriginTable from_rib(const UpdateStream& rib);
+
+  void set(const net::Prefix& prefix, bgp::AsNumber origin) {
+    origins_[prefix] = origin;
+  }
+  /// 0 if unknown.
+  bgp::AsNumber origin_of(const net::Prefix& prefix) const {
+    const auto it = origins_.find(prefix);
+    return it == origins_.end() ? 0 : it->second;
+  }
+  std::size_t size() const noexcept { return origins_.size(); }
+
+ private:
+  std::unordered_map<net::Prefix, bgp::AsNumber, net::PrefixHash> origins_;
+};
+
+}  // namespace gill::uc

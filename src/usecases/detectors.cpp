@@ -1,0 +1,261 @@
+#include "usecases/detectors.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace gill::uc {
+
+OriginTable OriginTable::from_rib(const UpdateStream& rib) {
+  // Majority origin per prefix across VPs.
+  std::unordered_map<net::Prefix,
+                     std::unordered_map<bgp::AsNumber, std::size_t>,
+                     net::PrefixHash>
+      votes;
+  for (const auto& entry : rib) {
+    if (entry.withdrawal || entry.path.empty()) continue;
+    ++votes[entry.prefix][entry.path.origin()];
+  }
+  OriginTable table;
+  for (const auto& [prefix, counts] : votes) {
+    const auto best = std::max_element(
+        counts.begin(), counts.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    table.set(prefix, best->first);
+  }
+  return table;
+}
+
+// --- I ----------------------------------------------------------------------
+
+std::vector<TransientPath> detect_transient_paths(const DataSample& sample,
+                                                  Timestamp max_lifetime) {
+  struct LastRoute {
+    bgp::AsPath path;
+    Timestamp since = 0;
+    bool valid = false;
+  };
+  std::map<std::pair<VpId, net::Prefix>, LastRoute> state;
+  std::vector<TransientPath> result;
+
+  for (const auto& update : sample.updates) {
+    auto& last = state[{update.vp, update.prefix}];
+    const bgp::AsPath new_path =
+        update.withdrawal ? bgp::AsPath{} : update.path;
+    if (last.valid && !last.path.empty() && new_path != last.path &&
+        update.time - last.since < max_lifetime) {
+      result.push_back(
+          TransientPath{update.vp, update.prefix, last.since, update.time});
+    }
+    last.path = new_path;
+    last.since = update.time;
+    last.valid = true;
+  }
+  return result;
+}
+
+double transient_detection_score(const DataSample& sample,
+                                 const std::vector<GroundTruth>& truths) {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  const auto found = detect_transient_paths(sample);
+  // Index detections by (vp, prefix) with their appearance times.
+  std::map<std::pair<VpId, net::Prefix>, std::vector<Timestamp>> index;
+  for (const auto& t : found) index[{t.vp, t.prefix}].push_back(t.appeared);
+
+  for (const auto& truth : truths) {
+    if (truth.kind != GroundTruth::Kind::kTransientPath) continue;
+    ++total;
+    const auto it = index.find({truth.vp, truth.prefix});
+    if (it == index.end()) continue;
+    for (const Timestamp appeared : it->second) {
+      const Timestamp dt =
+          appeared > truth.time ? appeared - truth.time : truth.time - appeared;
+      if (dt < bgp::kTimestampSlack) {
+        ++detected;
+        break;
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(detected) /
+                          static_cast<double>(total);
+}
+
+// --- II ----------------------------------------------------------------------
+
+std::vector<net::Prefix> detect_moas(const DataSample& sample,
+                                     const OriginTable& reference) {
+  std::unordered_map<net::Prefix, std::unordered_set<bgp::AsNumber>,
+                     net::PrefixHash>
+      origins;
+  auto collect = [&](const UpdateStream& stream) {
+    for (const auto& update : stream) {
+      if (update.withdrawal || update.path.empty()) continue;
+      origins[update.prefix].insert(update.path.origin());
+    }
+  };
+  collect(sample.updates);
+  collect(sample.ribs);
+
+  std::vector<net::Prefix> result;
+  for (const auto& [prefix, seen] : origins) {
+    const bgp::AsNumber expected = reference.origin_of(prefix);
+    const bool conflicting_reference =
+        expected != 0 && (seen.size() > 1 || !seen.contains(expected));
+    if (seen.size() > 1 || conflicting_reference) result.push_back(prefix);
+  }
+  return result;
+}
+
+double moas_detection_score(const DataSample& sample,
+                            const OriginTable& reference,
+                            const std::vector<GroundTruth>& truths) {
+  const auto detected = detect_moas(sample, reference);
+  const std::unordered_set<net::Prefix, net::PrefixHash> found(
+      detected.begin(), detected.end());
+  std::size_t total = 0;
+  std::size_t hit = 0;
+  for (const auto& truth : truths) {
+    if (truth.kind != GroundTruth::Kind::kMoas) continue;
+    ++total;
+    if (found.contains(truth.prefix)) ++hit;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+// --- III ----------------------------------------------------------------------
+
+std::uint64_t undirected_link_key(bgp::AsNumber a, bgp::AsNumber b) noexcept {
+  const bgp::AsNumber lo = a < b ? a : b;
+  const bgp::AsNumber hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+std::unordered_set<std::uint64_t> observed_links(const DataSample& sample) {
+  std::unordered_set<std::uint64_t> links;
+  auto collect = [&](const UpdateStream& stream) {
+    for (const auto& update : stream) {
+      for (const auto& link : update.path.links()) {
+        links.insert(undirected_link_key(link.from, link.to));
+      }
+    }
+  };
+  collect(sample.updates);
+  collect(sample.ribs);
+  return links;
+}
+
+std::unordered_set<std::uint64_t> undirected_links_of(
+    const UpdateStream& stream) {
+  DataSample sample;
+  sample.updates = stream;
+  return observed_links(sample);
+}
+
+double topology_mapping_score(
+    const DataSample& sample,
+    const std::unordered_set<std::uint64_t>& reference_links) {
+  if (reference_links.empty()) return 1.0;
+  const auto seen = observed_links(sample);
+  std::size_t hit = 0;
+  for (const std::uint64_t key : reference_links) {
+    if (seen.contains(key)) ++hit;
+  }
+  return static_cast<double>(hit) /
+         static_cast<double>(reference_links.size());
+}
+
+// --- IV ----------------------------------------------------------------------
+
+double action_community_score(const DataSample& sample,
+                              const std::vector<GroundTruth>& truths) {
+  // Index: prefix -> communities observed on it.
+  std::unordered_map<net::Prefix, std::unordered_set<std::uint32_t>,
+                     net::PrefixHash>
+      seen;
+  auto collect = [&](const UpdateStream& stream) {
+    for (const auto& update : stream) {
+      for (const auto community : update.communities) {
+        seen[update.prefix].insert(community.packed());
+      }
+    }
+  };
+  collect(sample.updates);
+  collect(sample.ribs);
+
+  std::size_t total = 0;
+  std::size_t hit = 0;
+  for (const auto& truth : truths) {
+    if (truth.kind != GroundTruth::Kind::kCommunityChange ||
+        !truth.action_community) {
+      continue;
+    }
+    ++total;
+    const auto it = seen.find(truth.prefix);
+    if (it != seen.end() && it->second.contains(truth.community.packed())) {
+      ++hit;
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+// --- V ----------------------------------------------------------------------
+
+std::vector<Update> detect_unchanged_path_updates(const DataSample& sample) {
+  struct LastSeen {
+    bgp::AsPath path;
+    bgp::CommunitySet communities;
+    bool valid = false;
+  };
+  std::map<std::pair<VpId, net::Prefix>, LastSeen> state;
+  // Seed with RIB entries so the first in-window update can be classified.
+  for (const auto& entry : sample.ribs) {
+    auto& last = state[{entry.vp, entry.prefix}];
+    last.path = entry.path;
+    last.communities = entry.communities;
+    last.valid = true;
+  }
+  std::vector<Update> result;
+  for (const auto& update : sample.updates) {
+    auto& last = state[{update.vp, update.prefix}];
+    if (!update.withdrawal && last.valid && update.path == last.path &&
+        update.communities != last.communities) {
+      result.push_back(update);
+    }
+    last.path = update.withdrawal ? bgp::AsPath{} : update.path;
+    last.communities = update.communities;
+    last.valid = true;
+  }
+  return result;
+}
+
+double unchanged_path_score(const DataSample& sample,
+                            const std::vector<GroundTruth>& truths) {
+  const auto found = detect_unchanged_path_updates(sample);
+  std::unordered_map<net::Prefix, std::vector<Timestamp>, net::PrefixHash>
+      index;
+  for (const auto& update : found) {
+    index[update.prefix].push_back(update.time);
+  }
+  std::size_t total = 0;
+  std::size_t hit = 0;
+  for (const auto& truth : truths) {
+    if (truth.kind != GroundTruth::Kind::kCommunityChange) continue;
+    ++total;
+    const auto it = index.find(truth.prefix);
+    if (it == index.end()) continue;
+    for (const Timestamp t : it->second) {
+      if (t >= truth.time && t - truth.time < 2 * bgp::kTimestampSlack) {
+        ++hit;
+        break;
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+}  // namespace gill::uc

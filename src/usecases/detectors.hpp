@@ -1,0 +1,83 @@
+// The five §10 use-case analyses, each consuming a DataSample and scoring
+// against simulator ground truth:
+//   I   transient path detection      (needs the timestamp attribute)
+//   II  MOAS prefix detection         (needs the prefix attribute)
+//   III AS topology mapping           (needs the AS-path attribute)
+//   IV  action community detection    (needs the community attribute)
+//   V   unchanged-path update detection (community + path attributes)
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "simulator/internet.hpp"
+#include "usecases/data_sample.hpp"
+
+namespace gill::uc {
+
+using sim::GroundTruth;
+
+// --- I: transient paths ----------------------------------------------------
+
+/// A route visible for less than `max_lifetime` seconds at one VP.
+struct TransientPath {
+  VpId vp = 0;
+  net::Prefix prefix;
+  Timestamp appeared = 0;
+  Timestamp replaced = 0;
+};
+
+/// Finds transient paths in a sample (routes replaced within 5 minutes).
+std::vector<TransientPath> detect_transient_paths(const DataSample& sample,
+                                                  Timestamp max_lifetime = 300);
+
+/// Fraction of ground-truth transient-path events visible in the sample.
+double transient_detection_score(const DataSample& sample,
+                                 const std::vector<GroundTruth>& truths);
+
+// --- II: MOAS ---------------------------------------------------------------
+
+/// Prefixes observed (in updates or RIB entries) with two or more distinct
+/// origins, or with an origin conflicting with the reference table.
+std::vector<net::Prefix> detect_moas(const DataSample& sample,
+                                     const OriginTable& reference);
+
+double moas_detection_score(const DataSample& sample,
+                            const OriginTable& reference,
+                            const std::vector<GroundTruth>& truths);
+
+// --- III: topology mapping ---------------------------------------------------
+
+/// Distinct directed AS links appearing in any path of the sample.
+std::unordered_set<std::uint64_t> observed_links(const DataSample& sample);
+
+/// Canonical undirected key of a link.
+std::uint64_t undirected_link_key(bgp::AsNumber a, bgp::AsNumber b) noexcept;
+
+/// Fraction of `reference_links` (undirected keys) observed in the sample.
+double topology_mapping_score(
+    const DataSample& sample,
+    const std::unordered_set<std::uint64_t>& reference_links);
+
+/// Helper: undirected link keys present in a full stream (the usual
+/// "best case / all data" reference set).
+std::unordered_set<std::uint64_t> undirected_links_of(
+    const UpdateStream& stream);
+
+// --- IV: action communities ---------------------------------------------------
+
+/// Fraction of ground-truth action-community events whose community value
+/// is observed on the event's prefix in the sample.
+double action_community_score(const DataSample& sample,
+                              const std::vector<GroundTruth>& truths);
+
+// --- V: unchanged-path updates -------------------------------------------------
+
+/// Updates that repeat the previous AS path for (vp, prefix) but change the
+/// community set.
+std::vector<Update> detect_unchanged_path_updates(const DataSample& sample);
+
+double unchanged_path_score(const DataSample& sample,
+                            const std::vector<GroundTruth>& truths);
+
+}  // namespace gill::uc

@@ -1,0 +1,107 @@
+#include "usecases/failure_localization.hpp"
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "usecases/detectors.hpp"
+
+namespace gill::uc {
+
+LocalizationResult localize_failure(const DataSample& sample,
+                                    Timestamp failure_time, Timestamp window) {
+  // Pre-failure routes per (vp, prefix): RIB entries, then replayed updates
+  // strictly before the failure.
+  std::map<std::pair<VpId, net::Prefix>, bgp::AsPath> before;
+  for (const auto& entry : sample.ribs) {
+    before[{entry.vp, entry.prefix}] = entry.path;
+  }
+  for (const auto& update : sample.updates) {
+    if (update.time >= failure_time) break;  // stream is time-sorted
+    before[{update.vp, update.prefix}] =
+        update.withdrawal ? bgp::AsPath{} : update.path;
+  }
+
+  // Reaction: last update per (vp, prefix) inside the window.
+  std::map<std::pair<VpId, net::Prefix>, bgp::AsPath> after;
+  for (const auto& update : sample.updates) {
+    if (update.time < failure_time) continue;
+    if (update.time >= failure_time + window) break;
+    after[{update.vp, update.prefix}] =
+        update.withdrawal ? bgp::AsPath{} : update.path;
+  }
+
+  // Tally, per candidate link, how many (vp, prefix) observations removed
+  // it from their path. A strict intersection would be defeated by any
+  // concurrent unrelated event in the window; the failed link instead
+  // dominates the vote because every reaction to the failure removes it.
+  LocalizationResult result;
+  std::map<std::uint64_t, std::size_t> votes;
+  std::unordered_set<net::Prefix, net::PrefixHash> touched_prefixes;
+  std::unordered_set<std::uint64_t> exonerated;
+  for (const auto& [key, new_path] : after) {
+    const auto it = before.find(key);
+    if (it == before.end() || it->second.empty()) continue;
+    if (it->second == new_path) continue;
+    touched_prefixes.insert(key.second);
+
+    std::unordered_set<std::uint64_t> new_links;
+    for (const auto& link : new_path.links()) {
+      const std::uint64_t undirected = undirected_link_key(link.from, link.to);
+      new_links.insert(undirected);
+      // A link on a post-failure path is demonstrably alive.
+      exonerated.insert(undirected);
+    }
+    for (const auto& link : it->second.links()) {
+      const std::uint64_t undirected =
+          undirected_link_key(link.from, link.to);
+      if (!new_links.contains(undirected)) ++votes[undirected];
+    }
+  }
+
+  // Feldmann-style exoneration: the reroutes share their old paths' suffix
+  // toward the origin, so those links gather as many removal votes as the
+  // failed link itself — but they still appear on the *surviving* paths of
+  // VPs that did not react, which clears them.
+  for (const auto& [key, path] : before) {
+    if (!touched_prefixes.contains(key.second)) continue;
+    if (after.contains(key)) continue;  // this VP reacted: not a survivor
+    for (const auto& link : path.links()) {
+      exonerated.insert(undirected_link_key(link.from, link.to));
+    }
+  }
+
+  std::size_t best = 0;
+  for (const auto& [link, count] : votes) {
+    if (!exonerated.contains(link)) best = std::max(best, count);
+  }
+  for (const auto& [link, count] : votes) {
+    if (count == best && best > 0 && !exonerated.contains(link)) {
+      result.candidates.push_back(link);
+    }
+  }
+  return result;
+}
+
+double failure_localization_score(const DataSample& sample,
+                                  const std::vector<sim::GroundTruth>& truths,
+                                  std::optional<bool> p2p_filter) {
+  std::size_t total = 0;
+  std::size_t localized = 0;
+  for (const auto& truth : truths) {
+    if (truth.kind != sim::GroundTruth::Kind::kLinkFailure) continue;
+    if (p2p_filter && truth.link_is_p2p != *p2p_filter) continue;
+    ++total;
+    const auto result = localize_failure(sample, truth.time);
+    if (result.localized() &&
+        result.candidates[0] ==
+            undirected_link_key(truth.link_a, truth.link_b)) {
+      ++localized;
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(localized) /
+                          static_cast<double>(total);
+}
+
+}  // namespace gill::uc

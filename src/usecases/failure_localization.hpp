@@ -1,0 +1,37 @@
+// Link-failure localization (§3.1), following the tomography approach of
+// Feldmann et al. [21]: each VP whose route changed contributes the
+// candidate set "links on its old path that left its new path"; the failed
+// link is localized when the intersection of the candidate sets across VPs
+// pins down exactly one link.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "simulator/internet.hpp"
+#include "usecases/data_sample.hpp"
+
+namespace gill::uc {
+
+struct LocalizationResult {
+  /// Undirected keys of the top-voted candidate links (ties included).
+  std::vector<std::uint64_t> candidates;
+  /// Localized = a unique link dominates the removed-link votes.
+  bool localized() const noexcept { return candidates.size() == 1; }
+};
+
+/// Localizes a failure known to have happened at `failure_time` from the
+/// routes in `sample` (RIB entries seed the pre-failure paths; updates in
+/// [failure_time, failure_time + window) are the reaction).
+LocalizationResult localize_failure(const DataSample& sample,
+                                    Timestamp failure_time,
+                                    Timestamp window = 150);
+
+/// Scores localization over all ground-truth link failures: the fraction
+/// whose failed link is uniquely identified. When `p2p_only` is set, only
+/// failures of p2p links count (Fig. 4 reports p2p and c2p separately).
+double failure_localization_score(const DataSample& sample,
+                                  const std::vector<sim::GroundTruth>& truths,
+                                  std::optional<bool> p2p_filter = {});
+
+}  // namespace gill::uc

@@ -1,0 +1,180 @@
+#include "usecases/hijack.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "usecases/detectors.hpp"
+
+namespace gill::uc {
+
+double hijack_visibility_score(const DataSample& sample,
+                               const std::vector<sim::GroundTruth>& truths,
+                               int type) {
+  // Index sampled routes: prefix -> set of ASes traversed (updates + ribs).
+  std::unordered_map<net::Prefix, std::unordered_set<AsNumber>,
+                     net::PrefixHash>
+      traversed;
+  auto collect = [&](const UpdateStream& stream) {
+    for (const auto& update : stream) {
+      auto& set = traversed[update.prefix];
+      for (const AsNumber hop : update.path.hops()) set.insert(hop);
+    }
+  };
+  collect(sample.updates);
+  collect(sample.ribs);
+
+  std::size_t total = 0;
+  std::size_t visible = 0;
+  for (const auto& truth : truths) {
+    if (truth.kind != sim::GroundTruth::Kind::kHijack) continue;
+    if (type != 0 && truth.hijack_type != type) continue;
+    ++total;
+    const auto it = traversed.find(truth.prefix);
+    if (it != traversed.end() && it->second.contains(truth.other_as)) {
+      ++visible;
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(visible) /
+                          static_cast<double>(total);
+}
+
+BaselineView BaselineView::from_stream(const UpdateStream& stream) {
+  BaselineView view;
+  for (const auto& update : stream) {
+    for (const auto& link : update.path.links()) {
+      view.adjacency_[link.from].insert(link.to);
+      view.adjacency_[link.to].insert(link.from);
+    }
+  }
+  return view;
+}
+
+bool BaselineView::has_link(AsNumber a, AsNumber b) const {
+  const auto it = adjacency_.find(a);
+  return it != adjacency_.end() && it->second.contains(b);
+}
+
+std::size_t BaselineView::degree(AsNumber as) const {
+  const auto it = adjacency_.find(as);
+  return it == adjacency_.end() ? 0 : it->second.size();
+}
+
+std::size_t BaselineView::common_neighbors(AsNumber a, AsNumber b) const {
+  const auto ia = adjacency_.find(a);
+  const auto ib = adjacency_.find(b);
+  if (ia == adjacency_.end() || ib == adjacency_.end()) return 0;
+  const auto& small = ia->second.size() < ib->second.size() ? ia->second
+                                                            : ib->second;
+  const auto& large = ia->second.size() < ib->second.size() ? ib->second
+                                                            : ia->second;
+  std::size_t count = 0;
+  for (const AsNumber n : small) {
+    if (large.contains(n)) ++count;
+  }
+  return count;
+}
+
+unsigned BaselineView::distance(AsNumber a, AsNumber b, unsigned limit) const {
+  if (a == b) return 0;
+  if (!adjacency_.contains(a) || !adjacency_.contains(b)) return limit;
+  std::unordered_map<AsNumber, unsigned> depth;
+  std::queue<AsNumber> queue;
+  depth[a] = 0;
+  queue.push(a);
+  while (!queue.empty()) {
+    const AsNumber u = queue.front();
+    queue.pop();
+    const unsigned d = depth[u];
+    if (d + 1 >= limit) continue;
+    const auto it = adjacency_.find(u);
+    if (it == adjacency_.end()) continue;
+    for (const AsNumber v : it->second) {
+      if (v == b) return d + 1;
+      if (depth.emplace(v, d + 1).second) queue.push(v);
+    }
+  }
+  return limit;
+}
+
+int DfohDetector::suspicion_score(AsNumber a, AsNumber b) const {
+  // Endpoints absent from the baseline are new ASes: a first announcement
+  // is the normal way such a link appears, so there is no evidence of
+  // forgery (DFOH similarly treats unknown nodes conservatively).
+  if (baseline_->degree(a) == 0 || baseline_->degree(b) == 0) return 1;
+  int score = 0;
+  if (baseline_->distance(a, b, config_.distant + 1) >= config_.distant) {
+    score += 2;  // topologically distant endpoints are the strongest signal
+  }
+  if (baseline_->common_neighbors(a, b) == 0) score += 1;
+  // A brand-new adjacency of a well-connected origin toward a low-degree AS
+  // is a classic forged-origin pattern.
+  const std::size_t da = baseline_->degree(a);
+  const std::size_t db = baseline_->degree(b);
+  if (da > 0 && db > 0 && (da >= 8 * db || db >= 8 * da)) score += 1;
+  return score;
+}
+
+std::vector<DfohCase> DfohDetector::scan(const DataSample& sample) const {
+  std::vector<DfohCase> cases;
+  std::unordered_set<std::uint64_t> reported;
+  auto consider = [&](const Update& update) {
+    if (update.withdrawal || update.path.size() < 2) return;
+    const AsNumber origin = update.path.origin();
+    const auto& hops = update.path.hops();
+    // The origin-adjacent link is the last pair of the path.
+    const AsNumber neighbor = hops[hops.size() - 2];
+    if (neighbor == origin) return;
+    if (baseline_->has_link(neighbor, origin)) return;
+    const std::uint64_t key = undirected_link_key(neighbor, origin);
+    if (!reported.insert(key).second) return;
+    DfohCase candidate;
+    candidate.neighbor = neighbor;
+    candidate.origin = origin;
+    candidate.prefix = update.prefix;
+    candidate.time = update.time;
+    candidate.score = suspicion_score(neighbor, origin);
+    candidate.flagged = candidate.score >= config_.threshold;
+    cases.push_back(candidate);
+  };
+  for (const auto& update : sample.updates) consider(update);
+  return cases;
+}
+
+DfohScore dfoh_score(const std::vector<DfohCase>& cases,
+                     const std::vector<sim::GroundTruth>& truths) {
+  // Ground truth: set of forged origin-adjacent links.
+  std::unordered_set<std::uint64_t> forged;
+  for (const auto& truth : truths) {
+    if (truth.kind != sim::GroundTruth::Kind::kHijack) continue;
+    forged.insert(undirected_link_key(truth.other_as, truth.origin));
+  }
+  std::size_t true_positive = 0, false_positive = 0;
+  std::size_t positives = 0, negatives = 0;
+  DfohScore score;
+  for (const auto& candidate : cases) {
+    const bool is_forged =
+        forged.contains(undirected_link_key(candidate.neighbor,
+                                            candidate.origin));
+    if (is_forged) {
+      ++positives;
+      if (candidate.flagged) ++true_positive;
+    } else {
+      ++negatives;
+      if (candidate.flagged) ++false_positive;
+    }
+    if (candidate.flagged) ++score.flagged;
+  }
+  score.cases = cases.size();
+  score.true_positive_rate =
+      positives == 0 ? 0.0
+                     : static_cast<double>(true_positive) /
+                           static_cast<double>(positives);
+  score.false_positive_rate =
+      negatives == 0 ? 0.0
+                     : static_cast<double>(false_positive) /
+                           static_cast<double>(negatives);
+  return score;
+}
+
+}  // namespace gill::uc

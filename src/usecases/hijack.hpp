@@ -1,0 +1,98 @@
+// Forged-origin hijack analyses.
+//
+// Two layers, matching the paper's two uses:
+//  * Visibility scoring (§3.1, §11): a hijack is detectable only if at
+//    least one collected route traverses the attacker — the coverage
+//    experiments measure exactly this.
+//  * DFOH-lite (§12): a feature-based classifier over candidate new
+//    origin-adjacent links, reproducing the DFOH [25] methodology: a new
+//    link is suspicious when the involved ASes are topologically unrelated
+//    (no common neighbors, distant, no triangle support) in the baseline
+//    view built from previously collected routes.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simulator/internet.hpp"
+#include "usecases/data_sample.hpp"
+
+namespace gill::uc {
+
+using bgp::AsNumber;
+
+/// Fraction of ground-truth hijacks of type `type` (0 = any) for which the
+/// sample contains at least one route through the attacker.
+double hijack_visibility_score(const DataSample& sample,
+                               const std::vector<sim::GroundTruth>& truths,
+                               int type = 0);
+
+/// Baseline AS-level view for DFOH features: undirected adjacency built
+/// from previously observed routes.
+class BaselineView {
+ public:
+  static BaselineView from_stream(const UpdateStream& stream);
+
+  bool has_link(AsNumber a, AsNumber b) const;
+  std::size_t degree(AsNumber as) const;
+  std::size_t common_neighbors(AsNumber a, AsNumber b) const;
+  /// BFS hop distance between a and b, capped at `limit` (returns limit if
+  /// farther or disconnected).
+  unsigned distance(AsNumber a, AsNumber b, unsigned limit = 4) const;
+
+ private:
+  std::unordered_map<AsNumber, std::unordered_set<AsNumber>> adjacency_;
+};
+
+struct DfohConfig {
+  /// Minimum suspicion score to flag a candidate link.
+  int threshold = 3;
+  /// Links at baseline distance >= this look forged.
+  unsigned distant = 3;
+};
+
+/// One candidate new origin-adjacent link found in a sample.
+struct DfohCase {
+  AsNumber neighbor = 0;  // the suspected attacker-side AS
+  AsNumber origin = 0;    // the prefix origin the link is adjacent to
+  net::Prefix prefix;
+  Timestamp time = 0;
+  int score = 0;
+  bool flagged = false;
+};
+
+/// DFOH-lite detector over one baseline view.
+class DfohDetector {
+ public:
+  DfohDetector(const BaselineView& baseline, DfohConfig config = {})
+      : baseline_(&baseline), config_(config) {}
+
+  /// Suspicion score of a candidate new link (higher = more suspicious).
+  int suspicion_score(AsNumber a, AsNumber b) const;
+  bool is_suspicious(AsNumber a, AsNumber b) const {
+    return suspicion_score(a, b) >= config_.threshold;
+  }
+
+  /// Scans a sample for new origin-adjacent links (absent from the
+  /// baseline) and classifies each.
+  std::vector<DfohCase> scan(const DataSample& sample) const;
+
+ private:
+  const BaselineView* baseline_;
+  DfohConfig config_;
+};
+
+/// Classification quality vs. ground truth: a case is a true positive if a
+/// flagged link corresponds to a ground-truth forged-origin hijack.
+struct DfohScore {
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+  std::size_t flagged = 0;
+  std::size_t cases = 0;
+};
+
+DfohScore dfoh_score(const std::vector<DfohCase>& cases,
+                     const std::vector<sim::GroundTruth>& truths);
+
+}  // namespace gill::uc

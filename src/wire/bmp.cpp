@@ -1,0 +1,286 @@
+#include "wire/bmp.hpp"
+
+#include <cstring>
+
+namespace gill::wire {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+/// Writes the 16-byte peer/local address field: IPv4 goes into the last
+/// four bytes (RFC 7854 §4.2).
+void put_address(std::vector<std::uint8_t>& out, const net::IpAddress& address) {
+  std::array<std::uint8_t, 16> bytes{};
+  if (address.is_v4()) {
+    const std::uint32_t v4 = address.v4_value();
+    bytes[12] = static_cast<std::uint8_t>(v4 >> 24);
+    bytes[13] = static_cast<std::uint8_t>(v4 >> 16);
+    bytes[14] = static_cast<std::uint8_t>(v4 >> 8);
+    bytes[15] = static_cast<std::uint8_t>(v4);
+  } else {
+    bytes = address.bytes();
+  }
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void put_peer_header(std::vector<std::uint8_t>& out,
+                     const BmpPeerHeader& peer) {
+  put_u8(out, peer.peer_type);
+  put_u8(out, static_cast<std::uint8_t>(
+                  (peer.flags & 0x7F) |
+                  (peer.address.is_v6() ? 0x80 : 0x00)));
+  put_u64(out, peer.distinguisher);
+  put_address(out, peer.address);
+  put_u32(out, peer.as);
+  put_u32(out, peer.bgp_id);
+  put_u32(out, peer.timestamp_sec);
+  put_u32(out, peer.timestamp_usec);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+  bool u8(std::uint8_t& v) {
+    if (offset_ + 1 > data_.size()) return false;
+    v = data_[offset_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (offset_ + 2 > data_.size()) return false;
+    v = static_cast<std::uint16_t>((data_[offset_] << 8) | data_[offset_ + 1]);
+    offset_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (offset_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[offset_++];
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (offset_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[offset_++];
+    return true;
+  }
+  bool bytes(std::uint8_t* out, std::size_t n) {
+    if (offset_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+  std::span<const std::uint8_t> remainder() const {
+    return data_.subspan(offset_);
+  }
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool skip(std::size_t n) {
+    if (offset_ + n > data_.size()) return false;
+    offset_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+bool read_peer_header(Cursor& cursor, BmpPeerHeader& peer) {
+  std::uint8_t flags = 0;
+  std::array<std::uint8_t, 16> address{};
+  if (!cursor.u8(peer.peer_type) || !cursor.u8(flags) ||
+      !cursor.u64(peer.distinguisher) ||
+      !cursor.bytes(address.data(), address.size()) || !cursor.u32(peer.as) ||
+      !cursor.u32(peer.bgp_id) || !cursor.u32(peer.timestamp_sec) ||
+      !cursor.u32(peer.timestamp_usec)) {
+    return false;
+  }
+  peer.flags = flags;
+  if (flags & 0x80) {
+    peer.address = net::IpAddress::v6(address);
+  } else {
+    peer.address = net::IpAddress::v4(
+        (static_cast<std::uint32_t>(address[12]) << 24) |
+        (static_cast<std::uint32_t>(address[13]) << 16) |
+        (static_cast<std::uint32_t>(address[14]) << 8) | address[15]);
+  }
+  return true;
+}
+
+/// Pulls one embedded RFC 4271 PDU of the expected type.
+template <typename T>
+std::optional<T> read_pdu(Cursor& cursor) {
+  std::size_t consumed = 0;
+  const auto message = wire::decode(cursor.remainder(), consumed);
+  if (!message || consumed == 0) return std::nullopt;
+  if (!std::holds_alternative<T>(*message)) return std::nullopt;
+  cursor.skip(consumed);
+  return std::get<T>(*message);
+}
+
+void put_information(std::vector<std::uint8_t>& out,
+                     const std::vector<BmpInformation>& information) {
+  for (const auto& tlv : information) {
+    put_u16(out, tlv.type);
+    put_u16(out, static_cast<std::uint16_t>(tlv.value.size()));
+    out.insert(out.end(), tlv.value.begin(), tlv.value.end());
+  }
+}
+
+bool read_information(Cursor& cursor, std::vector<BmpInformation>& out) {
+  while (cursor.remaining() >= 4) {
+    BmpInformation tlv;
+    std::uint16_t length = 0;
+    if (!cursor.u16(tlv.type) || !cursor.u16(length)) return false;
+    tlv.value.resize(length);
+    if (!cursor.bytes(reinterpret_cast<std::uint8_t*>(tlv.value.data()),
+                      length)) {
+      return false;
+    }
+    out.push_back(std::move(tlv));
+  }
+  return cursor.remaining() == 0;
+}
+
+}  // namespace
+
+BmpType bmp_type_of(const BmpMessage& message) noexcept {
+  if (std::holds_alternative<BmpRouteMonitoring>(message)) {
+    return BmpType::kRouteMonitoring;
+  }
+  if (std::holds_alternative<BmpPeerDown>(message)) return BmpType::kPeerDown;
+  if (std::holds_alternative<BmpPeerUp>(message)) return BmpType::kPeerUp;
+  if (std::holds_alternative<BmpInitiation>(message)) {
+    return BmpType::kInitiation;
+  }
+  return BmpType::kTermination;
+}
+
+std::vector<std::uint8_t> encode_bmp(const BmpMessage& message) {
+  std::vector<std::uint8_t> body;
+  if (const auto* monitoring = std::get_if<BmpRouteMonitoring>(&message)) {
+    put_peer_header(body, monitoring->peer);
+    const auto pdu = wire::encode(monitoring->update);
+    body.insert(body.end(), pdu.begin(), pdu.end());
+  } else if (const auto* down = std::get_if<BmpPeerDown>(&message)) {
+    put_peer_header(body, down->peer);
+    put_u8(body, down->reason);
+  } else if (const auto* up = std::get_if<BmpPeerUp>(&message)) {
+    put_peer_header(body, up->peer);
+    put_address(body, up->local_address);
+    put_u16(body, up->local_port);
+    put_u16(body, up->remote_port);
+    const auto sent = wire::encode(up->sent_open);
+    const auto received = wire::encode(up->received_open);
+    body.insert(body.end(), sent.begin(), sent.end());
+    body.insert(body.end(), received.begin(), received.end());
+  } else if (const auto* initiation = std::get_if<BmpInitiation>(&message)) {
+    put_information(body, initiation->information);
+  } else if (const auto* termination = std::get_if<BmpTermination>(&message)) {
+    put_information(body, termination->information);
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kBmpCommonHeaderSize + body.size());
+  put_u8(out, kBmpVersion);
+  put_u32(out, static_cast<std::uint32_t>(kBmpCommonHeaderSize + body.size()));
+  put_u8(out, static_cast<std::uint8_t>(bmp_type_of(message)));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<BmpMessage> decode_bmp(std::span<const std::uint8_t> data,
+                                     std::size_t& consumed) {
+  consumed = 0;
+  if (data.size() < kBmpCommonHeaderSize) return std::nullopt;  // incomplete
+  if (data[0] != kBmpVersion) {
+    consumed = 1;  // not a v3 message: resynchronize
+    return std::nullopt;
+  }
+  const std::uint32_t length = (static_cast<std::uint32_t>(data[1]) << 24) |
+                               (static_cast<std::uint32_t>(data[2]) << 16) |
+                               (static_cast<std::uint32_t>(data[3]) << 8) |
+                               data[4];
+  if (length < kBmpCommonHeaderSize || length > (1u << 24)) {
+    consumed = 1;
+    return std::nullopt;
+  }
+  if (data.size() < length) return std::nullopt;  // incomplete
+  const auto type = static_cast<BmpType>(data[5]);
+  Cursor body(data.subspan(kBmpCommonHeaderSize,
+                           length - kBmpCommonHeaderSize));
+  consumed = length;
+
+  switch (type) {
+    case BmpType::kRouteMonitoring: {
+      BmpRouteMonitoring monitoring;
+      if (!read_peer_header(body, monitoring.peer)) return std::nullopt;
+      auto update = read_pdu<UpdateMessage>(body);
+      if (!update) return std::nullopt;
+      monitoring.update = std::move(*update);
+      return BmpMessage(std::move(monitoring));
+    }
+    case BmpType::kPeerDown: {
+      BmpPeerDown down;
+      if (!read_peer_header(body, down.peer) || !body.u8(down.reason)) {
+        return std::nullopt;
+      }
+      return BmpMessage(down);
+    }
+    case BmpType::kPeerUp: {
+      BmpPeerUp up;
+      std::array<std::uint8_t, 16> local{};
+      if (!read_peer_header(body, up.peer) ||
+          !body.bytes(local.data(), local.size()) ||
+          !body.u16(up.local_port) || !body.u16(up.remote_port)) {
+        return std::nullopt;
+      }
+      // Local address: assume the family of the peer address.
+      if (up.peer.address.is_v6()) {
+        up.local_address = net::IpAddress::v6(local);
+      } else {
+        up.local_address = net::IpAddress::v4(
+            (static_cast<std::uint32_t>(local[12]) << 24) |
+            (static_cast<std::uint32_t>(local[13]) << 16) |
+            (static_cast<std::uint32_t>(local[14]) << 8) | local[15]);
+      }
+      auto sent = read_pdu<OpenMessage>(body);
+      auto received = read_pdu<OpenMessage>(body);
+      if (!sent || !received) return std::nullopt;
+      up.sent_open = *sent;
+      up.received_open = *received;
+      return BmpMessage(std::move(up));
+    }
+    case BmpType::kInitiation: {
+      BmpInitiation initiation;
+      if (!read_information(body, initiation.information)) return std::nullopt;
+      return BmpMessage(std::move(initiation));
+    }
+    case BmpType::kTermination: {
+      BmpTermination termination;
+      if (!read_information(body, termination.information)) {
+        return std::nullopt;
+      }
+      return BmpMessage(std::move(termination));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gill::wire

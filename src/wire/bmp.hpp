@@ -1,0 +1,116 @@
+// BGP Monitoring Protocol (RFC 7854) — the §14 extension direction
+// ("the principles used in GILL's algorithms and implementation extend to
+// other types of BGP monitoring systems (e.g., BMP)").
+//
+// Implemented message types (version 3):
+//   0 Route Monitoring  (per-peer header + a full RFC 4271 UPDATE PDU)
+//   2 Peer Down         (reason code)
+//   3 Peer Up           (local address/ports + the two OPEN PDUs)
+//   4 Initiation        (information TLVs, e.g. sysName)
+//   5 Termination       (information TLVs)
+// This is enough for a BMP-fed GILL ingest path: a router mirrors every
+// received update via Route Monitoring; the daemon decodes and runs the
+// same filter pipeline as for a native BGP session.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "netbase/ip.hpp"
+#include "wire/messages.hpp"
+
+namespace gill::wire {
+
+inline constexpr std::uint8_t kBmpVersion = 3;
+inline constexpr std::size_t kBmpCommonHeaderSize = 6;
+inline constexpr std::size_t kBmpPerPeerHeaderSize = 42;
+
+enum class BmpType : std::uint8_t {
+  kRouteMonitoring = 0,
+  kPeerDown = 2,
+  kPeerUp = 3,
+  kInitiation = 4,
+  kTermination = 5,
+};
+
+/// RFC 7854 §4.2 per-peer header.
+struct BmpPeerHeader {
+  std::uint8_t peer_type = 0;   // 0 = global instance peer
+  std::uint8_t flags = 0;       // bit 0x80 = IPv6 peer address
+  std::uint64_t distinguisher = 0;
+  net::IpAddress address;       // peer address
+  bgp::AsNumber as = 0;
+  std::uint32_t bgp_id = 0;
+  std::uint32_t timestamp_sec = 0;
+  std::uint32_t timestamp_usec = 0;
+
+  friend bool operator==(const BmpPeerHeader&, const BmpPeerHeader&) = default;
+};
+
+struct BmpRouteMonitoring {
+  BmpPeerHeader peer;
+  UpdateMessage update;
+
+  friend bool operator==(const BmpRouteMonitoring&,
+                         const BmpRouteMonitoring&) = default;
+};
+
+struct BmpPeerDown {
+  BmpPeerHeader peer;
+  std::uint8_t reason = 1;  // 1 = local system closed, notification follows
+
+  friend bool operator==(const BmpPeerDown&, const BmpPeerDown&) = default;
+};
+
+struct BmpPeerUp {
+  BmpPeerHeader peer;
+  net::IpAddress local_address;
+  std::uint16_t local_port = 179;
+  std::uint16_t remote_port = 0;
+  OpenMessage sent_open;
+  OpenMessage received_open;
+
+  friend bool operator==(const BmpPeerUp&, const BmpPeerUp&) = default;
+};
+
+/// Information TLV used by Initiation (type 4) and Termination (type 5).
+struct BmpInformation {
+  std::uint16_t type = 2;  // 2 = sysName for initiation
+  std::string value;
+
+  friend bool operator==(const BmpInformation&,
+                         const BmpInformation&) = default;
+};
+
+struct BmpInitiation {
+  std::vector<BmpInformation> information;
+
+  friend bool operator==(const BmpInitiation&, const BmpInitiation&) = default;
+};
+
+struct BmpTermination {
+  std::vector<BmpInformation> information;
+
+  friend bool operator==(const BmpTermination&,
+                         const BmpTermination&) = default;
+};
+
+using BmpMessage = std::variant<BmpRouteMonitoring, BmpPeerDown, BmpPeerUp,
+                                BmpInitiation, BmpTermination>;
+
+BmpType bmp_type_of(const BmpMessage& message) noexcept;
+
+/// Encodes one BMP message (common header included).
+std::vector<std::uint8_t> encode_bmp(const BmpMessage& message);
+
+/// Decodes one BMP message from the front of `data`. Semantics match
+/// wire::decode: nullopt + consumed == 0 means "incomplete, feed more
+/// bytes"; nullopt + consumed > 0 means "skip `consumed` garbage bytes".
+std::optional<BmpMessage> decode_bmp(std::span<const std::uint8_t> data,
+                                     std::size_t& consumed);
+
+}  // namespace gill::wire

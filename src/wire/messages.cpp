@@ -1,0 +1,428 @@
+#include "wire/messages.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gill::wire {
+
+namespace {
+
+// Path attribute type codes.
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrCommunities = 8;
+constexpr std::uint8_t kAttrMpReach = 14;
+constexpr std::uint8_t kAttrMpUnreach = 15;
+
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+constexpr std::uint8_t kAsPathSegmentSequence = 2;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// NLRI encoding: length byte + minimal prefix bytes.
+void put_nlri(std::vector<std::uint8_t>& out, const net::Prefix& prefix) {
+  put_u8(out, static_cast<std::uint8_t>(prefix.length()));
+  const std::size_t bytes = (prefix.length() + 7) / 8;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    put_u8(out, prefix.address().bytes()[i]);
+  }
+}
+
+void put_attribute(std::vector<std::uint8_t>& out, std::uint8_t flags,
+                   std::uint8_t type, const std::vector<std::uint8_t>& value) {
+  const bool extended = value.size() > 255;
+  put_u8(out, static_cast<std::uint8_t>(flags |
+                                        (extended ? kFlagExtendedLength : 0)));
+  put_u8(out, type);
+  if (extended) {
+    put_u16(out, static_cast<std::uint16_t>(value.size()));
+  } else {
+    put_u8(out, static_cast<std::uint8_t>(value.size()));
+  }
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) {
+    if (offset_ + 1 > data_.size()) return false;
+    v = data_[offset_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (offset_ + 2 > data_.size()) return false;
+    v = static_cast<std::uint16_t>((data_[offset_] << 8) | data_[offset_ + 1]);
+    offset_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (offset_ + 4 > data_.size()) return false;
+    v = (static_cast<std::uint32_t>(data_[offset_]) << 24) |
+        (static_cast<std::uint32_t>(data_[offset_ + 1]) << 16) |
+        (static_cast<std::uint32_t>(data_[offset_ + 2]) << 8) |
+        static_cast<std::uint32_t>(data_[offset_ + 3]);
+    offset_ += 4;
+    return true;
+  }
+  bool bytes(std::uint8_t* out, std::size_t n) {
+    if (offset_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+  bool skip(std::size_t n) {
+    if (offset_ + n > data_.size()) return false;
+    offset_ += n;
+    return true;
+  }
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  std::size_t offset() const noexcept { return offset_; }
+  Cursor sub(std::size_t n) const {
+    return Cursor(data_.subspan(offset_, n));
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+bool read_nlri(Cursor& cursor, net::Family family, net::Prefix& prefix) {
+  std::uint8_t length = 0;
+  if (!cursor.u8(length)) return false;
+  const unsigned max_length = family == net::Family::v4 ? 32 : 128;
+  if (length > max_length) return false;
+  std::array<std::uint8_t, 16> bytes{};
+  if (!cursor.bytes(bytes.data(), (length + 7) / 8)) return false;
+  const net::IpAddress address =
+      family == net::Family::v4
+          ? net::IpAddress::v4((static_cast<std::uint32_t>(bytes[0]) << 24) |
+                               (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                               (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                               bytes[3])
+          : net::IpAddress::v6(bytes);
+  prefix = net::Prefix(address, length);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
+  std::vector<std::uint8_t> body;
+  put_u8(body, open.version);
+  // RFC 6793: 2-byte field carries AS_TRANS when the real AS needs 4 bytes.
+  put_u16(body, open.as > 0xFFFF ? 23456
+                                 : static_cast<std::uint16_t>(open.as));
+  put_u16(body, open.hold_time);
+  put_u32(body, open.bgp_id);
+  // Optional parameter: capability 65 (4-octet AS).
+  std::vector<std::uint8_t> capability;
+  put_u8(capability, 2);  // param type: capability
+  put_u8(capability, 6);  // param length
+  put_u8(capability, 65); // capability code: AS4
+  put_u8(capability, 4);  // capability length
+  put_u32(capability, open.as);
+  put_u8(body, static_cast<std::uint8_t>(capability.size()));
+  body.insert(body.end(), capability.begin(), capability.end());
+  return body;
+}
+
+std::vector<std::uint8_t> encode_update(const UpdateMessage& update) {
+  std::vector<std::uint8_t> body;
+
+  std::vector<std::uint8_t> withdrawn;
+  for (const auto& prefix : update.withdrawn) put_nlri(withdrawn, prefix);
+  put_u16(body, static_cast<std::uint16_t>(withdrawn.size()));
+  body.insert(body.end(), withdrawn.begin(), withdrawn.end());
+
+  std::vector<std::uint8_t> attributes;
+  const bool announces = !update.nlri.empty() || !update.nlri_v6.empty();
+  if (announces) {
+    put_attribute(attributes, kFlagTransitive, kAttrOrigin, {0});  // IGP
+    std::vector<std::uint8_t> as_path;
+    if (!update.path.empty()) {
+      put_u8(as_path, kAsPathSegmentSequence);
+      put_u8(as_path, static_cast<std::uint8_t>(update.path.size()));
+      for (const bgp::AsNumber hop : update.path.hops()) {
+        put_u32(as_path, hop);
+      }
+    }
+    put_attribute(attributes, kFlagTransitive, kAttrAsPath, as_path);
+    if (!update.nlri.empty()) {
+      std::vector<std::uint8_t> next_hop;
+      put_u32(next_hop, update.next_hop);
+      put_attribute(attributes, kFlagTransitive, kAttrNextHop, next_hop);
+    }
+    if (!update.communities.empty()) {
+      std::vector<std::uint8_t> communities;
+      for (const bgp::Community community : update.communities) {
+        put_u32(communities, community.packed());
+      }
+      put_attribute(attributes, kFlagOptional | kFlagTransitive,
+                    kAttrCommunities, communities);
+    }
+    if (!update.nlri_v6.empty()) {
+      std::vector<std::uint8_t> mp;
+      put_u16(mp, 2);  // AFI IPv6
+      put_u8(mp, 1);   // SAFI unicast
+      put_u8(mp, 0);   // next-hop length (omitted in this profile)
+      put_u8(mp, 0);   // reserved
+      for (const auto& prefix : update.nlri_v6) put_nlri(mp, prefix);
+      put_attribute(attributes, kFlagOptional, kAttrMpReach, mp);
+    }
+  }
+  if (!update.withdrawn_v6.empty()) {
+    std::vector<std::uint8_t> mp;
+    put_u16(mp, 2);
+    put_u8(mp, 1);
+    for (const auto& prefix : update.withdrawn_v6) put_nlri(mp, prefix);
+    put_attribute(attributes, kFlagOptional, kAttrMpUnreach, mp);
+  }
+  put_u16(body, static_cast<std::uint16_t>(attributes.size()));
+  body.insert(body.end(), attributes.begin(), attributes.end());
+
+  for (const auto& prefix : update.nlri) put_nlri(body, prefix);
+  return body;
+}
+
+std::optional<OpenMessage> decode_open(Cursor body) {
+  OpenMessage open;
+  std::uint16_t as2 = 0;
+  if (!body.u8(open.version) || !body.u16(as2) || !body.u16(open.hold_time) ||
+      !body.u32(open.bgp_id)) {
+    return std::nullopt;
+  }
+  open.as = as2;
+  std::uint8_t params_length = 0;
+  if (!body.u8(params_length)) return std::nullopt;
+  Cursor params = body.sub(params_length);
+  std::uint8_t param_type = 0;
+  std::uint8_t param_length = 0;
+  while (params.remaining() >= 2) {
+    if (!params.u8(param_type) || !params.u8(param_length)) break;
+    if (param_type != 2) {  // not a capability: skip
+      if (!params.skip(param_length)) break;
+      continue;
+    }
+    Cursor capabilities = params.sub(param_length);
+    if (!params.skip(param_length)) break;
+    std::uint8_t code = 0;
+    std::uint8_t length = 0;
+    while (capabilities.remaining() >= 2) {
+      if (!capabilities.u8(code) || !capabilities.u8(length)) break;
+      if (code == 65 && length == 4) {
+        std::uint32_t as4 = 0;
+        if (!capabilities.u32(as4)) break;
+        open.as = as4;
+      } else if (!capabilities.skip(length)) {
+        break;
+      }
+    }
+  }
+  return open;
+}
+
+std::optional<UpdateMessage> decode_update(Cursor body) {
+  UpdateMessage update;
+  std::uint16_t withdrawn_length = 0;
+  if (!body.u16(withdrawn_length)) return std::nullopt;
+  if (withdrawn_length > body.remaining()) return std::nullopt;
+  {
+    Cursor withdrawn = body.sub(withdrawn_length);
+    if (!body.skip(withdrawn_length)) return std::nullopt;
+    while (withdrawn.remaining() > 0) {
+      net::Prefix prefix;
+      if (!read_nlri(withdrawn, net::Family::v4, prefix)) return std::nullopt;
+      update.withdrawn.push_back(prefix);
+    }
+  }
+
+  std::uint16_t attributes_length = 0;
+  if (!body.u16(attributes_length)) return std::nullopt;
+  if (attributes_length > body.remaining()) return std::nullopt;
+  Cursor attributes = body.sub(attributes_length);
+  if (!body.skip(attributes_length)) return std::nullopt;
+
+  while (attributes.remaining() > 0) {
+    std::uint8_t flags = 0;
+    std::uint8_t type = 0;
+    if (!attributes.u8(flags) || !attributes.u8(type)) return std::nullopt;
+    std::size_t length = 0;
+    if (flags & kFlagExtendedLength) {
+      std::uint16_t extended = 0;
+      if (!attributes.u16(extended)) return std::nullopt;
+      length = extended;
+    } else {
+      std::uint8_t narrow = 0;
+      if (!attributes.u8(narrow)) return std::nullopt;
+      length = narrow;
+    }
+    if (length > attributes.remaining()) return std::nullopt;
+    Cursor value = attributes.sub(length);
+    if (!attributes.skip(length)) return std::nullopt;
+
+    switch (type) {
+      case kAttrAsPath: {
+        std::vector<bgp::AsNumber> hops;
+        std::uint8_t segment_type = 0;
+        std::uint8_t segment_length = 0;
+        while (value.remaining() >= 2) {
+          if (!value.u8(segment_type) || !value.u8(segment_length)) {
+            return std::nullopt;
+          }
+          for (std::uint8_t i = 0; i < segment_length; ++i) {
+            std::uint32_t as = 0;
+            if (!value.u32(as)) return std::nullopt;
+            hops.push_back(as);
+          }
+        }
+        update.path = bgp::AsPath(std::move(hops));
+        break;
+      }
+      case kAttrNextHop: {
+        if (!value.u32(update.next_hop)) return std::nullopt;
+        break;
+      }
+      case kAttrCommunities: {
+        while (value.remaining() >= 4) {
+          std::uint32_t packed = 0;
+          if (!value.u32(packed)) return std::nullopt;
+          bgp::insert_community(update.communities,
+                                bgp::Community::from_packed(packed));
+        }
+        break;
+      }
+      case kAttrMpReach: {
+        std::uint16_t afi = 0;
+        std::uint8_t safi = 0;
+        std::uint8_t next_hop_length = 0;
+        std::uint8_t reserved = 0;
+        if (!value.u16(afi) || !value.u8(safi) || !value.u8(next_hop_length) ||
+            !value.skip(next_hop_length) || !value.u8(reserved)) {
+          return std::nullopt;
+        }
+        while (afi == 2 && value.remaining() > 0) {
+          net::Prefix prefix;
+          if (!read_nlri(value, net::Family::v6, prefix)) return std::nullopt;
+          update.nlri_v6.push_back(prefix);
+        }
+        break;
+      }
+      case kAttrMpUnreach: {
+        std::uint16_t afi = 0;
+        std::uint8_t safi = 0;
+        if (!value.u16(afi) || !value.u8(safi)) return std::nullopt;
+        while (afi == 2 && value.remaining() > 0) {
+          net::Prefix prefix;
+          if (!read_nlri(value, net::Family::v6, prefix)) return std::nullopt;
+          update.withdrawn_v6.push_back(prefix);
+        }
+        break;
+      }
+      default:
+        break;  // unknown attributes are skipped (already consumed)
+    }
+  }
+
+  while (body.remaining() > 0) {
+    net::Prefix prefix;
+    if (!read_nlri(body, net::Family::v4, prefix)) return std::nullopt;
+    update.nlri.push_back(prefix);
+  }
+  return update;
+}
+
+}  // namespace
+
+MessageType type_of(const Message& message) noexcept {
+  if (std::holds_alternative<OpenMessage>(message)) return MessageType::kOpen;
+  if (std::holds_alternative<UpdateMessage>(message)) {
+    return MessageType::kUpdate;
+  }
+  if (std::holds_alternative<NotificationMessage>(message)) {
+    return MessageType::kNotification;
+  }
+  return MessageType::kKeepalive;
+}
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  std::vector<std::uint8_t> body;
+  if (const auto* open = std::get_if<OpenMessage>(&message)) {
+    body = encode_open(*open);
+  } else if (const auto* update = std::get_if<UpdateMessage>(&message)) {
+    body = encode_update(*update);
+  } else if (const auto* notification =
+                 std::get_if<NotificationMessage>(&message)) {
+    body = {notification->code, notification->subcode};
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body.size());
+  out.insert(out.end(), 16, 0xFF);  // marker
+  put_u16(out, static_cast<std::uint16_t>(kHeaderSize + body.size()));
+  put_u8(out, static_cast<std::uint8_t>(type_of(message)));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> data,
+                              std::size_t& consumed) {
+  consumed = 0;
+  if (data.size() < kHeaderSize) return std::nullopt;  // incomplete
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (data[i] != 0xFF) {
+      consumed = 1;  // garbage: resynchronize byte by byte
+      return std::nullopt;
+    }
+  }
+  const std::uint16_t length =
+      static_cast<std::uint16_t>((data[16] << 8) | data[17]);
+  if (length < kHeaderSize || length > kMaxMessageSize) {
+    consumed = 1;
+    return std::nullopt;
+  }
+  if (data.size() < length) return std::nullopt;  // incomplete
+  const std::uint8_t type = data[18];
+  Cursor body(data.subspan(kHeaderSize, length - kHeaderSize));
+  consumed = length;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kOpen: {
+      auto open = decode_open(body);
+      if (!open) return std::nullopt;
+      return Message(*open);
+    }
+    case MessageType::kUpdate: {
+      auto update = decode_update(body);
+      if (!update) return std::nullopt;
+      return Message(*update);
+    }
+    case MessageType::kNotification: {
+      NotificationMessage notification;
+      Cursor cursor = body;
+      if (!cursor.u8(notification.code) || !cursor.u8(notification.subcode)) {
+        return std::nullopt;
+      }
+      return Message(notification);
+    }
+    case MessageType::kKeepalive:
+      return Message(KeepaliveMessage{});
+  }
+  return std::nullopt;
+}
+
+}  // namespace gill::wire

@@ -1,0 +1,81 @@
+// BGP wire protocol messages (RFC 4271, with RFC 6793 AS4 paths and
+// RFC 1997 communities; IPv6 reachability via RFC 4760 MP_REACH/MP_UNREACH).
+// The custom BGP daemon (§8) speaks exactly this: OPEN / UPDATE /
+// NOTIFICATION / KEEPALIVE over a byte stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/types.hpp"
+#include "netbase/prefix.hpp"
+
+namespace gill::wire {
+
+inline constexpr std::size_t kHeaderSize = 19;   // marker + length + type
+inline constexpr std::size_t kMaxMessageSize = 4096;
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+struct OpenMessage {
+  std::uint8_t version = 4;
+  bgp::AsNumber as = 0;  // sent as AS_TRANS + AS4 capability when > 65535
+  std::uint16_t hold_time = 90;
+  std::uint32_t bgp_id = 0;
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) noexcept =
+      default;
+};
+
+struct UpdateMessage {
+  std::vector<net::Prefix> withdrawn;  // v4 withdrawals
+  std::vector<net::Prefix> nlri;       // v4 announcements
+  bgp::AsPath path;                    // AS4 encoding
+  bgp::CommunitySet communities;
+  std::uint32_t next_hop = 0;          // v4 next hop (host order)
+  /// IPv6 reachability (MP_REACH / MP_UNREACH attributes).
+  std::vector<net::Prefix> nlri_v6;
+  std::vector<net::Prefix> withdrawn_v6;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) noexcept =
+      default;
+};
+
+struct NotificationMessage {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+
+  friend bool operator==(const NotificationMessage&,
+                         const NotificationMessage&) noexcept = default;
+};
+
+struct KeepaliveMessage {
+  friend bool operator==(const KeepaliveMessage&,
+                         const KeepaliveMessage&) noexcept = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage,
+                             KeepaliveMessage>;
+
+MessageType type_of(const Message& message) noexcept;
+
+/// Encodes one message with its RFC 4271 header.
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Attempts to decode one message from the front of `data`. On success,
+/// `consumed` is the total size of the message. Returns nullopt when the
+/// buffer holds an incomplete message (consumed == 0) or garbage
+/// (consumed != 0: skip those bytes and resynchronize).
+std::optional<Message> decode(std::span<const std::uint8_t> data,
+                              std::size_t& consumed);
+
+}  // namespace gill::wire

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "anchor/component2.hpp"
+#include "anchor/event_inference.hpp"
+#include "anchor/event_selection.hpp"
+#include "anchor/scoring.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+
+namespace gill::anchor {
+namespace {
+
+using sim::GroundTruth;
+
+GroundTruth failure(bgp::Timestamp t, bgp::AsNumber a, bgp::AsNumber b,
+                    std::size_t observers) {
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kLinkFailure;
+  truth.time = t;
+  truth.link_a = a;
+  truth.link_b = b;
+  for (std::size_t i = 0; i < observers; ++i) {
+    truth.observers.push_back(static_cast<bgp::VpId>(i));
+  }
+  return truth;
+}
+
+TEST(EventSelection, VisibilityFilterExcludesGlobalAndInvisible) {
+  std::vector<GroundTruth> truths;
+  truths.push_back(failure(0, 1, 2, 0));    // invisible
+  truths.push_back(failure(10, 1, 2, 3));   // local (3 of 10 VPs)
+  truths.push_back(failure(20, 1, 2, 6));   // global (>= 50% of 10)
+  EventSelectionConfig config;
+  const auto candidates = candidate_events(truths, 10, config);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].type, AnchorEvent::Type::kOutage);
+  EXPECT_EQ(candidates[0].start, 10);
+}
+
+TEST(EventSelection, GroundTruthKindsMapToEventTypes) {
+  std::vector<GroundTruth> truths;
+  GroundTruth restore = failure(0, 1, 2, 1);
+  restore.kind = GroundTruth::Kind::kLinkRestore;
+  truths.push_back(restore);
+  GroundTruth moas = failure(5, 0, 0, 1);
+  moas.kind = GroundTruth::Kind::kMoas;
+  moas.origin = 3;
+  moas.other_as = 4;
+  truths.push_back(moas);
+  const auto candidates = candidate_events(truths, 10, {});
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].type, AnchorEvent::Type::kNewLink);
+  EXPECT_EQ(candidates[1].type, AnchorEvent::Type::kOriginChange);
+  EXPECT_EQ(candidates[1].as1, 3u);
+  EXPECT_EQ(candidates[1].as2, 4u);
+}
+
+TEST(EventSelection, BalancedSelectionReducesBias) {
+  // Build candidates dominated by one category pair.
+  const auto topology = topo::generate_artificial({.as_count = 500, .seed = 6});
+  const auto categories = topo::classify_ases(topology);
+
+  // Find a stub and a transit AS for crafting events.
+  bgp::AsNumber stub = 0, transit = 0, tier1 = topology.tier1()[0];
+  for (bgp::AsNumber as = 0; as < 500; ++as) {
+    if (categories[as] == topo::AsCategory::kStub && stub == 0) stub = as;
+    if (categories[as] == topo::AsCategory::kTransit1 && transit == 0) {
+      transit = as;
+    }
+  }
+  ASSERT_NE(stub, 0u);
+  ASSERT_NE(transit, 0u);
+
+  std::vector<AnchorEvent> candidates;
+  for (int i = 0; i < 300; ++i) {  // overwhelming majority: stub-stub
+    candidates.push_back(AnchorEvent{AnchorEvent::Type::kOutage,
+                                     i * 10, i * 10 + 5, stub, stub});
+  }
+  for (int i = 0; i < 10; ++i) {
+    candidates.push_back(AnchorEvent{AnchorEvent::Type::kOutage,
+                                     5000 + i * 10, 5000 + i * 10 + 5,
+                                     transit, tier1});
+  }
+
+  EventSelectionConfig config;
+  config.per_type_quota = 30;  // 2 per pair
+  const auto balanced = select_events(candidates, categories, config);
+  const auto matrix = selection_matrix(balanced, categories);
+  const auto stub_index = static_cast<std::size_t>(topo::AsCategory::kStub) - 1;
+  // The stub-stub share must be bounded, not ~97% as in the candidates.
+  EXPECT_LT(matrix[stub_index][stub_index], 0.7);
+
+  config.balanced = false;
+  const auto random = select_events(candidates, categories, config);
+  const auto random_matrix = selection_matrix(random, categories);
+  EXPECT_GT(random_matrix[stub_index][stub_index], 0.8);
+}
+
+TEST(EventSelection, NonOverlappingFlagRejectsCollisions) {
+  std::vector<AnchorEvent> candidates;
+  for (int i = 0; i < 10; ++i) {
+    // All ten candidates share one time window.
+    candidates.push_back(
+        AnchorEvent{AnchorEvent::Type::kOutage, 100, 200,
+                    static_cast<bgp::AsNumber>(i),
+                    static_cast<bgp::AsNumber>(i + 1)});
+  }
+  EventSelectionConfig config;
+  config.balanced = false;
+  config.per_type_quota = 10;
+  config.require_non_overlapping = true;
+  const auto selected = select_events(candidates, {}, config);
+  EXPECT_EQ(selected.size(), 1u);  // only one fits
+
+  config.require_non_overlapping = false;
+  EXPECT_EQ(select_events(candidates, {}, config).size(), 10u);
+}
+
+TEST(EventSelection, EmptyCategoriesFallBackToRandom) {
+  std::vector<AnchorEvent> candidates{
+      AnchorEvent{AnchorEvent::Type::kOutage, 0, 5, 1, 2},
+      AnchorEvent{AnchorEvent::Type::kNewLink, 10, 15, 3, 4},
+  };
+  EventSelectionConfig config;  // balanced by default
+  const auto selected = select_events(candidates, {}, config);
+  EXPECT_EQ(selected.size(), 2u);  // nothing silently dropped
+}
+
+TEST(EventSelection, SelectionMatrixSumsToOne) {
+  const auto topology = topo::generate_artificial({.as_count = 200, .seed = 1});
+  const auto categories = topo::classify_ases(topology);
+  std::vector<AnchorEvent> events;
+  for (bgp::AsNumber as = 0; as + 1 < 40; as += 2) {
+    events.push_back(
+        AnchorEvent{AnchorEvent::Type::kNewLink, 0, 5, as, as + 1});
+  }
+  const auto matrix = selection_matrix(events, categories);
+  double diagonal = 0.0, total = 0.0;
+  for (std::size_t a = 0; a < topo::kCategoryCount; ++a) {
+    diagonal += matrix[a][a];
+    for (std::size_t b = 0; b < topo::kCategoryCount; ++b) {
+      total += matrix[a][b];
+      EXPECT_DOUBLE_EQ(matrix[a][b], matrix[b][a]);
+    }
+  }
+  // Off-diagonal mass is double-counted in the symmetric rendering, so
+  // total = 1 + (1 - diagonal).
+  EXPECT_NEAR(total, 2.0 - diagonal, 1e-9);
+}
+
+TEST(Scoring, NormalizeColumnsZeroMeanUnitVariance) {
+  EventFeatureMatrix matrix;
+  matrix.rows.resize(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    matrix.rows[r].fill(0.0);
+    matrix.rows[r][0] = static_cast<double>(r);  // varying column
+    matrix.rows[r][1] = 7.0;                     // constant column
+  }
+  normalize_columns(matrix);
+  double mean = 0.0;
+  for (const auto& row : matrix.rows) mean += row[0];
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  for (const auto& row : matrix.rows) EXPECT_DOUBLE_EQ(row[1], 0.0);
+}
+
+TEST(Scoring, IdenticalVpsScoreMostRedundant) {
+  // Three VPs: 0 and 1 see identical deltas, 2 sees something different.
+  std::vector<EventFeatureMatrix> matrices(5);
+  for (auto& matrix : matrices) {
+    matrix.rows.resize(3);
+    matrix.rows[0].fill(1.0);
+    matrix.rows[1].fill(1.0);
+    matrix.rows[2].fill(-2.0);
+  }
+  const auto scores = redundancy_scores(std::move(matrices));
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_NEAR(scores[0][1], 1.0, 1e-9);  // identical pair => max score
+  EXPECT_LT(scores[0][2], scores[0][1]);
+  EXPECT_DOUBLE_EQ(scores[0][2], scores[2][0]);  // symmetric
+}
+
+TEST(Component2, InitializesWithMostRedundantVp) {
+  // VP 1 is highly redundant with everyone; VP 2 unique.
+  std::vector<std::vector<double>> scores{
+      {1.0, 0.9, 0.2},
+      {0.9, 1.0, 0.3},
+      {0.2, 0.3, 1.0},
+  };
+  const std::vector<bgp::VpId> vps{10, 11, 12};
+  const std::vector<double> volumes{5.0, 5.0, 5.0};
+  Component2Config config;
+  config.stop_threshold = 2.0;  // never stop early: select everyone
+  const auto result = select_anchors(scores, vps, volumes, config);
+  ASSERT_FALSE(result.anchors.empty());
+  EXPECT_EQ(result.anchors[0], 11u);  // highest total redundancy
+  EXPECT_EQ(result.anchors.size(), 3u);
+}
+
+TEST(Component2, StopsWhenRemainingVpsAreCovered) {
+  // VP 2 is fully redundant with VP 0: once 0 (or 1) is selected plus the
+  // low-redundancy one, 2 should not be needed.
+  std::vector<std::vector<double>> scores{
+      {1.0, 0.1, 1.0},
+      {0.1, 1.0, 0.1},
+      {1.0, 0.1, 1.0},
+  };
+  const std::vector<bgp::VpId> vps{0, 1, 2};
+  const std::vector<double> volumes{1.0, 1.0, 1.0};
+  Component2Config config;
+  config.stop_threshold = 0.99;
+  const auto result = select_anchors(scores, vps, volumes, config);
+  EXPECT_EQ(result.anchors.size(), 2u);
+  EXPECT_FALSE(std::find(result.anchors.begin(), result.anchors.end(), 2u) !=
+                   result.anchors.end() &&
+               std::find(result.anchors.begin(), result.anchors.end(), 0u) !=
+                   result.anchors.end());
+}
+
+TEST(Component2, VolumeBreaksTiesWithinPool) {
+  // Three equally nonredundant candidates; γ=1.0 admits all of them to the
+  // pool, so the lowest-volume VP must be picked after the initial one.
+  std::vector<std::vector<double>> scores{
+      {1.0, 0.5, 0.5, 0.5},
+      {0.5, 1.0, 0.0, 0.0},
+      {0.5, 0.0, 1.0, 0.0},
+      {0.5, 0.0, 0.0, 1.0},
+  };
+  const std::vector<bgp::VpId> vps{0, 1, 2, 3};
+  const std::vector<double> volumes{10.0, 9.0, 1.0, 5.0};
+  Component2Config config;
+  config.gamma = 1.0;
+  config.stop_threshold = 2.0;
+  config.max_anchors = 2;
+  const auto result = select_anchors(scores, vps, volumes, config);
+  ASSERT_EQ(result.anchors.size(), 2u);
+  EXPECT_EQ(result.anchors[0], 0u);  // most redundant overall
+  EXPECT_EQ(result.anchors[1], 2u);  // lowest volume in the pool
+}
+
+TEST(Component2, EmptyMatrix) {
+  const auto result = select_anchors({}, {}, {}, {});
+  EXPECT_TRUE(result.anchors.empty());
+}
+
+TEST(EventInference, FindsInjectedEvents) {
+  const auto topology = topo::generate_artificial({.as_count = 300, .seed = 3});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 300; as += 6) config.vp_hosts.push_back(as);
+  config.rng_seed = 4;
+  sim::Internet internet(topology, config);
+  const auto rib = internet.rib_dump(0);
+
+  sim::WorkloadConfig workload;
+  workload.seed = 5;
+  const auto stream = sim::generate_workload(internet, 10, workload);
+
+  const auto inferred = infer_events(rib, stream, {});
+  EXPECT_GT(inferred.size(), 5u);
+  std::set<AnchorEvent::Type> types;
+  for (const auto& event : inferred) {
+    EXPECT_GE(event.observer_count, 1u);
+    types.insert(event.event.type);
+  }
+  EXPECT_EQ(types.size(), 3u);  // all three event types appear
+
+  const auto filtered =
+      filter_non_global(inferred, config.vp_hosts.size(), 0.5);
+  EXPECT_LE(filtered.size(), inferred.size());
+}
+
+TEST(EventInference, OriginChangeDetected) {
+  bgp::UpdateStream rib;
+  bgp::Update entry;
+  entry.vp = 0;
+  entry.time = 0;
+  entry.prefix = net::Prefix::parse("10.0.0.0/24").value();
+  entry.path = bgp::AsPath{1, 2, 3};
+  rib.push(entry);
+
+  bgp::UpdateStream stream;
+  bgp::Update change = entry;
+  change.time = 100;
+  change.path = bgp::AsPath{1, 2, 9};  // origin 3 -> 9
+  stream.push(change);
+
+  const auto inferred = infer_events(rib, stream, {});
+  bool found = false;
+  for (const auto& event : inferred) {
+    if (event.event.type == AnchorEvent::Type::kOriginChange) {
+      EXPECT_EQ(event.event.as1, 3u);
+      EXPECT_EQ(event.event.as2, 9u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FeatureExtraction, EndToEndProducesPerVpRows) {
+  const auto topology = topo::generate_artificial({.as_count = 200, .seed = 8});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 200; as += 10) config.vp_hosts.push_back(as);
+  sim::Internet internet(topology, config);
+  const auto rib = internet.rib_dump(0);
+
+  sim::WorkloadConfig workload;
+  workload.seed = 9;
+  workload.duration = 1200;
+  const auto stream = sim::generate_workload(internet, 10, workload);
+
+  const auto categories = topo::classify_ases(topology);
+  EventSelectionConfig selection;
+  selection.per_type_quota = 15;
+  const auto candidates = candidate_events(internet.ground_truth(),
+                                           config.vp_hosts.size(), selection);
+  const auto events = select_events(candidates, categories, selection);
+  ASSERT_FALSE(events.empty());
+
+  std::vector<bgp::VpId> vps;
+  for (bgp::VpId vp = 0; vp < config.vp_hosts.size(); ++vp) vps.push_back(vp);
+  EventFeatureExtractor extractor(vps);
+  auto matrices = extractor.extract(rib, stream, events);
+  ASSERT_EQ(matrices.size(), events.size());
+  for (const auto& matrix : matrices) {
+    EXPECT_EQ(matrix.rows.size(), vps.size());
+  }
+
+  const auto scores = redundancy_scores(std::move(matrices));
+  ASSERT_EQ(scores.size(), vps.size());
+  // Diagonal is 1; scores within [0, 1]; symmetric.
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i][i], 1.0);
+    for (std::size_t j = 0; j < scores.size(); ++j) {
+      EXPECT_GE(scores[i][j], 0.0);
+      EXPECT_LE(scores[i][j], 1.0);
+      EXPECT_DOUBLE_EQ(scores[i][j], scores[j][i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gill::anchor

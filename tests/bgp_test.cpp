@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "bgp/as_path.hpp"
+#include "bgp/delta.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/update.hpp"
+
+namespace gill::bgp {
+namespace {
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse(text).value(); }
+
+Update make(VpId vp, Timestamp t, const char* prefix,
+            std::initializer_list<AsNumber> path,
+            CommunitySet communities = {}) {
+  Update u;
+  u.vp = vp;
+  u.time = t;
+  u.prefix = pfx(prefix);
+  u.path = AsPath(path);
+  u.communities = std::move(communities);
+  return u;
+}
+
+TEST(AsPath, BasicAccessors) {
+  const AsPath path{6, 2, 1, 4};
+  EXPECT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.first(), 6u);
+  EXPECT_EQ(path.origin(), 4u);
+  EXPECT_TRUE(path.contains(2));
+  EXPECT_FALSE(path.contains(9));
+  EXPECT_EQ(path.str(), "6 2 1 4");
+}
+
+TEST(AsPath, LinksSkipPrependRepetitions) {
+  AsPath path{6, 2, 1, 4};
+  path.prepend(6, 2);  // 6 6 6 2 1 4
+  EXPECT_EQ(path.size(), 6u);
+  EXPECT_EQ(path.unique_length(), 4u);
+  const auto links = path.links();
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0], (AsLink{6, 2}));
+  EXPECT_EQ(links[1], (AsLink{2, 1}));
+  EXPECT_EQ(links[2], (AsLink{1, 4}));
+}
+
+TEST(AsPath, EmptyPath) {
+  const AsPath path;
+  EXPECT_TRUE(path.empty());
+  EXPECT_EQ(path.origin(), 0u);
+  EXPECT_TRUE(path.links().empty());
+  EXPECT_EQ(path.unique_length(), 0u);
+}
+
+TEST(Communities, InsertKeepsSortedUnique) {
+  CommunitySet set;
+  insert_community(set, Community(20, 5));
+  insert_community(set, Community(10, 7));
+  insert_community(set, Community(20, 5));
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0], Community(10, 7));
+  EXPECT_EQ(set[1], Community(20, 5));
+  EXPECT_EQ(set[1].str(), "20:5");
+  EXPECT_EQ(Community::from_packed(set[1].packed()), set[1]);
+}
+
+TEST(Communities, SubsetSemantics) {
+  CommunitySet a{{10, 1}, {20, 2}};
+  CommunitySet b{{10, 1}, {20, 2}, {30, 3}};
+  EXPECT_TRUE(is_subset(a, b));
+  EXPECT_FALSE(is_subset(b, a));
+  EXPECT_TRUE(is_subset({}, a));
+}
+
+TEST(Update, IdenticalUsesTimestampSlack) {
+  const Update a = make(1, 1000, "10.0.0.0/24", {2, 1, 4});
+  Update b = a;
+  b.time = 1099;
+  EXPECT_TRUE(identical_updates(a, b));
+  b.time = 1100;
+  EXPECT_FALSE(identical_updates(a, b));
+  b.time = 1000;
+  b.vp = 2;
+  EXPECT_FALSE(identical_updates(a, b));
+}
+
+TEST(UpdateStream, SortAndWindow) {
+  UpdateStream stream;
+  stream.push(make(1, 300, "10.0.1.0/24", {1, 2}));
+  stream.push(make(2, 100, "10.0.0.0/24", {1, 2}));
+  stream.push(make(1, 200, "10.0.0.0/24", {1, 3}));
+  stream.sort();
+  EXPECT_EQ(stream.updates()[0].time, 100);
+  EXPECT_EQ(stream.updates()[2].time, 300);
+
+  const auto windowed = stream.window(100, 300);
+  EXPECT_EQ(windowed.size(), 2u);
+  EXPECT_EQ(stream.by_vp(1).size(), 2u);
+  EXPECT_EQ(stream.vps(), (std::vector<VpId>{1, 2}));
+  EXPECT_EQ(stream.prefixes().size(), 2u);
+}
+
+TEST(DeltaTracker, FirstUpdateHasNoWithdrawnSets) {
+  DeltaTracker tracker;
+  const auto a = tracker.annotate(make(1, 0, "10.0.0.0/24", {2, 1, 4}));
+  EXPECT_EQ(a.links.size(), 2u);
+  EXPECT_TRUE(a.withdrawn_links.empty());
+  EXPECT_TRUE(a.withdrawn_communities.empty());
+}
+
+TEST(DeltaTracker, ImplicitWithdrawalComputesLw) {
+  DeltaTracker tracker;
+  tracker.annotate(make(1, 0, "10.0.0.0/24", {2, 4}));
+  const auto second = tracker.annotate(make(1, 50, "10.0.0.0/24", {2, 1, 4}));
+  // Old path 2-4 is replaced by 2-1, 1-4: link (2,4) is withdrawn.
+  ASSERT_EQ(second.withdrawn_links.size(), 1u);
+  EXPECT_EQ(second.withdrawn_links[0], (AsLink{2, 4}));
+  const auto effective = second.effective_links();
+  ASSERT_EQ(effective.size(), 2u);
+}
+
+TEST(DeltaTracker, TracksPerVpPerPrefixIndependently) {
+  DeltaTracker tracker;
+  tracker.annotate(make(1, 0, "10.0.0.0/24", {2, 4}));
+  // Same prefix from a different VP: no previous state for (vp=2, p).
+  const auto other = tracker.annotate(make(2, 10, "10.0.0.0/24", {6, 2, 4}));
+  EXPECT_TRUE(other.withdrawn_links.empty());
+  // Different prefix from vp=1: also fresh.
+  const auto fresh = tracker.annotate(make(1, 20, "10.0.1.0/24", {2, 1, 4}));
+  EXPECT_TRUE(fresh.withdrawn_links.empty());
+}
+
+TEST(DeltaTracker, CommunityWithdrawals) {
+  DeltaTracker tracker;
+  tracker.annotate(
+      make(1, 0, "10.0.0.0/24", {2, 4}, CommunitySet{{10, 1}, {20, 2}}));
+  const auto second = tracker.annotate(
+      make(1, 50, "10.0.0.0/24", {2, 4}, CommunitySet{{20, 2}, {30, 3}}));
+  ASSERT_EQ(second.withdrawn_communities.size(), 1u);
+  EXPECT_EQ(second.withdrawn_communities[0], Community(10, 1));
+  // C and Cw are disjoint by construction (§4.2), so C \ Cw == C.
+  const auto effective = second.effective_communities();
+  ASSERT_EQ(effective.size(), 2u);
+  EXPECT_EQ(effective[0], Community(20, 2));
+  EXPECT_EQ(effective[1], Community(30, 3));
+}
+
+TEST(DeltaTracker, ExplicitWithdrawalClearsState) {
+  DeltaTracker tracker;
+  tracker.annotate(make(1, 0, "10.0.0.0/24", {2, 4}));
+  Update withdraw;
+  withdraw.vp = 1;
+  withdraw.time = 10;
+  withdraw.prefix = pfx("10.0.0.0/24");
+  withdraw.withdrawal = true;
+  const auto w = tracker.annotate(withdraw);
+  EXPECT_EQ(w.withdrawn_links.size(), 1u);
+  // Re-announcement after the withdrawal is "fresh" again.
+  const auto re = tracker.annotate(make(1, 20, "10.0.0.0/24", {2, 4}));
+  EXPECT_TRUE(re.withdrawn_links.empty());
+}
+
+TEST(Rib, ApplyAndDump) {
+  Rib rib;
+  rib.apply(make(1, 0, "10.0.0.0/24", {2, 4}));
+  rib.apply(make(1, 10, "10.0.1.0/24", {2, 1, 4}));
+  rib.apply(make(1, 20, "10.0.0.0/24", {2, 1, 4}));  // implicit replace
+  EXPECT_EQ(rib.size(), 2u);
+  const Route* route = rib.find(pfx("10.0.0.0/24"));
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->path.str(), "2 1 4");
+
+  Update withdraw;
+  withdraw.vp = 1;
+  withdraw.time = 30;
+  withdraw.prefix = pfx("10.0.1.0/24");
+  withdraw.withdrawal = true;
+  rib.apply(withdraw);
+  EXPECT_EQ(rib.size(), 1u);
+
+  const auto dump = rib.dump(1, 100);
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump.updates()[0].time, 100);
+  EXPECT_FALSE(dump.updates()[0].withdrawal);
+}
+
+TEST(RibSet, RoutesPerVp) {
+  RibSet ribs;
+  UpdateStream stream;
+  stream.push(make(1, 0, "10.0.0.0/24", {2, 4}));
+  stream.push(make(2, 0, "10.0.0.0/24", {6, 2, 4}));
+  stream.sort();
+  ribs.apply(stream);
+  ASSERT_NE(ribs.find(1), nullptr);
+  ASSERT_NE(ribs.find(2), nullptr);
+  EXPECT_EQ(ribs.find(1)->find(pfx("10.0.0.0/24"))->path.str(), "2 4");
+  EXPECT_EQ(ribs.find(2)->find(pfx("10.0.0.0/24"))->path.str(), "6 2 4");
+  EXPECT_EQ(ribs.find(3), nullptr);
+}
+
+}  // namespace
+}  // namespace gill::bgp

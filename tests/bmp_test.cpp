@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "wire/bmp.hpp"
+
+namespace gill::wire {
+namespace {
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse(text).value(); }
+
+BmpPeerHeader sample_peer() {
+  BmpPeerHeader peer;
+  peer.address = net::IpAddress::parse("192.0.2.1").value();
+  peer.as = 65010;
+  peer.bgp_id = 0x0A000001;
+  peer.timestamp_sec = 1693526400;
+  peer.timestamp_usec = 250000;
+  return peer;
+}
+
+TEST(Bmp, RouteMonitoringRoundTrip) {
+  BmpRouteMonitoring monitoring;
+  monitoring.peer = sample_peer();
+  monitoring.update.nlri = {pfx("203.0.113.0/24")};
+  monitoring.update.path = bgp::AsPath{65010, 64500};
+  monitoring.update.communities = bgp::CommunitySet{{65010, 666}};
+  monitoring.update.next_hop = 0x0A000002;
+
+  const auto bytes = encode_bmp(monitoring);
+  std::size_t consumed = 0;
+  const auto decoded = decode_bmp(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  const auto& result = std::get<BmpRouteMonitoring>(*decoded);
+  EXPECT_EQ(result, monitoring);
+}
+
+TEST(Bmp, RouteMonitoringV6Peer) {
+  BmpRouteMonitoring monitoring;
+  monitoring.peer = sample_peer();
+  monitoring.peer.address = net::IpAddress::parse("2001:db8::1").value();
+  monitoring.update.nlri_v6 = {pfx("2001:db8:aaaa::/48")};
+  monitoring.update.path = bgp::AsPath{65010};
+
+  const auto bytes = encode_bmp(monitoring);
+  std::size_t consumed = 0;
+  const auto decoded = decode_bmp(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& result = std::get<BmpRouteMonitoring>(*decoded);
+  EXPECT_TRUE(result.peer.address.is_v6());
+  EXPECT_EQ(result.peer.address.str(), "2001:db8::1");
+  EXPECT_EQ(result.update.nlri_v6, monitoring.update.nlri_v6);
+}
+
+TEST(Bmp, PeerUpCarriesBothOpens) {
+  BmpPeerUp up;
+  up.peer = sample_peer();
+  up.local_address = net::IpAddress::parse("192.0.2.254").value();
+  up.local_port = 179;
+  up.remote_port = 33001;
+  up.sent_open.as = 65000;
+  up.sent_open.bgp_id = 1;
+  up.received_open.as = 4200000000;  // AS4
+  up.received_open.bgp_id = 2;
+
+  const auto bytes = encode_bmp(up);
+  std::size_t consumed = 0;
+  const auto decoded = decode_bmp(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& result = std::get<BmpPeerUp>(*decoded);
+  EXPECT_EQ(result.local_address.str(), "192.0.2.254");
+  EXPECT_EQ(result.sent_open.as, 65000u);
+  EXPECT_EQ(result.received_open.as, 4200000000u);
+  EXPECT_EQ(result.remote_port, 33001);
+}
+
+TEST(Bmp, PeerDown) {
+  BmpPeerDown down;
+  down.peer = sample_peer();
+  down.reason = 2;
+  const auto bytes = encode_bmp(down);
+  std::size_t consumed = 0;
+  const auto decoded = decode_bmp(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<BmpPeerDown>(*decoded), down);
+}
+
+TEST(Bmp, InitiationAndTerminationTlvs) {
+  BmpInitiation initiation;
+  initiation.information.push_back(BmpInformation{2, "gill-router"});
+  initiation.information.push_back(BmpInformation{1, "a BMP-fed GILL peer"});
+  const auto bytes = encode_bmp(initiation);
+  std::size_t consumed = 0;
+  const auto decoded = decode_bmp(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<BmpInitiation>(*decoded), initiation);
+
+  BmpTermination termination;
+  termination.information.push_back(BmpInformation{0, "bye"});
+  const auto term_bytes = encode_bmp(termination);
+  const auto term_decoded = decode_bmp(term_bytes, consumed);
+  ASSERT_TRUE(term_decoded.has_value());
+  EXPECT_EQ(std::get<BmpTermination>(*term_decoded), termination);
+}
+
+TEST(Bmp, IncompleteAsksForMore) {
+  const auto bytes = encode_bmp(BmpPeerDown{sample_peer(), 1});
+  std::size_t consumed = 1;
+  const auto decoded =
+      decode_bmp(std::span(bytes.data(), bytes.size() - 1), consumed);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(Bmp, WrongVersionResynchronizes) {
+  std::vector<std::uint8_t> garbage{9, 0, 0, 0, 7, 0, 0};
+  std::size_t consumed = 0;
+  EXPECT_FALSE(decode_bmp(garbage, consumed).has_value());
+  EXPECT_EQ(consumed, 1u);
+}
+
+TEST(Bmp, BackToBackMessages) {
+  std::vector<std::uint8_t> buffer;
+  const auto first = encode_bmp(BmpInitiation{{{2, "sys"}}});
+  BmpRouteMonitoring monitoring;
+  monitoring.peer = sample_peer();
+  monitoring.update.nlri = {pfx("10.0.0.0/8")};
+  monitoring.update.path = bgp::AsPath{65010};
+  monitoring.update.next_hop = 1;
+  const auto second = encode_bmp(monitoring);
+  buffer.insert(buffer.end(), first.begin(), first.end());
+  buffer.insert(buffer.end(), second.begin(), second.end());
+
+  std::size_t consumed = 0;
+  auto decoded = decode_bmp(buffer, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(bmp_type_of(*decoded), BmpType::kInitiation);
+  decoded = decode_bmp(std::span(buffer).subspan(consumed), consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(bmp_type_of(*decoded), BmpType::kRouteMonitoring);
+}
+
+}  // namespace
+}  // namespace gill::wire

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/features.hpp"
+#include "features/vp_graph.hpp"
+
+namespace gill::feat {
+namespace {
+
+using bgp::AsPath;
+
+TEST(VpGraph, AddAndRemoveRoutes) {
+  VpGraph graph;
+  graph.add_route(AsPath{1, 2, 3});
+  graph.add_route(AsPath{1, 2, 4});
+  EXPECT_EQ(graph.weight(1, 2), 2u);
+  EXPECT_EQ(graph.weight(2, 3), 1u);
+  EXPECT_EQ(graph.edge_count(), 3u);
+  EXPECT_EQ(graph.node_count(), 4u);
+
+  graph.remove_route(AsPath{1, 2, 3});
+  EXPECT_EQ(graph.weight(1, 2), 1u);
+  EXPECT_EQ(graph.weight(2, 3), 0u);
+  EXPECT_FALSE(graph.has_node(3));
+  EXPECT_EQ(graph.edge_count(), 2u);
+}
+
+TEST(VpGraph, ReplaceRouteIsAddPlusRemove) {
+  VpGraph graph;
+  graph.add_route(AsPath{1, 2, 3});
+  graph.replace_route(AsPath{1, 2, 3}, AsPath{1, 4, 3});
+  EXPECT_EQ(graph.weight(1, 2), 0u);
+  EXPECT_EQ(graph.weight(1, 4), 1u);
+  EXPECT_EQ(graph.weight(4, 3), 1u);
+  // Replacing with an identical path is a no-op.
+  graph.replace_route(AsPath{1, 4, 3}, AsPath{1, 4, 3});
+  EXPECT_EQ(graph.weight(1, 4), 1u);
+}
+
+TEST(VpGraph, DirectionMatters) {
+  VpGraph graph;
+  graph.add_route(AsPath{1, 2});
+  EXPECT_EQ(graph.weight(1, 2), 1u);
+  EXPECT_EQ(graph.weight(2, 1), 0u);
+  EXPECT_EQ(graph.in(2).size(), 1u);
+  EXPECT_EQ(graph.out(2).size(), 0u);
+  EXPECT_EQ(graph.undirected_neighbors(2), (std::vector<bgp::AsNumber>{1}));
+}
+
+TEST(VpGraph, PrependRepetitionsDoNotSelfLoop) {
+  VpGraph graph;
+  AsPath path{1, 2, 3};
+  path.prepend(1, 2);  // 1 1 1 2 3
+  graph.add_route(path);
+  EXPECT_EQ(graph.weight(1, 1), 0u);
+  EXPECT_EQ(graph.weight(1, 2), 1u);
+}
+
+// A small fixed graph for feature sanity: star + triangle.
+//   0 -> 1, 0 -> 2, 1 -> 2 (triangle 0-1-2), 0 -> 3 (pendant)
+VpGraph diamond() {
+  VpGraph graph;
+  graph.add_route(AsPath{0, 1, 2});
+  graph.add_route(AsPath{0, 2});
+  graph.add_route(AsPath{0, 3});
+  return graph;
+}
+
+TEST(Features, TrianglesAndClustering) {
+  const VpGraph graph = diamond();
+  const FeatureComputer computer(graph);
+  EXPECT_DOUBLE_EQ(computer.triangles(0), 1.0);
+  EXPECT_DOUBLE_EQ(computer.triangles(3), 0.0);
+  EXPECT_GT(computer.clustering(0), 0.0);
+  EXPECT_LE(computer.clustering(0), 1.0);
+  EXPECT_DOUBLE_EQ(computer.clustering(3), 0.0);
+}
+
+TEST(Features, CentralitiesPositiveAndOrdered) {
+  const VpGraph graph = diamond();
+  const FeatureComputer computer(graph);
+  // Node 0 reaches everything, node 3 reaches nothing (only inbound edge).
+  EXPECT_GT(computer.closeness(0), 0.0);
+  EXPECT_DOUBLE_EQ(computer.closeness(3), 0.0);
+  EXPECT_GT(computer.harmonic(0), computer.harmonic(1));
+  EXPECT_GT(computer.eccentricity(0), 0.0);
+}
+
+TEST(Features, WeightedDistancesShortenWithWeight) {
+  VpGraph heavy;
+  for (int i = 0; i < 10; ++i) heavy.add_route(AsPath{0, 1});
+  VpGraph light;
+  light.add_route(AsPath{0, 1});
+  // Edge length is 1/weight: the heavy edge is much shorter.
+  EXPECT_GT(FeatureComputer(heavy).harmonic(0),
+            FeatureComputer(light).harmonic(0));
+}
+
+TEST(Features, AverageNeighborDegree) {
+  const VpGraph graph = diamond();
+  const FeatureComputer computer(graph);
+  // Node 3 has no out-edges => 0 by convention.
+  EXPECT_DOUBLE_EQ(computer.average_neighbor_degree(3), 0.0);
+  EXPECT_GT(computer.average_neighbor_degree(0), 0.0);
+}
+
+TEST(Features, PairFeatures) {
+  const VpGraph graph = diamond();
+  const FeatureComputer computer(graph);
+  // 1 and 2 share neighbor 0.
+  EXPECT_GT(computer.jaccard(1, 2), 0.0);
+  EXPECT_GT(computer.adamic_adar(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(computer.preferential_attachment(1, 2),
+                   static_cast<double>(graph.undirected_degree(1) *
+                                       graph.undirected_degree(2)));
+  // 3 and 1 share neighbor 0 too; 3's only neighbor is 0.
+  EXPECT_GT(computer.jaccard(1, 3), 0.0);
+}
+
+TEST(Features, AbsentNodesGiveZeroVectors) {
+  const VpGraph graph = diamond();
+  const FeatureComputer computer(graph);
+  const NodeFeatures features = computer.node_features(99);
+  for (const double f : features) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(Features, EventVectorIsStartMinusEnd) {
+  VpGraph start = diamond();
+  VpGraph end = diamond();
+  end.remove_route(AsPath{0, 3});  // the event removes the pendant edge
+  const EventVector vector = event_vector(start, end, 0, 3);
+  // Something changed for node 0 and node 3.
+  bool any_nonzero = false;
+  for (const double v : vector) {
+    if (std::abs(v) > 1e-12) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+
+  // No event => all-zero vector.
+  const EventVector zero = event_vector(start, start, 0, 3);
+  for (const double v : zero) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Features, VectorLayoutMatchesTable6) {
+  static_assert(kNodeFeatureCount == 6);
+  static_assert(kPairFeatureCount == 3);
+  static_assert(kEventVectorSize == 15);
+}
+
+}  // namespace
+}  // namespace gill::feat

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "feed/json.hpp"
+#include "feed/live_feed.hpp"
+
+namespace gill::feed {
+namespace {
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse(text).value(); }
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrips) {
+  for (const char* text : {"null", "true", "false", "0", "-17", "3.25",
+                           "\"hello\"", "[]", "{}"}) {
+    const auto value = Json::parse(text);
+    ASSERT_TRUE(value.has_value()) << text;
+    const auto again = Json::parse(value->dump());
+    ASSERT_TRUE(again.has_value()) << value->dump();
+    EXPECT_EQ(*value, *again);
+  }
+}
+
+TEST(Json, NestedStructure) {
+  const char* text =
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null, "f": true}})";
+  const auto value = Json::parse(text);
+  ASSERT_TRUE(value.has_value());
+  const Json* a = value->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(value->find("d")->find("e")->is_null());
+  EXPECT_EQ(value->find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const auto value = Json::parse(R"("line\nbreak \"quoted\" A")");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->as_string(), "line\nbreak \"quoted\" A");
+  // Dump re-escapes control characters.
+  const auto again = Json::parse(value->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*value, *again);
+}
+
+TEST(Json, RejectsMalformed) {
+  for (const char* text :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "01a",
+        "{\"a\":1} trailing", "[1 2]", "\"bad\\escape\"", "\"\\u12\""}) {
+    EXPECT_FALSE(Json::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Json, DeepNestingIsBounded) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(Json, NumbersPreserveIntegers) {
+  const auto value = Json::parse("[1693526400, 4200000000]");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->dump(), "[1693526400,4200000000]");
+}
+
+// ---------------------------------------------------------------------------
+// Live feed
+// ---------------------------------------------------------------------------
+
+LiveMessage sample_message() {
+  LiveMessage message;
+  message.vp = 42;
+  message.timestamp = 1693526400;
+  message.peer_asn = 65010;
+  message.path = bgp::AsPath{65010, 65020, 64500};
+  message.communities = bgp::CommunitySet{{65010, 100}};
+  message.announcements = {pfx("203.0.113.0/24"), pfx("198.51.100.0/24")};
+  message.withdrawals = {pfx("192.0.2.0/24")};
+  return message;
+}
+
+TEST(LiveFeed, MessageRoundTrip) {
+  const auto message = sample_message();
+  const std::string encoded = encode_live(message);
+  EXPECT_NE(encoded.find("\"type\":\"UPDATE\""), std::string::npos);
+  EXPECT_NE(encoded.find("\"peer_asn\":\"65010\""), std::string::npos);
+  const auto decoded = decode_live(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, message);
+}
+
+TEST(LiveFeed, ParsesHandWrittenRisStyleMessage) {
+  const char* text =
+      R"({"type":"UPDATE","timestamp":100,"peer_asn":"64496","vp":7,)"
+      R"("path":[64496,64500],"announcements":[{"prefixes":)"
+      R"(["10.0.0.0/24","10.0.1.0/24"]}],"withdrawals":["10.9.0.0/16"]})";
+  const auto message = decode_live(text);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->vp, 7u);
+  EXPECT_EQ(message->peer_asn, 64496u);
+  EXPECT_EQ(message->announcements.size(), 2u);
+  EXPECT_EQ(message->withdrawals.size(), 1u);
+  EXPECT_TRUE(message->communities.empty());
+}
+
+TEST(LiveFeed, RejectsNonUpdateAndMalformed) {
+  EXPECT_FALSE(decode_live(R"({"type":"KEEPALIVE"})").has_value());
+  EXPECT_FALSE(decode_live(R"({"timestamp": 1})").has_value());
+  EXPECT_FALSE(decode_live("not json").has_value());
+  EXPECT_FALSE(decode_live(
+                   R"({"type":"UPDATE","timestamp":1,"path":"oops"})")
+                   .has_value());
+  EXPECT_FALSE(
+      decode_live(
+          R"({"type":"UPDATE","timestamp":1,"withdrawals":["bad/99"]})")
+          .has_value());
+}
+
+TEST(LiveFeed, StreamGroupingMergesSharedAttributes) {
+  bgp::UpdateStream stream;
+  for (const char* prefix : {"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"}) {
+    bgp::Update update;
+    update.vp = 1;
+    update.time = 500;
+    update.prefix = pfx(prefix);
+    update.path = bgp::AsPath{65001, 64500};
+    stream.push(update);
+  }
+  bgp::Update other;
+  other.vp = 2;
+  other.time = 500;
+  other.prefix = pfx("10.0.0.0/24");
+  other.path = bgp::AsPath{65002, 64500};
+  stream.push(other);
+  stream.sort();
+
+  const auto messages = to_live_messages(stream);
+  ASSERT_EQ(messages.size(), 2u);  // three prefixes share one message
+  EXPECT_EQ(messages[0].announcements.size(), 3u);
+  EXPECT_EQ(messages[1].announcements.size(), 1u);
+}
+
+TEST(LiveFeed, NdjsonStreamRoundTrip) {
+  bgp::UpdateStream stream;
+  for (int i = 0; i < 20; ++i) {
+    bgp::Update update;
+    update.vp = static_cast<bgp::VpId>(i % 3);
+    update.time = 100 + i * 7;
+    update.prefix = pfx(i % 2 ? "10.0.0.0/24" : "10.0.1.0/24");
+    if (i % 5 == 0) {
+      update.withdrawal = true;
+    } else {
+      update.path = bgp::AsPath{65000 + static_cast<bgp::AsNumber>(i % 3),
+                                64500};
+      update.communities = bgp::CommunitySet{{65001, static_cast<std::uint16_t>(i)}};
+    }
+    stream.push(update);
+  }
+  stream.sort();
+
+  const std::string ndjson = encode_stream_ndjson(stream);
+  const auto decoded = decode_stream_ndjson(ndjson);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(decoded->updates()[i], stream.updates()[i]);
+  }
+}
+
+TEST(LiveFeed, NdjsonRejectsCorruptLine) {
+  bgp::UpdateStream stream;
+  bgp::Update update;
+  update.prefix = pfx("10.0.0.0/24");
+  update.path = bgp::AsPath{65001};
+  stream.push(update);
+  std::string ndjson = encode_stream_ndjson(stream);
+  ndjson += "garbage line\n";
+  EXPECT_FALSE(decode_stream_ndjson(ndjson).has_value());
+}
+
+}  // namespace
+}  // namespace gill::feed

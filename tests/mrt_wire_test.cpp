@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mrt/mrt.hpp"
+#include "wire/messages.hpp"
+
+namespace gill {
+namespace {
+
+using bgp::AsPath;
+using bgp::Update;
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse(text).value(); }
+
+Update sample_update() {
+  Update u;
+  u.vp = 42;
+  u.time = 1693526400;
+  u.prefix = pfx("203.0.113.0/24");
+  u.path = AsPath{65001, 65002, 65003};
+  u.communities = bgp::CommunitySet{{65001, 100}, {65002, 200}};
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// MRT
+// ---------------------------------------------------------------------------
+
+TEST(Mrt, UpdateRoundTrip) {
+  mrt::Writer writer;
+  writer.write_update(sample_update());
+  mrt::Reader reader(writer.buffer());
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->type, mrt::RecordType::kBgp4mp);
+  EXPECT_EQ(record->update, sample_update());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(Mrt, WithdrawalRoundTrip) {
+  Update withdrawal;
+  withdrawal.vp = 7;
+  withdrawal.time = 100;
+  withdrawal.prefix = pfx("10.0.0.0/8");
+  withdrawal.withdrawal = true;
+  mrt::Writer writer;
+  writer.write_update(withdrawal);
+  mrt::Reader reader(writer.buffer());
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->update.withdrawal);
+  EXPECT_TRUE(record->update.path.empty());
+  EXPECT_EQ(record->update.prefix, withdrawal.prefix);
+}
+
+TEST(Mrt, V6PrefixRoundTrip) {
+  Update u = sample_update();
+  u.prefix = pfx("2001:db8:1234::/48");
+  mrt::Writer writer;
+  writer.write_update(u);
+  mrt::Reader reader(writer.buffer());
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->update.prefix, u.prefix);
+}
+
+TEST(Mrt, RibEntryUsesTableDumpType) {
+  mrt::Writer writer;
+  writer.write_rib_entry(sample_update());
+  mrt::Reader reader(writer.buffer());
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->type, mrt::RecordType::kTableDumpV2);
+}
+
+TEST(Mrt, TruncatedBufferFailsCleanly) {
+  mrt::Writer writer;
+  writer.write_update(sample_update());
+  auto truncated = writer.buffer();
+  truncated.resize(truncated.size() - 3);
+  mrt::Reader reader(truncated);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Mrt, StreamRoundTripThroughMemory) {
+  bgp::UpdateStream stream;
+  for (int i = 0; i < 50; ++i) {
+    Update u = sample_update();
+    u.time = 1000 + i;
+    u.vp = static_cast<bgp::VpId>(i % 5);
+    stream.push(u);
+  }
+  stream.sort();
+  const auto bytes = mrt::encode_stream(stream);
+  const auto decoded = mrt::decode_stream(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(decoded->updates()[i], stream.updates()[i]);
+  }
+}
+
+TEST(Mrt, StreamRoundTripThroughFile) {
+  bgp::UpdateStream stream;
+  stream.push(sample_update());
+  const std::string path = "/tmp/gill_mrt_test.mrt";
+  ASSERT_TRUE(mrt::write_stream(stream, path));
+  const auto loaded = mrt::read_stream(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->updates()[0], sample_update());
+  std::remove(path.c_str());
+}
+
+TEST(Mrt, ReadMissingFileFails) {
+  EXPECT_FALSE(mrt::read_stream("/tmp/gill_does_not_exist.mrt").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Wire (RFC 4271)
+// ---------------------------------------------------------------------------
+
+TEST(Wire, OpenRoundTripWithAs4Capability) {
+  wire::OpenMessage open;
+  open.as = 4200000001;  // needs 4 bytes
+  open.hold_time = 180;
+  open.bgp_id = 0x0A000001;
+  const auto bytes = wire::encode(open);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  const auto& result = std::get<wire::OpenMessage>(*decoded);
+  EXPECT_EQ(result.as, open.as);  // recovered from the AS4 capability
+  EXPECT_EQ(result.hold_time, 180);
+  EXPECT_EQ(result.bgp_id, open.bgp_id);
+}
+
+TEST(Wire, UpdateRoundTrip) {
+  wire::UpdateMessage update;
+  update.nlri = {pfx("203.0.113.0/24"), pfx("198.51.100.0/24")};
+  update.withdrawn = {pfx("192.0.2.0/24")};
+  update.path = AsPath{65001, 65002};
+  update.communities = bgp::CommunitySet{{65001, 666}};
+  update.next_hop = 0x0A000001;
+  const auto bytes = wire::encode(update);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& result = std::get<wire::UpdateMessage>(*decoded);
+  EXPECT_EQ(result, update);
+}
+
+TEST(Wire, UpdateWithV6MpReach) {
+  wire::UpdateMessage update;
+  update.nlri_v6 = {pfx("2001:db8::/32"), pfx("2001:db8:ffff::/48")};
+  update.withdrawn_v6 = {pfx("2001:db8:dead::/48")};
+  update.path = AsPath{65001};
+  const auto bytes = wire::encode(update);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& result = std::get<wire::UpdateMessage>(*decoded);
+  EXPECT_EQ(result.nlri_v6, update.nlri_v6);
+  EXPECT_EQ(result.withdrawn_v6, update.withdrawn_v6);
+  EXPECT_EQ(result.path, update.path);
+}
+
+TEST(Wire, KeepaliveAndNotification) {
+  std::size_t consumed = 0;
+  const auto keepalive_bytes = wire::encode(wire::KeepaliveMessage{});
+  EXPECT_EQ(keepalive_bytes.size(), wire::kHeaderSize);
+  auto decoded = wire::decode(keepalive_bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(wire::type_of(*decoded), wire::MessageType::kKeepalive);
+
+  const auto notification_bytes =
+      wire::encode(wire::NotificationMessage{6, 2});
+  decoded = wire::decode(notification_bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& notification = std::get<wire::NotificationMessage>(*decoded);
+  EXPECT_EQ(notification.code, 6);
+  EXPECT_EQ(notification.subcode, 2);
+}
+
+TEST(Wire, IncompleteBufferAsksForMoreBytes) {
+  const auto bytes = wire::encode(wire::KeepaliveMessage{});
+  std::size_t consumed = 1;
+  const auto decoded =
+      wire::decode(std::span(bytes.data(), bytes.size() - 1), consumed);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_EQ(consumed, 0u);  // incomplete, not garbage
+}
+
+TEST(Wire, GarbageTriggersResynchronization) {
+  std::vector<std::uint8_t> garbage(32, 0xAB);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(garbage, consumed);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_EQ(consumed, 1u);  // skip one byte and retry
+}
+
+TEST(Wire, BackToBackMessagesParseSequentially) {
+  std::vector<std::uint8_t> buffer;
+  const auto first = wire::encode(wire::KeepaliveMessage{});
+  wire::UpdateMessage update;
+  update.nlri = {pfx("203.0.113.0/24")};
+  update.path = AsPath{65001};
+  update.next_hop = 1;
+  const auto second = wire::encode(update);
+  buffer.insert(buffer.end(), first.begin(), first.end());
+  buffer.insert(buffer.end(), second.begin(), second.end());
+
+  std::size_t consumed = 0;
+  auto message = wire::decode(buffer, consumed);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(wire::type_of(*message), wire::MessageType::kKeepalive);
+  const std::size_t offset = consumed;
+  message = wire::decode(std::span(buffer).subspan(offset), consumed);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(wire::type_of(*message), wire::MessageType::kUpdate);
+}
+
+class WirePrefixRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WirePrefixRoundTrip, NlriEncoding) {
+  wire::UpdateMessage update;
+  const auto prefix = pfx(GetParam());
+  if (prefix.family() == net::Family::v4) {
+    update.nlri = {prefix};
+    update.next_hop = 1;
+  } else {
+    update.nlri_v6 = {prefix};
+  }
+  update.path = AsPath{65001};
+  const auto bytes = wire::encode(update);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& result = std::get<wire::UpdateMessage>(*decoded);
+  if (prefix.family() == net::Family::v4) {
+    ASSERT_EQ(result.nlri.size(), 1u);
+    EXPECT_EQ(result.nlri[0], prefix);
+  } else {
+    ASSERT_EQ(result.nlri_v6.size(), 1u);
+    EXPECT_EQ(result.nlri_v6[0], prefix);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, WirePrefixRoundTrip,
+                         ::testing::Values("0.0.0.0/0", "10.0.0.0/7",
+                                           "10.0.0.0/8", "10.128.0.0/9",
+                                           "192.0.2.128/25",
+                                           "203.0.113.255/32", "2001:db8::/32",
+                                           "2001:db8::1/128"));
+
+}  // namespace
+}  // namespace gill

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netbase/ip.hpp"
+#include "netbase/prefix.hpp"
+#include "netbase/prefix_alloc.hpp"
+#include "netbase/prefix_trie.hpp"
+
+namespace gill::net {
+namespace {
+
+TEST(IpAddress, ParsesAndFormatsV4) {
+  const auto a = IpAddress::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->str(), "192.0.2.1");
+  EXPECT_EQ(a->v4_value(), 0xC0000201u);
+}
+
+TEST(IpAddress, RejectsMalformedV4) {
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+}
+
+TEST(IpAddress, ParsesAndFormatsV6) {
+  const auto a = IpAddress::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_v6());
+  EXPECT_EQ(a->str(), "2001:db8::1");
+
+  const auto b = IpAddress::parse("::");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->str(), "::");
+
+  const auto c = IpAddress::parse("fe80:0:0:0:1:2:3:4");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->str(), "fe80::1:2:3:4");
+}
+
+TEST(IpAddress, RejectsMalformedV6) {
+  EXPECT_FALSE(IpAddress::parse(":::").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(IpAddress::parse("2001::db8::1").has_value());
+  EXPECT_FALSE(IpAddress::parse("12345::").has_value());
+}
+
+TEST(IpAddress, BitAccess) {
+  const auto a = IpAddress::v4(0x80000001u);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_FALSE(a.bit(1));
+  EXPECT_TRUE(a.bit(31));
+}
+
+TEST(IpAddress, OrderingIsByFamilyThenBytes) {
+  const auto v4 = IpAddress::parse("255.255.255.255");
+  const auto v6 = IpAddress::parse("::1");
+  ASSERT_TRUE(v4 && v6);
+  EXPECT_LT(*v4, *v6);  // all v4 sort before v6
+}
+
+TEST(Prefix, ParseAndCanonicalize) {
+  const auto p = Prefix::parse("10.1.2.3/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->str(), "10.0.0.0/8");  // host bits zeroed
+  EXPECT_EQ(p->length(), 8u);
+}
+
+TEST(Prefix, RejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::parse("/8").has_value());
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129").has_value());
+}
+
+TEST(Prefix, ContainsAndCovers) {
+  const auto p8 = Prefix::parse("10.0.0.0/8").value();
+  const auto p24 = Prefix::parse("10.1.1.0/24").value();
+  const auto other = Prefix::parse("11.0.0.0/8").value();
+  EXPECT_TRUE(p8.covers(p24));
+  EXPECT_FALSE(p24.covers(p8));
+  EXPECT_TRUE(p8.covers(p8));
+  EXPECT_FALSE(p8.covers(other));
+  EXPECT_TRUE(p8.contains(IpAddress::parse("10.200.3.4").value()));
+  EXPECT_FALSE(p8.contains(IpAddress::parse("11.0.0.1").value()));
+  EXPECT_FALSE(p8.contains(IpAddress::parse("::1").value()));
+}
+
+TEST(Prefix, DefaultRouteContainsEverythingV4) {
+  const Prefix def;  // 0.0.0.0/0
+  EXPECT_TRUE(def.contains(IpAddress::parse("203.0.113.9").value()));
+}
+
+class PrefixRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrefixRoundTrip, ParseFormatParse) {
+  const auto p = Prefix::parse(GetParam());
+  ASSERT_TRUE(p.has_value()) << GetParam();
+  const auto again = Prefix::parse(p->str());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*p, *again);
+}
+
+INSTANTIATE_TEST_SUITE_P(Canonical, PrefixRoundTrip,
+                         ::testing::Values("0.0.0.0/0", "10.0.0.0/8",
+                                           "192.0.2.0/24", "203.0.113.255/32",
+                                           "::/0", "2001:db8::/32",
+                                           "fd00::/8",
+                                           "2001:db8:1:2:3:4:5:6/128"));
+
+TEST(PrefixTrie, ExactAndLongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.insert(Prefix::parse("10.1.0.0/16").value(), 2);
+  trie.insert(Prefix::parse("10.1.1.0/24").value(), 3);
+  EXPECT_EQ(trie.size(), 3u);
+
+  EXPECT_EQ(*trie.find(Prefix::parse("10.1.0.0/16").value()), 2);
+  EXPECT_EQ(trie.find(Prefix::parse("10.2.0.0/16").value()), nullptr);
+
+  const auto match = trie.longest_match(Prefix::parse("10.1.1.128/25").value());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first.str(), "10.1.1.0/24");
+  EXPECT_EQ(*match->second, 3);
+
+  const auto shallow = trie.longest_match(Prefix::parse("10.9.0.0/16").value());
+  ASSERT_TRUE(shallow.has_value());
+  EXPECT_EQ(shallow->first.str(), "10.0.0.0/8");
+
+  EXPECT_FALSE(
+      trie.longest_match(Prefix::parse("11.0.0.0/8").value()).has_value());
+}
+
+TEST(PrefixTrie, EraseAndIterate) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8").value(), 1);
+  trie.insert(Prefix::parse("2001:db8::/32").value(), 2);
+  EXPECT_TRUE(trie.erase(Prefix::parse("10.0.0.0/8").value()));
+  EXPECT_FALSE(trie.erase(Prefix::parse("10.0.0.0/8").value()));
+  int visited = 0;
+  trie.for_each([&](const Prefix& p, int v) {
+    EXPECT_EQ(p.str(), "2001:db8::/32");
+    EXPECT_EQ(v, 2);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(PrefixTrie, ForEachReconstructsPrefixes) {
+  PrefixTrie<int> trie;
+  const auto p = Prefix::parse("192.168.128.0/18").value();
+  trie.insert(p, 7);
+  bool seen = false;
+  trie.for_each([&](const Prefix& q, int v) {
+    EXPECT_EQ(q, p);
+    EXPECT_EQ(v, 7);
+    seen = true;
+  });
+  EXPECT_TRUE(seen);
+}
+
+TEST(PrefixAllocator, SlotsAreUnique) {
+  std::set<Prefix> seen;
+  for (std::uint32_t i = 0; i < 70000; ++i) {
+    EXPECT_TRUE(seen.insert(PrefixAllocator::v4_slot(i)).second) << i;
+  }
+}
+
+TEST(PrefixAllocator, CountsAreHeavyTailed) {
+  std::mt19937_64 rng(7);
+  std::size_t ones = 0;
+  std::size_t total = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const unsigned c = PrefixAllocator::sample_prefix_count(rng);
+    ASSERT_GE(c, 1u);
+    ASSERT_LE(c, 64u);
+    if (c == 1) ++ones;
+    total += c;
+  }
+  // Power law with exponent 2.1: most ASes announce exactly one prefix but
+  // the mean is noticeably above 1.
+  EXPECT_GT(static_cast<double>(ones) / samples, 0.5);
+  EXPECT_GT(static_cast<double>(total) / samples, 1.2);
+}
+
+TEST(PrefixAllocator, AssignProducesDisjointRuns) {
+  std::mt19937_64 rng(3);
+  const auto assigned = PrefixAllocator::assign(500, rng);
+  ASSERT_EQ(assigned.size(), 500u);
+  std::set<Prefix> seen;
+  for (const auto& list : assigned) {
+    ASSERT_FALSE(list.empty());
+    for (const auto& p : list) EXPECT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(Hashing, DistinctPrefixesHashDifferently) {
+  // Not a guarantee, but collisions among a small canonical set would make
+  // every hash map in the system suspect.
+  std::set<std::uint64_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(hash_value(PrefixAllocator::v4_slot(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace gill::net

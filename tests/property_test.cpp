@@ -1,0 +1,347 @@
+// Property-based tests: invariants checked across randomized inputs with
+// parameterized seeds (TEST_P). These complement the per-module unit tests
+// by sweeping whole input families.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bgp/delta.hpp"
+#include "feed/live_feed.hpp"
+#include "filters/filters.hpp"
+#include "mrt/mrt.hpp"
+#include "netbase/prefix_trie.hpp"
+#include "redundancy/definitions.hpp"
+#include "redundancy/reconstitution.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+#include "wire/messages.hpp"
+
+namespace gill {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1ull, 7ull, 42ull, 1337ull,
+                                           99991ull));
+
+// ---------------------------------------------------------------------------
+// Random-update generation shared by several properties.
+// ---------------------------------------------------------------------------
+
+bgp::Update random_update(std::mt19937_64& rng) {
+  bgp::Update update;
+  update.vp = static_cast<bgp::VpId>(rng() % 64);
+  update.time = static_cast<bgp::Timestamp>(rng() % 100000);
+  if (rng() % 4 == 0) {
+    std::array<std::uint8_t, 16> bytes{};
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    update.prefix = net::Prefix(net::IpAddress::v6(bytes),
+                                static_cast<unsigned>(rng() % 129));
+  } else {
+    update.prefix = net::Prefix(
+        net::IpAddress::v4(static_cast<std::uint32_t>(rng())),
+        static_cast<unsigned>(rng() % 33));
+  }
+  if (rng() % 5 == 0) {
+    update.withdrawal = true;
+    return update;
+  }
+  const std::size_t hops = 1 + rng() % 6;
+  std::vector<bgp::AsNumber> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    path.push_back(static_cast<bgp::AsNumber>(1 + rng() % 70000));
+  }
+  update.path = bgp::AsPath(std::move(path));
+  const std::size_t communities = rng() % 4;
+  for (std::size_t i = 0; i < communities; ++i) {
+    bgp::insert_community(update.communities,
+                          bgp::Community(static_cast<std::uint16_t>(rng()),
+                                         static_cast<std::uint16_t>(rng())));
+  }
+  return update;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round trips under random inputs.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, MrtRoundTripsRandomStreams) {
+  std::mt19937_64 rng(GetParam());
+  bgp::UpdateStream stream;
+  for (int i = 0; i < 300; ++i) stream.push(random_update(rng));
+  stream.sort();
+  const auto bytes = mrt::encode_stream(stream);
+  const auto decoded = mrt::decode_stream(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(decoded->updates()[i], stream.updates()[i]);
+  }
+}
+
+TEST_P(SeededProperty, NdjsonRoundTripsRandomStreams) {
+  std::mt19937_64 rng(GetParam() ^ 0xfeed);
+  bgp::UpdateStream stream;
+  for (int i = 0; i < 200; ++i) stream.push(random_update(rng));
+  stream.sort();
+  const auto text = feed::encode_stream_ndjson(stream);
+  const auto decoded = feed::decode_stream_ndjson(text);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(decoded->updates()[i], stream.updates()[i]);
+  }
+}
+
+TEST_P(SeededProperty, WireUpdateRoundTripsRandomMessages) {
+  std::mt19937_64 rng(GetParam() ^ 0x123ee);
+  for (int i = 0; i < 100; ++i) {
+    wire::UpdateMessage message;
+    const std::size_t nlri = 1 + rng() % 4;
+    for (std::size_t p = 0; p < nlri; ++p) {
+      message.nlri.emplace_back(
+          net::IpAddress::v4(static_cast<std::uint32_t>(rng())),
+          static_cast<unsigned>(rng() % 33));
+    }
+    message.path = bgp::AsPath{static_cast<bgp::AsNumber>(1 + rng() % 70000),
+                               static_cast<bgp::AsNumber>(1 + rng() % 70000)};
+    message.next_hop = static_cast<std::uint32_t>(rng());
+    const auto bytes = wire::encode(message);
+    std::size_t consumed = 0;
+    const auto decoded = wire::decode(bytes, consumed);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(std::get<wire::UpdateMessage>(*decoded), message);
+  }
+}
+
+TEST_P(SeededProperty, WireDecoderNeverCrashesOnMutatedInput) {
+  std::mt19937_64 rng(GetParam() ^ 0xfafa);
+  wire::UpdateMessage message;
+  message.nlri = {net::Prefix::parse("203.0.113.0/24").value()};
+  message.path = bgp::AsPath{65001, 65002};
+  message.next_hop = 7;
+  auto bytes = wire::encode(message);
+  for (int round = 0; round < 500; ++round) {
+    auto mutated = bytes;
+    const std::size_t flips = 1 + rng() % 4;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    }
+    std::size_t consumed = 0;
+    // Must terminate and never read out of bounds (ASAN-clean by
+    // construction of the bounds-checked cursor); result may be anything.
+    (void)wire::decode(mutated, consumed);
+    EXPECT_LE(consumed, mutated.size());
+  }
+}
+
+TEST_P(SeededProperty, MrtReaderNeverCrashesOnTruncation) {
+  std::mt19937_64 rng(GetParam() ^ 0x111);
+  bgp::UpdateStream stream;
+  for (int i = 0; i < 20; ++i) stream.push(random_update(rng));
+  const auto bytes = mrt::encode_stream(stream);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    mrt::Reader reader(std::span(bytes.data(), cut));
+    while (reader.next()) {
+    }
+    // Either cleanly done or flagged broken — never UB.
+    SUCCEED();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trie vs. brute force.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, TrieLongestMatchAgreesWithBruteForce) {
+  std::mt19937_64 rng(GetParam() ^ 0x7e1e);
+  net::PrefixTrie<int> trie;
+  std::vector<std::pair<net::Prefix, int>> entries;
+  for (int i = 0; i < 300; ++i) {
+    const net::Prefix prefix(
+        net::IpAddress::v4(static_cast<std::uint32_t>(rng())),
+        static_cast<unsigned>(rng() % 25));
+    trie.insert(prefix, i);
+    entries.emplace_back(prefix, i);
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    const net::Prefix query(
+        net::IpAddress::v4(static_cast<std::uint32_t>(rng())), 32);
+    const auto got = trie.longest_match(query);
+    // Brute force: the longest covering prefix (last inserted wins ties,
+    // matching the trie's overwrite semantics).
+    int best_length = -1;
+    const int* best_value = nullptr;
+    for (const auto& [prefix, value] : entries) {
+      if (prefix.covers(query) &&
+          static_cast<int>(prefix.length()) >= best_length) {
+        best_length = static_cast<int>(prefix.length());
+        best_value = &value;
+      }
+    }
+    if (best_value == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(static_cast<int>(got->first.length()), best_length);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing invariants across random topologies.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, RoutingFixedPointInvariants) {
+  const auto topology = topo::generate_artificial(
+      {.as_count = 250, .seed = GetParam()});
+  sim::RoutingEngine engine(topology);
+  std::mt19937_64 rng(GetParam() ^ 0xabc);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto origin =
+        static_cast<bgp::AsNumber>(rng() % topology.as_count());
+    const auto routing = engine.compute(origin);
+    EXPECT_TRUE(routing.has_route(origin));
+    EXPECT_EQ(routing.length(origin), 0);
+    for (bgp::AsNumber as = 0; as < topology.as_count(); ++as) {
+      if (!routing.has_route(as)) continue;
+      const auto path = routing.path(as);
+      // Paths are loop-free, start at the AS, end at the origin, and have
+      // the advertised length.
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.hops().front(), as);
+      EXPECT_EQ(path.origin(), origin);
+      EXPECT_EQ(path.size(), routing.length(as) + 1u);
+      std::set<bgp::AsNumber> unique(path.hops().begin(), path.hops().end());
+      EXPECT_EQ(unique.size(), path.size());
+      // Every hop uses a real adjacency.
+      for (const auto& link : path.links()) {
+        EXPECT_TRUE(topology.adjacent(link.from, link.to))
+            << link.from << "-" << link.to;
+      }
+      // The next hop's route is consistent (suffix property).
+      if (routing.next_hop(as) != as) {
+        EXPECT_TRUE(routing.has_route(routing.next_hop(as)));
+        EXPECT_EQ(routing.length(routing.next_hop(as)) + 1,
+                  routing.length(as));
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, FailingALinkNeverImprovesRoutes) {
+  const auto topology = topo::generate_artificial(
+      {.as_count = 200, .seed = GetParam() ^ 0x51});
+  sim::RoutingEngine engine(topology);
+  std::mt19937_64 rng(GetParam());
+  const auto origin = static_cast<bgp::AsNumber>(rng() % topology.as_count());
+  const auto before = engine.compute(origin);
+  const auto& link = topology.links()[rng() % topology.links().size()];
+  engine.fail_link(link.a, link.b);
+  const auto after = engine.compute(origin);
+  for (bgp::AsNumber as = 0; as < topology.as_count(); ++as) {
+    if (!after.has_route(as)) continue;
+    ASSERT_TRUE(before.has_route(as));  // failures cannot create routes
+    // Same preference class => the path cannot get shorter.
+    if (after.route_class(as) == before.route_class(as)) {
+      EXPECT_GE(after.length(as), before.length(as));
+    } else {
+      // A class change after a failure is always a downgrade.
+      EXPECT_LT(static_cast<int>(after.route_class(as)),
+                static_cast<int>(before.route_class(as)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Redundancy-pipeline invariants across random workloads.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, StricterDefinitionsAreSubsets) {
+  const auto topology = topo::generate_artificial(
+      {.as_count = 150, .seed = GetParam() ^ 0x3});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 150; as += 5) config.vp_hosts.push_back(as);
+  config.rng_seed = GetParam();
+  sim::Internet internet(topology, config);
+  sim::WorkloadConfig workload;
+  workload.seed = GetParam() ^ 0x9;
+  workload.duration = 1200;
+  const auto stream = sim::generate_workload(internet, 0, workload);
+  const auto annotated = bgp::DeltaTracker::annotate_stream(stream);
+  for (std::size_t i = 0; i < annotated.size(); i += 3) {
+    for (std::size_t j = 0; j < annotated.size(); j += 7) {
+      if (i == j) continue;
+      const auto& a = annotated[i];
+      const auto& b = annotated[j];
+      if (red::redundant_with(a, b, red::Definition::kDef3)) {
+        EXPECT_TRUE(red::redundant_with(a, b, red::Definition::kDef2));
+      }
+      if (red::redundant_with(a, b, red::Definition::kDef2)) {
+        EXPECT_TRUE(red::redundant_with(a, b, red::Definition::kDef1));
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, ReconstitutionPowerIsMonotoneInVpSets) {
+  std::mt19937_64 rng(GetParam() ^ 0x44);
+  // Random per-prefix stream with bursts.
+  std::vector<bgp::Update> updates;
+  for (int burst = 0; burst < 30; ++burst) {
+    const auto t = static_cast<bgp::Timestamp>(burst * 500);
+    const std::size_t members = 1 + rng() % 5;
+    for (std::size_t m = 0; m < members; ++m) {
+      bgp::Update u;
+      u.vp = static_cast<bgp::VpId>(rng() % 8);
+      u.time = t + static_cast<bgp::Timestamp>(rng() % 50);
+      u.prefix = net::Prefix::parse("10.0.0.0/24").value();
+      u.path = bgp::AsPath{static_cast<bgp::AsNumber>(1 + rng() % 5),
+                           static_cast<bgp::AsNumber>(6 + rng() % 5)};
+      updates.push_back(u);
+    }
+  }
+  std::sort(updates.begin(), updates.end(),
+            [](const bgp::Update& a, const bgp::Update& b) {
+              return a.time < b.time;
+            });
+  red::PrefixReconstitution reconstitution(updates);
+  // RP({v0}) <= RP({v0,v1}) <= ... (superset monotonicity).
+  std::vector<bgp::VpId> set;
+  double previous = 0.0;
+  for (bgp::VpId vp = 0; vp < 8; ++vp) {
+    set.push_back(vp);
+    const double rp = reconstitution.reconstitution_power(set);
+    EXPECT_GE(rp, previous - 1e-12);
+    previous = rp;
+  }
+  EXPECT_DOUBLE_EQ(previous, reconstitution.reconstitution_power(set));
+}
+
+TEST_P(SeededProperty, FilterDecisionsArePureAndConsistent) {
+  std::mt19937_64 rng(GetParam() ^ 0x77);
+  filt::FilterTable table;
+  std::vector<bgp::Update> dropped;
+  for (int i = 0; i < 200; ++i) {
+    const auto update = random_update(rng);
+    if (rng() % 2) {
+      table.add_drop(update.vp, update.prefix);
+      dropped.push_back(update);
+    }
+  }
+  for (const auto& update : dropped) {
+    EXPECT_FALSE(table.accept(update));
+    // Accept decisions are pure: same input, same answer.
+    EXPECT_FALSE(table.accept(update));
+  }
+  // Anchor status overrides every drop rule.
+  for (const auto& update : dropped) table.add_anchor(update.vp);
+  for (const auto& update : dropped) {
+    EXPECT_TRUE(table.accept(update));
+  }
+}
+
+}  // namespace
+}  // namespace gill

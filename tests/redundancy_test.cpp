@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include "bgp/delta.hpp"
+#include "redundancy/component1.hpp"
+#include "redundancy/correlation.hpp"
+#include "redundancy/definitions.hpp"
+#include "redundancy/reconstitution.hpp"
+#include "simulator/internet.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+
+namespace gill::red {
+namespace {
+
+using bgp::AnnotatedUpdate;
+using bgp::AsPath;
+using bgp::Update;
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse(text).value(); }
+
+Update make(VpId vp, Timestamp t, const char* prefix,
+            std::initializer_list<bgp::AsNumber> path,
+            CommunitySet communities = {}) {
+  Update u;
+  u.vp = vp;
+  u.time = t;
+  u.prefix = pfx(prefix);
+  u.path = AsPath(path);
+  u.communities = std::move(communities);
+  return u;
+}
+
+std::vector<AnnotatedUpdate> annotate(std::vector<Update> updates) {
+  bgp::UpdateStream stream(std::move(updates));
+  return bgp::DeltaTracker::annotate_stream(stream);
+}
+
+// ---------------------------------------------------------------------------
+// §4.2 conditions and definitions.
+// ---------------------------------------------------------------------------
+
+TEST(Definitions, Condition1TimeAndPrefix) {
+  const auto updates = annotate({
+      make(1, 0, "10.0.0.0/24", {2, 1, 4}),
+      make(2, 99, "10.0.0.0/24", {6, 2, 1, 4}),
+      make(3, 100, "10.0.0.0/24", {5, 1, 4}),
+      make(4, 0, "10.0.1.0/24", {2, 1, 4}),
+  });
+  auto by_vp = [&](VpId vp) -> const AnnotatedUpdate& {
+    for (const auto& u : updates) {
+      if (u.update.vp == vp) return u;
+    }
+    ADD_FAILURE() << "vp " << vp << " missing";
+    return updates.front();
+  };
+  EXPECT_TRUE(condition1(by_vp(1), by_vp(2)));
+  EXPECT_FALSE(condition1(by_vp(1), by_vp(3)));  // exactly 100 s
+  EXPECT_FALSE(condition1(by_vp(1), by_vp(4)));  // different prefix
+}
+
+TEST(Definitions, Condition2LinkInclusionIsAsymmetric) {
+  const auto updates = annotate({
+      make(1, 0, "10.0.0.0/24", {2, 1, 4}),     // links {2-1, 1-4}
+      make(2, 10, "10.0.0.0/24", {6, 2, 1, 4}), // links {6-2, 2-1, 1-4}
+  });
+  EXPECT_TRUE(condition2(updates[0], updates[1]));
+  EXPECT_FALSE(condition2(updates[1], updates[0]));
+  EXPECT_TRUE(redundant_with(updates[0], updates[1], Definition::kDef2));
+  EXPECT_FALSE(redundant_with(updates[1], updates[0], Definition::kDef2));
+}
+
+TEST(Definitions, Condition3CommunityInclusion) {
+  const auto updates = annotate({
+      make(1, 0, "10.0.0.0/24", {2, 1, 4}, CommunitySet{{10, 1}}),
+      make(2, 10, "10.0.0.0/24", {6, 2, 1, 4},
+           CommunitySet{{10, 1}, {20, 2}}),
+      make(3, 20, "10.0.0.0/24", {5, 2, 1, 4}, CommunitySet{{30, 3}}),
+  });
+  EXPECT_TRUE(condition3(updates[0], updates[1]));
+  EXPECT_FALSE(condition3(updates[1], updates[0]));
+  EXPECT_TRUE(redundant_with(updates[0], updates[1], Definition::kDef3));
+  EXPECT_FALSE(redundant_with(updates[0], updates[2], Definition::kDef3));
+}
+
+TEST(Definitions, StrictnessOrdering) {
+  // Def3 => Def2 => Def1 for any pair (property check over a small stream).
+  const auto updates = annotate({
+      make(1, 0, "10.0.0.0/24", {2, 1, 4}, CommunitySet{{10, 1}}),
+      make(2, 10, "10.0.0.0/24", {6, 2, 1, 4}, CommunitySet{{10, 1}, {9, 9}}),
+      make(3, 50, "10.0.0.0/24", {5, 4}, CommunitySet{{7, 7}}),
+      make(1, 250, "10.0.0.0/24", {2, 4}),
+      make(2, 280, "10.0.0.0/24", {6, 2, 4}),
+  });
+  for (const auto& a : updates) {
+    for (const auto& b : updates) {
+      if (&a == &b) continue;
+      if (redundant_with(a, b, Definition::kDef3)) {
+        EXPECT_TRUE(redundant_with(a, b, Definition::kDef2));
+      }
+      if (redundant_with(a, b, Definition::kDef2)) {
+        EXPECT_TRUE(redundant_with(a, b, Definition::kDef1));
+      }
+    }
+  }
+}
+
+TEST(Analyzer, UpdateFractionDecreasesWithStricterDefinitions) {
+  // Simulated hour on a mid-size topology: the strictness ordering of §4.2
+  // must show up as monotonically decreasing redundancy fractions.
+  const auto topology = topo::generate_artificial({.as_count = 300, .seed = 21});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 300; as += 6) config.vp_hosts.push_back(as);
+  config.rng_seed = 9;
+  sim::Internet internet(topology, config);
+  sim::WorkloadConfig workload;
+  workload.seed = 10;
+  const auto stream = sim::generate_workload(internet, 0, workload);
+  ASSERT_GT(stream.size(), 100u);
+
+  const auto annotated = bgp::DeltaTracker::annotate_stream(stream);
+  RedundancyAnalyzer analyzer(annotated);
+  const double d1 = analyzer.redundant_update_fraction(Definition::kDef1);
+  const double d2 = analyzer.redundant_update_fraction(Definition::kDef2);
+  const double d3 = analyzer.redundant_update_fraction(Definition::kDef3);
+  EXPECT_GE(d1, d2);
+  EXPECT_GE(d2, d3);
+  EXPECT_GT(d1, 0.5);  // BGP data is highly redundant
+}
+
+TEST(Analyzer, VpRedundancyMatrix) {
+  // VP 1 and VP 2 observe identical bursts; VP 3 sees something unique.
+  std::vector<Update> updates;
+  for (int burst = 0; burst < 5; ++burst) {
+    const Timestamp t = burst * 1000;
+    updates.push_back(make(1, t, "10.0.0.0/24", {2, 1, 4}));
+    updates.push_back(make(2, t + 10, "10.0.0.0/24", {2, 1, 4}));
+    updates.push_back(
+        make(3, t + 20, "10.0.0.0/24", {9, 8, 7, 5, 1, 4}));
+  }
+  const auto annotated = annotate(std::move(updates));
+  RedundancyAnalyzer analyzer(annotated);
+  const auto matrix = analyzer.vp_redundancy_matrix(Definition::kDef2);
+  // vps() is sorted: index 0 = VP1, 1 = VP2, 2 = VP3.
+  EXPECT_TRUE(matrix[0][1]);
+  EXPECT_TRUE(matrix[1][0]);
+  EXPECT_FALSE(matrix[2][0]);  // VP3's long path is included in nobody's
+  const double fraction = analyzer.redundant_vp_fraction(Definition::kDef2);
+  EXPECT_NEAR(fraction, 2.0 / 3.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation groups (§17.1) — including the Fig. 10 walk-through.
+// ---------------------------------------------------------------------------
+
+TEST(Correlation, Fig10GroupsAndWeights) {
+  // Events #1..#4 of Fig. 10 for prefix p1 (events 1000 s apart).
+  std::vector<Update> updates{
+      // Event #1: failure of 2-4.
+      make(1, 0, "10.4.1.0/24", {2, 1, 4}),
+      make(2, 10, "10.4.1.0/24", {6, 2, 1, 4}),
+      // Event #2: restoration.
+      make(1, 1000, "10.4.1.0/24", {2, 4}),
+      make(2, 1010, "10.4.1.0/24", {6, 2, 4}),
+      // Event #3: double failure.
+      make(1, 2000, "10.4.1.0/24", {2, 1, 4}),
+      make(2, 2010, "10.4.1.0/24", {6, 3, 1, 4}),
+      // Event #4: both restored — same attributes as event #2.
+      make(1, 3000, "10.4.1.0/24", {2, 4}),
+      make(2, 3010, "10.4.1.0/24", {6, 2, 4}),
+  };
+  const auto corr = PrefixCorrelations::build(updates);
+  ASSERT_EQ(corr.groups().size(), 3u);  // G1, G2, G3 of Fig. 10
+  // G2 (the restoration group) has weight 2.
+  std::vector<std::uint32_t> weights;
+  for (const auto& g : corr.groups()) weights.push_back(g.weight);
+  std::sort(weights.begin(), weights.end());
+  EXPECT_EQ(weights, (std::vector<std::uint32_t>{1, 1, 2}));
+
+  const auto* heaviest = corr.heaviest_group_for(
+      UpdateSignature::of(make(2, 0, "10.4.1.0/24", {6, 2, 4})));
+  ASSERT_NE(heaviest, nullptr);
+  EXPECT_EQ(heaviest->weight, 2u);
+  EXPECT_EQ(heaviest->members.size(), 2u);
+}
+
+TEST(Correlation, BurstsSplitOnWindow) {
+  std::vector<Update> updates{
+      make(1, 0, "10.0.0.0/24", {1, 2}),
+      make(2, 90, "10.0.0.0/24", {3, 2}),   // gap 90 < 100: same burst
+      make(1, 250, "10.0.0.0/24", {1, 2}),  // gap 160: new burst
+  };
+  const auto corr = PrefixCorrelations::build(updates);
+  ASSERT_EQ(corr.groups().size(), 2u);
+  EXPECT_EQ(corr.groups()[0].members.size(), 2u);
+  EXPECT_EQ(corr.groups()[1].members.size(), 1u);
+}
+
+TEST(Correlation, UnknownSignatureHasNoGroups) {
+  const auto corr = PrefixCorrelations::build(
+      {make(1, 0, "10.0.0.0/24", {1, 2})});
+  EXPECT_TRUE(
+      corr.groups_containing(
+              UpdateSignature::of(make(9, 0, "10.0.0.0/24", {9, 9})))
+          .empty());
+  EXPECT_EQ(corr.heaviest_group_for(
+                UpdateSignature::of(make(9, 0, "10.0.0.0/24", {9, 9}))),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Reconstitution power (§17.2) — the appendix's own worked example.
+// ---------------------------------------------------------------------------
+
+std::vector<Update> fig10_updates() {
+  return {
+      make(1, 0, "10.4.1.0/24", {2, 1, 4}),        // U1
+      make(2, 10, "10.4.1.0/24", {6, 2, 1, 4}),    // U2
+      make(1, 1000, "10.4.1.0/24", {2, 4}),        // U3
+      make(2, 1010, "10.4.1.0/24", {6, 2, 4}),     // U4
+      make(1, 2000, "10.4.1.0/24", {2, 1, 4}),     // U5
+      make(2, 2010, "10.4.1.0/24", {6, 3, 1, 4}),  // U6
+      make(1, 3000, "10.4.1.0/24", {2, 4}),        // U7
+      make(2, 3010, "10.4.1.0/24", {6, 2, 4}),     // U8
+  };
+}
+
+TEST(Reconstitution, Vp2ReconstitutesEverything) {
+  PrefixReconstitution reconstitution(fig10_updates());
+  // §17.2: U = {U2, U4, U6, U8} (all from VP2) reconstitutes V entirely.
+  EXPECT_DOUBLE_EQ(reconstitution.reconstitution_power({2}), 1.0);
+  EXPECT_DOUBLE_EQ(reconstitution.incorrect_reconstitution_fraction({2}), 0.0);
+}
+
+TEST(Reconstitution, Vp1AloneCannotReconstituteEverything) {
+  PrefixReconstitution reconstitution(fig10_updates());
+  // §17.2: U1 and U5 are identical but correlate with different updates, so
+  // either U2 or U6 is missed and one update is incorrectly reconstituted.
+  EXPECT_LT(reconstitution.reconstitution_power({1}), 1.0);
+  EXPECT_GT(reconstitution.incorrect_reconstitution_fraction({1}), 0.0);
+}
+
+TEST(Reconstitution, GreedyPicksVp2) {
+  PrefixReconstitution reconstitution(fig10_updates());
+  const auto result = reconstitution.greedy_select(0.94);
+  ASSERT_EQ(result.selected_vps.size(), 1u);
+  EXPECT_EQ(result.selected_vps[0], 2u);
+  EXPECT_DOUBLE_EQ(result.final_rp, 1.0);
+  EXPECT_EQ(result.selected_update_count, 4u);
+  ASSERT_EQ(result.rp_curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.retained_fraction_curve[0], 0.5);
+}
+
+TEST(Reconstitution, RpCurveIsMonotonic) {
+  // Larger stream: the greedy RP curve must be nondecreasing.
+  const auto topology = topo::generate_artificial({.as_count = 200, .seed = 2});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 200; as += 5) config.vp_hosts.push_back(as);
+  sim::Internet internet(topology, config);
+  sim::WorkloadConfig workload;
+  workload.seed = 3;
+  const auto stream = sim::generate_workload(internet, 0, workload);
+  // Pick the busiest prefix.
+  std::map<net::Prefix, std::vector<Update>> by_prefix;
+  for (const auto& u : stream) by_prefix[u.prefix].push_back(u);
+  const auto busiest = std::max_element(
+      by_prefix.begin(), by_prefix.end(), [](const auto& a, const auto& b) {
+        return a.second.size() < b.second.size();
+      });
+  ASSERT_NE(busiest, by_prefix.end());
+  PrefixReconstitution reconstitution(busiest->second);
+  const auto result = reconstitution.greedy_select(1.01);  // run to the end
+  for (std::size_t i = 1; i < result.rp_curve.size(); ++i) {
+    EXPECT_GE(result.rp_curve[i], result.rp_curve[i - 1]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Component #1 end to end.
+// ---------------------------------------------------------------------------
+
+TEST(Component1, AllOrNothingPerVpPrefix) {
+  bgp::UpdateStream stream(fig10_updates());
+  const auto result = find_redundant_updates(stream);
+  // VP2's updates for the prefix are nonredundant; VP1's are redundant.
+  EXPECT_TRUE(
+      result.nonredundant.contains(VpPrefix{2, pfx("10.4.1.0/24")}));
+  EXPECT_TRUE(result.redundant.contains(VpPrefix{1, pfx("10.4.1.0/24")}));
+  EXPECT_EQ(result.total_updates, 8u);
+  EXPECT_EQ(result.nonredundant_updates, 4u);
+  EXPECT_DOUBLE_EQ(result.retained_fraction(), 0.5);
+}
+
+TEST(Component1, CrossPrefixDeduplication) {
+  // Two prefixes of the same origin receive identical updates (p1/p2 of
+  // Fig. 5); step 3 keeps only one prefix's worth.
+  std::vector<Update> updates;
+  for (const char* prefix : {"10.4.1.0/24", "10.4.2.0/24"}) {
+    for (const auto& u : fig10_updates()) {
+      Update copy = u;
+      copy.prefix = pfx(prefix);
+      updates.push_back(copy);
+    }
+  }
+  bgp::UpdateStream stream(std::move(updates));
+
+  Component1Config with_dedup;
+  const auto deduped = find_redundant_updates(stream, with_dedup);
+  Component1Config without_dedup;
+  without_dedup.cross_prefix = false;
+  const auto plain = find_redundant_updates(stream, without_dedup);
+
+  EXPECT_EQ(plain.nonredundant_updates, 8u);
+  EXPECT_EQ(deduped.nonredundant_updates, 4u);
+  // One of the two (VP2, prefix) pairs was reclassified as redundant.
+  EXPECT_EQ(deduped.nonredundant.size(), 1u);
+  EXPECT_EQ(deduped.redundant.size(), 3u);
+}
+
+TEST(Component1, RetainedFractionShrinksOnRedundantStreams) {
+  const auto topology = topo::generate_artificial({.as_count = 250, .seed = 5});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 250; as += 4) config.vp_hosts.push_back(as);
+  config.rng_seed = 11;
+  sim::Internet internet(topology, config);
+  sim::WorkloadConfig workload;
+  workload.seed = 12;
+  const auto stream = sim::generate_workload(internet, 0, workload);
+  ASSERT_GT(stream.size(), 200u);
+
+  const auto result = find_redundant_updates(stream);
+  // Many VPs see the same events: most updates must be classified
+  // redundant, echoing the paper's |U|/|V| ≈ 0.07–0.16.
+  EXPECT_LT(result.retained_fraction(), 0.6);
+  EXPECT_GT(result.retained_fraction(), 0.0);
+  EXPECT_GE(result.mean_rp, 0.85);
+  // Classification covers every (vp, prefix) pair exactly once.
+  for (const auto& key : result.nonredundant) {
+    EXPECT_FALSE(result.redundant.contains(key));
+  }
+}
+
+TEST(Correlation, WeightAccumulatesAcrossRepeatedBursts) {
+  std::vector<Update> updates;
+  for (int burst = 0; burst < 7; ++burst) {
+    updates.push_back(make(1, burst * 1000, "10.0.0.0/24", {2, 4}));
+    updates.push_back(make(2, burst * 1000 + 10, "10.0.0.0/24", {6, 2, 4}));
+  }
+  const auto corr = PrefixCorrelations::build(updates);
+  ASSERT_EQ(corr.groups().size(), 1u);
+  EXPECT_EQ(corr.groups()[0].weight, 7u);
+  EXPECT_EQ(corr.groups()[0].members.size(), 2u);
+}
+
+TEST(Correlation, WithdrawalsAreDistinctSignatures) {
+  std::vector<Update> updates;
+  updates.push_back(make(1, 0, "10.0.0.0/24", {2, 4}));
+  Update withdrawal;
+  withdrawal.vp = 1;
+  withdrawal.time = 10;
+  withdrawal.prefix = pfx("10.0.0.0/24");
+  withdrawal.withdrawal = true;
+  updates.push_back(withdrawal);
+  const auto corr = PrefixCorrelations::build(updates);
+  ASSERT_EQ(corr.groups().size(), 1u);
+  // One burst containing two distinct signatures (announce + withdraw).
+  EXPECT_EQ(corr.groups()[0].members.size(), 2u);
+}
+
+TEST(Reconstitution, EmptySelectionReconstitutesNothing) {
+  PrefixReconstitution reconstitution(fig10_updates());
+  EXPECT_DOUBLE_EQ(reconstitution.reconstitution_power({}), 0.0);
+  EXPECT_DOUBLE_EQ(reconstitution.reconstitution_power({999}), 0.0);
+}
+
+TEST(Component1, SingleVpStreamRetainsEverything) {
+  // With one VP there is nothing redundant to discard: the greedy pass
+  // selects the VP itself for every prefix.
+  std::vector<Update> updates;
+  for (int i = 0; i < 10; ++i) {
+    updates.push_back(make(1, i * 1000, "10.0.0.0/24",
+                           {2, static_cast<bgp::AsNumber>(4 + i % 2)}));
+  }
+  bgp::UpdateStream stream(std::move(updates));
+  const auto result = find_redundant_updates(stream);
+  EXPECT_EQ(result.nonredundant.size(), 1u);
+  EXPECT_TRUE(result.redundant.empty());
+  EXPECT_DOUBLE_EQ(result.retained_fraction(), 1.0);
+}
+
+TEST(Component1, ThresholdControlsRetention) {
+  // Lower RP thresholds must never retain more than higher ones.
+  const auto topology = topo::generate_artificial({.as_count = 200, .seed = 9});
+  sim::InternetConfig config;
+  for (bgp::AsNumber as = 0; as < 200; as += 4) config.vp_hosts.push_back(as);
+  sim::Internet internet(topology, config);
+  sim::WorkloadConfig workload;
+  workload.seed = 10;
+  workload.duration = 1800;
+  const auto stream = sim::generate_workload(internet, 0, workload);
+  double previous = 0.0;
+  for (const double threshold : {0.3, 0.6, 0.9, 0.99}) {
+    Component1Config c;
+    c.rp_threshold = threshold;
+    const auto result = find_redundant_updates(stream, c);
+    EXPECT_GE(result.retained_fraction(), previous - 1e-9) << threshold;
+    previous = result.retained_fraction();
+  }
+}
+
+}  // namespace
+}  // namespace gill::red

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "sampling/schemes.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+#include "usecases/detectors.hpp"
+
+namespace gill::sample {
+namespace {
+
+/// A shared mid-size world: topology, VPs, one training hour and one
+/// evaluation hour.
+struct World {
+  topo::AsTopology topology;
+  sim::InternetConfig config;
+  std::unique_ptr<sim::Internet> internet;
+  bgp::UpdateStream ribs;
+  bgp::UpdateStream training;
+  bgp::UpdateStream eval;
+  std::vector<sim::GroundTruth> truths;
+  uc::OriginTable origins;
+
+  explicit World(std::uint64_t seed = 30)
+      : topology(topo::generate_artificial({.as_count = 300, .seed = seed})) {
+    for (bgp::AsNumber as = 0; as < 300; as += 5) {
+      config.vp_hosts.push_back(as);
+    }
+    config.rng_seed = seed + 1;
+    config.path_exploration_probability = 0.3;
+    internet = std::make_unique<sim::Internet>(topology, config);
+    ribs = internet->rib_dump(0);
+    origins = uc::OriginTable::from_rib(ribs);
+
+    sim::WorkloadConfig training_workload;
+    training_workload.seed = seed + 2;
+    training = sim::generate_workload(*internet, 10, training_workload);
+    internet->ground_truth().clear();  // evaluation truths only
+
+    sim::WorkloadConfig eval_workload;
+    eval_workload.seed = seed + 3;
+    eval = sim::generate_workload(*internet, 4000, eval_workload);
+    truths = internet->ground_truth();
+  }
+
+  SamplingContext context() const {
+    SamplingContext ctx;
+    ctx.all_updates = &eval;
+    ctx.all_ribs = &ribs;
+    ctx.training = &training;
+    ctx.training_ribs = &ribs;
+    ctx.topology = &topology;
+    ctx.vp_hosts = &config.vp_hosts;
+    ctx.truths = &truths;
+    ctx.origins = &origins;
+    ctx.seed = 99;
+    return ctx;
+  }
+};
+
+const World& world() {
+  static World instance;
+  return instance;
+}
+
+TEST(Gill, PipelineRetainsMinorityOfUpdates) {
+  const auto ctx = world().context();
+  GillSampler gill;
+  const auto sample = gill.sample(ctx, 0);
+  ASSERT_GT(sample.updates.size(), 0u);
+  // The whole point: a small fraction of the full stream is retained.
+  EXPECT_LT(sample.updates.size(), ctx.all_updates->size());
+  // Anchors contribute their full RIBs.
+  const auto& pipeline = gill.last_pipeline();
+  EXPECT_FALSE(pipeline.anchors.empty());
+  EXPECT_GT(sample.ribs.size(), 0u);
+  EXPECT_GT(pipeline.filters.drop_rule_count(), 0u);
+  EXPECT_GT(pipeline.events_used, 0u);
+}
+
+TEST(Gill, AnchorUpdatesAreNeverFiltered) {
+  const auto ctx = world().context();
+  GillSampler gill;
+  const auto sample = gill.sample(ctx, 0);
+  const auto& pipeline = gill.last_pipeline();
+  // Every eval update from an anchor VP must be in the sample.
+  std::size_t anchor_updates = 0;
+  for (const auto& update : *ctx.all_updates) {
+    if (pipeline.filters.is_anchor(update.vp)) ++anchor_updates;
+  }
+  std::size_t sampled_anchor_updates = 0;
+  for (const auto& update : sample.updates) {
+    if (pipeline.filters.is_anchor(update.vp)) ++sampled_anchor_updates;
+  }
+  EXPECT_EQ(anchor_updates, sampled_anchor_updates);
+}
+
+TEST(Gill, BudgetCapsRetainedUpdates) {
+  const auto ctx = world().context();
+  GillSampler gill;
+  const auto sample = gill.sample(ctx, 50);
+  EXPECT_LE(sample.updates.size(), 50u);
+}
+
+TEST(Baselines, AllSchemesRespectTheBudget) {
+  const auto ctx = world().context();
+  const std::size_t budget = 300;
+  std::vector<std::unique_ptr<Sampler>> samplers;
+  samplers.push_back(std::make_unique<RandomUpdateSampler>());
+  samplers.push_back(std::make_unique<RandomVpSampler>());
+  samplers.push_back(std::make_unique<AsDistanceSampler>());
+  samplers.push_back(std::make_unique<UnbiasedSampler>());
+  samplers.push_back(
+      std::make_unique<DefinitionSampler>(red::Definition::kDef1));
+  samplers.push_back(
+      std::make_unique<DefinitionSampler>(red::Definition::kDef3));
+  for (const auto& sampler : samplers) {
+    const auto sample = sampler->sample(ctx, budget);
+    EXPECT_LE(sample.updates.size(), budget) << sampler->name();
+    EXPECT_GT(sample.updates.size(), 0u) << sampler->name();
+  }
+}
+
+TEST(Baselines, RandomUpdateSamplerIsDeterministicPerSeed) {
+  auto ctx = world().context();
+  RandomUpdateSampler sampler;
+  const auto a = sampler.sample(ctx, 100);
+  const auto b = sampler.sample(ctx, 100);
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  for (std::size_t i = 0; i < a.updates.size(); ++i) {
+    EXPECT_EQ(a.updates.updates()[i], b.updates.updates()[i]);
+  }
+  ctx.seed = 123;
+  const auto c = sampler.sample(ctx, 100);
+  bool differs = c.updates.size() != a.updates.size();
+  for (std::size_t i = 0; !differs && i < a.updates.size(); ++i) {
+    differs = !(a.updates.updates()[i] == c.updates.updates()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Baselines, VpSchemesIncludeRibsOfSelectedVpsOnly) {
+  const auto ctx = world().context();
+  RandomVpSampler sampler;
+  const auto sample = sampler.sample(ctx, 500);
+  std::set<bgp::VpId> update_vps;
+  for (const auto& u : sample.updates) update_vps.insert(u.vp);
+  for (const auto& entry : sample.ribs) {
+    EXPECT_TRUE(update_vps.contains(entry.vp) || sample.updates.empty());
+  }
+}
+
+TEST(Baselines, CollectVpsHonorsOrderAndBudget) {
+  const auto ctx = world().context();
+  const auto sample = collect_vps(ctx, {0, 1, 2}, 10);
+  EXPECT_LE(sample.updates.size(), 10u);
+  for (const auto& update : sample.updates) {
+    EXPECT_LE(update.vp, 2u);
+  }
+}
+
+TEST(UseCaseSpecifics, OutperformOnTheirOwnObjective) {
+  const auto ctx = world().context();
+  // Budget: what GILL would retain, to mirror the paper's setup.
+  GillSampler gill;
+  const auto gill_sample = gill.sample(ctx, 0);
+  const std::size_t budget = gill_sample.updates.size();
+  ASSERT_GT(budget, 0u);
+
+  const UseCaseSampler topo_specific(UseCase::kTopologyMapping);
+  const auto specific_sample = topo_specific.sample(ctx, budget);
+  RandomVpSampler random;
+  const auto random_sample = random.sample(ctx, budget);
+
+  const double specific_score =
+      score_use_case(UseCase::kTopologyMapping, specific_sample, ctx);
+  const double random_score =
+      score_use_case(UseCase::kTopologyMapping, random_sample, ctx);
+  // The overfit scheme must beat a random pick on its own objective.
+  EXPECT_GE(specific_score, random_score);
+}
+
+TEST(Scores, GillBeatsRandomVpOnMostUseCases) {
+  const auto ctx = world().context();
+  GillSampler gill;
+  const auto gill_sample = gill.sample(ctx, 0);
+  const std::size_t budget = gill_sample.updates.size();
+  RandomVpSampler random;
+  const auto random_sample = random.sample(ctx, budget);
+
+  int wins = 0;
+  int total = 0;
+  for (const UseCase use_case :
+       {UseCase::kTransientPaths, UseCase::kMoas, UseCase::kTopologyMapping,
+        UseCase::kActionComms, UseCase::kUnchangedPaths}) {
+    const double g = score_use_case(use_case, gill_sample, ctx);
+    const double r = score_use_case(use_case, random_sample, ctx);
+    ++total;
+    if (g >= r - 0.05) ++wins;  // the paper's ±5% similarity band
+  }
+  // GILL should match or beat random-VP on (at least) most use cases.
+  EXPECT_GE(wins, total - 1);
+}
+
+TEST(GillVariants, UpdAndVpAreSimplifications) {
+  const auto ctx = world().context();
+  GillUpdSampler upd;
+  const auto upd_sample = upd.sample(ctx, 0);
+  EXPECT_GT(upd_sample.updates.size(), 0u);
+  EXPECT_EQ(upd_sample.ribs.size(), 0u);  // no anchors => no full RIBs
+
+  GillVpSampler vp;
+  const auto vp_sample = vp.sample(ctx, 0);
+  EXPECT_GT(vp_sample.ribs.size(), 0u);
+  // GILL-vp keeps only whole VPs.
+  std::set<bgp::VpId> vp_set;
+  for (const auto& entry : vp_sample.ribs) vp_set.insert(entry.vp);
+  for (const auto& update : vp_sample.updates) {
+    EXPECT_TRUE(vp_set.contains(update.vp));
+  }
+}
+
+TEST(Names, SchemesReportPaperNames) {
+  EXPECT_EQ(GillSampler().name(), "GILL");
+  EXPECT_EQ(GillUpdSampler().name(), "GILL-upd");
+  EXPECT_EQ(GillVpSampler().name(), "GILL-vp");
+  EXPECT_EQ(RandomUpdateSampler().name(), "Rnd.-Upd.");
+  EXPECT_EQ(RandomVpSampler().name(), "Rnd.-VP");
+  EXPECT_EQ(AsDistanceSampler().name(), "AS-Dist.");
+  EXPECT_EQ(UnbiasedSampler().name(), "Unbiased");
+  EXPECT_EQ(DefinitionSampler(red::Definition::kDef2).name(), "Def. 2");
+  EXPECT_EQ(UseCaseSampler(UseCase::kMoas).name(), "Spec. II");
+}
+
+}  // namespace
+}  // namespace gill::sample

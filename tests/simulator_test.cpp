@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "netbase/prefix_alloc.hpp"
+#include "simulator/internet.hpp"
+#include "simulator/routing.hpp"
+#include "simulator/workload.hpp"
+#include "topology/generator.hpp"
+
+namespace gill::sim {
+namespace {
+
+using topo::fig5_topology;
+
+// ---------------------------------------------------------------------------
+// Routing engine vs. the paper's own Fig. 5 / Fig. 10 example.
+// ---------------------------------------------------------------------------
+
+TEST(Routing, Fig5PrimaryPaths) {
+  const auto topology = fig5_topology();
+  RoutingEngine engine(topology);
+
+  // Destination p1/p2: origin AS4.
+  const auto to4 = engine.compute(4);
+  EXPECT_EQ(to4.path(2).str(), "2 4");      // peer route over the 2-4 link
+  EXPECT_EQ(to4.path(6).str(), "6 2 4");    // via provider 2
+  EXPECT_EQ(to4.path(1).str(), "1 4");      // customer route
+  EXPECT_EQ(to4.path(3).str(), "3 1 4");    // peer route via Tier-1 peering
+  // Information hiding: AS5 only has a peer route at 6 upstream, which is
+  // not exported over the 5-6 peering — 5 and 7 cannot reach p1.
+  EXPECT_FALSE(to4.has_route(5));
+  EXPECT_FALSE(to4.has_route(7));
+
+  // Destination p3: origin AS6.
+  const auto to6 = engine.compute(6);
+  EXPECT_EQ(to6.path(2).str(), "2 6");
+  EXPECT_EQ(to6.path(4).str(), "4 2 6");  // peer route via 2-4
+  EXPECT_EQ(to6.path(5).str(), "5 6");    // peer route
+  EXPECT_EQ(to6.path(7).str(), "7 5 6");  // provider route
+  EXPECT_EQ(to6.path(1).str(), "1 2 6");  // customer route via 2
+}
+
+TEST(Routing, Fig5FailureOfPeeringLink) {
+  const auto topology = fig5_topology();
+  RoutingEngine engine(topology);
+  engine.fail_link(2, 4);
+
+  const auto to4 = engine.compute(4);
+  // Exactly the updates of Fig. 5a: AS2 falls back to its provider, AS6
+  // follows (tie between providers 2 and 3 broken by lowest next-hop id).
+  EXPECT_EQ(to4.path(2).str(), "2 1 4");
+  EXPECT_EQ(to4.path(6).str(), "6 2 1 4");
+
+  // Fig. 5b: VP3 at AS4 also loses the peering route toward p3.
+  const auto to6 = engine.compute(6);
+  EXPECT_EQ(to6.path(4).str(), "4 1 2 6");
+}
+
+TEST(Routing, Fig10DoubleFailure) {
+  const auto topology = fig5_topology();
+  RoutingEngine engine(topology);
+  engine.fail_link(2, 4);
+  engine.fail_link(2, 6);
+  const auto to4 = engine.compute(4);
+  // Event #3 of Fig. 10: VP2 at AS6 circumvents both failures via AS3.
+  EXPECT_EQ(to4.path(6).str(), "6 3 1 4");
+  EXPECT_EQ(to4.path(2).str(), "2 1 4");
+  engine.restore_link(2, 4);
+  engine.restore_link(2, 6);
+  const auto restored = engine.compute(4);
+  EXPECT_EQ(restored.path(6).str(), "6 2 4");
+}
+
+TEST(Routing, Fig5OriginHijackAttractsNearbyAses) {
+  const auto topology = fig5_topology();
+  RoutingEngine engine(topology);
+  // AS7 illegitimately originates p3 (owned by AS6).
+  const auto routing =
+      engine.compute({Seed{6, 0, {}}, Seed{7, 0, {}}});
+  // VP4 at AS5 prefers its customer route to the hijacker.
+  EXPECT_EQ(routing.path(5).str(), "5 7");
+  EXPECT_EQ(routing.seed_index(5), 1);
+  // The rest of the topology keeps the legitimate origin.
+  EXPECT_EQ(routing.path(2).str(), "2 6");
+  EXPECT_EQ(routing.seed_index(2), 0);
+  EXPECT_EQ(routing.path(4).str(), "4 2 6");
+}
+
+TEST(Routing, ForgedOriginHijackTypes) {
+  const auto topology = fig5_topology();
+  RoutingEngine engine(topology);
+  // Type-1: AS7 forges adjacency 7-6 and announces p3 with path "7 6".
+  const auto type1 =
+      engine.compute({Seed{6, 0, {}}, Seed{7, 1, {6}}});
+  EXPECT_EQ(type1.path(5).str(), "5 7 6");  // customer beats peer despite len
+  const auto path5 = type1.path(5);
+  EXPECT_EQ(path5.origin(), 6u);  // forged origin preserved in the path
+
+  // Type-2 adds one more forged hop, making the route less attractive
+  // length-wise but still customer-preferred at AS5.
+  const auto type2 =
+      engine.compute({Seed{6, 0, {}}, Seed{7, 2, {5, 6}}});
+  EXPECT_EQ(type2.path(5).size(), 4u);
+}
+
+TEST(Routing, ValleyFreePropertyOnGeneratedTopology) {
+  const auto topology = topo::generate_artificial({.as_count = 400, .seed = 8});
+  RoutingEngine engine(topology);
+  // Every computed path must be valley-free: once the path goes "down"
+  // (provider->customer) or across a peering, it may never go "up" or
+  // across again. Walking from the origin toward the receiver: uphill
+  // (customer->provider) segments first, at most one peering, then downhill.
+  for (AsNumber origin = 0; origin < topology.as_count(); origin += 7) {
+    const auto routing = engine.compute(origin);
+    for (AsNumber as = 0; as < topology.as_count(); as += 3) {
+      if (!routing.has_route(as)) continue;
+      const auto path = routing.path(as);
+      const auto& hops = path.hops();
+      // Traverse from origin side (back) to receiver (front):
+      // phase 0 = climbing c2p, 1 = after peering/plateau, descending only.
+      int phase = 0;
+      for (std::size_t i = hops.size(); i-- >= 2;) {
+        const AsNumber lower = hops[i];       // closer to origin
+        const AsNumber upper = hops[i - 1];   // closer to receiver
+        const auto rel = topology.relationship(lower, upper);
+        ASSERT_TRUE(rel.has_value())
+            << "nonexistent link " << upper << "-" << lower;
+        const bool is_p2p = *rel == topo::Relationship::kPeerToPeer;
+        bool upward = false;
+        if (!is_p2p) {
+          // c2p stored as (customer, provider): upward if lower is customer.
+          const auto& providers = topology.providers(lower);
+          upward = std::find(providers.begin(), providers.end(), upper) !=
+                   providers.end();
+        }
+        if (phase == 0) {
+          if (is_p2p || !upward) phase = 1;
+        } else {
+          EXPECT_FALSE(is_p2p) << "second peering in " << path.str();
+          EXPECT_FALSE(upward) << "valley in " << path.str();
+        }
+        if (i == 1) break;
+      }
+    }
+  }
+}
+
+TEST(Routing, TreeLinkUsage) {
+  const auto topology = fig5_topology();
+  RoutingEngine engine(topology);
+  const auto to4 = engine.compute(4);
+  EXPECT_TRUE(to4.uses_link(2, 4));
+  EXPECT_TRUE(to4.uses_link(4, 2));  // undirected
+  EXPECT_FALSE(to4.uses_link(5, 6));
+}
+
+// ---------------------------------------------------------------------------
+// Internet event engine.
+// ---------------------------------------------------------------------------
+
+InternetConfig fig5_config() {
+  InternetConfig config;
+  config.vp_hosts = {2, 6, 4, 5};  // VP1..VP4 of the paper (VpIds 0..3)
+  config.prefixes.resize(8);
+  config.prefixes[4] = {net::Prefix::parse("10.4.1.0/24").value(),
+                        net::Prefix::parse("10.4.2.0/24").value()};
+  config.prefixes[6] = {net::Prefix::parse("10.6.3.0/24").value()};
+  config.jitter = 10;
+  return config;
+}
+
+TEST(Internet, LinkFailureEmitsCorrelatedUpdates) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto stream = internet.fail_link(2, 4, 1000);
+
+  // VP1 (AS2) and VP2 (AS6) each change for p1 and p2; VP3 (AS4) changes
+  // for p3 (loses "4 2 6"). VP4 unaffected.
+  std::size_t vp1 = 0, vp2 = 0, vp3 = 0, vp4 = 0;
+  for (const auto& u : stream) {
+    EXPECT_GE(u.time, 1000);
+    EXPECT_LT(u.time, 1000 + 100);  // inside the convergence window
+    if (u.vp == 0) ++vp1;
+    if (u.vp == 1) ++vp2;
+    if (u.vp == 2) ++vp3;
+    if (u.vp == 3) ++vp4;
+  }
+  EXPECT_EQ(vp1, 2u);
+  EXPECT_EQ(vp2, 2u);
+  EXPECT_EQ(vp3, 1u);
+  EXPECT_EQ(vp4, 0u);
+
+  const auto& truth = internet.ground_truth().back();
+  EXPECT_EQ(truth.kind, GroundTruth::Kind::kLinkFailure);
+  EXPECT_TRUE(truth.link_is_p2p);
+  EXPECT_EQ(truth.observers.size(), 3u);
+}
+
+TEST(Internet, RestoreBringsPathsBack) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto p1 = net::Prefix::parse("10.4.1.0/24").value();
+
+  internet.fail_link(2, 4, 1000);
+  EXPECT_EQ(internet.vp_path(0, p1).str(), "2 1 4");
+  const auto stream = internet.restore_link(2, 4, 2000);
+  EXPECT_EQ(internet.vp_path(0, p1).str(), "2 4");
+  EXPECT_FALSE(stream.empty());
+}
+
+TEST(Internet, HijackUpdatesOnlyNearAttacker) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto p3 = net::Prefix::parse("10.6.3.0/24").value();
+
+  const auto stream = internet.start_hijack(7, p3, 1, 500);
+  // Only VP4 (AS5) switches to the hijacked route.
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream.updates()[0].vp, 3u);
+  EXPECT_EQ(stream.updates()[0].path.str(), "5 7 6");
+  EXPECT_EQ(stream.updates()[0].path.origin(), 6u);  // forged origin
+
+  const auto cleared = internet.clear_prefix_override(p3, 1500);
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared.updates()[0].path.str(), "5 6");
+}
+
+TEST(Internet, MoasProducesTwoVisibleOrigins) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto p3 = net::Prefix::parse("10.6.3.0/24").value();
+
+  internet.start_moas(7, p3, 100);
+  EXPECT_EQ(internet.vp_path(3, p3).origin(), 7u);  // VP4 sees hijacker
+  EXPECT_EQ(internet.vp_path(0, p3).origin(), 6u);  // VP1 keeps legit origin
+}
+
+TEST(Internet, CommunityChangeKeepsPaths) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto p3 = net::Prefix::parse("10.6.3.0/24").value();
+
+  const auto before_path = internet.vp_path(0, p3);
+  const auto before_comms = internet.vp_communities(0, p3);
+  const auto stream =
+      internet.change_community(p3, bgp::Community(6, 0x0666), true, 100);
+  EXPECT_GE(stream.size(), 3u);  // every VP with a route re-announces
+  for (const auto& u : stream) {
+    EXPECT_FALSE(u.withdrawal);
+    EXPECT_NE(u.communities, before_comms);
+  }
+  EXPECT_EQ(internet.vp_path(0, p3), before_path);
+  const auto after = internet.vp_communities(0, p3);
+  EXPECT_TRUE(std::find(after.begin(), after.end(),
+                        bgp::Community(6, 0x0666)) != after.end());
+}
+
+TEST(Internet, OriginChangeMovesPrefix) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto p3 = net::Prefix::parse("10.6.3.0/24").value();
+  internet.change_origin(4, p3, 100);
+  for (VpId vp = 0; vp < 4; ++vp) {
+    if (!internet.vp_path(vp, p3).empty()) {
+      EXPECT_EQ(internet.vp_path(vp, p3).origin(), 4u);
+    }
+  }
+}
+
+TEST(Internet, RibDumpCoversReachablePrefixes) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto dump = internet.rib_dump(0);
+  // VP1/VP2/VP3 see all three prefixes; VP4 sees only p3 (see Fig. 5).
+  EXPECT_EQ(dump.size(), 3u + 3u + 3u + 1u);
+  const auto vp4 = dump.by_vp(3);
+  ASSERT_EQ(vp4.size(), 1u);
+  EXPECT_EQ(vp4.updates()[0].path.str(), "5 6");
+}
+
+TEST(Internet, VisibleLinksDependOnVpSet) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto all = internet.visible_links({0, 1, 2, 3});
+  const auto only_vp4 = internet.visible_links({3});
+  EXPECT_GT(all.size(), only_vp4.size());
+  ASSERT_EQ(only_vp4.size(), 1u);
+  EXPECT_EQ(only_vp4[0], (bgp::AsLink{5, 6}));
+}
+
+TEST(Internet, DeterministicStreamsForFixedSeed) {
+  const auto topology = fig5_topology();
+  auto config = fig5_config();
+  config.rng_seed = 77;
+  Internet a(topology, config);
+  Internet b(topology, config);
+  const auto sa = a.fail_link(2, 4, 1000);
+  const auto sb = b.fail_link(2, 4, 1000);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.updates()[i], sb.updates()[i]);
+  }
+}
+
+TEST(Workload, GeneratesEventsAndGroundTruth) {
+  const auto topology = topo::generate_artificial({.as_count = 300, .seed = 4});
+  InternetConfig config;
+  for (AsNumber as = 0; as < 300; as += 10) config.vp_hosts.push_back(as);
+  config.rng_seed = 5;
+  config.path_exploration_probability = 0.2;
+  Internet internet(topology, config);
+
+  WorkloadConfig workload;
+  workload.seed = 6;
+  const auto stream = generate_workload(internet, 0, workload);
+  EXPECT_GT(stream.size(), 50u);
+  // Time-sorted.
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LE(stream.updates()[i - 1].time, stream.updates()[i].time);
+  }
+  // Ground truth covers several kinds.
+  std::set<int> kinds;
+  for (const auto& t : internet.ground_truth()) {
+    kinds.insert(static_cast<int>(t.kind));
+  }
+  EXPECT_GE(kinds.size(), 4u);
+}
+
+TEST(Internet, IsolatingAnAsEmitsWithdrawals) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto p3 = net::Prefix::parse("10.6.3.0/24").value();
+  // AS5 reaches p3 only over the 5-6 peering; cutting it leaves VP4
+  // without any route, which must surface as an explicit withdrawal.
+  const auto stream = internet.fail_link(5, 6, 100);
+  bool withdrawal_seen = false;
+  for (const auto& update : stream) {
+    if (update.vp == 3 && update.prefix == p3 && update.withdrawal) {
+      withdrawal_seen = true;
+    }
+  }
+  EXPECT_TRUE(withdrawal_seen);
+  EXPECT_TRUE(internet.vp_path(3, p3).empty());
+  // Restoration re-announces.
+  const auto restored = internet.restore_link(5, 6, 1000);
+  bool announced = false;
+  for (const auto& update : restored) {
+    if (update.vp == 3 && update.prefix == p3 && !update.withdrawal) {
+      announced = true;
+    }
+  }
+  EXPECT_TRUE(announced);
+}
+
+TEST(Internet, AnnouncePrefixReachesVpsWithRoutes) {
+  const auto topology = fig5_topology();
+  Internet internet(topology, fig5_config());
+  const auto fresh = net::Prefix::parse("198.51.100.0/24").value();
+  const auto stream = internet.announce_prefix(6, fresh, 500);
+  // Every VP with a route to AS6 hears about the new prefix.
+  EXPECT_GE(stream.size(), 3u);
+  EXPECT_EQ(internet.origin_of(fresh), 6u);
+  EXPECT_EQ(internet.vp_path(0, fresh).origin(), 6u);
+  // Re-announcing the same prefix is a no-op.
+  EXPECT_TRUE(internet.announce_prefix(4, fresh, 600).empty());
+}
+
+TEST(Routing, MultiOriginTieBreaksDeterministically) {
+  const auto topology = fig5_topology();
+  RoutingEngine engine(topology);
+  // Two origins at symmetric positions: every AS must pick exactly one,
+  // and repeated computation gives the same assignment.
+  const auto a = engine.compute({Seed{4, 0, {}}, Seed{6, 0, {}}});
+  const auto b = engine.compute({Seed{4, 0, {}}, Seed{6, 0, {}}});
+  for (AsNumber as = 1; as < topology.as_count(); ++as) {
+    EXPECT_EQ(a.has_route(as), b.has_route(as));
+    if (a.has_route(as)) {
+      EXPECT_EQ(a.seed_index(as), b.seed_index(as));
+      EXPECT_EQ(a.path(as), b.path(as));
+    }
+  }
+}
+
+TEST(Workload, ActionCommunityValueSpace) {
+  EXPECT_TRUE(is_action_community_value(0x0600));
+  EXPECT_TRUE(is_action_community_value(0x063F));
+  EXPECT_FALSE(is_action_community_value(0x0400));
+  EXPECT_FALSE(is_action_community_value(0x0200));
+}
+
+}  // namespace
+}  // namespace gill::sim

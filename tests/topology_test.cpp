@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "topology/generator.hpp"
+#include "topology/topology.hpp"
+
+namespace gill::topo {
+namespace {
+
+TEST(AsTopology, AdjacencyAndRelationships) {
+  AsTopology topology(4);
+  topology.add_c2p(1, 0);
+  topology.add_p2p(1, 2);
+  topology.add_c2p(3, 1);
+  topology.freeze();
+
+  EXPECT_EQ(topology.relationship(1, 0), Relationship::kCustomerToProvider);
+  EXPECT_EQ(topology.relationship(0, 1), Relationship::kCustomerToProvider);
+  EXPECT_EQ(topology.relationship(1, 2), Relationship::kPeerToPeer);
+  EXPECT_FALSE(topology.relationship(0, 3).has_value());
+
+  EXPECT_TRUE(topology.adjacent(1, 2));
+  EXPECT_FALSE(topology.adjacent(0, 2));
+  EXPECT_EQ(topology.degree(1), 3u);
+  EXPECT_EQ(topology.neighbors(1), (std::vector<AsNumber>{0, 2, 3}));
+  EXPECT_TRUE(topology.is_stub(3));
+  EXPECT_TRUE(topology.is_transit(1));
+  EXPECT_EQ(topology.p2p_link_count(), 1u);
+}
+
+TEST(AsTopology, DuplicateLinksIgnored) {
+  AsTopology topology(3);
+  topology.add_c2p(1, 0);
+  topology.add_c2p(1, 0);
+  topology.add_p2p(1, 0);  // already adjacent as c2p
+  topology.add_p2p(1, 2);
+  topology.add_p2p(2, 1);
+  EXPECT_EQ(topology.link_count(), 2u);
+}
+
+TEST(AsTopology, CustomerConeCountsDistinctAses) {
+  // Diamond: 3 and 2 are customers of 1; 4 is customer of both 3 and 2.
+  AsTopology topology(5);
+  topology.add_c2p(2, 1);
+  topology.add_c2p(3, 1);
+  topology.add_c2p(4, 2);
+  topology.add_c2p(4, 3);
+  topology.freeze();
+  EXPECT_EQ(topology.customer_cone_size(1), 4u);  // 1,2,3,4 — 4 not doubled
+  EXPECT_EQ(topology.customer_cone_size(2), 2u);
+  EXPECT_EQ(topology.customer_cone_size(4), 1u);
+  const auto all = topology.all_customer_cone_sizes();
+  EXPECT_EQ(all[1], 4u);
+  EXPECT_EQ(all[0], 1u);
+}
+
+TEST(Generator, ArtificialMatchesSizeAndDegree) {
+  const auto topology =
+      generate_artificial({.as_count = 2000, .seed = 42});
+  EXPECT_EQ(topology.as_count(), 2000u);
+  const double average_degree =
+      2.0 * static_cast<double>(topology.link_count()) / 2000.0;
+  EXPECT_GT(average_degree, 4.5);
+  EXPECT_LT(average_degree, 8.0);
+  EXPECT_EQ(topology.tier1().size(), 3u);
+  // Tier-1 clique fully meshed as p2p.
+  const auto& tier1 = topology.tier1();
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      EXPECT_EQ(topology.relationship(tier1[i], tier1[j]),
+                Relationship::kPeerToPeer);
+    }
+  }
+}
+
+TEST(Generator, ArtificialIsConnectedViaProvidersOrPeers) {
+  const auto topology = generate_artificial({.as_count = 500, .seed = 7});
+  // Undirected reachability from AS 0 must span the graph.
+  std::vector<char> seen(topology.as_count(), 0);
+  std::vector<AsNumber> stack{0};
+  seen[0] = 1;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const AsNumber u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (AsNumber v : topology.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  EXPECT_EQ(count, topology.as_count());
+}
+
+TEST(Generator, C2pEdgesFollowLevels) {
+  const auto topology = generate_artificial({.as_count = 800, .seed = 3});
+  const auto& levels = topology.levels();
+  for (const Link& link : topology.links()) {
+    if (link.rel == Relationship::kCustomerToProvider) {
+      // Customer is strictly deeper than provider => the c2p DAG is acyclic.
+      EXPECT_GT(levels[link.a], levels[link.b]);
+    }
+  }
+}
+
+TEST(Generator, DegreeDistributionIsHeavyTailed) {
+  const auto topology = generate_artificial({.as_count = 3000, .seed = 11});
+  std::size_t degree_le_2 = 0;
+  std::size_t max_degree = 0;
+  for (AsNumber as = 0; as < topology.as_count(); ++as) {
+    if (topology.degree(as) <= 2) ++degree_le_2;
+    max_degree = std::max(max_degree, topology.degree(as));
+  }
+  // Power-law-ish: many low-degree nodes, a hub far above the mean.
+  EXPECT_GT(degree_le_2, topology.as_count() / 3);
+  EXPECT_GT(max_degree, 100u);
+}
+
+TEST(Generator, PrunedHitsTargetSizeWithoutLeaves) {
+  const auto topology = generate_pruned({.target_as_count = 600, .seed = 5});
+  EXPECT_EQ(topology.as_count(), 600u);
+  std::size_t leaves = 0;
+  for (AsNumber as = 0; as < topology.as_count(); ++as) {
+    if (topology.degree(as) <= 1) ++leaves;
+  }
+  // Leaf pruning ran: almost no degree-<=1 nodes survive.
+  EXPECT_LT(leaves, topology.as_count() / 20);
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  const auto a = generate_artificial({.as_count = 300, .seed = 9});
+  const auto b = generate_artificial({.as_count = 300, .seed = 9});
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_EQ(a.links()[i], b.links()[i]);
+  }
+  const auto c = generate_artificial({.as_count = 300, .seed = 10});
+  EXPECT_NE(a.links().size() == c.links().size()
+                ? !std::equal(a.links().begin(), a.links().end(),
+                              c.links().begin())
+                : true,
+            false);
+}
+
+TEST(Classification, Fig5AndTable5Rules) {
+  const auto topology = fig5_topology();
+  const auto categories = classify_ases(topology);
+  EXPECT_EQ(categories[1], AsCategory::kTier1);
+  EXPECT_EQ(categories[3], AsCategory::kTier1);
+  // AS5 has customer 7 => transit; AS7 and AS0 are stubs... but the
+  // hypergiant rule (top-15 degree) absorbs everything in an 8-node graph,
+  // so only relative ordering is checked here.
+  EXPECT_EQ(categories.size(), 8u);
+}
+
+TEST(Classification, CategoriesCoverLargeTopology) {
+  const auto topology = generate_artificial({.as_count = 2000, .seed = 2});
+  const auto categories = classify_ases(topology);
+  std::array<std::size_t, kCategoryCount + 1> histogram{};
+  for (const auto c : categories) ++histogram[static_cast<std::size_t>(c)];
+  EXPECT_EQ(histogram[static_cast<std::size_t>(AsCategory::kTier1)], 3u);
+  EXPECT_GT(histogram[static_cast<std::size_t>(AsCategory::kStub)], 1000u);
+  EXPECT_GT(histogram[static_cast<std::size_t>(AsCategory::kTransit1)], 0u);
+  EXPECT_GT(histogram[static_cast<std::size_t>(AsCategory::kTransit2)], 0u);
+  // Hypergiants: 15 minus those claimed by Tier-1.
+  EXPECT_GE(histogram[static_cast<std::size_t>(AsCategory::kHypergiant)], 10u);
+}
+
+TEST(Fig5, MatchesPaperStructure) {
+  const auto topology = fig5_topology();
+  EXPECT_EQ(topology.relationship(2, 1), Relationship::kCustomerToProvider);
+  EXPECT_EQ(topology.relationship(4, 1), Relationship::kCustomerToProvider);
+  EXPECT_EQ(topology.relationship(6, 2), Relationship::kCustomerToProvider);
+  EXPECT_EQ(topology.relationship(2, 4), Relationship::kPeerToPeer);
+  EXPECT_EQ(topology.relationship(1, 3), Relationship::kPeerToPeer);
+  EXPECT_EQ(topology.relationship(5, 6), Relationship::kPeerToPeer);
+  EXPECT_EQ(topology.relationship(7, 5), Relationship::kCustomerToProvider);
+}
+
+TEST(AsTopology, NeighborsMergeAllRoles) {
+  AsTopology topology(5);
+  topology.add_c2p(1, 0);
+  topology.add_c2p(2, 1);
+  topology.add_p2p(1, 3);
+  topology.freeze();
+  EXPECT_EQ(topology.neighbors(1), (std::vector<AsNumber>{0, 2, 3}));
+  EXPECT_TRUE(topology.neighbors(4).empty());
+}
+
+TEST(Generator, PrunedKeepsConnectivity) {
+  const auto topology = generate_pruned({.target_as_count = 400, .seed = 12});
+  std::vector<char> seen(topology.as_count(), 0);
+  std::vector<AsNumber> stack{0};
+  seen[0] = 1;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const AsNumber u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (AsNumber v : topology.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  // Pruning leaves may disconnect stragglers; the giant component must
+  // dominate.
+  EXPECT_GT(count, topology.as_count() * 9 / 10);
+}
+
+TEST(Generator, AverageDegreeTracksParameter) {
+  for (const double degree : {4.0, 6.1, 9.0}) {
+    const auto topology = generate_artificial(
+        {.as_count = 1500, .average_degree = degree, .seed = 13});
+    const double measured =
+        2.0 * static_cast<double>(topology.link_count()) / 1500.0;
+    EXPECT_NEAR(measured, degree, degree * 0.35) << degree;
+  }
+}
+
+TEST(Classification, HighestCategoryWinsAmbiguities) {
+  // A Tier-1 AS is also top-degree (hypergiant candidate) and transit —
+  // the Table 5 rule assigns the highest ID (Tier-1).
+  const auto topology = generate_artificial({.as_count = 1000, .seed = 14});
+  const auto categories = classify_ases(topology);
+  for (const AsNumber tier1 : topology.tier1()) {
+    EXPECT_EQ(categories[tier1], AsCategory::kTier1);
+  }
+}
+
+}  // namespace
+}  // namespace gill::topo

@@ -1,0 +1,53 @@
+// Tiny argv helper shared by the command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gill::cli {
+
+/// Parses "--key value" pairs and bare positionals.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          options_[key] = argv[++i];
+        } else {
+          options_[key] = "1";  // boolean flag
+        }
+      } else {
+        positionals_.push_back(arg);
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::strtol(it->second.c_str(),
+                                                         nullptr, 10);
+  }
+  bool has(const std::string& key) const { return options_.contains(key); }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positionals_;
+};
+
+[[noreturn]] inline void usage(const char* text) {
+  std::fprintf(stderr, "%s", text);
+  std::exit(2);
+}
+
+}  // namespace gill::cli

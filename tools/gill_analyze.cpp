@@ -1,0 +1,82 @@
+// gill-analyze — inspect an MRT update archive: volume, per-VP/prefix
+// breakdown, §4.2 redundancy fractions, and the Component #1 classification
+// (what GILL would discard).
+//
+//   gill-analyze updates.mrt [--defs] [--component1]
+#include <cstdio>
+#include <map>
+
+#include "bgp/delta.hpp"
+#include "cli_util.hpp"
+#include "mrt/mrt.hpp"
+#include "redundancy/component1.hpp"
+#include "redundancy/definitions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gill;
+  const cli::Args args(argc, argv);
+  if (args.positionals().empty() || args.has("help")) {
+    cli::usage("usage: gill-analyze <updates.mrt> [--defs] [--component1]\n");
+  }
+  const auto stream = mrt::read_stream(args.positionals()[0]);
+  if (!stream) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 args.positionals()[0].c_str());
+    return 1;
+  }
+
+  const auto vps = stream->vps();
+  const auto prefixes = stream->prefixes();
+  std::size_t withdrawals = 0;
+  bgp::Timestamp first = 0, last = 0;
+  std::map<bgp::VpId, std::size_t> per_vp;
+  for (const auto& update : *stream) {
+    if (update.withdrawal) ++withdrawals;
+    if (first == 0 || update.time < first) first = update.time;
+    last = std::max(last, update.time);
+    ++per_vp[update.vp];
+  }
+  std::printf("%zu updates (%zu withdrawals), %zu VPs, %zu prefixes, "
+              "window [%lld, %lld]\n",
+              stream->size(), withdrawals, vps.size(), prefixes.size(),
+              static_cast<long long>(first), static_cast<long long>(last));
+
+  // Busiest VPs.
+  std::vector<std::pair<std::size_t, bgp::VpId>> ranked;
+  for (const auto& [vp, count] : per_vp) ranked.emplace_back(count, vp);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("busiest VPs:");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+    std::printf(" vp%u(%zu)", ranked[i].second, ranked[i].first);
+  }
+  std::printf("\n");
+
+  if (args.has("defs")) {
+    const auto annotated = bgp::DeltaTracker::annotate_stream(*stream);
+    const red::RedundancyAnalyzer analyzer(annotated);
+    std::printf("redundant updates: Def.1 %.1f%%  Def.2 %.1f%%  Def.3 "
+                "%.1f%%\n",
+                analyzer.redundant_update_fraction(red::Definition::kDef1) *
+                    100.0,
+                analyzer.redundant_update_fraction(red::Definition::kDef2) *
+                    100.0,
+                analyzer.redundant_update_fraction(red::Definition::kDef3) *
+                    100.0);
+    std::printf("redundant VPs (>90%% rule): Def.1 %.1f%%  Def.2 %.1f%%  "
+                "Def.3 %.1f%%\n",
+                analyzer.redundant_vp_fraction(red::Definition::kDef1) * 100.0,
+                analyzer.redundant_vp_fraction(red::Definition::kDef2) * 100.0,
+                analyzer.redundant_vp_fraction(red::Definition::kDef3) *
+                    100.0);
+  }
+
+  if (args.has("component1")) {
+    const auto result = red::find_redundant_updates(*stream);
+    std::printf("Component #1: |U|/|V| = %.3f (mean RP %.3f); %zu redundant "
+                "(vp, prefix) pairs of %zu\n",
+                result.retained_fraction(), result.mean_rp,
+                result.redundant.size(),
+                result.redundant.size() + result.nonredundant.size());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// gill-convert — convert between the MRT archive format and the RIS-Live
+// style NDJSON stream format.
+//
+//   gill-convert to-json updates.mrt updates.ndjson
+//   gill-convert to-mrt  updates.ndjson updates.mrt
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli_util.hpp"
+#include "feed/live_feed.hpp"
+#include "mrt/mrt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gill;
+  const cli::Args args(argc, argv);
+  if (args.positionals().size() != 3 ||
+      (args.positionals()[0] != "to-json" &&
+       args.positionals()[0] != "to-mrt") ||
+      args.has("help")) {
+    cli::usage(
+        "usage: gill-convert to-json <in.mrt> <out.ndjson>\n"
+        "       gill-convert to-mrt  <in.ndjson> <out.mrt>\n");
+  }
+  const std::string in = args.positionals()[1];
+  const std::string out = args.positionals()[2];
+
+  if (args.positionals()[0] == "to-json") {
+    const auto stream = mrt::read_stream(in);
+    if (!stream) {
+      std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
+      return 1;
+    }
+    const std::string ndjson = feed::encode_stream_ndjson(*stream);
+    std::ofstream file(out, std::ios::binary);
+    file << ndjson;
+    if (!file.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("converted %zu updates to NDJSON (%zu bytes)\n",
+                stream->size(), ndjson.size());
+    return 0;
+  }
+
+  std::ifstream file(in, std::ios::binary);
+  if (!file.good()) {
+    std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto stream = feed::decode_stream_ndjson(buffer.str());
+  if (!stream) {
+    std::fprintf(stderr, "error: %s is not a valid NDJSON update stream\n",
+                 in.c_str());
+    return 1;
+  }
+  if (!mrt::write_stream(*stream, out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("converted %zu updates to MRT\n", stream->size());
+  return 0;
+}

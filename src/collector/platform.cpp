@@ -1,34 +1,78 @@
 #include "collector/platform.hpp"
 
 #include <cmath>
+#include <sstream>
 
 namespace gill::collect {
+
+std::string_view to_string(PeerStatus status) noexcept {
+  switch (status) {
+    case PeerStatus::kHealthy: return "healthy";
+    case PeerStatus::kBackoff: return "backoff";
+    case PeerStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
 
 Platform::Platform(PlatformConfig config) : config_(std::move(config)) {}
 
 VpId Platform::add_peer(bgp::AsNumber peer_as, Timestamp now) {
+  return add_peer_internal(peer_as, now,
+                           std::make_unique<daemon::Transport>());
+}
+
+VpId Platform::add_faulty_peer(bgp::AsNumber peer_as, Timestamp now,
+                               const daemon::FaultProfile& profile) {
+  auto varied = profile;
+  // De-correlate the fault streams of concurrent sessions.
+  varied.seed ^= 0xD1B54A32D192ED03ULL * (next_vp_ + 1);
+  return add_peer_internal(peer_as, now,
+                           std::make_unique<daemon::FaultyTransport>(varied));
+}
+
+VpId Platform::add_peer_internal(
+    bgp::AsNumber peer_as, Timestamp now,
+    std::unique_ptr<daemon::Transport> transport) {
   const VpId vp = next_vp_++;
   Peer peer;
   peer.vp = vp;
   peer.as = peer_as;
-  peer.transport = std::make_unique<daemon::Transport>();
+  peer.transport = std::move(transport);
   peer.daemon = std::make_unique<daemon::BgpDaemon>(
       vp, config_.local_as, *peer.transport, &filters_, &store_);
-  peer.daemon->set_mirror([this](const bgp::Update& update) {
+  peer.daemon->set_mirror([this, vp](const bgp::Update& update) {
+    if (quarantined(vp)) return;  // a degraded feed must not poison sampling
     mirror_.push(update);
     forward(update);  // §14 custom services run before any discarding
   });
+  if (config_.auto_reconnect) {
+    auto retry = config_.retry;
+    retry.jitter_seed ^= 0x9E3779B97F4A7C15ULL * (vp + 1);
+    peer.daemon->set_retry_policy(retry);
+  }
   peer.remote = std::make_unique<daemon::FakePeer>(peer_as, *peer.transport);
   peer.daemon->start(now);
+  peer.last_state = peer.daemon->state();
   peers_.emplace(vp, std::move(peer));
   return vp;
 }
 
 void Platform::step(Timestamp now) {
   for (auto& [vp, peer] : peers_) {
+    auto& health = peer.health;
+    if (health.status == PeerStatus::kQuarantined) {
+      if (config_.health.quarantine_duration > 0 &&
+          now - health.quarantined_at >= config_.health.quarantine_duration) {
+        health.status = PeerStatus::kBackoff;  // released; session still down
+        health.recent_flaps.clear();
+      } else {
+        continue;  // frozen: no polling, no reconnect attempts
+      }
+    }
     peer.remote->poll();
     peer.daemon->poll(now);
     peer.daemon->tick(now);
+    observe_health(peer, now);
   }
   if (now - last_component1_ >= config_.component1_refresh &&
       !mirror_.empty()) {
@@ -37,8 +81,65 @@ void Platform::step(Timestamp now) {
   }
 }
 
+void Platform::observe_health(Peer& peer, Timestamp now) {
+  using daemon::SessionState;
+  const SessionState state = peer.daemon->state();
+  auto& health = peer.health;
+  const bool flapped =
+      peer.last_state != SessionState::kIdle && state == SessionState::kIdle;
+  peer.last_state = state;
+  if (flapped) {
+    ++health.flaps;
+    health.recent_flaps.push_back(now);
+    while (!health.recent_flaps.empty() &&
+           now - health.recent_flaps.front() > config_.health.flap_window) {
+      health.recent_flaps.pop_front();
+    }
+    if (health.recent_flaps.size() >= config_.health.flap_threshold) {
+      health.status = PeerStatus::kQuarantined;
+      health.quarantined_at = now;
+      ++health.quarantines;
+      health.recent_flaps.clear();
+      return;
+    }
+  }
+  health.status = state == SessionState::kEstablished ? PeerStatus::kHealthy
+                                                      : PeerStatus::kBackoff;
+}
+
+std::size_t Platform::quarantined_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [vp, peer] : peers_) {
+    if (peer.health.status == PeerStatus::kQuarantined) ++n;
+  }
+  return n;
+}
+
+std::string Platform::health_report() const {
+  std::ostringstream out;
+  out << "# GILL peer health (" << peers_.size() << " peers, "
+      << quarantined_count() << " quarantined)\n";
+  for (const auto& [vp, peer] : peers_) {
+    out << "vp" << vp << " as" << peer.as << ' '
+        << to_string(peer.health.status) << ' '
+        << daemon::to_string(peer.daemon->state()) << " flaps="
+        << peer.health.flaps << " recent=" << peer.health.recent_flaps.size()
+        << " quarantines=" << peer.health.quarantines << '\n';
+  }
+  return out.str();
+}
+
 void Platform::refresh_filters(Timestamp now,
                                const std::vector<topo::AsCategory>& categories) {
+  // Updates mirrored before a peer was quarantined are just as suspect as
+  // the flapping session that produced them: drop them pre-sampling.
+  if (quarantined_count() > 0) {
+    bgp::UpdateStream kept;
+    for (const auto& update : mirror_) {
+      if (!quarantined(update.vp)) kept.push(update);
+    }
+    mirror_ = std::move(kept);
+  }
   mirror_.sort();
   const auto result = sample::run_gill_pipeline(bgp::UpdateStream{}, mirror_,
                                                 categories, config_.gill);

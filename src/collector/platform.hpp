@@ -5,11 +5,13 @@
 // documents (the filter description and the anchor-VP list).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "daemon/daemon.hpp"
+#include "daemon/faults.hpp"
 #include "sampling/gill_pipeline.hpp"
 #include "topology/topology.hpp"
 
@@ -18,6 +20,18 @@ namespace gill::collect {
 using bgp::Timestamp;
 using bgp::VpId;
 
+/// Flap accounting and quarantine rules: a session that keeps dying is a
+/// degraded feed, and a degraded feed must never poison the sampling
+/// pipeline (its mirror data is excluded from refresh_filters).
+struct HealthPolicy {
+  /// Flaps within `flap_window` that trigger a quarantine.
+  std::size_t flap_threshold = 4;
+  Timestamp flap_window = 3600;
+  /// How long a quarantine lasts; 0 keeps the peer out until an operator
+  /// intervenes (permanent).
+  Timestamp quarantine_duration = 0;
+};
+
 struct PlatformConfig {
   /// Component #1 refresh period (16 days in the paper, §7).
   Timestamp component1_refresh = 16 * 86400;
@@ -25,6 +39,27 @@ struct PlatformConfig {
   Timestamp component2_refresh = 365 * 86400;
   sample::GillConfig gill;
   bgp::AsNumber local_as = 65000;
+  /// Session resilience: every daemon reconnects after teardown with this
+  /// backoff (jitter-seeded per VP). Disable for single-shot sessions.
+  daemon::RetryPolicy retry;
+  bool auto_reconnect = true;
+  HealthPolicy health;
+};
+
+enum class PeerStatus : std::uint8_t {
+  kHealthy,      // session up
+  kBackoff,      // torn down, waiting out the reconnect backoff
+  kQuarantined,  // flapped too often: frozen and excluded from sampling
+};
+
+std::string_view to_string(PeerStatus status) noexcept;
+
+struct PeerHealth {
+  PeerStatus status = PeerStatus::kHealthy;
+  std::size_t flaps = 0;        // total teardowns observed
+  std::size_t quarantines = 0;  // times the peer entered quarantine
+  std::deque<Timestamp> recent_flaps;  // within the sliding flap window
+  Timestamp quarantined_at = 0;
 };
 
 /// One managed peering session.
@@ -34,6 +69,8 @@ struct Peer {
   std::unique_ptr<daemon::Transport> transport;
   std::unique_ptr<daemon::BgpDaemon> daemon;
   std::unique_ptr<daemon::FakePeer> remote;
+  daemon::SessionState last_state = daemon::SessionState::kIdle;
+  PeerHealth health;
 };
 
 class Platform {
@@ -44,11 +81,23 @@ class Platform {
   /// end is a FakePeer handle the caller drives (tests / simulation).
   VpId add_peer(bgp::AsNumber peer_as, Timestamp now);
 
+  /// Like add_peer, but the session runs over a fault-injecting transport
+  /// (chaos testing): the profile's seed is XOR-varied per VP.
+  VpId add_faulty_peer(bgp::AsNumber peer_as, Timestamp now,
+                       const daemon::FaultProfile& profile);
+
   daemon::FakePeer& remote(VpId vp) { return *peers_.at(vp).remote; }
   const daemon::BgpDaemon& daemon_of(VpId vp) const {
     return *peers_.at(vp).daemon;
   }
+  daemon::Transport& transport_of(VpId vp) { return *peers_.at(vp).transport; }
   std::size_t peer_count() const noexcept { return peers_.size(); }
+
+  /// Per-peer session health (flap counters and quarantine state).
+  const PeerHealth& health(VpId vp) const { return peers_.at(vp).health; }
+  std::size_t quarantined_count() const noexcept;
+  /// One line per peer: vp, AS, status, session state, flap counts.
+  std::string health_report() const;
 
   /// Drives all sessions: polls daemons and remotes, expires hold timers,
   /// and refreshes filters when a sampling period elapsed.
@@ -84,6 +133,16 @@ class Platform {
 
  private:
   void forward(const bgp::Update& update) const;
+  VpId add_peer_internal(bgp::AsNumber peer_as, Timestamp now,
+                         std::unique_ptr<daemon::Transport> transport);
+  /// Detects session flaps (non-Idle -> Idle transitions) and applies the
+  /// quarantine policy.
+  void observe_health(Peer& peer, Timestamp now);
+  bool quarantined(VpId vp) const {
+    auto it = peers_.find(vp);
+    return it != peers_.end() &&
+           it->second.health.status == PeerStatus::kQuarantined;
+  }
 
   PlatformConfig config_;
   std::vector<std::pair<net::Prefix, ForwardingSink>> forwarding_rules_;

@@ -1,14 +1,39 @@
 #include "daemon/daemon.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace gill::daemon {
 
+namespace {
+/// Dead bytes at the front of a ByteQueue buffer are reclaimed once they
+/// pass this size and dominate the buffer.
+constexpr std::size_t kCompactThreshold = 4096;
+}  // namespace
+
+void ByteQueue::write(std::span<const std::uint8_t> data) {
+  if (head_ > 0) {
+    if (head_ == buffer_.size()) {
+      buffer_.clear();
+      head_ = 0;
+    } else if (head_ >= kCompactThreshold && head_ * 2 >= buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
 std::vector<std::uint8_t> ByteQueue::read(std::size_t max) {
-  const std::size_t n = std::min(max, buffer_.size());
-  std::vector<std::uint8_t> out(buffer_.begin(),
-                                buffer_.begin() + static_cast<std::ptrdiff_t>(n));
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::size_t n = std::min(max, size());
+  const auto begin = buffer_.begin() + static_cast<std::ptrdiff_t>(head_);
+  std::vector<std::uint8_t> out(begin, begin + static_cast<std::ptrdiff_t>(n));
+  head_ += n;
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  }
   return out;
 }
 
@@ -23,17 +48,32 @@ std::string_view to_string(SessionState state) noexcept {
   return "?";
 }
 
+Timestamp RetryPolicy::delay(std::size_t attempt) const {
+  double raw = static_cast<double>(base);
+  for (std::size_t i = 0; i < attempt && raw < static_cast<double>(cap); ++i) {
+    raw *= multiplier;
+  }
+  raw = std::min(raw, static_cast<double>(cap));
+  // One independent draw per attempt index: the schedule is a pure function
+  // of (policy, attempt), reproducible regardless of call order.
+  std::mt19937_64 rng(jitter_seed ^ (0x9E3779B97F4A7C15ULL * (attempt + 1)));
+  const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  const double jittered = raw * (1.0 - jitter * u);
+  return std::max<Timestamp>(1, static_cast<Timestamp>(std::llround(jittered)));
+}
+
 BgpDaemon::BgpDaemon(VpId vp, bgp::AsNumber local_as, Transport& transport,
                      const filt::FilterTable* filters, MrtStore* store)
     : vp_(vp),
       local_as_(local_as),
       transport_(&transport),
       filters_(filters),
-      store_(store) {}
+      store_(store),
+      seen_epoch_(transport.epoch()) {}
 
 void BgpDaemon::send(const wire::Message& message) {
   const auto bytes = wire::encode(message);
-  transport_->to_peer.write(bytes);
+  transport_->write_to_peer(bytes);
 }
 
 void BgpDaemon::start(Timestamp now) {
@@ -44,16 +84,51 @@ void BgpDaemon::start(Timestamp now) {
   send(open);
   state_ = SessionState::kOpenSent;
   last_heard_ = now;
+  last_keepalive_ = now;
 }
 
-void BgpDaemon::reset(std::uint8_t code, std::uint8_t subcode) {
-  send(wire::NotificationMessage{code, subcode});
-  ++stats_.notifications_sent;
+void BgpDaemon::teardown(Timestamp now, bool notify, std::uint8_t code,
+                         std::uint8_t subcode) {
+  if (notify && transport_->connected()) {
+    send(wire::NotificationMessage{code, subcode});
+    ++stats_.notifications_sent;
+    last_notification_ = wire::NotificationMessage{code, subcode};
+  }
   state_ = SessionState::kIdle;
   peer_as_ = 0;
-  // Buffered bytes are dropped by poll() once it observes the reset; they
-  // cannot be cleared here because poll() is iterating the buffer.
+  // Buffered bytes are dropped by poll() once it observes the teardown; they
+  // cannot be cleared here because poll() may be iterating the buffer.
   reset_requested_ = true;
+  in_garbage_run_ = false;
+  // BGP closes the underlying connection after the NOTIFICATION; in-flight
+  // bytes in both directions are lost.
+  if (transport_->connected()) transport_->disconnect();
+  seen_epoch_ = transport_->epoch();
+  if (retry_) {
+    reconnect_at_ = now + retry_->delay(attempt_);
+    ++attempt_;
+  }
+}
+
+void BgpDaemon::reconnect_now(Timestamp now) {
+  if (!transport_->connected()) transport_->reconnect();
+  seen_epoch_ = transport_->epoch();
+  pending_.clear();
+  reset_requested_ = false;
+  in_garbage_run_ = false;
+  // The old session's table is stale; the peer's replay repopulates it.
+  if (ever_established_) ++stats_.resyncs;
+  rib_ = bgp::Rib{};
+  wire::OpenMessage open;
+  open.as = local_as_;
+  open.hold_time = hold_time_;
+  open.bgp_id = 0x0A000001;
+  send(open);
+  state_ = SessionState::kOpenSent;
+  last_heard_ = now;
+  last_keepalive_ = now;
+  reconnect_at_ = 0;
+  ++stats_.reconnects;
 }
 
 void BgpDaemon::ingest_update(const wire::UpdateMessage& message,
@@ -108,7 +183,7 @@ void BgpDaemon::handle(const wire::Message& message, Timestamp now) {
     case wire::MessageType::kOpen: {
       if (state_ != SessionState::kOpenSent &&
           state_ != SessionState::kConnect) {
-        reset(6, 0);  // FSM error
+        teardown(now, true, 6, 0);  // FSM error
         return;
       }
       peer_as_ = std::get<wire::OpenMessage>(message).as;
@@ -119,41 +194,76 @@ void BgpDaemon::handle(const wire::Message& message, Timestamp now) {
     case wire::MessageType::kKeepalive: {
       if (state_ == SessionState::kOpenConfirm) {
         state_ = SessionState::kEstablished;
+        attempt_ = 0;  // a full session resets the backoff schedule
+        ever_established_ = true;
+        last_keepalive_ = now;
       }
       return;
     }
     case wire::MessageType::kUpdate: {
       if (state_ != SessionState::kEstablished) {
-        reset(5, 0);  // FSM error: update before Established
+        teardown(now, true, 5, 0);  // FSM error: update before Established
         return;
       }
       ingest_update(std::get<wire::UpdateMessage>(message), now);
       return;
     }
     case wire::MessageType::kNotification: {
-      state_ = SessionState::kIdle;
-      peer_as_ = 0;
+      teardown(now, false, 0, 0);  // peer closed the session
       return;
     }
   }
 }
 
 void BgpDaemon::poll(Timestamp now) {
+  if (transport_->epoch() != seen_epoch_) {
+    // The connection died under us (transport-level reset).
+    seen_epoch_ = transport_->epoch();
+    pending_.clear();
+    in_garbage_run_ = false;
+    if (state_ != SessionState::kIdle) teardown(now, false, 0, 0);
+  }
+  if (!transport_->connected()) {
+    if (state_ != SessionState::kIdle) teardown(now, false, 0, 0);
+    return;
+  }
+  if (state_ == SessionState::kIdle) {
+    // No session: whatever the pipe carries belongs to no conversation.
+    transport_->to_daemon.read();
+    pending_.clear();
+    reset_requested_ = false;
+    return;
+  }
+
   const auto incoming = transport_->to_daemon.read();
   pending_.insert(pending_.end(), incoming.begin(), incoming.end());
 
   std::size_t offset = 0;
   while (offset < pending_.size()) {
     std::size_t consumed = 0;
+    wire::DecodeError error = wire::DecodeError::kNone;
     const auto message = wire::decode(
         std::span(pending_.data() + offset, pending_.size() - offset),
-        consumed);
+        consumed, error);
     if (message) {
+      in_garbage_run_ = false;
       handle(*message, now);
       offset += consumed;
       if (reset_requested_) break;  // drop the rest of the buffer
     } else if (consumed > 0) {
-      stats_.garbage_bytes += consumed;
+      if (error == wire::DecodeError::kBadMarker ||
+          error == wire::DecodeError::kBadLength) {
+        stats_.garbage_bytes += consumed;
+        // A contiguous garbage run counts as one decode error, however many
+        // bytes the resynchronization walks over.
+        if (!in_garbage_run_) {
+          ++stats_.decode_errors;
+          in_garbage_run_ = true;
+        }
+      } else {
+        ++stats_.decode_errors;  // structurally invalid message, skipped whole
+        in_garbage_run_ = false;
+      }
       offset += consumed;
     } else {
       break;  // incomplete message: wait for more bytes
@@ -169,11 +279,29 @@ void BgpDaemon::poll(Timestamp now) {
 }
 
 void BgpDaemon::tick(Timestamp now) {
-  if (state_ == SessionState::kEstablished ||
-      state_ == SessionState::kOpenConfirm) {
-    if (now - last_heard_ > hold_time_) {
-      reset(4, 0);  // hold timer expired
+  if (transport_->epoch() != seen_epoch_) {
+    seen_epoch_ = transport_->epoch();
+    pending_.clear();
+    in_garbage_run_ = false;
+    if (state_ != SessionState::kIdle) teardown(now, false, 0, 0);
+  } else if (!transport_->connected() && state_ != SessionState::kIdle) {
+    teardown(now, false, 0, 0);
+  }
+  if (state_ != SessionState::kIdle && now - last_heard_ > hold_time_) {
+    teardown(now, true, 4, 0);  // hold timer expired
+  }
+  if (state_ == SessionState::kEstablished) {
+    // Keepalive generation (RFC 4271 suggests a third of the hold time).
+    const Timestamp interval = std::max<Timestamp>(1, hold_time_ / 3);
+    if (now - last_keepalive_ >= interval) {
+      send(wire::KeepaliveMessage{});
+      ++stats_.keepalives_sent;
+      last_keepalive_ = now;
     }
+  }
+  if (state_ == SessionState::kIdle && retry_.has_value() &&
+      reconnect_at_ != 0 && now >= reconnect_at_) {
+    reconnect_now(now);
   }
   // Periodic RIB snapshot (§8): the current table, stamped `now`, written
   // as TABLE_DUMP-style records alongside the update records.
@@ -187,10 +315,18 @@ void BgpDaemon::tick(Timestamp now) {
 }
 
 void FakePeer::send(const wire::Message& message) {
-  transport_->to_daemon.write(wire::encode(message));
+  transport_->write_to_daemon(wire::encode(message));
 }
 
 void FakePeer::poll() {
+  if (transport_->epoch() != seen_epoch_) {
+    // The connection was reset: the half-parsed buffer belongs to a dead
+    // conversation, and the session has to be re-established.
+    seen_epoch_ = transport_->epoch();
+    pending_.clear();
+    established_ = false;
+  }
+  if (!transport_->connected()) return;
   const auto incoming = transport_->to_peer.read();
   pending_.insert(pending_.end(), incoming.begin(), incoming.end());
   std::size_t offset = 0;
@@ -216,6 +352,9 @@ void FakePeer::poll() {
       }
       case wire::MessageType::kKeepalive:
         established_ = true;
+        break;
+      case wire::MessageType::kNotification:
+        established_ = false;
         break;
       default:
         break;

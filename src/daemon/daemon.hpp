@@ -4,12 +4,17 @@
 // the MRT archive. An in-memory byte transport replaces TCP so sessions are
 // fully testable and the fake-peer load experiments of Table 1 run without
 // a network.
+//
+// Sessions are restartable: a torn-down daemon re-enters Idle, waits out an
+// exponential backoff (RetryPolicy) and re-initiates the handshake, clearing
+// its per-session RIB so the peer's replay repopulates it. Faults are
+// injected below this layer by FaultyTransport (faults.hpp).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <random>
 #include <span>
 #include <vector>
@@ -25,25 +30,64 @@ using bgp::Timestamp;
 using bgp::Update;
 using bgp::VpId;
 
-/// One direction of an in-memory byte pipe.
+/// One direction of an in-memory byte pipe: a contiguous buffer with a head
+/// index (ring-like), so the hot ingest path appends and drains in bulk
+/// instead of copying byte by byte through a deque.
 class ByteQueue {
  public:
-  void write(std::span<const std::uint8_t> data) {
-    buffer_.insert(buffer_.end(), data.begin(), data.end());
-  }
+  void write(std::span<const std::uint8_t> data);
   /// Drains up to `max` bytes into a contiguous vector.
   std::vector<std::uint8_t> read(std::size_t max = SIZE_MAX);
-  std::size_t size() const noexcept { return buffer_.size(); }
-  bool empty() const noexcept { return buffer_.empty(); }
+  std::size_t size() const noexcept { return buffer_.size() - head_; }
+  bool empty() const noexcept { return head_ == buffer_.size(); }
+  void clear() noexcept {
+    buffer_.clear();
+    head_ = 0;
+  }
 
  private:
-  std::deque<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_ = 0;  // first unread byte
 };
 
 /// A duplex in-memory transport. Endpoint A is the daemon, B the peer.
+/// Writes go through virtual hooks so decorators (FaultyTransport) can
+/// intercept at message granularity — both endpoints write exactly one
+/// encoded message per call. The connection can drop like a TCP reset:
+/// while down, writes are discarded and `epoch()` tells endpoints to throw
+/// away half-parsed buffers.
 struct Transport {
+  Transport() = default;
+  virtual ~Transport() = default;
+
   ByteQueue to_daemon;
   ByteQueue to_peer;
+
+  virtual void write_to_daemon(std::span<const std::uint8_t> message) {
+    if (connected_) to_daemon.write(message);
+  }
+  virtual void write_to_peer(std::span<const std::uint8_t> message) {
+    if (connected_) to_peer.write(message);
+  }
+
+  bool connected() const noexcept { return connected_; }
+  /// Bumped on every disconnect; endpoints that observe a new epoch must
+  /// drop any partially-received bytes.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Simulates a TCP reset: both in-flight directions are lost.
+  void disconnect() {
+    connected_ = false;
+    ++epoch_;
+    to_daemon.clear();
+    to_peer.clear();
+  }
+  /// Re-opens the pipe (a fresh TCP connection).
+  virtual void reconnect() { connected_ = true; }
+
+ private:
+  bool connected_ = true;
+  std::uint64_t epoch_ = 0;
 };
 
 /// RFC 4271 session states (simplified: no TCP layer, so Connect/Active
@@ -57,6 +101,21 @@ enum class SessionState : std::uint8_t {
 };
 
 std::string_view to_string(SessionState state) noexcept;
+
+/// Exponential backoff with deterministic jitter for session re-initiation.
+/// `delay(attempt)` is a pure function of the policy and the attempt index,
+/// so a reconnect schedule is exactly reproducible under a fixed seed.
+struct RetryPolicy {
+  Timestamp base = 1;        // first retry delay (seconds)
+  Timestamp cap = 64;        // backoff ceiling
+  double multiplier = 2.0;   // geometric growth per attempt
+  double jitter = 0.25;      // subtract up to this fraction, seeded
+  std::uint64_t jitter_seed = 0;
+
+  /// Delay before reconnect attempt `attempt` (0-based), in
+  /// [raw * (1 - jitter), raw] where raw = min(cap, base * multiplier^n).
+  Timestamp delay(std::size_t attempt) const;
+};
 
 /// The MRT archive sink shared by the daemons.
 class MrtStore {
@@ -78,6 +137,10 @@ struct DaemonStats {
   std::size_t updates_stored = 0;
   std::size_t garbage_bytes = 0;      // resynchronized bytes
   std::size_t notifications_sent = 0;
+  std::size_t decode_errors = 0;      // malformed messages / garbage runs
+  std::size_t resyncs = 0;            // RIB cleared for replay on reconnect
+  std::size_t reconnects = 0;         // OPENs re-sent after a teardown
+  std::size_t keepalives_sent = 0;    // generated by tick()
 };
 
 /// One BGP daemon instance (one peering session).
@@ -93,12 +156,29 @@ class BgpDaemon {
   /// Processes pending bytes from the peer; `now` stamps stored updates.
   void poll(Timestamp now);
 
-  /// Timer tick: hold-time expiry tears the session down.
+  /// Timer tick: expires the hold timer, generates keepalives, and — when a
+  /// retry policy is armed — re-initiates torn-down sessions after backoff.
   void tick(Timestamp now);
+
+  /// Arms automatic session re-initiation: every teardown (hold expiry,
+  /// NOTIFICATION, FSM error, transport reset) schedules a reconnect after
+  /// `policy.delay(attempt)`. Without a policy the session is single-shot.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  bool auto_reconnect() const noexcept { return retry_.has_value(); }
+  /// When a reconnect is pending, the time it fires; 0 otherwise.
+  Timestamp next_reconnect_at() const noexcept { return reconnect_at_; }
 
   SessionState state() const noexcept { return state_; }
   const DaemonStats& stats() const noexcept { return stats_; }
   bgp::AsNumber peer_as() const noexcept { return peer_as_; }
+
+  /// The last NOTIFICATION this daemon sent (teardown code/subcode), if
+  /// any. The transport closes right after the send, so this is the only
+  /// place the cause of death stays observable.
+  const std::optional<wire::NotificationMessage>& last_notification_sent()
+      const noexcept {
+    return last_notification_;
+  }
 
   /// Pre-filter tap used by the orchestrator's temporary mirroring
   /// (Fig. 9): sees every decoded update before the filters run.
@@ -116,7 +196,12 @@ class BgpDaemon {
  private:
   void send(const wire::Message& message);
   void handle(const wire::Message& message, Timestamp now);
-  void reset(std::uint8_t code, std::uint8_t subcode);
+  /// Tears the session down. When `notify` is set a NOTIFICATION with
+  /// `code`/`subcode` is sent first (pointless on a dead transport, where
+  /// the write is silently dropped). Schedules a reconnect if armed.
+  void teardown(Timestamp now, bool notify, std::uint8_t code,
+                std::uint8_t subcode);
+  void reconnect_now(Timestamp now);
   void ingest_update(const wire::UpdateMessage& update, Timestamp now);
 
   VpId vp_;
@@ -128,22 +213,33 @@ class BgpDaemon {
   bgp::AsNumber peer_as_ = 0;
   std::uint16_t hold_time_ = 90;
   Timestamp last_heard_ = 0;
+  Timestamp last_keepalive_ = 0;
   DaemonStats stats_;
   std::vector<std::uint8_t> pending_;
   bool reset_requested_ = false;
+  bool in_garbage_run_ = false;
   std::function<void(const Update&)> mirror_;
   bgp::Rib rib_;
   Timestamp rib_dump_interval_ = 0;  // 0 = disabled
   Timestamp last_rib_dump_ = 0;
   std::size_t rib_dumps_ = 0;
+  // Reconnect FSM bookkeeping.
+  std::optional<RetryPolicy> retry_;
+  std::size_t attempt_ = 0;          // consecutive failed sessions
+  Timestamp reconnect_at_ = 0;       // 0 = no reconnect pending
+  bool ever_established_ = false;
+  std::uint64_t seen_epoch_ = 0;
+  std::optional<wire::NotificationMessage> last_notification_;
 };
 
 /// A scripted remote router for tests and load generation: completes the
-/// handshake and replays an update stream onto the wire.
+/// handshake and replays an update stream onto the wire. Survives
+/// connection resets: a new transport epoch clears its half-parsed buffer
+/// and it re-answers the daemon's next OPEN.
 class FakePeer {
  public:
   FakePeer(bgp::AsNumber as, Transport& transport)
-      : as_(as), transport_(&transport) {}
+      : as_(as), transport_(&transport), seen_epoch_(transport.epoch()) {}
 
   /// Responds to daemon messages (handshake). Call after daemon polls.
   void poll();
@@ -166,6 +262,7 @@ class FakePeer {
   Transport* transport_;
   bool established_ = false;
   std::vector<std::uint8_t> pending_;
+  std::uint64_t seen_epoch_ = 0;
 };
 
 /// Table 1 capacity model: a single CPU processes updates at measured

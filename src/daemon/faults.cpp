@@ -1,0 +1,58 @@
+#include "daemon/faults.hpp"
+
+namespace gill::daemon {
+
+void FaultyTransport::deliver(ByteQueue& queue,
+                              std::vector<std::uint8_t>& held,
+                              std::span<const std::uint8_t> message) {
+  if (!connected()) {
+    ++stats_.lost_disconnected;
+    return;
+  }
+  if (roll() < profile_.reset_rate) {
+    ++stats_.resets;
+    held_to_daemon_.clear();
+    held_to_peer_.clear();
+    disconnect();
+    return;
+  }
+  if (roll() < profile_.drop_rate) {
+    ++stats_.dropped;
+    return;
+  }
+
+  std::vector<std::uint8_t> bytes(message.begin(), message.end());
+  if (roll() < profile_.truncate_rate && bytes.size() > 1) {
+    bytes.resize(1 + rng_() % (bytes.size() - 1));
+    ++stats_.truncated;
+  }
+  if (roll() < profile_.corrupt_rate && !bytes.empty()) {
+    const std::size_t flips = 1 + rng_() % 4;
+    for (std::size_t i = 0; i < flips; ++i) {
+      bytes[rng_() % bytes.size()] ^=
+          static_cast<std::uint8_t>(1 + rng_() % 255);
+    }
+    ++stats_.corrupted;
+  }
+  const bool duplicate = roll() < profile_.duplicate_rate;
+  if (roll() < profile_.reorder_rate && held.empty()) {
+    // Hold this message back; it rides behind the next one in this
+    // direction. A reset in between loses it, like any in-flight byte.
+    held = std::move(bytes);
+    ++stats_.reordered;
+    return;
+  }
+  queue.write(bytes);
+  ++stats_.delivered;
+  if (duplicate) {
+    queue.write(bytes);
+    ++stats_.duplicated;
+  }
+  if (!held.empty()) {
+    queue.write(held);
+    held.clear();
+    ++stats_.delivered;
+  }
+}
+
+}  // namespace gill::daemon

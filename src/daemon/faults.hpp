@@ -1,0 +1,84 @@
+// Deterministic fault injection for BGP sessions: a FaultyTransport
+// decorates the in-memory Transport and perturbs traffic at message
+// granularity (both endpoints write exactly one encoded message per call).
+// Peering with thousands of VPs over the public Internet means flaky TCP
+// sessions are the norm, not the exception (§8/§9); this module lets the
+// chaos tests reproduce that world under a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "daemon/daemon.hpp"
+
+namespace gill::daemon {
+
+/// Per-message fault probabilities in [0, 1]. Faults compose: a message can
+/// be both truncated and corrupted; a reset wins over everything else.
+struct FaultProfile {
+  double corrupt_rate = 0.0;    // flip 1-4 random bytes
+  double truncate_rate = 0.0;   // cut the message short
+  double duplicate_rate = 0.0;  // deliver the message twice
+  double reorder_rate = 0.0;    // hold the message back one slot
+  double drop_rate = 0.0;       // silently discard the message
+  double reset_rate = 0.0;      // tear the whole connection down
+  std::uint64_t seed = 0;
+};
+
+struct FaultStats {
+  std::size_t delivered = 0;       // messages that reached a queue
+  std::size_t corrupted = 0;
+  std::size_t truncated = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+  std::size_t dropped = 0;
+  std::size_t resets = 0;
+  std::size_t lost_disconnected = 0;  // writes into a dead connection
+};
+
+/// Transport decorator injecting seeded faults on every write. Endpoints
+/// are oblivious: corruption surfaces as decode errors, truncation as
+/// resynchronization, resets as a new transport epoch.
+class FaultyTransport final : public Transport {
+ public:
+  explicit FaultyTransport(FaultProfile profile)
+      : profile_(profile), rng_(profile.seed) {}
+
+  void write_to_daemon(std::span<const std::uint8_t> message) override {
+    deliver(to_daemon, held_to_daemon_, message);
+  }
+  void write_to_peer(std::span<const std::uint8_t> message) override {
+    deliver(to_peer, held_to_peer_, message);
+  }
+  void reconnect() override {
+    held_to_daemon_.clear();
+    held_to_peer_.clear();
+    Transport::reconnect();
+  }
+
+  const FaultStats& fault_stats() const noexcept { return stats_; }
+  /// Live-adjusts the fault rates (e.g. a calm-down phase after a chaos
+  /// run). The RNG stream continues; determinism under a seed is kept.
+  void set_profile(const FaultProfile& profile) {
+    const auto seed = profile_.seed;
+    profile_ = profile;
+    profile_.seed = seed;
+  }
+
+ private:
+  void deliver(ByteQueue& queue, std::vector<std::uint8_t>& held,
+               std::span<const std::uint8_t> message);
+  double roll() { return uniform_(rng_); }
+
+  FaultProfile profile_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  FaultStats stats_;
+  // One held-back message per direction (reordering buffer).
+  std::vector<std::uint8_t> held_to_daemon_;
+  std::vector<std::uint8_t> held_to_peer_;
+};
+
+}  // namespace gill::daemon

@@ -1,10 +1,37 @@
 #include "feed/live_feed.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
 
 #include "feed/json.hpp"
 
 namespace gill::feed {
+
+namespace {
+
+/// JSON numbers are doubles; any field destined for an integer type must be
+/// a finite integral value inside the target range, or the message is
+/// rejected (a live feed is attacker-adjacent input).
+bool integral_in_range(const Json& value, double lo, double hi, double* out) {
+  if (!value.is_number()) return false;
+  const double number = value.as_number();
+  if (!std::isfinite(number) || number != std::floor(number) || number < lo ||
+      number > hi) {
+    return false;
+  }
+  *out = number;
+  return true;
+}
+
+constexpr double kMaxAsn = 4294967295.0;   // 32-bit ASNs (RFC 6793)
+constexpr double kMaxVp = 4294967295.0;
+constexpr double kMaxCommunityHalf = 65535.0;
+// Seconds; generous but far below any int64/double precision cliff.
+constexpr double kMaxTimestamp = 1e15;
+
+}  // namespace
 
 std::string encode_live(const LiveMessage& message) {
   JsonObject object;
@@ -60,41 +87,55 @@ std::optional<LiveMessage> decode_live(std::string_view text) {
   }
 
   LiveMessage message;
+  double number = 0;
   if (const Json* timestamp = document->find("timestamp");
-      timestamp && timestamp->is_number()) {
-    message.timestamp = static_cast<bgp::Timestamp>(timestamp->as_number());
+      timestamp && integral_in_range(*timestamp, 0, kMaxTimestamp, &number)) {
+    message.timestamp = static_cast<bgp::Timestamp>(number);
   } else {
     return std::nullopt;
   }
-  if (const Json* vp = document->find("vp"); vp && vp->is_number()) {
-    message.vp = static_cast<bgp::VpId>(vp->as_number());
+  if (const Json* vp = document->find("vp")) {
+    if (!integral_in_range(*vp, 0, kMaxVp, &number)) return std::nullopt;
+    message.vp = static_cast<bgp::VpId>(number);
   }
-  if (const Json* peer = document->find("peer_asn");
-      peer && peer->is_string()) {
-    message.peer_asn = static_cast<bgp::AsNumber>(
-        std::strtoul(peer->as_string().c_str(), nullptr, 10));
+  if (const Json* peer = document->find("peer_asn")) {
+    // RIS Live encodes the ASN as a decimal string; it must be digits only
+    // and fit in 32 bits.
+    if (!peer->is_string()) return std::nullopt;
+    const std::string& text = peer->as_string();
+    if (text.empty() || text.size() > 10 ||
+        !std::all_of(text.begin(), text.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        })) {
+      return std::nullopt;
+    }
+    const unsigned long long asn = std::strtoull(text.c_str(), nullptr, 10);
+    if (asn > 4294967295ULL) return std::nullopt;
+    message.peer_asn = static_cast<bgp::AsNumber>(asn);
   }
   if (const Json* path = document->find("path")) {
     if (!path->is_array()) return std::nullopt;
     std::vector<bgp::AsNumber> hops;
     for (const auto& hop : path->as_array()) {
-      if (!hop.is_number()) return std::nullopt;
-      hops.push_back(static_cast<bgp::AsNumber>(hop.as_number()));
+      if (!integral_in_range(hop, 0, kMaxAsn, &number)) return std::nullopt;
+      hops.push_back(static_cast<bgp::AsNumber>(number));
     }
     message.path = bgp::AsPath(std::move(hops));
   }
   if (const Json* communities = document->find("community")) {
     if (!communities->is_array()) return std::nullopt;
     for (const auto& pair : communities->as_array()) {
+      double asn = 0;
+      double value = 0;
       if (!pair.is_array() || pair.as_array().size() != 2 ||
-          !pair.as_array()[0].is_number() || !pair.as_array()[1].is_number()) {
+          !integral_in_range(pair.as_array()[0], 0, kMaxCommunityHalf, &asn) ||
+          !integral_in_range(pair.as_array()[1], 0, kMaxCommunityHalf,
+                             &value)) {
         return std::nullopt;
       }
-      bgp::insert_community(
-          message.communities,
-          bgp::Community(
-              static_cast<std::uint16_t>(pair.as_array()[0].as_number()),
-              static_cast<std::uint16_t>(pair.as_array()[1].as_number())));
+      bgp::insert_community(message.communities,
+                            bgp::Community(static_cast<std::uint16_t>(asn),
+                                           static_cast<std::uint16_t>(value)));
     }
   }
   if (const Json* announcements = document->find("announcements")) {

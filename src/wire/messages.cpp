@@ -95,8 +95,10 @@ class Cursor {
   }
   std::size_t remaining() const noexcept { return data_.size() - offset_; }
   std::size_t offset() const noexcept { return offset_; }
+  /// Sub-cursor over the next `n` bytes, clamped to the bytes that actually
+  /// remain — a declared length can never make the cursor read past the end.
   Cursor sub(std::size_t n) const {
-    return Cursor(data_.subspan(offset_, n));
+    return Cursor(data_.subspan(offset_, std::min(n, remaining())));
   }
 
  private:
@@ -210,6 +212,7 @@ std::optional<OpenMessage> decode_open(Cursor body) {
   open.as = as2;
   std::uint8_t params_length = 0;
   if (!body.u8(params_length)) return std::nullopt;
+  if (params_length > body.remaining()) return std::nullopt;
   Cursor params = body.sub(params_length);
   std::uint8_t param_type = 0;
   std::uint8_t param_length = 0;
@@ -380,13 +383,32 @@ std::vector<std::uint8_t> encode(const Message& message) {
   return out;
 }
 
+std::string_view to_string(DecodeError error) noexcept {
+  switch (error) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kIncomplete: return "incomplete";
+    case DecodeError::kBadMarker: return "bad-marker";
+    case DecodeError::kBadLength: return "bad-length";
+    case DecodeError::kUnknownType: return "unknown-type";
+    case DecodeError::kMalformedOpen: return "malformed-open";
+    case DecodeError::kMalformedUpdate: return "malformed-update";
+    case DecodeError::kMalformedNotification: return "malformed-notification";
+  }
+  return "?";
+}
+
 std::optional<Message> decode(std::span<const std::uint8_t> data,
-                              std::size_t& consumed) {
+                              std::size_t& consumed, DecodeError& error) {
   consumed = 0;
-  if (data.size() < kHeaderSize) return std::nullopt;  // incomplete
+  error = DecodeError::kNone;
+  if (data.size() < kHeaderSize) {
+    error = DecodeError::kIncomplete;
+    return std::nullopt;
+  }
   for (std::size_t i = 0; i < 16; ++i) {
     if (data[i] != 0xFF) {
       consumed = 1;  // garbage: resynchronize byte by byte
+      error = DecodeError::kBadMarker;
       return std::nullopt;
     }
   }
@@ -394,27 +416,38 @@ std::optional<Message> decode(std::span<const std::uint8_t> data,
       static_cast<std::uint16_t>((data[16] << 8) | data[17]);
   if (length < kHeaderSize || length > kMaxMessageSize) {
     consumed = 1;
+    error = DecodeError::kBadLength;
     return std::nullopt;
   }
-  if (data.size() < length) return std::nullopt;  // incomplete
+  if (data.size() < length) {
+    error = DecodeError::kIncomplete;
+    return std::nullopt;  // incomplete
+  }
   const std::uint8_t type = data[18];
   Cursor body(data.subspan(kHeaderSize, length - kHeaderSize));
   consumed = length;
   switch (static_cast<MessageType>(type)) {
     case MessageType::kOpen: {
       auto open = decode_open(body);
-      if (!open) return std::nullopt;
+      if (!open) {
+        error = DecodeError::kMalformedOpen;
+        return std::nullopt;
+      }
       return Message(*open);
     }
     case MessageType::kUpdate: {
       auto update = decode_update(body);
-      if (!update) return std::nullopt;
+      if (!update) {
+        error = DecodeError::kMalformedUpdate;
+        return std::nullopt;
+      }
       return Message(*update);
     }
     case MessageType::kNotification: {
       NotificationMessage notification;
       Cursor cursor = body;
       if (!cursor.u8(notification.code) || !cursor.u8(notification.subcode)) {
+        error = DecodeError::kMalformedNotification;
         return std::nullopt;
       }
       return Message(notification);
@@ -422,6 +455,7 @@ std::optional<Message> decode(std::span<const std::uint8_t> data,
     case MessageType::kKeepalive:
       return Message(KeepaliveMessage{});
   }
+  error = DecodeError::kUnknownType;
   return std::nullopt;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -71,11 +72,35 @@ MessageType type_of(const Message& message) noexcept;
 /// Encodes one message with its RFC 4271 header.
 std::vector<std::uint8_t> encode(const Message& message);
 
+/// Why a decode attempt produced no message. Every length field in the
+/// decoder is bounds-checked; malformed input yields one of these instead
+/// of a silent mis-parse.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,              // a message was decoded
+  kIncomplete,            // need more bytes (consumed == 0)
+  kBadMarker,             // header marker byte != 0xFF (resync byte by byte)
+  kBadLength,             // header length outside [19, 4096]
+  kUnknownType,           // header type not OPEN/UPDATE/NOTIFICATION/KEEPALIVE
+  kMalformedOpen,         // OPEN body failed validation
+  kMalformedUpdate,       // UPDATE body failed validation
+  kMalformedNotification, // NOTIFICATION body shorter than 2 bytes
+};
+
+std::string_view to_string(DecodeError error) noexcept;
+
 /// Attempts to decode one message from the front of `data`. On success,
 /// `consumed` is the total size of the message. Returns nullopt when the
 /// buffer holds an incomplete message (consumed == 0) or garbage
-/// (consumed != 0: skip those bytes and resynchronize).
+/// (consumed != 0: skip those bytes and resynchronize); `error` then says
+/// what was wrong. Never reads out of bounds and never throws.
 std::optional<Message> decode(std::span<const std::uint8_t> data,
-                              std::size_t& consumed);
+                              std::size_t& consumed, DecodeError& error);
+
+/// Compatibility overload without the structured error.
+inline std::optional<Message> decode(std::span<const std::uint8_t> data,
+                                     std::size_t& consumed) {
+  DecodeError error = DecodeError::kNone;
+  return decode(data, consumed, error);
+}
 
 }  // namespace gill::wire

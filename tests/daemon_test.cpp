@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+
 #include "daemon/bmp_ingest.hpp"
 #include "daemon/daemon.hpp"
 #include "wire/bmp.hpp"
@@ -215,6 +218,264 @@ TEST(Session, PeriodicRibDumps) {
   h.daemon.tick(18 * 3600);
   EXPECT_EQ(h.daemon.rib_dumps_written(), 2u);
   EXPECT_EQ(h.daemon.rib().size(), 1u);
+}
+
+TEST(ByteQueue, InterleavedWritesAndReads) {
+  ByteQueue queue;
+  std::vector<std::uint8_t> reference;  // bytes written, in order
+  std::size_t read_cursor = 0;
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 4000; ++round) {
+    const std::size_t n = 1 + rng() % 37;
+    std::vector<std::uint8_t> block(n);
+    for (auto& b : block) b = static_cast<std::uint8_t>(rng());
+    queue.write(block);
+    reference.insert(reference.end(), block.begin(), block.end());
+    if (rng() % 3 != 0) {
+      const auto out = queue.read(1 + rng() % 53);
+      for (const std::uint8_t b : out) {
+        ASSERT_LT(read_cursor, reference.size());
+        ASSERT_EQ(b, reference[read_cursor]) << "at byte " << read_cursor;
+        ++read_cursor;
+      }
+    }
+  }
+  const auto rest = queue.read();
+  for (const std::uint8_t b : rest) {
+    ASSERT_EQ(b, reference.at(read_cursor++));
+  }
+  EXPECT_EQ(read_cursor, reference.size());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect FSM, backoff, and teardown causes.
+// ---------------------------------------------------------------------------
+
+RetryPolicy no_jitter_policy() {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+TEST(RetryPolicy, DeterministicSchedule) {
+  RetryPolicy jittered;
+  jittered.jitter_seed = 42;
+  // Golden schedule for {base=1, cap=64, multiplier=2, jitter=0.25, seed=42}.
+  const Timestamp golden[] = {1, 2, 4, 7, 12, 24, 61, 59, 53, 52};
+  for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(jittered.delay(attempt), golden[attempt]) << attempt;
+  }
+  // Pure function of (policy, attempt): order of evaluation is irrelevant.
+  for (std::size_t attempt = 10; attempt-- > 0;) {
+    EXPECT_EQ(jittered.delay(attempt), golden[attempt]) << attempt;
+  }
+
+  const Timestamp exact[] = {1, 2, 4, 8, 16, 32, 64, 64, 64, 64};
+  for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(no_jitter_policy().delay(attempt), exact[attempt]) << attempt;
+  }
+}
+
+TEST(RetryPolicy, JitterStaysWithinBounds) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    RetryPolicy policy;
+    policy.jitter_seed = seed;
+    for (std::size_t attempt = 0; attempt < 12; ++attempt) {
+      const Timestamp raw = std::min<Timestamp>(
+          policy.cap, policy.base << std::min<std::size_t>(attempt, 6));
+      const Timestamp delay = policy.delay(attempt);
+      EXPECT_LE(delay, raw) << "seed " << seed << " attempt " << attempt;
+      EXPECT_GE(delay, std::max<Timestamp>(
+                           1, static_cast<Timestamp>(
+                                  std::floor(0.75 * static_cast<double>(raw)))))
+          << "seed " << seed << " attempt " << attempt;
+    }
+  }
+}
+
+TEST(Session, HoldTimerExpiryNotificationCode) {
+  Harness h;
+  h.establish();
+  h.daemon.tick(200);  // past the 90 s hold time
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+  ASSERT_TRUE(h.daemon.last_notification_sent().has_value());
+  EXPECT_EQ(h.daemon.last_notification_sent()->code, 4);  // hold expired
+  EXPECT_EQ(h.daemon.last_notification_sent()->subcode, 0);
+}
+
+TEST(Session, UpdateBeforeEstablishedNotificationCode) {
+  Harness h;
+  h.daemon.start(0);
+  bgp::Update update;
+  update.prefix = pfx("10.0.0.0/24");
+  update.path = bgp::AsPath{65010};
+  h.peer.send_update(update);
+  h.daemon.poll(1);
+  ASSERT_TRUE(h.daemon.last_notification_sent().has_value());
+  EXPECT_EQ(h.daemon.last_notification_sent()->code, 5);  // FSM error
+}
+
+TEST(Session, UnexpectedOpenNotificationCode) {
+  Harness h;
+  h.establish();
+  wire::OpenMessage open;
+  open.as = 65010;
+  h.transport.write_to_daemon(wire::encode(open));  // OPEN while Established
+  h.daemon.poll(2);
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+  ASSERT_TRUE(h.daemon.last_notification_sent().has_value());
+  EXPECT_EQ(h.daemon.last_notification_sent()->code, 6);
+}
+
+TEST(Session, PeerNotificationTearsDownSilently) {
+  Harness h;
+  h.establish();
+  h.transport.write_to_daemon(wire::encode(wire::NotificationMessage{6, 0}));
+  h.daemon.poll(2);
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+  // The daemon did not answer with a NOTIFICATION of its own.
+  EXPECT_EQ(h.daemon.stats().notifications_sent, 0u);
+  EXPECT_FALSE(h.daemon.last_notification_sent().has_value());
+}
+
+TEST(Session, KeepalivesAreGenerated) {
+  Harness h;
+  h.establish();
+  // One keepalive per hold_time/3 = 30 s of silence from our side.
+  h.daemon.tick(31);
+  EXPECT_EQ(h.daemon.stats().keepalives_sent, 1u);
+  h.daemon.tick(45);  // not due yet
+  EXPECT_EQ(h.daemon.stats().keepalives_sent, 1u);
+  h.daemon.tick(61);
+  EXPECT_EQ(h.daemon.stats().keepalives_sent, 2u);
+  h.peer.poll();  // the peer reads them without complaint
+  EXPECT_TRUE(h.peer.established());
+}
+
+TEST(Session, ReconnectAfterHoldExpiryWithBackoff) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.establish();
+  h.daemon.tick(200);  // hold expiry -> Idle, reconnect in base=1 s
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+  EXPECT_EQ(h.daemon.next_reconnect_at(), 201);
+  h.daemon.tick(200);  // not due yet
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+
+  h.daemon.tick(201);  // backoff elapsed: OPEN re-sent
+  EXPECT_EQ(h.daemon.state(), SessionState::kOpenSent);
+  EXPECT_EQ(h.daemon.stats().reconnects, 1u);
+  h.peer.poll();
+  h.daemon.poll(202);
+  EXPECT_EQ(h.daemon.state(), SessionState::kEstablished);
+  EXPECT_EQ(h.daemon.peer_as(), 65010u);
+  h.peer.poll();
+  EXPECT_TRUE(h.peer.established());
+}
+
+TEST(Session, BackoffGrowsAcrossConsecutiveFailures) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.daemon.start(0);
+  // The peer never answers: every session attempt dies by hold expiry, and
+  // the gap between attempts doubles (1, 2, 4, ... capped at 64).
+  Timestamp now = 0;
+  Timestamp previous_gap = 0;
+  for (int failures = 0; failures < 4; ++failures) {
+    now += 91;  // hold expires
+    h.daemon.tick(now);
+    EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+    const Timestamp gap = h.daemon.next_reconnect_at() - now;
+    EXPECT_EQ(gap, Timestamp{1} << failures);
+    EXPECT_GT(gap, previous_gap);
+    previous_gap = gap;
+    now = h.daemon.next_reconnect_at();
+    h.daemon.tick(now);
+    EXPECT_EQ(h.daemon.state(), SessionState::kOpenSent);
+  }
+}
+
+TEST(Session, EstablishedSessionResetsBackoff) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.establish();
+  h.daemon.tick(200);  // failure #1 while attempt counter is fresh
+  EXPECT_EQ(h.daemon.next_reconnect_at() - 200, 1);
+  h.daemon.tick(201);
+  h.peer.poll();
+  h.daemon.poll(202);
+  EXPECT_EQ(h.daemon.state(), SessionState::kEstablished);
+  // A full session reset the schedule: the next failure starts at base again.
+  h.daemon.tick(400);
+  EXPECT_EQ(h.daemon.next_reconnect_at() - 400, 1);
+}
+
+TEST(Session, TransportDisconnectSchedulesReconnect) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.establish();
+  h.transport.disconnect();  // TCP reset under the daemon
+  h.daemon.poll(10);
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+  EXPECT_EQ(h.daemon.next_reconnect_at(), 11);
+  h.daemon.tick(11);  // the daemon reopens the transport itself
+  EXPECT_TRUE(h.transport.connected());
+  EXPECT_EQ(h.daemon.state(), SessionState::kOpenSent);
+  h.peer.poll();
+  h.daemon.poll(12);
+  EXPECT_EQ(h.daemon.state(), SessionState::kEstablished);
+}
+
+TEST(Session, ReconnectClearsStaleRib) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.daemon.enable_rib_dumps(8 * 3600);  // arms RIB tracking
+  h.establish();
+  bgp::Update update;
+  update.prefix = pfx("10.0.0.0/24");
+  update.path = bgp::AsPath{65010};
+  h.peer.send_update(update);
+  h.daemon.poll(5);
+  EXPECT_EQ(h.daemon.rib().size(), 1u);
+
+  h.daemon.tick(200);  // hold expiry
+  h.daemon.tick(201);  // reconnect
+  EXPECT_EQ(h.daemon.rib().size(), 0u);  // stale table dropped for replay
+  EXPECT_EQ(h.daemon.stats().resyncs, 1u);
+
+  h.peer.poll();
+  h.daemon.poll(202);
+  EXPECT_EQ(h.daemon.state(), SessionState::kEstablished);
+  h.peer.send_update(update);  // the peer replays its routes
+  h.daemon.poll(203);
+  EXPECT_EQ(h.daemon.rib().size(), 1u);
+}
+
+TEST(Session, NoReconnectWithoutRetryPolicy) {
+  Harness h;
+  h.establish();
+  h.daemon.tick(200);
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+  EXPECT_EQ(h.daemon.next_reconnect_at(), 0);
+  h.daemon.tick(10000);
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);  // single-shot session
+}
+
+TEST(Session, MalformedMessagesCountDecodeErrors) {
+  Harness h;
+  h.establish();
+  // A contiguous garbage run counts once, however long it is. A trailing
+  // keepalive lets the resynchronization walk the full run (the last <19
+  // bytes would otherwise wait as a potentially incomplete header).
+  const std::vector<std::uint8_t> garbage(32, 0x55);
+  h.transport.write_to_daemon(garbage);
+  h.peer.send_keepalive();
+  h.daemon.poll(2);
+  EXPECT_EQ(h.daemon.stats().decode_errors, 1u);
+  EXPECT_EQ(h.daemon.stats().garbage_bytes, 32u);
+  EXPECT_EQ(h.daemon.state(), SessionState::kEstablished);  // resynchronized
 }
 
 // ---------------------------------------------------------------------------

@@ -120,6 +120,65 @@ TEST(LiveFeed, RejectsNonUpdateAndMalformed) {
           .has_value());
 }
 
+TEST(LiveFeed, RejectsOutOfRangeNumericFields) {
+  // A live feed is untrusted input: every numeric field is bounds-checked
+  // and a violation rejects the whole message instead of wrapping silently.
+  // peer_asn beyond 32 bits, non-digits, or the wrong type.
+  EXPECT_FALSE(
+      decode_live(R"({"type":"UPDATE","timestamp":1,"peer_asn":"4294967296"})")
+          .has_value());
+  EXPECT_FALSE(
+      decode_live(R"({"type":"UPDATE","timestamp":1,"peer_asn":"12x4"})")
+          .has_value());
+  EXPECT_FALSE(decode_live(R"({"type":"UPDATE","timestamp":1,"peer_asn":""})")
+                   .has_value());
+  EXPECT_FALSE(decode_live(R"({"type":"UPDATE","timestamp":1,"peer_asn":5})")
+                   .has_value());
+  EXPECT_TRUE(
+      decode_live(R"({"type":"UPDATE","timestamp":1,"peer_asn":"4294967295"})")
+          .has_value());
+
+  // Timestamps: negative, fractional, or absurdly large.
+  EXPECT_FALSE(decode_live(R"({"type":"UPDATE","timestamp":-5})").has_value());
+  EXPECT_FALSE(
+      decode_live(R"({"type":"UPDATE","timestamp":1.5})").has_value());
+  EXPECT_FALSE(
+      decode_live(R"({"type":"UPDATE","timestamp":1e30})").has_value());
+
+  // Path hops and VP ids past 32 bits, negative, or fractional.
+  EXPECT_FALSE(
+      decode_live(R"({"type":"UPDATE","timestamp":1,"path":[4294967296]})")
+          .has_value());
+  EXPECT_FALSE(decode_live(R"({"type":"UPDATE","timestamp":1,"path":[-1]})")
+                   .has_value());
+  EXPECT_FALSE(decode_live(R"({"type":"UPDATE","timestamp":1,"vp":-2})")
+                   .has_value());
+  EXPECT_FALSE(decode_live(R"({"type":"UPDATE","timestamp":1,"vp":1.25})")
+                   .has_value());
+
+  // Community halves are 16-bit.
+  EXPECT_FALSE(
+      decode_live(R"({"type":"UPDATE","timestamp":1,"community":[[70000,1]]})")
+          .has_value());
+  EXPECT_TRUE(
+      decode_live(R"({"type":"UPDATE","timestamp":1,"community":[[65535,1]]})")
+          .has_value());
+}
+
+TEST(LiveFeed, RejectsMismatchedBracketNesting) {
+  // Never throws, never accepts: broken nesting fails JSON parsing and
+  // decode_live reports nullopt.
+  for (const char* text :
+       {R"({"type":"UPDATE","timestamp":1)",                     // unclosed {
+        R"({"type":"UPDATE","timestamp":1,"path":[1,2})",        // [ closed by }
+        R"({"type":"UPDATE","timestamp":1,"path":[1,2]]})",      // extra ]
+        R"({"type":"UPDATE","timestamp":1}})",                   // extra }
+        R"([{"type":"UPDATE","timestamp":1})",                   // unclosed [
+        R"({"type":"UPDATE","announcements":[{"prefixes":["10.0.0.0/8"]})"}) {
+    EXPECT_FALSE(decode_live(text).has_value()) << text;
+  }
+}
+
 TEST(LiveFeed, StreamGroupingMergesSharedAttributes) {
   bgp::UpdateStream stream;
   for (const char* prefix : {"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24"}) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <span>
 
 #include "bgp/delta.hpp"
 #include "feed/live_feed.hpp"
@@ -134,6 +135,93 @@ TEST_P(SeededProperty, WireDecoderNeverCrashesOnMutatedInput) {
     // construction of the bounds-checked cursor); result may be anything.
     (void)wire::decode(mutated, consumed);
     EXPECT_LE(consumed, mutated.size());
+  }
+}
+
+TEST_P(SeededProperty, WireDecoderSurvivesRandomAndTruncatedByteStrings) {
+  // 2000 strings per seed x 5 seeds = 10k adversarial inputs: pure noise,
+  // noise behind a valid marker, and valid encodes cut short. The decoder
+  // must never crash, never report consuming more than it was given, and a
+  // resynchronization walk over any input must terminate.
+  std::mt19937_64 rng(GetParam() ^ 0x5eed5);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> bytes;
+    switch (rng() % 3) {
+      case 0: {  // pure random bytes
+        bytes.resize(rng() % 128);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+        break;
+      }
+      case 1: {  // a valid marker followed by random header/body bytes
+        bytes.assign(16, 0xFF);
+        const std::size_t tail = rng() % 64;
+        for (std::size_t i = 0; i < tail; ++i) {
+          bytes.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      }
+      default: {  // a well-formed message truncated mid-flight
+        wire::Message message;
+        switch (rng() % 4) {
+          case 0: {
+            wire::OpenMessage open;
+            open.as = static_cast<bgp::AsNumber>(rng());
+            open.hold_time = static_cast<std::uint16_t>(rng());
+            open.bgp_id = static_cast<std::uint32_t>(rng());
+            message = open;
+            break;
+          }
+          case 1:
+            message = wire::KeepaliveMessage{};
+            break;
+          case 2:
+            message = wire::NotificationMessage{
+                static_cast<std::uint8_t>(rng()),
+                static_cast<std::uint8_t>(rng())};
+            break;
+          default: {
+            wire::UpdateMessage update;
+            const std::size_t nlri = 1 + rng() % 3;
+            for (std::size_t p = 0; p < nlri; ++p) {
+              update.nlri.emplace_back(
+                  net::IpAddress::v4(static_cast<std::uint32_t>(rng())),
+                  static_cast<unsigned>(rng() % 33));
+            }
+            update.path =
+                bgp::AsPath{static_cast<bgp::AsNumber>(1 + rng() % 70000)};
+            update.next_hop = static_cast<std::uint32_t>(rng());
+            message = update;
+            break;
+          }
+        }
+        bytes = wire::encode(message);
+        bytes.resize(rng() % (bytes.size() + 1));  // truncate anywhere
+        break;
+      }
+    }
+
+    // Walk the buffer exactly like the daemon's poll loop does.
+    std::size_t offset = 0;
+    std::size_t iterations = 0;
+    while (offset < bytes.size()) {
+      ASSERT_LT(++iterations, bytes.size() + 2) << "walk did not terminate";
+      std::size_t consumed = 0;
+      wire::DecodeError error = wire::DecodeError::kNone;
+      const auto decoded = wire::decode(
+          std::span(bytes.data() + offset, bytes.size() - offset), consumed,
+          error);
+      ASSERT_LE(consumed, bytes.size() - offset);
+      if (decoded) {
+        ASSERT_GT(consumed, 0u);
+        EXPECT_EQ(error, wire::DecodeError::kNone);
+      } else if (consumed == 0) {
+        EXPECT_EQ(error, wire::DecodeError::kIncomplete);
+        break;  // starved: needs more bytes
+      } else {
+        EXPECT_NE(error, wire::DecodeError::kNone);
+      }
+      offset += consumed;
+    }
   }
 }
 

@@ -1,0 +1,139 @@
+// Metrics overhead microbench: the cost of the decode-hot-path counter
+// increment versus a bare relaxed atomic add, plus the (cold-path) cost of
+// re-resolving a labeled child through the registry on every event and of
+// a histogram observation. Emits BENCH_metrics.json.
+//
+// The contract this guards (DESIGN.md §6): Counter::inc() is exactly one
+// relaxed fetch_add, so a pre-resolved handle must stay within 2x of the
+// bare atomic — and per-event registry lookups are the anti-pattern the
+// numbers below exist to discourage.
+//
+// Exits 0 regardless of the measured ratio so a loaded CI box cannot turn
+// timing noise into a test failure; pass --strict to enforce the 2x bound.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace gill;
+
+constexpr std::uint64_t kHotIterations = 1u << 24;   // ~16.8M
+constexpr std::uint64_t kColdIterations = 1u << 19;  // lookups are ~100x slower
+constexpr int kRepetitions = 5;
+constexpr double kStrictRatioLimit = 2.0;
+
+/// Runs `body(iterations)` kRepetitions times and returns the best
+/// (least-disturbed) nanoseconds per operation.
+template <typename Body>
+double best_ns_per_op(std::uint64_t iterations, Body body) {
+  double best = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const bench::Stopwatch watch;
+    body(iterations);
+    best = std::min(best,
+                    watch.seconds() * 1e9 / static_cast<double>(iterations));
+  }
+  return best;
+}
+
+std::string json_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+  }
+  bench::header("Metrics overhead: counter increment vs bare atomic",
+                "instrumentation budget for the §5 daemon decode path");
+
+  // 1. The floor: a bare relaxed atomic add.
+  std::atomic<std::uint64_t> bare{0};
+  const double bare_ns = best_ns_per_op(kHotIterations, [&](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      bare.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // 2. The hot path: a Counter handle resolved once at session setup.
+  metrics::Registry registry;
+  metrics::Counter& counter =
+      registry.counter("gill_bench_events_total", "Bench events", {{"vp", "1"}});
+  const double counter_ns =
+      best_ns_per_op(kHotIterations, [&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; ++i) counter.inc();
+      });
+
+  // 3. The anti-pattern: re-resolving the labeled child per event
+  //    (mutex + label canonicalization + map lookup).
+  const double lookup_ns =
+      best_ns_per_op(kColdIterations, [&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+          registry
+              .counter("gill_bench_events_total", "Bench events",
+                       {{"vp", "1"}})
+              .inc();
+        }
+      });
+
+  // 4. Histogram::observe (bucket index + three relaxed adds).
+  metrics::Histogram& histogram =
+      registry.histogram("gill_bench_bytes", "Bench sizes");
+  const double histogram_ns =
+      best_ns_per_op(kHotIterations, [&](std::uint64_t n) {
+        for (std::uint64_t i = 0; i < n; ++i) histogram.observe(i & 0xFFFF);
+      });
+
+  const double ratio = counter_ns / bare_ns;
+  bench::row({"case", "ns/op"}, 28);
+  bench::row({"bare_atomic_fetch_add", bench::num(bare_ns, 3)}, 28);
+  bench::row({"counter_inc", bench::num(counter_ns, 3)}, 28);
+  bench::row({"labeled_lookup_inc", bench::num(lookup_ns, 3)}, 28);
+  bench::row({"histogram_observe", bench::num(histogram_ns, 3)}, 28);
+  std::printf("counter_inc / bare ratio: %.2fx (budget %.1fx)\n", ratio,
+              kStrictRatioLimit);
+  std::printf("checksum: %llu %llu %llu\n",
+              static_cast<unsigned long long>(bare.load()),
+              static_cast<unsigned long long>(counter.value()),
+              static_cast<unsigned long long>(histogram.count()));
+
+  std::string json = "{\"bench\":\"metrics_overhead\",\"results\":[";
+  json += "{\"name\":\"bare_atomic_fetch_add\",\"ns_per_op\":" +
+          json_number(bare_ns) + "},";
+  json += "{\"name\":\"counter_inc\",\"ns_per_op\":" +
+          json_number(counter_ns) + "},";
+  json += "{\"name\":\"labeled_lookup_inc\",\"ns_per_op\":" +
+          json_number(lookup_ns) + "},";
+  json += "{\"name\":\"histogram_observe\",\"ns_per_op\":" +
+          json_number(histogram_ns) + "}],";
+  json += "\"counter_vs_bare_ratio\":" + json_number(ratio) + ",";
+  json += "\"strict_ratio_limit\":" + json_number(kStrictRatioLimit) + "}\n";
+  std::FILE* out = std::fopen("BENCH_metrics.json", "w");
+  if (out != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    bench::note("wrote BENCH_metrics.json");
+  } else {
+    std::fprintf(stderr, "error: cannot write BENCH_metrics.json\n");
+    return 1;
+  }
+
+  if (strict && ratio > kStrictRatioLimit) {
+    std::fprintf(stderr, "FAIL: counter_inc is %.2fx bare atomic (> %.1fx)\n",
+                 ratio, kStrictRatioLimit);
+    return 1;
+  }
+  return 0;
+}

@@ -14,7 +14,36 @@ std::string_view to_string(PeerStatus status) noexcept {
   return "?";
 }
 
-Platform::Platform(PlatformConfig config) : config_(std::move(config)) {}
+Platform::PlatformCounters::PlatformCounters(metrics::Registry& registry)
+    : mirrored_updates(registry.counter(
+          "gill_collector_mirrored_updates_total",
+          "Updates mirrored into the sampling buffer")),
+      forwarded_updates(registry.counter(
+          "gill_collector_forwarded_updates_total",
+          "Updates pushed to operator forwarding rules (custom services)")),
+      filter_refreshes(registry.counter(
+          "gill_collector_filter_refreshes_total",
+          "GILL pipeline reruns installing fresh filters")),
+      mirror_purged_updates(registry.counter(
+          "gill_collector_mirror_purged_updates_total",
+          "Mirrored updates dropped because their peer was quarantined")),
+      quarantines(registry.counter("gill_collector_quarantines_total",
+                                   "Peers entering quarantine")),
+      peers(registry.gauge("gill_collector_peers",
+                           "Peering sessions managed by the platform")),
+      quarantined_peers(registry.gauge(
+          "gill_collector_quarantined_peers",
+          "Peers currently frozen by the quarantine policy")),
+      filter_refresh_duration_us(registry.histogram(
+          "gill_collector_filter_refresh_duration_us",
+          "Wall-clock microseconds per refresh_filters run")) {}
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)),
+      own_registry_(config_.registry ? nullptr
+                                     : std::make_unique<metrics::Registry>()),
+      registry_(config_.registry ? config_.registry : own_registry_.get()),
+      counters_(*registry_) {}
 
 VpId Platform::add_peer(bgp::AsNumber peer_as, Timestamp now) {
   return add_peer_internal(peer_as, now,
@@ -39,10 +68,11 @@ VpId Platform::add_peer_internal(
   peer.as = peer_as;
   peer.transport = std::move(transport);
   peer.daemon = std::make_unique<daemon::BgpDaemon>(
-      vp, config_.local_as, *peer.transport, &filters_, &store_);
+      vp, config_.local_as, *peer.transport, &filters_, &store_, registry_);
   peer.daemon->set_mirror([this, vp](const bgp::Update& update) {
     if (quarantined(vp)) return;  // a degraded feed must not poison sampling
     mirror_.push(update);
+    counters_.mirrored_updates.inc();
     forward(update);  // §14 custom services run before any discarding
   });
   if (config_.auto_reconnect) {
@@ -54,6 +84,7 @@ VpId Platform::add_peer_internal(
   peer.daemon->start(now);
   peer.last_state = peer.daemon->state();
   peers_.emplace(vp, std::move(peer));
+  counters_.peers.set(static_cast<double>(peers_.size()));
   return vp;
 }
 
@@ -65,6 +96,7 @@ void Platform::step(Timestamp now) {
           now - health.quarantined_at >= config_.health.quarantine_duration) {
         health.status = PeerStatus::kBackoff;  // released; session still down
         health.recent_flaps.clear();
+        counters_.quarantined_peers.sub(1.0);
       } else {
         continue;  // frozen: no polling, no reconnect attempts
       }
@@ -100,6 +132,8 @@ void Platform::observe_health(Peer& peer, Timestamp now) {
       health.quarantined_at = now;
       ++health.quarantines;
       health.recent_flaps.clear();
+      counters_.quarantines.inc();
+      counters_.quarantined_peers.add(1.0);
       return;
     }
   }
@@ -115,18 +149,53 @@ std::size_t Platform::quarantined_count() const noexcept {
   return n;
 }
 
-std::string Platform::health_report() const {
-  std::ostringstream out;
-  out << "# GILL peer health (" << peers_.size() << " peers, "
-      << quarantined_count() << " quarantined)\n";
+HealthSnapshot Platform::health_snapshot() const {
+  HealthSnapshot snapshot;
+  snapshot.peers.reserve(peers_.size());
   for (const auto& [vp, peer] : peers_) {
-    out << "vp" << vp << " as" << peer.as << ' '
-        << to_string(peer.health.status) << ' '
-        << daemon::to_string(peer.daemon->state()) << " flaps="
-        << peer.health.flaps << " recent=" << peer.health.recent_flaps.size()
-        << " quarantines=" << peer.health.quarantines << '\n';
+    PeerHealthEntry entry;
+    entry.vp = vp;
+    entry.as = peer.as;
+    entry.status = peer.health.status;
+    entry.session = peer.daemon->state();
+    entry.flaps = peer.health.flaps;
+    entry.recent_flaps = peer.health.recent_flaps.size();
+    entry.quarantines = peer.health.quarantines;
+    if (entry.status == PeerStatus::kQuarantined) {
+      ++snapshot.quarantined;
+      entry.quarantined_at = peer.health.quarantined_at;
+      if (config_.health.quarantine_duration > 0) {
+        entry.quarantine_release_at =
+            peer.health.quarantined_at + config_.health.quarantine_duration;
+      }
+    }
+    snapshot.peers.push_back(entry);
+  }
+  return snapshot;
+}
+
+std::string format(const HealthSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "# GILL peer health (" << snapshot.peers.size() << " peers, "
+      << snapshot.quarantined << " quarantined)\n";
+  for (const auto& peer : snapshot.peers) {
+    out << "vp" << peer.vp << " as" << peer.as << ' '
+        << to_string(peer.status) << ' ' << daemon::to_string(peer.session)
+        << " flaps=" << peer.flaps << " recent=" << peer.recent_flaps
+        << " quarantines=" << peer.quarantines;
+    if (peer.status == PeerStatus::kQuarantined) {
+      out << " since=" << peer.quarantined_at;
+      if (peer.quarantine_release_at != 0) {
+        out << " release_at=" << peer.quarantine_release_at;
+      }
+    }
+    out << '\n';
   }
   return out.str();
+}
+
+std::string Platform::health_report() const {
+  return format(health_snapshot());
 }
 
 void Platform::refresh_filters(Timestamp now,
@@ -134,17 +203,24 @@ void Platform::refresh_filters(Timestamp now,
   // Updates mirrored before a peer was quarantined are just as suspect as
   // the flapping session that produced them: drop them pre-sampling.
   if (quarantined_count() > 0) {
+    const std::size_t before = mirror_.size();
     bgp::UpdateStream kept;
     for (const auto& update : mirror_) {
       if (!quarantined(update.vp)) kept.push(update);
     }
     mirror_ = std::move(kept);
+    counters_.mirror_purged_updates.inc(before - mirror_.size());
   }
   mirror_.sort();
-  const auto result = sample::run_gill_pipeline(bgp::UpdateStream{}, mirror_,
-                                                categories, config_.gill);
-  filters_ = result.filters;
-  anchors_ = result.anchors;
+  {
+    const metrics::Timer timer(counters_.filter_refresh_duration_us);
+    const auto result = sample::run_gill_pipeline(bgp::UpdateStream{},
+                                                  mirror_, categories,
+                                                  config_.gill);
+    filters_ = result.filters;
+    anchors_ = result.anchors;
+  }
+  counters_.filter_refreshes.inc();
   pipeline_ran_ = true;
   last_component1_ = now;
   mirror_ = bgp::UpdateStream{};  // drop the mirrored data (Fig. 9)
@@ -157,7 +233,10 @@ void Platform::add_forwarding_rule(const net::Prefix& prefix,
 
 void Platform::forward(const bgp::Update& update) const {
   for (const auto& [prefix, sink] : forwarding_rules_) {
-    if (prefix.covers(update.prefix)) sink(update);
+    if (prefix.covers(update.prefix)) {
+      counters_.forwarded_updates.inc();
+      sink(update);
+    }
   }
 }
 

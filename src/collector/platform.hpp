@@ -12,6 +12,7 @@
 
 #include "daemon/daemon.hpp"
 #include "daemon/faults.hpp"
+#include "metrics/metrics.hpp"
 #include "sampling/gill_pipeline.hpp"
 #include "topology/topology.hpp"
 
@@ -44,6 +45,9 @@ struct PlatformConfig {
   daemon::RetryPolicy retry;
   bool auto_reconnect = true;
   HealthPolicy health;
+  /// Registry hosting the platform's and every session's metrics; when
+  /// null the platform owns a private one (see Platform::metrics()).
+  metrics::Registry* registry = nullptr;
 };
 
 enum class PeerStatus : std::uint8_t {
@@ -61,6 +65,33 @@ struct PeerHealth {
   std::deque<Timestamp> recent_flaps;  // within the sliding flap window
   Timestamp quarantined_at = 0;
 };
+
+/// One peer's row in a HealthSnapshot: plain values, no live references.
+struct PeerHealthEntry {
+  VpId vp = 0;
+  bgp::AsNumber as = 0;
+  PeerStatus status = PeerStatus::kHealthy;
+  daemon::SessionState session = daemon::SessionState::kIdle;
+  std::size_t flaps = 0;
+  std::size_t recent_flaps = 0;  // within the sliding flap window
+  std::size_t quarantines = 0;
+  Timestamp quarantined_at = 0;        // 0 when not quarantined
+  Timestamp quarantine_release_at = 0;  // 0 = permanent or not quarantined
+
+  friend bool operator==(const PeerHealthEntry&,
+                         const PeerHealthEntry&) noexcept = default;
+};
+
+/// Structured per-peer health, replacing the preformatted string the old
+/// health_report() returned: callers assert on fields and quarantine
+/// deadlines; rendering is a separate concern (see format()).
+struct HealthSnapshot {
+  std::size_t quarantined = 0;
+  std::vector<PeerHealthEntry> peers;  // ordered by VP id
+};
+
+/// Renders a snapshot as the one-line-per-peer operator report.
+std::string format(const HealthSnapshot& snapshot);
 
 /// One managed peering session.
 struct Peer {
@@ -96,8 +127,17 @@ class Platform {
   /// Per-peer session health (flap counters and quarantine state).
   const PeerHealth& health(VpId vp) const { return peers_.at(vp).health; }
   std::size_t quarantined_count() const noexcept;
-  /// One line per peer: vp, AS, status, session state, flap counts.
+  /// Structured per-peer health: status, session state, flap counters and
+  /// quarantine deadlines. Render with format(snapshot) when a report
+  /// string is wanted.
+  HealthSnapshot health_snapshot() const;
+  /// Deprecated wrapper kept for one release: format(health_snapshot()).
+  [[deprecated("use health_snapshot() and format(snapshot)")]]
   std::string health_report() const;
+
+  /// The registry holding the platform's and every session's metrics;
+  /// expose_prometheus()/expose_json() are the scrape endpoints.
+  metrics::Registry& metrics() const noexcept { return *registry_; }
 
   /// Drives all sessions: polls daemons and remotes, expires hold timers,
   /// and refreshes filters when a sampling period elapsed.
@@ -132,6 +172,20 @@ class Platform {
   }
 
  private:
+  /// Registry-backed platform-level instruments, resolved at construction.
+  struct PlatformCounters {
+    explicit PlatformCounters(metrics::Registry& registry);
+
+    metrics::Counter& mirrored_updates;
+    metrics::Counter& forwarded_updates;
+    metrics::Counter& filter_refreshes;
+    metrics::Counter& mirror_purged_updates;
+    metrics::Counter& quarantines;
+    metrics::Gauge& peers;
+    metrics::Gauge& quarantined_peers;
+    metrics::Histogram& filter_refresh_duration_us;
+  };
+
   void forward(const bgp::Update& update) const;
   VpId add_peer_internal(bgp::AsNumber peer_as, Timestamp now,
                          std::unique_ptr<daemon::Transport> transport);
@@ -145,6 +199,9 @@ class Platform {
   }
 
   PlatformConfig config_;
+  std::unique_ptr<metrics::Registry> own_registry_;  // when none configured
+  metrics::Registry* registry_;
+  PlatformCounters counters_;
   std::vector<std::pair<net::Prefix, ForwardingSink>> forwarding_rules_;
   std::map<VpId, Peer> peers_;
   VpId next_vp_ = 0;

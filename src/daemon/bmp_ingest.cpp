@@ -2,6 +2,44 @@
 
 namespace gill::daemon {
 
+namespace {
+metrics::Labels bmp_labels(VpId vp) { return {{"vp", std::to_string(vp)}}; }
+}  // namespace
+
+BmpCounters::BmpCounters(metrics::Registry& registry, VpId vp)
+    : messages(registry.counter("gill_bmp_messages_total",
+                                "BMP messages decoded", bmp_labels(vp))),
+      route_monitoring(registry.counter("gill_bmp_route_monitoring_total",
+                                        "BMP Route Monitoring messages",
+                                        bmp_labels(vp))),
+      peer_events(registry.counter("gill_bmp_peer_events_total",
+                                   "BMP Peer Up/Down events",
+                                   bmp_labels(vp))),
+      updates_received(registry.counter(
+          "gill_bmp_updates_received_total",
+          "Per-prefix announcements/withdrawals unwrapped", bmp_labels(vp))),
+      updates_filtered(registry.counter(
+          "gill_bmp_updates_filtered_total",
+          "Updates discarded by the filter table", bmp_labels(vp))),
+      updates_stored(registry.counter("gill_bmp_updates_stored_total",
+                                      "Updates written to the MRT archive",
+                                      bmp_labels(vp))),
+      garbage_bytes(registry.counter("gill_bmp_garbage_bytes_total",
+                                     "Undecodable bytes skipped",
+                                     bmp_labels(vp))) {}
+
+BmpIngestStats BmpIngest::stats() const noexcept {
+  BmpIngestStats stats;
+  stats.messages = counters_.messages.value();
+  stats.route_monitoring = counters_.route_monitoring.value();
+  stats.peer_events = counters_.peer_events.value();
+  stats.updates_received = counters_.updates_received.value();
+  stats.updates_filtered = counters_.updates_filtered.value();
+  stats.updates_stored = counters_.updates_stored.value();
+  stats.garbage_bytes = counters_.garbage_bytes.value();
+  return stats;
+}
+
 void BmpIngest::ingest(const wire::BmpRouteMonitoring& monitoring,
                        Timestamp now) {
   const Timestamp when = monitoring.peer.timestamp_sec != 0
@@ -9,15 +47,15 @@ void BmpIngest::ingest(const wire::BmpRouteMonitoring& monitoring,
                                    monitoring.peer.timestamp_sec)
                              : now;
   auto process = [&](Update update) {
-    ++stats_.updates_received;
+    counters_.updates_received.inc();
     if (mirror_) mirror_(update);
     if (filters_ && !filters_->accept(update)) {
-      ++stats_.updates_filtered;
+      counters_.updates_filtered.inc();
       return;
     }
     if (store_) {
       store_->store(update);
-      ++stats_.updates_stored;
+      counters_.updates_stored.inc();
     }
   };
 
@@ -55,19 +93,19 @@ void BmpIngest::feed(std::span<const std::uint8_t> data, Timestamp now) {
         consumed);
     if (!message) {
       if (consumed == 0) break;  // incomplete
-      stats_.garbage_bytes += consumed;
+      counters_.garbage_bytes.inc(consumed);
       offset += consumed;
       continue;
     }
     offset += consumed;
-    ++stats_.messages;
+    counters_.messages.inc();
     if (const auto* monitoring =
             std::get_if<wire::BmpRouteMonitoring>(&*message)) {
-      ++stats_.route_monitoring;
+      counters_.route_monitoring.inc();
       ingest(*monitoring, now);
     } else if (std::holds_alternative<wire::BmpPeerUp>(*message) ||
                std::holds_alternative<wire::BmpPeerDown>(*message)) {
-      ++stats_.peer_events;
+      counters_.peer_events.inc();
     }
   }
   pending_.erase(pending_.begin(),

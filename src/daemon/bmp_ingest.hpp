@@ -11,6 +11,8 @@
 
 namespace gill::daemon {
 
+/// Value snapshot of one BMP stream's counters, read from the metric
+/// registry by BmpIngest::stats() — same view contract as DaemonStats.
 struct BmpIngestStats {
   std::size_t messages = 0;
   std::size_t route_monitoring = 0;
@@ -21,18 +23,43 @@ struct BmpIngestStats {
   std::size_t garbage_bytes = 0;
 };
 
+/// Registry-backed instruments for one BMP stream (gill_bmp_*{vp=...}),
+/// resolved once at construction.
+struct BmpCounters {
+  BmpCounters(metrics::Registry& registry, VpId vp);
+
+  metrics::Counter& messages;
+  metrics::Counter& route_monitoring;
+  metrics::Counter& peer_events;
+  metrics::Counter& updates_received;
+  metrics::Counter& updates_filtered;
+  metrics::Counter& updates_stored;
+  metrics::Counter& garbage_bytes;
+};
+
 /// Stateful decoder for one BMP byte stream.
 class BmpIngest {
  public:
   /// `vp` identifies the monitored router; `filters`/`store` may be null.
-  BmpIngest(VpId vp, const filt::FilterTable* filters, MrtStore* store)
-      : vp_(vp), filters_(filters), store_(store) {}
+  /// `registry` hosts the stream's counters; when null the ingest owns a
+  /// private registry (isolated stand-alone use).
+  BmpIngest(VpId vp, const filt::FilterTable* filters, MrtStore* store,
+            metrics::Registry* registry = nullptr)
+      : vp_(vp),
+        filters_(filters),
+        store_(store),
+        own_registry_(registry ? nullptr
+                               : std::make_unique<metrics::Registry>()),
+        registry_(registry ? registry : own_registry_.get()),
+        counters_(*registry_, vp) {}
 
   /// Feeds raw bytes; `now` stamps stored updates (BMP's per-peer
   /// timestamp is preferred when present).
   void feed(std::span<const std::uint8_t> data, Timestamp now);
 
-  const BmpIngestStats& stats() const noexcept { return stats_; }
+  /// A consistent value snapshot read from the registry counters.
+  BmpIngestStats stats() const noexcept;
+  metrics::Registry& metrics() const noexcept { return *registry_; }
 
   /// Pre-filter tap (same contract as BgpDaemon::set_mirror).
   void set_mirror(std::function<void(const Update&)> mirror) {
@@ -45,7 +72,9 @@ class BmpIngest {
   VpId vp_;
   const filt::FilterTable* filters_;
   MrtStore* store_;
-  BmpIngestStats stats_;
+  std::unique_ptr<metrics::Registry> own_registry_;
+  metrics::Registry* registry_;
+  BmpCounters counters_;
   std::vector<std::uint8_t> pending_;
   std::function<void(const Update&)> mirror_;
 };

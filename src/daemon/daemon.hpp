@@ -11,6 +11,7 @@
 // injected below this layer by FaultyTransport (faults.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -21,6 +22,7 @@
 
 #include "bgp/rib.hpp"
 #include "filters/filters.hpp"
+#include "metrics/metrics.hpp"
 #include "mrt/mrt.hpp"
 #include "wire/messages.hpp"
 
@@ -130,6 +132,10 @@ class MrtStore {
   mrt::Writer writer_;
 };
 
+/// A value snapshot of one session's counters, read from the metric
+/// registry by BgpDaemon::stats(). This is a *view*: the authoritative
+/// state lives in registry counters (gill_daemon_*_total{vp=...}) that the
+/// daemon increments on the hot path; nothing mutates this struct.
 struct DaemonStats {
   std::size_t messages_received = 0;
   std::size_t updates_received = 0;   // individual prefix announcements
@@ -143,12 +149,34 @@ struct DaemonStats {
   std::size_t keepalives_sent = 0;    // generated by tick()
 };
 
+/// Registry-backed instruments for one peering session, resolved ONCE at
+/// construction (labeled {vp="..."}) so every hot-path increment is a
+/// single relaxed atomic add — no per-event name/label lookups.
+struct SessionCounters {
+  SessionCounters(metrics::Registry& registry, VpId vp);
+
+  metrics::Counter& messages_received;
+  metrics::Counter& updates_received;
+  metrics::Counter& updates_filtered;
+  metrics::Counter& updates_stored;
+  metrics::Counter& garbage_bytes;
+  metrics::Counter& notifications_sent;
+  metrics::Counter& resyncs;
+  metrics::Counter& reconnects;
+  metrics::Counter& keepalives_sent;
+  metrics::Histogram& message_bytes;  // wire size of each decoded message
+};
+
 /// One BGP daemon instance (one peering session).
 class BgpDaemon {
  public:
   /// `filters` and `store` may be null (no filtering / no storage).
+  /// `registry` is where the session's counters are registered (labeled
+  /// {vp="..."}); when null the daemon owns a private registry, so
+  /// stand-alone sessions stay isolated from each other.
   BgpDaemon(VpId vp, bgp::AsNumber local_as, Transport& transport,
-            const filt::FilterTable* filters, MrtStore* store);
+            const filt::FilterTable* filters, MrtStore* store,
+            metrics::Registry* registry = nullptr);
 
   /// Initiates the session (sends OPEN, enters OpenSent).
   void start(Timestamp now);
@@ -169,7 +197,11 @@ class BgpDaemon {
   Timestamp next_reconnect_at() const noexcept { return reconnect_at_; }
 
   SessionState state() const noexcept { return state_; }
-  const DaemonStats& stats() const noexcept { return stats_; }
+  /// A consistent value snapshot of the session counters (reads the
+  /// registry; the returned struct is a copy, never live state).
+  DaemonStats stats() const noexcept;
+  /// The registry holding this session's counters.
+  metrics::Registry& metrics() const noexcept { return *registry_; }
   bgp::AsNumber peer_as() const noexcept { return peer_as_; }
 
   /// The last NOTIFICATION this daemon sent (teardown code/subcode), if
@@ -203,18 +235,27 @@ class BgpDaemon {
                 std::uint8_t subcode);
   void reconnect_now(Timestamp now);
   void ingest_update(const wire::UpdateMessage& update, Timestamp now);
+  /// Bumps gill_daemon_decode_errors_total{vp=...,kind=...}; the per-kind
+  /// children are resolved lazily (errors are off the hot path).
+  void count_decode_error(wire::DecodeError error);
+
+  /// Number of wire::DecodeError enumerators (the kind-label cardinality).
+  static constexpr std::size_t kDecodeErrorKinds = 8;
 
   VpId vp_;
   bgp::AsNumber local_as_;
   Transport* transport_;
   const filt::FilterTable* filters_;
   MrtStore* store_;
+  std::unique_ptr<metrics::Registry> own_registry_;  // when none was supplied
+  metrics::Registry* registry_;
+  SessionCounters counters_;
+  std::array<metrics::Counter*, kDecodeErrorKinds> decode_error_counters_{};
   SessionState state_ = SessionState::kIdle;
   bgp::AsNumber peer_as_ = 0;
   std::uint16_t hold_time_ = 90;
   Timestamp last_heard_ = 0;
   Timestamp last_keepalive_ = 0;
-  DaemonStats stats_;
   std::vector<std::uint8_t> pending_;
   bool reset_requested_ = false;
   bool in_garbage_run_ = false;

@@ -6,10 +6,38 @@
 #include <cstdlib>
 
 #include "feed/json.hpp"
+#include "metrics/metrics.hpp"
 
 namespace gill::feed {
 
 namespace {
+
+/// Module-level instruments on the process-wide registry, resolved once:
+/// decode_live/encode_live are free functions on the live-ingest hot path,
+/// so each call pays at most a few relaxed atomic adds.
+struct FeedMetrics {
+  metrics::Counter& decoded;
+  metrics::Counter& rejected;
+  metrics::Counter& encoded;
+  metrics::Histogram& message_bytes;
+};
+
+FeedMetrics& feed_metrics() {
+  static FeedMetrics instruments{
+      metrics::default_registry().counter(
+          "gill_feed_messages_decoded_total",
+          "Live-feed JSON documents decoded into messages"),
+      metrics::default_registry().counter(
+          "gill_feed_messages_rejected_total",
+          "Live-feed documents rejected as malformed or non-UPDATE"),
+      metrics::default_registry().counter(
+          "gill_feed_messages_encoded_total",
+          "Messages encoded as live-feed JSON documents"),
+      metrics::default_registry().histogram(
+          "gill_feed_message_bytes",
+          "Text size of each decoded/encoded live-feed document")};
+  return instruments;
+}
 
 /// JSON numbers are doubles; any field destined for an integer type must be
 /// a finite integral value inside the target range, or the message is
@@ -30,6 +58,8 @@ constexpr double kMaxVp = 4294967295.0;
 constexpr double kMaxCommunityHalf = 65535.0;
 // Seconds; generous but far below any int64/double precision cliff.
 constexpr double kMaxTimestamp = 1e15;
+
+std::optional<LiveMessage> decode_live_unmetered(std::string_view text);
 
 }  // namespace
 
@@ -75,10 +105,26 @@ std::string encode_live(const LiveMessage& message) {
     }
     object["withdrawals"] = Json(std::move(withdrawals));
   }
-  return Json(std::move(object)).dump();
+  std::string out = Json(std::move(object)).dump();
+  feed_metrics().encoded.inc();
+  feed_metrics().message_bytes.observe(out.size());
+  return out;
 }
 
 std::optional<LiveMessage> decode_live(std::string_view text) {
+  auto message = decode_live_unmetered(text);
+  if (message) {
+    feed_metrics().decoded.inc();
+    feed_metrics().message_bytes.observe(text.size());
+  } else {
+    feed_metrics().rejected.inc();
+  }
+  return message;
+}
+
+namespace {
+
+std::optional<LiveMessage> decode_live_unmetered(std::string_view text) {
   const auto document = Json::parse(text);
   if (!document || !document->is_object()) return std::nullopt;
   const Json* type = document->find("type");
@@ -162,6 +208,8 @@ std::optional<LiveMessage> decode_live(std::string_view text) {
   }
   return message;
 }
+
+}  // namespace
 
 std::vector<LiveMessage> to_live_messages(const bgp::UpdateStream& stream) {
   std::vector<LiveMessage> messages;

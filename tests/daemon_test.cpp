@@ -75,6 +75,13 @@ TEST(Session, UpdatesAreStoredWhenEstablished) {
   EXPECT_EQ(record->update.vp, 1u);
   EXPECT_EQ(record->update.time, 5);
   EXPECT_EQ(record->update.path.str(), "65010 65011");
+
+  // stats() is a view over the registry: the same count is scrapeable.
+  EXPECT_EQ(h.daemon.metrics().counter_total("gill_daemon_updates_stored_total"),
+            1u);
+  EXPECT_NE(h.daemon.metrics().expose_prometheus().find(
+                "gill_daemon_updates_stored_total{vp=\"1\"} 1"),
+            std::string::npos);
 }
 
 TEST(Session, FiltersDiscardBeforeStore) {

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "metrics/metrics.hpp"
+
 namespace gill::cli {
 
 /// Parses "--key value" pairs and bare positionals.
@@ -48,6 +50,27 @@ class Args {
 [[noreturn]] inline void usage(const char* text) {
   std::fprintf(stderr, "%s", text);
   std::exit(2);
+}
+
+/// Writes the process-wide Prometheus text exposition to `target` ("-"
+/// means stdout) — the common handler for each tool's `--metrics` flag.
+/// Returns false when the file cannot be opened.
+inline bool dump_metrics(const std::string& target) {
+  const std::string text =
+      gill::metrics::default_registry().expose_prometheus();
+  if (target == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(target.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                 target.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  return true;
 }
 
 }  // namespace gill::cli

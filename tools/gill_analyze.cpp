@@ -5,6 +5,7 @@
 //   gill-analyze updates.mrt [--defs] [--component1]
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "bgp/delta.hpp"
 #include "cli_util.hpp"
@@ -16,8 +17,16 @@ int main(int argc, char** argv) {
   using namespace gill;
   const cli::Args args(argc, argv);
   if (args.positionals().empty() || args.has("help")) {
-    cli::usage("usage: gill-analyze <updates.mrt> [--defs] [--component1]\n");
+    cli::usage("usage: gill-analyze <updates.mrt> [--defs] [--component1]\n"
+               "                    [--metrics <path|->]\n");
   }
+  auto& registry = metrics::default_registry();
+  auto& updates_read = registry.counter("gill_analyze_updates_read_total",
+                                        "Updates read from the archive");
+  auto& withdrawals_read = registry.counter(
+      "gill_analyze_withdrawals_read_total", "Withdrawals among them");
+  auto run_timer = std::make_unique<metrics::Timer>(registry.histogram(
+      "gill_analyze_run_duration_us", "Wall-clock microseconds per run"));
   const auto stream = mrt::read_stream(args.positionals()[0]);
   if (!stream) {
     std::fprintf(stderr, "error: cannot read %s\n",
@@ -40,6 +49,8 @@ int main(int argc, char** argv) {
               "window [%lld, %lld]\n",
               stream->size(), withdrawals, vps.size(), prefixes.size(),
               static_cast<long long>(first), static_cast<long long>(last));
+  updates_read.inc(stream->size());
+  withdrawals_read.inc(withdrawals);
 
   // Busiest VPs.
   std::vector<std::pair<std::size_t, bgp::VpId>> ranked;
@@ -77,6 +88,10 @@ int main(int argc, char** argv) {
                 result.retained_fraction(), result.mean_rp,
                 result.redundant.size(),
                 result.redundant.size() + result.nonredundant.size());
+  }
+  run_timer.reset();  // observe the run duration before the dump
+  if (args.has("metrics") && !cli::dump_metrics(args.get("metrics", "-"))) {
+    return 1;
   }
   return 0;
 }

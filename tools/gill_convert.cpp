@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
       args.has("help")) {
     cli::usage(
         "usage: gill-convert to-json <in.mrt> <out.ndjson>\n"
-        "       gill-convert to-mrt  <in.ndjson> <out.mrt>\n");
+        "       gill-convert to-mrt  <in.ndjson> <out.mrt>\n"
+        "       (either form accepts --metrics <path|->)\n");
   }
   const std::string in = args.positionals()[1];
   const std::string out = args.positionals()[2];
@@ -40,6 +41,9 @@ int main(int argc, char** argv) {
     }
     std::printf("converted %zu updates to NDJSON (%zu bytes)\n",
                 stream->size(), ndjson.size());
+    if (args.has("metrics") && !cli::dump_metrics(args.get("metrics", "-"))) {
+      return 1;
+    }
     return 0;
   }
 
@@ -61,5 +65,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("converted %zu updates to MRT\n", stream->size());
+  if (args.has("metrics") && !cli::dump_metrics(args.get("metrics", "-"))) {
+    return 1;
+  }
   return 0;
 }

@@ -17,8 +17,13 @@ int main(int argc, char** argv) {
         "usage: gill-filter --train train.mrt --in eval.mrt --out out.mrt\n"
         "                   [--ribs ribs.mrt] [--no-anchors]\n"
         "                   [--granularity coarse|asp|asp-comm]\n"
-        "                   [--print-filters]\n");
+        "                   [--print-filters] [--metrics <path|->]\n");
   }
+  auto& registry = metrics::default_registry();
+  auto& updates_retained = registry.counter(
+      "gill_filter_updates_retained_total", "Updates kept by the filter set");
+  auto& updates_discarded = registry.counter(
+      "gill_filter_updates_discarded_total", "Updates dropped by the filters");
   const auto training = mrt::read_stream(args.get("train", ""));
   if (!training) {
     std::fprintf(stderr, "error: cannot read %s\n",
@@ -66,6 +71,8 @@ int main(int argc, char** argv) {
   std::printf("filtered %s: %zu -> %zu updates (%.1f%% discarded)\n",
               args.get("in", "").c_str(), eval->size(), retained.size(),
               stats.matched_fraction() * 100.0);
+  updates_retained.inc(retained.size());
+  updates_discarded.inc(eval->size() - retained.size());
 
   const std::string out = args.get("out", "retained.mrt");
   if (!mrt::write_stream(retained, out)) {
@@ -73,5 +80,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out.c_str());
+  if (args.has("metrics") && !cli::dump_metrics(args.get("metrics", "-"))) {
+    return 1;
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 // The update archive is what a collection platform would store; the RIB
 // archive is the day-0 snapshot. Both feed gill-analyze / gill-filter.
 #include <cstdio>
+#include <memory>
 #include <random>
 
 #include "cli_util.hpp"
@@ -21,8 +22,16 @@ int main(int argc, char** argv) {
   if (args.has("help")) {
     cli::usage(
         "usage: gill-simulate [--ases N] [--vps K] [--hours H] [--seed S]\n"
-        "                     [--hotspot F] --out updates.mrt [--ribs r.mrt]\n");
+        "                     [--hotspot F] --out updates.mrt [--ribs r.mrt]\n"
+        "                     [--metrics <path|->]\n");
   }
+  auto& registry = metrics::default_registry();
+  auto& updates_written = registry.counter(
+      "gill_simulate_updates_written_total", "Updates written to the archive");
+  auto& ribs_written = registry.counter(
+      "gill_simulate_rib_entries_written_total", "RIB entries written");
+  auto run_timer = std::make_unique<metrics::Timer>(registry.histogram(
+      "gill_simulate_run_duration_us", "Wall-clock microseconds per run"));
   const auto ases = static_cast<std::uint32_t>(args.get_int("ases", 400));
   const auto vps = static_cast<std::uint32_t>(args.get_int("vps", 80));
   const auto hours = args.get_int("hours", 2);
@@ -56,6 +65,7 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %zu RIB entries to %s\n", ribs.size(),
                 args.get("ribs", "").c_str());
+    ribs_written.inc(ribs.size());
   }
 
   sim::WorkloadConfig workload;
@@ -78,5 +88,10 @@ int main(int argc, char** argv) {
   }
   std::printf("ground truth: %zu events (not exported; rerun with the same "
               "seed to regenerate)\n", events);
+  updates_written.inc(stream.size());
+  run_timer.reset();  // observe the run duration before the dump
+  if (args.has("metrics") && !cli::dump_metrics(args.get("metrics", "-"))) {
+    return 1;
+  }
   return 0;
 }

@@ -8,9 +8,12 @@
 //  4. the orchestrator refreshes filters (Components #1 + #2) and installs
 //     them into the daemons,
 //  5. subsequent redundant traffic is discarded before the MRT store, and
-//     the two public documents (filters, anchors) are published.
+//     the two public documents (filters, anchors) are published,
+//  6. the run's metrics are dumped as a Prometheus exposition — the same
+//     text gill_collectord serves live on GET /metrics.
 #include <cstdio>
 
+#include "cli_util.hpp"
 #include "collector/platform.hpp"
 #include "collector/vetting.hpp"
 
@@ -47,6 +50,9 @@ int main() {
   // --- 2. sessions ------------------------------------------------------------
   collect::PlatformConfig platform_config;
   platform_config.gill.use_anchors = true;
+  // Register everything in the process-wide registry so the final metrics
+  // dump sees the platform and session counters.
+  platform_config.registry = &metrics::default_registry();
   collect::Platform platform(platform_config);
   std::vector<bgp::VpId> vps;
   for (const auto& accepted : vetting.accepted()) {
@@ -110,5 +116,9 @@ int main() {
   std::printf("MRT archive round-trip: %zu records re-read from %s\n",
               reloaded ? reloaded->size() : 0, path);
   std::remove(path);
+
+  // --- 6. observability -------------------------------------------------------
+  std::printf("\nend-of-run metrics (what GET /metrics would have served):\n");
+  cli::dump_metrics("-");
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "feed/json.hpp"
+
 namespace gill::collect {
 
 std::string_view to_string(PeerStatus status) noexcept {
@@ -46,8 +48,8 @@ Platform::Platform(PlatformConfig config)
       counters_(*registry_) {}
 
 VpId Platform::add_peer(bgp::AsNumber peer_as, Timestamp now) {
-  return add_peer_internal(peer_as, now,
-                           std::make_unique<daemon::Transport>());
+  return add_peer_internal(peer_as, now, std::make_unique<daemon::Transport>(),
+                           /*make_fake_peer=*/true, /*arm_retry=*/true);
 }
 
 VpId Platform::add_faulty_peer(bgp::AsNumber peer_as, Timestamp now,
@@ -56,12 +58,23 @@ VpId Platform::add_faulty_peer(bgp::AsNumber peer_as, Timestamp now,
   // De-correlate the fault streams of concurrent sessions.
   varied.seed ^= 0xD1B54A32D192ED03ULL * (next_vp_ + 1);
   return add_peer_internal(peer_as, now,
-                           std::make_unique<daemon::FaultyTransport>(varied));
+                           std::make_unique<daemon::FaultyTransport>(varied),
+                           /*make_fake_peer=*/true, /*arm_retry=*/true);
+}
+
+VpId Platform::add_remote_peer(bgp::AsNumber peer_as, Timestamp now,
+                               std::unique_ptr<daemon::Transport> transport) {
+  // No retry policy: our side of an accepted socket cannot re-dial the
+  // remote router; the remote re-establishes and the listener hands us a
+  // fresh transport.
+  return add_peer_internal(peer_as, now, std::move(transport),
+                           /*make_fake_peer=*/false, /*arm_retry=*/false);
 }
 
 VpId Platform::add_peer_internal(
     bgp::AsNumber peer_as, Timestamp now,
-    std::unique_ptr<daemon::Transport> transport) {
+    std::unique_ptr<daemon::Transport> transport, bool make_fake_peer,
+    bool arm_retry) {
   const VpId vp = next_vp_++;
   Peer peer;
   peer.vp = vp;
@@ -75,12 +88,15 @@ VpId Platform::add_peer_internal(
     counters_.mirrored_updates.inc();
     forward(update);  // §14 custom services run before any discarding
   });
-  if (config_.auto_reconnect) {
+  if (config_.auto_reconnect && arm_retry) {
     auto retry = config_.retry;
     retry.jitter_seed ^= 0x9E3779B97F4A7C15ULL * (vp + 1);
     peer.daemon->set_retry_policy(retry);
   }
-  peer.remote = std::make_unique<daemon::FakePeer>(peer_as, *peer.transport);
+  if (make_fake_peer) {
+    peer.remote =
+        std::make_unique<daemon::FakePeer>(peer_as, *peer.transport);
+  }
   peer.daemon->start(now);
   peer.last_state = peer.daemon->state();
   peers_.emplace(vp, std::move(peer));
@@ -101,7 +117,7 @@ void Platform::step(Timestamp now) {
         continue;  // frozen: no polling, no reconnect attempts
       }
     }
-    peer.remote->poll();
+    if (peer.remote) peer.remote->poll();
     peer.daemon->poll(now);
     peer.daemon->tick(now);
     observe_health(peer, now);
@@ -155,7 +171,8 @@ HealthSnapshot Platform::health_snapshot() const {
   for (const auto& [vp, peer] : peers_) {
     PeerHealthEntry entry;
     entry.vp = vp;
-    entry.as = peer.as;
+    // Remote peers may register with AS 0 (unknown until their OPEN).
+    entry.as = peer.as != 0 ? peer.as : peer.daemon->peer_as();
     entry.status = peer.health.status;
     entry.session = peer.daemon->state();
     entry.flaps = peer.health.flaps;
@@ -194,8 +211,31 @@ std::string format(const HealthSnapshot& snapshot) {
   return out.str();
 }
 
-std::string Platform::health_report() const {
-  return format(health_snapshot());
+std::string to_json(const HealthSnapshot& snapshot) {
+  feed::JsonArray sessions;
+  for (const auto& peer : snapshot.peers) {
+    feed::JsonObject entry;
+    entry["vp"] = static_cast<std::int64_t>(peer.vp);
+    entry["as"] = static_cast<std::int64_t>(peer.as);
+    entry["status"] = std::string(to_string(peer.status));
+    entry["session"] = std::string(daemon::to_string(peer.session));
+    entry["flaps"] = static_cast<std::int64_t>(peer.flaps);
+    entry["recent_flaps"] = static_cast<std::int64_t>(peer.recent_flaps);
+    entry["quarantines"] = static_cast<std::int64_t>(peer.quarantines);
+    if (peer.status == PeerStatus::kQuarantined) {
+      entry["quarantined_at"] = static_cast<std::int64_t>(peer.quarantined_at);
+      if (peer.quarantine_release_at != 0) {
+        entry["quarantine_release_at"] =
+            static_cast<std::int64_t>(peer.quarantine_release_at);
+      }
+    }
+    sessions.emplace_back(std::move(entry));
+  }
+  feed::JsonObject root;
+  root["peers"] = static_cast<std::int64_t>(snapshot.peers.size());
+  root["quarantined"] = static_cast<std::int64_t>(snapshot.quarantined);
+  root["sessions"] = std::move(sessions);
+  return feed::Json(std::move(root)).dump();
 }
 
 void Platform::refresh_filters(Timestamp now,

@@ -93,7 +93,13 @@ struct HealthSnapshot {
 /// Renders a snapshot as the one-line-per-peer operator report.
 std::string format(const HealthSnapshot& snapshot);
 
-/// One managed peering session.
+/// Renders a snapshot as one JSON document (the /healthz payload of the
+/// HTTP endpoint): {"peers":N,"quarantined":N,"sessions":[...]}.
+std::string to_json(const HealthSnapshot& snapshot);
+
+/// One managed peering session. `remote` is null for sessions whose peer
+/// lives across a real socket (add_remote_peer): there is nothing local to
+/// drive, the network delivers the peer's bytes.
 struct Peer {
   VpId vp = 0;
   bgp::AsNumber as = 0;
@@ -117,10 +123,28 @@ class Platform {
   VpId add_faulty_peer(bgp::AsNumber peer_as, Timestamp now,
                        const daemon::FaultProfile& profile);
 
+  /// Starts a session whose remote end lives across a real network: the
+  /// caller supplies the transport (typically a net::TcpTransport wrapping
+  /// a listener-accepted socket) and no FakePeer is created. `peer_as` may
+  /// be 0 when unknown; it is learned from the peer's OPEN. The daemon's
+  /// retry policy is NOT armed — an inbound peer re-establishes by
+  /// re-dialing us.
+  VpId add_remote_peer(bgp::AsNumber peer_as, Timestamp now,
+                       std::unique_ptr<daemon::Transport> transport);
+
+  /// The scripted remote of an in-process session. Only valid for peers
+  /// created by add_peer/add_faulty_peer (remote sessions have no local
+  /// fake peer; see has_remote()).
   daemon::FakePeer& remote(VpId vp) { return *peers_.at(vp).remote; }
+  bool has_remote(VpId vp) const {
+    return peers_.at(vp).remote != nullptr;
+  }
   const daemon::BgpDaemon& daemon_of(VpId vp) const {
     return *peers_.at(vp).daemon;
   }
+  /// Mutable session access for operator features that post-configure a
+  /// daemon (periodic RIB dumps in gill_collectord, test hooks).
+  daemon::BgpDaemon& daemon_mut(VpId vp) { return *peers_.at(vp).daemon; }
   daemon::Transport& transport_of(VpId vp) { return *peers_.at(vp).transport; }
   std::size_t peer_count() const noexcept { return peers_.size(); }
 
@@ -128,12 +152,9 @@ class Platform {
   const PeerHealth& health(VpId vp) const { return peers_.at(vp).health; }
   std::size_t quarantined_count() const noexcept;
   /// Structured per-peer health: status, session state, flap counters and
-  /// quarantine deadlines. Render with format(snapshot) when a report
-  /// string is wanted.
+  /// quarantine deadlines. Render with format(snapshot) for the operator
+  /// report or to_json(snapshot) for the HTTP /healthz payload.
   HealthSnapshot health_snapshot() const;
-  /// Deprecated wrapper kept for one release: format(health_snapshot()).
-  [[deprecated("use health_snapshot() and format(snapshot)")]]
-  std::string health_report() const;
 
   /// The registry holding the platform's and every session's metrics;
   /// expose_prometheus()/expose_json() are the scrape endpoints.
@@ -188,7 +209,8 @@ class Platform {
 
   void forward(const bgp::Update& update) const;
   VpId add_peer_internal(bgp::AsNumber peer_as, Timestamp now,
-                         std::unique_ptr<daemon::Transport> transport);
+                         std::unique_ptr<daemon::Transport> transport,
+                         bool make_fake_peer, bool arm_retry);
   /// Detects session flaps (non-Idle -> Idle transitions) and applies the
   /// quarantine policy.
   void observe_health(Peer& peer, Timestamp now);

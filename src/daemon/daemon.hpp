@@ -1,9 +1,10 @@
 // The custom BGP daemon of §8 (C in the paper, C++ here): one daemon
 // instance peers with exactly one BGP router, decodes RFC 4271 messages,
 // applies GILL's filters to incoming updates, and stores what survives in
-// the MRT archive. An in-memory byte transport replaces TCP so sessions are
-// fully testable and the fake-peer load experiments of Table 1 run without
-// a network.
+// the MRT archive. An in-memory byte transport makes sessions fully
+// testable and lets the fake-peer load experiments of Table 1 run without
+// a network; net::TcpTransport carries the same byte stream over a real
+// socket for live peering (gill_collectord).
 //
 // Sessions are restartable: a torn-down daemon re-enters Idle, waits out an
 // exponential backoff (RetryPolicy) and re-initiates the handshake, clearing
@@ -40,6 +41,14 @@ class ByteQueue {
   void write(std::span<const std::uint8_t> data);
   /// Drains up to `max` bytes into a contiguous vector.
   std::vector<std::uint8_t> read(std::size_t max = SIZE_MAX);
+  /// Zero-copy view of every unread byte (valid until the next write).
+  /// peek + consume is the partial-drain path socket senders need: a short
+  /// send() keeps the unsent tail queued without copying it back.
+  std::span<const std::uint8_t> peek() const noexcept {
+    return {buffer_.data() + head_, size()};
+  }
+  /// Discards the first `n` unread bytes (clamped to size()).
+  void consume(std::size_t n) noexcept;
   std::size_t size() const noexcept { return buffer_.size() - head_; }
   bool empty() const noexcept { return head_ == buffer_.size(); }
   void clear() noexcept {
@@ -57,7 +66,9 @@ class ByteQueue {
 /// intercept at message granularity — both endpoints write exactly one
 /// encoded message per call. The connection can drop like a TCP reset:
 /// while down, writes are discarded and `epoch()` tells endpoints to throw
-/// away half-parsed buffers.
+/// away half-parsed buffers. net::TcpTransport subclasses this to carry
+/// one side of the pipe over a real socket (the unused direction's queue
+/// becomes the send backlog).
 struct Transport {
   Transport() = default;
   virtual ~Transport() = default;
@@ -77,8 +88,10 @@ struct Transport {
   /// drop any partially-received bytes.
   std::uint64_t epoch() const noexcept { return epoch_; }
 
-  /// Simulates a TCP reset: both in-flight directions are lost.
-  void disconnect() {
+  /// A TCP reset: both in-flight directions are lost. Virtual so a real
+  /// socket transport (net::TcpTransport) can close its fd when an
+  /// endpoint tears the session down.
+  virtual void disconnect() {
     connected_ = false;
     ++epoch_;
     to_daemon.clear();

@@ -1,0 +1,215 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace gill::net {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint32_t to_epoll(std::uint32_t interest) noexcept {
+  std::uint32_t events = EPOLLET;
+  if (interest & kReadable) events |= EPOLLIN;
+  if (interest & kWritable) events |= EPOLLOUT;
+  return events;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(std::uint32_t granularity_ms)
+    : epoll_fd_(epoll_create1(EPOLL_CLOEXEC)),
+      start_ns_(monotonic_ns()),
+      granularity_ms_(std::max<std::uint32_t>(1, granularity_ms)) {}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::uint64_t EventLoop::now_ms() const {
+  return (monotonic_ns() - start_ns_) / 1'000'000ull;
+}
+
+bool EventLoop::add(int fd, std::uint32_t interest, FdCallback callback) {
+  if (fd < 0 || epoll_fd_ < 0) return false;
+  epoll_event event{};
+  event.events = to_epoll(interest);
+  event.data.fd = fd;
+  const int op = handlers_.contains(fd) ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (epoll_ctl(epoll_fd_, op, fd, &event) != 0) return false;
+  handlers_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t interest) {
+  if (!handlers_.contains(fd)) return false;
+  epoll_event event{};
+  event.events = to_epoll(interest);
+  event.data.fd = fd;
+  return epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == 0;
+}
+
+void EventLoop::remove(int fd) {
+  if (handlers_.erase(fd) > 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+EventLoop::TimerId EventLoop::schedule(std::uint64_t first_delay_ms,
+                                       std::uint64_t interval_ms,
+                                       TimerCallback callback) {
+  Timer timer;
+  timer.id = next_timer_id_++;
+  timer.deadline_ms = now_ms() + first_delay_ms;
+  timer.interval_ms = interval_ms;
+  timer.callback = std::move(callback);
+  const TimerId id = timer.id;
+  insert(std::move(timer));
+  return id;
+}
+
+void EventLoop::insert(Timer&& timer) {
+  // Deadlines are quantized UP to the wheel grid, and never into the
+  // current (already-crossed) tick's slot — either would strand the entry
+  // for a full rotation. The quantized deadline makes the harvest check
+  // exact: once a slot is visited, `deadline <= now` holds iff the entry's
+  // tick (not a laps-away future lap of the same slot) has arrived.
+  const std::uint64_t deadline_tick =
+      (timer.deadline_ms + granularity_ms_ - 1) / granularity_ms_;
+  const std::uint64_t min_tick = now_ms() / granularity_ms_ + 1;
+  const std::uint64_t tick = std::max(deadline_tick, min_tick);
+  timer.deadline_ms = tick * granularity_ms_;
+  wheel_[static_cast<std::size_t>(tick % kWheelSlots)].push_back(
+      std::move(timer));
+  ++timer_count_;
+}
+
+EventLoop::TimerId EventLoop::call_after(std::uint64_t delay_ms,
+                                         TimerCallback callback) {
+  return schedule(delay_ms, 0, std::move(callback));
+}
+
+EventLoop::TimerId EventLoop::call_every(std::uint64_t interval_ms,
+                                         TimerCallback callback) {
+  const std::uint64_t interval = std::max<std::uint64_t>(1, interval_ms);
+  return schedule(interval, interval, std::move(callback));
+}
+
+void EventLoop::cancel(TimerId id) {
+  for (auto& slot : wheel_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --timer_count_;
+        return;
+      }
+    }
+  }
+  // Not in the wheel: already expired (ignore), or harvested for the
+  // dispatch batch running right now — a callback cancelling itself or a
+  // sibling. Record it so the timer neither fires later in the batch nor
+  // re-arms.
+  if (dispatching_) cancelled_in_dispatch_.push_back(id);
+}
+
+void EventLoop::advance_wheel() {
+  const std::uint64_t now = now_ms();
+  const std::uint64_t now_tick = now / granularity_ms_;
+  const std::uint64_t last_tick = last_advance_ms_ / granularity_ms_;
+  if (now_tick == last_tick) return;
+  last_advance_ms_ = now;
+  // Visit every wheel slot the clock crossed since the last advance; a
+  // stalled loop (long callback) catches up without skipping slots. Far
+  // deadlines simply stay put: entries are deadline-checked, so crossing a
+  // slot never fires a timer whose deadline is laps away. After a full
+  // rotation (second-scale stall) one sweep of all slots suffices.
+  const std::uint64_t crossed = now_tick - last_tick;
+  const std::uint64_t slots_to_visit = std::min<std::uint64_t>(
+      crossed, static_cast<std::uint64_t>(kWheelSlots));
+  std::vector<Timer> due;
+  auto harvest = [&](std::vector<Timer>& slot) {
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->deadline_ms <= now) {
+        due.push_back(std::move(*it));
+        it = slot.erase(it);
+        --timer_count_;
+      } else {
+        ++it;
+      }
+    }
+  };
+  for (std::uint64_t i = 0; i < slots_to_visit; ++i) {
+    harvest(wheel_[static_cast<std::size_t>((last_tick + 1 + i) %
+                                            kWheelSlots)]);
+  }
+  std::sort(due.begin(), due.end(), [](const Timer& a, const Timer& b) {
+    return a.deadline_ms < b.deadline_ms ||
+           (a.deadline_ms == b.deadline_ms && a.id < b.id);
+  });
+  dispatching_ = true;
+  const auto cancelled = [this](TimerId id) {
+    return std::find(cancelled_in_dispatch_.begin(),
+                     cancelled_in_dispatch_.end(),
+                     id) != cancelled_in_dispatch_.end();
+  };
+  for (auto& timer : due) {
+    if (cancelled(timer.id)) continue;
+    timer.callback();
+    if (timer.interval_ms > 0 && !cancelled(timer.id)) {
+      // Re-arm relative to the nominal deadline so a recurring tick does
+      // not drift under load; insert() clamps deadlines in the past onto
+      // the next tick.
+      Timer next = std::move(timer);
+      next.deadline_ms += next.interval_ms;
+      insert(std::move(next));
+    }
+  }
+  dispatching_ = false;
+  cancelled_in_dispatch_.clear();
+}
+
+int EventLoop::run_once(int max_wait_ms) {
+  int timeout = max_wait_ms;
+  if (timer_count_ > 0) {
+    timeout = std::min<int>(timeout < 0 ? static_cast<int>(granularity_ms_)
+                                        : timeout,
+                            static_cast<int>(granularity_ms_));
+  }
+  epoll_event events[64];
+  int n = 0;
+  if (epoll_fd_ >= 0) {
+    n = epoll_wait(epoll_fd_, events, 64, timeout);
+    if (n < 0) n = 0;  // EINTR: fall through to the wheel
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;  // removed by an earlier callback
+    std::uint32_t mask = 0;
+    if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP)) {
+      mask |= kReadable;
+    }
+    if (events[i].events & EPOLLOUT) mask |= kWritable;
+    const auto handler = it->second;  // keep alive across self-removal
+    (*handler)(mask);
+  }
+  advance_wheel();
+  return n;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) run_once(static_cast<int>(granularity_ms_));
+}
+
+}  // namespace gill::net

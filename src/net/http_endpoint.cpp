@@ -1,0 +1,195 @@
+#include "net/http_endpoint.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/tcp_transport.hpp"
+
+namespace gill::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string render(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += status_text(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+metrics::Registry& resolve(metrics::Registry* registry) {
+  return registry != nullptr ? *registry : metrics::default_registry();
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(EventLoop& loop, metrics::Registry* registry)
+    : loop_(&loop),
+      registry_(resolve(registry)),
+      listener_(std::make_unique<TcpListener>(loop, &registry_)),
+      requests_(registry_.counter("gill_net_http_requests_total",
+                                  "HTTP requests answered with 200")),
+      bad_requests_(registry_.counter(
+          "gill_net_http_bad_requests_total",
+          "HTTP requests rejected (parse error, bad method, unknown path)")) {}
+
+HttpEndpoint::~HttpEndpoint() { close(); }
+
+void HttpEndpoint::route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpEndpoint::serve_metrics(const metrics::Registry& registry) {
+  route("/metrics", [&registry] {
+    HttpResponse response;
+    response.content_type = kPrometheusContentType;
+    response.body = registry.expose_prometheus();
+    return response;
+  });
+}
+
+bool HttpEndpoint::listen(const std::string& ipv4, std::uint16_t port) {
+  return listener_->listen(
+      ipv4, port, [this](int fd, std::string, std::uint16_t) { on_accept(fd); });
+}
+
+void HttpEndpoint::close() {
+  listener_->close();
+  while (!connections_.empty()) drop(connections_.begin()->first);
+}
+
+bool HttpEndpoint::listening() const noexcept {
+  return listener_->listening();
+}
+
+std::uint16_t HttpEndpoint::port() const noexcept { return listener_->port(); }
+
+void HttpEndpoint::on_accept(int fd) {
+  Connection connection;
+  connection.fd = fd;
+  connections_.emplace(fd, std::move(connection));
+  loop_->add(fd, kReadable,
+             [this, fd](std::uint32_t events) { on_event(fd, events); });
+}
+
+void HttpEndpoint::on_event(int fd, std::uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& connection = it->second;
+  if (events & kReadable) {
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+      if (n > 0) {
+        if (!connection.responding) {
+          connection.in.append(buffer, static_cast<std::size_t>(n));
+        }
+        continue;  // a response in flight: drain and ignore extra bytes
+      }
+      if (n == 0) {  // client closed before/while we answer
+        if (!connection.responding) {
+          drop(fd);
+          return;
+        }
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      drop(fd);
+      return;
+    }
+    if (!connection.responding) {
+      if (connection.in.size() > kMaxRequestBytes) {
+        bad_requests_.inc();
+        connection.out = render({400, "text/plain; charset=utf-8",
+                                 "request too large\n"});
+        connection.responding = true;
+      } else if (connection.in.find("\r\n\r\n") != std::string::npos) {
+        handle_request(connection);
+      }
+    }
+  }
+  if (connection.responding) flush(connection);
+}
+
+void HttpEndpoint::handle_request(Connection& connection) {
+  HttpResponse response;
+  const std::string_view request(connection.in);
+  const std::size_t line_end = request.find("\r\n");
+  const std::string_view line = request.substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  const std::size_t target_end =
+      method_end == std::string_view::npos
+          ? std::string_view::npos
+          : line.find(' ', method_end + 1);
+  if (method_end == std::string_view::npos ||
+      target_end == std::string_view::npos) {
+    bad_requests_.inc();
+    response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
+  } else {
+    const std::string_view method = line.substr(0, method_end);
+    std::string_view target =
+        line.substr(method_end + 1, target_end - method_end - 1);
+    target = target.substr(0, target.find('?'));  // routes ignore queries
+    if (method != "GET") {
+      bad_requests_.inc();
+      response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else if (const auto it = routes_.find(std::string(target));
+               it != routes_.end()) {
+      response = it->second();
+      requests_.inc();
+    } else {
+      bad_requests_.inc();
+      response = {404, "text/plain; charset=utf-8", "not found\n"};
+    }
+  }
+  connection.out = render(response);
+  connection.responding = true;
+}
+
+void HttpEndpoint::flush(Connection& connection) {
+  const int fd = connection.fd;
+  while (connection.out_offset < connection.out.size()) {
+    const ssize_t n = ::send(fd, connection.out.data() + connection.out_offset,
+                             connection.out.size() - connection.out_offset,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_->modify(fd, kReadable | kWritable);
+      return;  // EPOLLOUT resumes the flush
+    }
+    drop(fd);
+    return;
+  }
+  drop(fd);  // Connection: close — one response per connection
+}
+
+void HttpEndpoint::drop(int fd) {
+  loop_->remove(fd);
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+}  // namespace gill::net

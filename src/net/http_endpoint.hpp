@@ -1,0 +1,78 @@
+// Minimal HTTP/1.1 server for the operator plane: GET /metrics (Prometheus
+// text exposition straight from a metrics::Registry) and GET /healthz
+// (JSON) — the scrape endpoint the ROADMAP deferred "once a network layer
+// exists". Deliberately tiny: GET only, no keep-alive (Connection: close),
+// 8 KiB request cap, one response per connection. A Prometheus scraper and
+// `curl` are the entire client population.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "metrics/metrics.hpp"
+#include "net/event_loop.hpp"
+
+namespace gill::net {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Prometheus exposition content type (text format v0.0.4).
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+class HttpEndpoint {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  explicit HttpEndpoint(EventLoop& loop,
+                        metrics::Registry* registry = nullptr);
+  ~HttpEndpoint();
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Registers a GET route for an exact path (no patterns, no queries).
+  void route(std::string path, Handler handler);
+  /// Convenience: routes GET /metrics to `registry.expose_prometheus()`
+  /// with the v0.0.4 content type. `registry` must outlive the endpoint.
+  void serve_metrics(const metrics::Registry& registry);
+
+  /// Binds and starts serving. Port 0 picks an ephemeral port (see port()).
+  bool listen(const std::string& ipv4, std::uint16_t port);
+  void close();
+  bool listening() const noexcept;
+  std::uint16_t port() const noexcept;
+
+  std::size_t open_connections() const noexcept { return connections_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t out_offset = 0;
+    bool responding = false;
+  };
+
+  void on_accept(int fd);
+  void on_event(int fd, std::uint32_t events);
+  void handle_request(Connection& connection);
+  void flush(Connection& connection);
+  void drop(int fd);
+
+  EventLoop* loop_;
+  metrics::Registry& registry_;
+  std::unique_ptr<class TcpListener> listener_;
+  std::map<std::string, Handler> routes_;
+  std::map<int, Connection> connections_;
+  metrics::Counter& requests_;
+  metrics::Counter& bad_requests_;
+};
+
+}  // namespace gill::net

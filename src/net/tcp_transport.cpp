@@ -1,0 +1,316 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace gill::net {
+
+namespace {
+
+metrics::Registry& resolve(metrics::Registry* registry) {
+  return registry != nullptr ? *registry : metrics::default_registry();
+}
+
+bool fill_addr(const std::string& ipv4, std::uint16_t port,
+               sockaddr_in& addr) {
+  addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  return inet_pton(AF_INET, ipv4.c_str(), &addr.sin_addr) == 1;
+}
+
+int make_tcp_socket() {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd >= 0) {
+    // BGP messages are small and latency-sensitive during the handshake;
+    // the send path batches in the ByteQueue, so Nagle only adds delay.
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return fd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+TcpTransport::TcpTransport(EventLoop& loop, Role role,
+                           metrics::Registry* registry)
+    : loop_(&loop),
+      role_(role),
+      bytes_read_(resolve(registry).counter(
+          "gill_net_bytes_read_total", "Bytes read from TCP sockets")),
+      bytes_written_(resolve(registry).counter(
+          "gill_net_bytes_written_total", "Bytes written to TCP sockets")),
+      connects_(resolve(registry).counter(
+          "gill_net_connects_total", "TCP connect handshakes completed")),
+      socket_errors_(resolve(registry).counter(
+          "gill_net_socket_errors_total",
+          "Socket-level failures (connect errors, ECONNRESET, EPIPE, ...)")),
+      remote_closes_(resolve(registry).counter(
+          "gill_net_remote_closes_total",
+          "Orderly remote shutdowns observed (FIN / half-close)")) {}
+
+TcpTransport::~TcpTransport() { close_socket(/*and_endpoint=*/false); }
+
+bool TcpTransport::dial(const std::string& ipv4, std::uint16_t port) {
+  close_socket(/*and_endpoint=*/false);
+  sockaddr_in addr{};
+  if (!fill_addr(ipv4, port, addr)) return false;
+  fd_ = make_tcp_socket();
+  if (fd_ < 0) return false;
+  can_redial_ = true;
+  redial_ip_ = ipv4;
+  redial_port_ = port;
+  connect_done_ = false;
+  const int rc =
+      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc == 0) {
+    connect_done_ = true;
+    connects_.inc();
+  } else if (errno != EINPROGRESS) {
+    // Immediate failure (ENETUNREACH, ...): surface it as a session drop so
+    // the daemon's retry policy takes over.
+    socket_errors_.inc();
+    close_socket(/*and_endpoint=*/true);
+    return true;
+  }
+  register_fd();
+  return true;
+}
+
+bool TcpTransport::adopt(int fd) {
+  if (fd < 0) return false;
+  close_socket(/*and_endpoint=*/false);
+  fd_ = fd;
+  can_redial_ = false;
+  connect_done_ = true;
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  register_fd();
+  return true;
+}
+
+void TcpTransport::register_fd() {
+  if (fd_ < 0) return;
+  // Write interest stays armed until the connect completes and the backlog
+  // is flushed once; afterwards it is re-armed only on short writes.
+  want_write_ = true;
+  loop_->add(fd_, kReadable | kWritable,
+             [this](std::uint32_t events) { on_event(events); });
+}
+
+void TcpTransport::on_event(std::uint32_t events) {
+  if (fd_ < 0) return;
+  if (events & kWritable) {
+    if (!connect_done_) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        socket_errors_.inc();
+        close_socket(/*and_endpoint=*/true);
+        return;
+      }
+      connect_done_ = true;
+      connects_.inc();
+    }
+    flush_outbound();
+  }
+  if ((events & kReadable) && fd_ >= 0) drain_socket();
+}
+
+void TcpTransport::drain_socket() {
+  std::uint8_t buffer[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+    if (n > 0) {
+      bytes_read_.inc(static_cast<std::uint64_t>(n));
+      deliver_inbound(std::span(buffer, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      // FIN: the remote end closed (or half-closed) the conversation. BGP
+      // has no meaningful simplex mode — treat it as the session ending.
+      remote_closes_.inc();
+      close_socket(/*and_endpoint=*/true);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    socket_errors_.inc();  // ECONNRESET and friends
+    close_socket(/*and_endpoint=*/true);
+    return;
+  }
+}
+
+void TcpTransport::deliver_inbound(std::span<const std::uint8_t> chunk) {
+  // Routed through the endpoint's write hook so a fault overlay perturbs
+  // real socket traffic exactly like it perturbed in-memory messages
+  // (granularity is the read chunk rather than one encoded message).
+  if (role_ == Role::kDaemonSide) {
+    endpoint_->write_to_daemon(chunk);
+  } else {
+    endpoint_->write_to_peer(chunk);
+  }
+}
+
+void TcpTransport::flush_outbound() {
+  if (fd_ < 0 || !connect_done_) return;
+  auto& queue = outbound();
+  while (!queue.empty()) {
+    const auto chunk = queue.peek();
+    const ssize_t n = ::send(fd_, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_written_.inc(static_cast<std::uint64_t>(n));
+      queue.consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel buffer full: keep the backlog and ask for EPOLLOUT.
+      if (!want_write_) {
+        want_write_ = true;
+        loop_->modify(fd_, kReadable | kWritable);
+      }
+      return;
+    }
+    socket_errors_.inc();  // EPIPE / ECONNRESET on write
+    close_socket(/*and_endpoint=*/true);
+    return;
+  }
+  if (want_write_) {
+    want_write_ = false;
+    loop_->modify(fd_, kReadable);
+  }
+}
+
+void TcpTransport::sync() {
+  if (fd_ < 0) {
+    // The endpoint was reconnected (retry policy) while the socket was
+    // dead, or an overlay reset was rolled back: restore the socket.
+    if (endpoint_ != this && endpoint_->connected() && can_redial_) {
+      dial(redial_ip_, redial_port_);
+    }
+    return;
+  }
+  if (!endpoint_->connected() && endpoint_ == this) {
+    // Endpoint-initiated disconnect already closed us via the virtual
+    // disconnect(); nothing to do.
+    return;
+  }
+  flush_outbound();
+}
+
+void TcpTransport::write_to_peer(std::span<const std::uint8_t> message) {
+  daemon::Transport::write_to_peer(message);
+  if (role_ == Role::kDaemonSide) flush_outbound();
+}
+
+void TcpTransport::write_to_daemon(std::span<const std::uint8_t> message) {
+  daemon::Transport::write_to_daemon(message);
+  if (role_ == Role::kPeerSide) flush_outbound();
+}
+
+void TcpTransport::disconnect() {
+  close_socket(/*and_endpoint=*/false);
+  daemon::Transport::disconnect();
+}
+
+void TcpTransport::reconnect() {
+  if (!can_redial_) return;  // adopted socket: the remote re-dials us
+  daemon::Transport::reconnect();
+  if (fd_ < 0) dial(redial_ip_, redial_port_);
+}
+
+void TcpTransport::close_socket(bool and_endpoint) {
+  if (fd_ >= 0) {
+    loop_->remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  connect_done_ = false;
+  want_write_ = false;
+  if (and_endpoint && endpoint_->connected()) endpoint_->disconnect();
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(EventLoop& loop, metrics::Registry* registry)
+    : loop_(&loop),
+      accepts_(resolve(registry).counter("gill_net_accepts_total",
+                                         "Inbound connections accepted")),
+      accept_errors_(resolve(registry).counter(
+          "gill_net_accept_errors_total", "accept() failures")) {}
+
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::listen(const std::string& ipv4, std::uint16_t port,
+                         AcceptCallback on_accept, int backlog) {
+  close();
+  sockaddr_in addr{};
+  if (!fill_addr(ipv4, port, addr)) return false;
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  const int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd_, backlog) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  on_accept_ = std::move(on_accept);
+  loop_->add(fd_, kReadable, [this](std::uint32_t) { on_readable(); });
+  return true;
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    loop_->remove(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void TcpListener::on_readable() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd = ::accept4(fd_, reinterpret_cast<sockaddr*>(&peer), &len,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) accept_errors_.inc();
+      return;
+    }
+    accepts_.inc();
+    char ip[INET_ADDRSTRLEN] = "?";
+    inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+    if (on_accept_) {
+      on_accept_(fd, ip, ntohs(peer.sin_port));
+    } else {
+      ::close(fd);
+    }
+  }
+}
+
+}  // namespace gill::net

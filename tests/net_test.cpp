@@ -1,0 +1,620 @@
+// The networking layer: epoll event loop (timers + fd dispatch), TCP
+// transports carrying real BGP sessions over loopback sockets into the
+// Platform, fault-overlay composition, close semantics (half-close and
+// hard reset), and the HTTP operator plane (/metrics, /healthz).
+//
+// Every test binds 127.0.0.1 port 0 (ephemeral) and drives both ends of
+// the connection from ONE event loop — the tests are single-threaded,
+// deterministic, and sanitizer-friendly.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collector/platform.hpp"
+#include "daemon/daemon.hpp"
+#include "daemon/faults.hpp"
+#include "net/event_loop.hpp"
+#include "net/http_endpoint.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace gill::net {
+namespace {
+
+using daemon::SessionState;
+
+constexpr bgp::Timestamp kNow = 1000;  // fixed logical time: no hold expiry
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse(text).value(); }
+
+/// Spins the loop (short waits) until `done` returns true or `iterations`
+/// passes elapse, running `step` between waits to pump the session layers.
+template <typename Done, typename Step>
+bool drive(EventLoop& loop, int iterations, Done done, Step step) {
+  for (int i = 0; i < iterations; ++i) {
+    loop.run_once(2);
+    step();
+    if (done()) return true;
+  }
+  return done();
+}
+
+/// A raw non-blocking loopback client socket (no TcpTransport machinery),
+/// for exercising the server against arbitrary byte-level behaviour.
+int raw_client(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  EXPECT_TRUE(rc == 0 || errno == EINPROGRESS);
+  return fd;
+}
+
+/// Blocking-style HTTP exchange over a non-blocking socket: sends
+/// `request`, spins the loop so the server can respond, and returns the
+/// full response (the server closes after one response).
+std::string http_exchange(EventLoop& loop, std::uint16_t port,
+                          const std::string& request) {
+  const int fd = raw_client(port);
+  std::string response;
+  std::size_t sent = 0;
+  bool closed = false;
+  for (int i = 0; i < 3000 && !closed; ++i) {
+    loop.run_once(1);
+    if (sent < request.size()) {
+      const ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+      if (n > 0) {
+        response.append(buffer, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) closed = true;  // response complete
+      break;
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop: timer wheel and fd dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, OneShotTimerFiresOnce) {
+  EventLoop loop(1);
+  int fired = 0;
+  loop.call_after(10, [&] { ++fired; });
+  EXPECT_EQ(loop.pending_timers(), 1u);
+  while (loop.now_ms() < 60) loop.run_once(2);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoop, RecurringTimerRepeatsUntilCancelled) {
+  EventLoop loop(1);
+  int fired = 0;
+  EventLoop::TimerId id = 0;
+  id = loop.call_every(5, [&] {
+    if (++fired == 3) loop.cancel(id);
+  });
+  while (loop.now_ms() < 100) loop.run_once(2);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.pending_timers(), 0u);
+}
+
+TEST(EventLoop, DeadlineBeyondOneWheelRotationStillFires) {
+  // 256 slots at 1 ms granularity: a 300 ms deadline wraps the wheel.
+  EventLoop loop(1);
+  bool fired = false;
+  loop.call_after(300, [&] { fired = true; });
+  while (loop.now_ms() < 280) loop.run_once(5);
+  EXPECT_FALSE(fired);  // not early
+  while (loop.now_ms() < 400 && !fired) loop.run_once(5);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, FdReadableDispatchAndSelfRemoval) {
+  EventLoop loop(1);
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+  int dispatched = 0;
+  ASSERT_TRUE(loop.add(fds[0], kReadable, [&](std::uint32_t events) {
+    EXPECT_TRUE(events & kReadable);
+    char buffer[16];
+    while (::read(fds[0], buffer, sizeof buffer) > 0) {
+    }
+    if (++dispatched == 2) loop.remove(fds[0]);  // safe mid-dispatch
+  }));
+  EXPECT_TRUE(loop.watched(fds[0]));
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    while (dispatched == round) loop.run_once(5);
+  }
+  EXPECT_EQ(dispatched, 2);
+  EXPECT_FALSE(loop.watched(fds[0]));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
+// ByteQueue: the zero-copy partial-drain path socket senders use.
+// ---------------------------------------------------------------------------
+
+TEST(ByteQueue, PeekConsumeDrainsPartially) {
+  daemon::ByteQueue queue;
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  queue.write(data);
+  auto view = queue.peek();
+  ASSERT_EQ(view.size(), 5u);
+  EXPECT_EQ(view[0], 1);
+  queue.consume(2);  // a short send(): tail stays queued
+  view = queue.peek();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 3);
+  queue.consume(100);  // clamped
+  EXPECT_TRUE(queue.empty());
+  queue.write(data);  // reusable after full drain
+  EXPECT_EQ(queue.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// A Platform peering over real loopback sockets.
+// ---------------------------------------------------------------------------
+
+/// One Platform listening on an ephemeral loopback port, with the accept
+/// path of gill_collectord: every inbound socket becomes a TcpTransport
+/// handed to add_remote_peer.
+struct ServerHarness {
+  EventLoop loop;
+  metrics::Registry registry;
+  collect::Platform platform;
+  TcpListener listener{loop, &registry};
+  std::map<bgp::VpId, TcpTransport*> transports;
+  std::vector<bgp::VpId> accepted;
+
+  ServerHarness() : platform(make_config()) {
+    EXPECT_TRUE(listener.listen(
+        "127.0.0.1", 0, [this](int fd, std::string, std::uint16_t) {
+          auto transport =
+              std::make_unique<TcpTransport>(loop, Role::kDaemonSide,
+                                             &registry);
+          auto* raw = transport.get();
+          transport->adopt(fd);
+          const bgp::VpId vp =
+              platform.add_remote_peer(0, kNow, std::move(transport));
+          // §8: track the session's table (RIB snapshots every 8 hours).
+          platform.daemon_mut(vp).enable_rib_dumps(8 * 3600);
+          transports[vp] = raw;
+          accepted.push_back(vp);
+        }));
+  }
+
+  collect::PlatformConfig make_config() {
+    collect::PlatformConfig config;
+    config.registry = &registry;
+    return config;
+  }
+
+  void pump() {
+    platform.step(kNow);
+    for (auto& [vp, transport] : transports) transport->sync();
+  }
+};
+
+/// A FakePeer dialing the harness over a peer-side TcpTransport: the
+/// scripted router from daemon_test, now behind a real socket.
+struct TcpFakePeer {
+  TcpTransport transport;
+  daemon::FakePeer peer;
+
+  TcpFakePeer(ServerHarness& server, bgp::AsNumber as)
+      : transport(server.loop, Role::kPeerSide, &server.registry),
+        peer(as, transport) {
+    EXPECT_TRUE(transport.dial("127.0.0.1", server.listener.port()));
+  }
+
+  void pump() {
+    peer.poll();
+    transport.sync();
+  }
+};
+
+TEST(TcpSession, LoopbackHandshakeReachesEstablished) {
+  ServerHarness server;
+  TcpFakePeer client(server, 65010);
+  const bool established = drive(
+      server.loop, 400,
+      [&] {
+        return server.accepted.size() == 1 &&
+               server.platform.daemon_of(server.accepted[0]).state() ==
+                   SessionState::kEstablished &&
+               client.peer.established();
+      },
+      [&] {
+        server.pump();
+        client.pump();
+      });
+  ASSERT_TRUE(established);
+  const bgp::VpId vp = server.accepted[0];
+  // The AS was learned from the peer's OPEN, not configured.
+  EXPECT_EQ(server.platform.daemon_of(vp).peer_as(), 65010u);
+  EXPECT_FALSE(server.platform.has_remote(vp));  // no local FakePeer
+  EXPECT_EQ(server.listener.accepted(), 1u);
+  EXPECT_TRUE(client.transport.handshake_done());
+  EXPECT_GT(server.registry.counter_total("gill_net_bytes_read_total"), 0u);
+  EXPECT_GT(server.registry.counter_total("gill_net_bytes_written_total"), 0u);
+}
+
+TEST(TcpSession, UpdatesOverTcpMatchInMemoryRib) {
+  // The same update stream through (a) a loopback TCP session and (b) the
+  // in-memory transport must land in identical RIBs.
+  std::vector<bgp::Update> updates;
+  for (int i = 0; i < 16; ++i) {
+    bgp::Update update;
+    update.time = kNow;
+    update.prefix = pfx(("10.1." + std::to_string(i) + ".0/24").c_str());
+    update.path = bgp::AsPath{65010, 65020, static_cast<bgp::AsNumber>(i)};
+    updates.push_back(update);
+  }
+  bgp::Update withdrawal;
+  withdrawal.time = kNow;
+  withdrawal.prefix = pfx("10.1.3.0/24");
+  withdrawal.withdrawal = true;
+
+  // (a) Over TCP.
+  ServerHarness server;
+  TcpFakePeer client(server, 65010);
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] {
+        return !server.accepted.empty() &&
+               server.platform.daemon_of(server.accepted[0]).state() ==
+                   SessionState::kEstablished &&
+               client.peer.established();
+      },
+      [&] {
+        server.pump();
+        client.pump();
+      }));
+  for (const auto& update : updates) client.peer.send_update(update);
+  client.peer.send_update(withdrawal);
+  const bgp::VpId vp = server.accepted[0];
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] { return server.platform.daemon_of(vp).rib().size() == 15; },
+      [&] {
+        server.pump();
+        client.pump();
+      }));
+
+  // (b) In memory (the PR-0 baseline path).
+  collect::PlatformConfig config;
+  collect::Platform baseline(config);
+  const bgp::VpId base_vp = baseline.add_peer(65010, kNow);
+  baseline.daemon_mut(base_vp).enable_rib_dumps(8 * 3600);
+  baseline.step(kNow);
+  for (const auto& update : updates) baseline.remote(base_vp).send_update(update);
+  baseline.remote(base_vp).send_update(withdrawal);
+  baseline.step(kNow);
+
+  EXPECT_EQ(server.platform.daemon_of(vp).rib().routes(),
+            baseline.daemon_of(base_vp).rib().routes());
+  EXPECT_EQ(server.platform.daemon_of(vp).stats().updates_received,
+            baseline.daemon_of(base_vp).stats().updates_received);
+}
+
+TEST(TcpSession, EightConcurrentPeersAllEstablishAndFeed) {
+  ServerHarness server;
+  std::vector<std::unique_ptr<TcpFakePeer>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<TcpFakePeer>(
+        server, static_cast<bgp::AsNumber>(65100 + i)));
+  }
+  const auto all_established = [&] {
+    if (server.accepted.size() != 8) return false;
+    for (const bgp::VpId vp : server.accepted) {
+      if (server.platform.daemon_of(vp).state() != SessionState::kEstablished)
+        return false;
+    }
+    for (const auto& client : clients)
+      if (!client->peer.established()) return false;
+    return true;
+  };
+  ASSERT_TRUE(drive(server.loop, 800, all_established, [&] {
+    server.pump();
+    for (auto& client : clients) client->pump();
+  }));
+  EXPECT_EQ(server.platform.peer_count(), 8u);
+  EXPECT_EQ(server.listener.accepted(), 8u);
+
+  // Every peer announces a distinct block; every RIB ends with 10 routes.
+  for (int i = 0; i < 8; ++i) {
+    clients[static_cast<std::size_t>(i)]->peer.send_synthetic_burst(
+        10, (10u << 24) | (static_cast<std::uint32_t>(i + 1) << 16));
+  }
+  const auto all_fed = [&] {
+    for (const bgp::VpId vp : server.accepted)
+      if (server.platform.daemon_of(vp).rib().size() != 10) return false;
+    return true;
+  };
+  EXPECT_TRUE(drive(server.loop, 800, all_fed, [&] {
+    server.pump();
+    for (auto& client : clients) client->pump();
+  }));
+
+  // The learned AS set matches the dialing population.
+  std::vector<bgp::AsNumber> learned;
+  for (const auto& entry : server.platform.health_snapshot().peers)
+    learned.push_back(entry.as);
+  std::sort(learned.begin(), learned.end());
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(learned[static_cast<std::size_t>(i)],
+              static_cast<bgp::AsNumber>(65100 + i));
+}
+
+TEST(TcpSession, HalfCloseTearsTheSessionDown) {
+  ServerHarness server;
+  const int fd = raw_client(server.listener.port());
+  ASSERT_TRUE(drive(
+      server.loop, 400, [&] { return server.accepted.size() == 1; },
+      [&] { server.pump(); }));
+  const bgp::VpId vp = server.accepted[0];
+  // The daemon greeted us (OPEN, OpenSent); the "router" says goodbye
+  // without ever speaking BGP: FIN via shutdown(SHUT_WR).
+  EXPECT_EQ(server.platform.daemon_of(vp).state(), SessionState::kOpenSent);
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] {
+        return !server.transports.at(vp)->socket_open() &&
+               server.platform.daemon_of(vp).state() == SessionState::kIdle;
+      },
+      [&] { server.pump(); }));
+  EXPECT_EQ(server.registry.counter_total("gill_net_remote_closes_total"), 1u);
+  EXPECT_EQ(server.registry.counter_total("gill_net_socket_errors_total"), 0u);
+  ::close(fd);
+}
+
+TEST(TcpSession, HardResetTearsTheSessionDown) {
+  ServerHarness server;
+  const int fd = raw_client(server.listener.port());
+  ASSERT_TRUE(drive(
+      server.loop, 400, [&] { return server.accepted.size() == 1; },
+      [&] { server.pump(); }));
+  const bgp::VpId vp = server.accepted[0];
+  // SO_LINGER{on, 0} + close(): the kernel sends RST, not FIN.
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard), 0);
+  ::close(fd);
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] {
+        return !server.transports.at(vp)->socket_open() &&
+               server.platform.daemon_of(vp).state() == SessionState::kIdle;
+      },
+      [&] { server.pump(); }));
+  // ECONNRESET lands in the error counter, not the orderly-close one.
+  EXPECT_EQ(server.registry.counter_total("gill_net_socket_errors_total"), 1u);
+}
+
+TEST(TcpTransport, WritesBeforeConnectCompletionAreBacklogged) {
+  EventLoop loop;
+  metrics::Registry registry;
+  int server_fd = -1;
+  TcpListener listener(loop, &registry);
+  ASSERT_TRUE(listener.listen("127.0.0.1", 0,
+                              [&](int fd, std::string, std::uint16_t) {
+                                server_fd = fd;
+                              }));
+  TcpTransport client(loop, Role::kPeerSide, &registry);
+  ASSERT_TRUE(client.dial("127.0.0.1", listener.port()));
+  // Queue bytes while the non-blocking connect is still in flight.
+  const std::vector<std::uint8_t> hello{'h', 'e', 'l', 'l', 'o'};
+  client.write_to_daemon(hello);
+  std::string received;
+  ASSERT_TRUE(drive(
+      loop, 400, [&] { return received.size() == hello.size(); },
+      [&] {
+        client.sync();
+        if (server_fd >= 0) {
+          char buffer[64];
+          const ssize_t n = ::recv(server_fd, buffer, sizeof buffer,
+                                   MSG_DONTWAIT);
+          if (n > 0) received.append(buffer, static_cast<std::size_t>(n));
+        }
+      }));
+  EXPECT_EQ(received, "hello");
+  EXPECT_TRUE(client.handshake_done());
+  EXPECT_EQ(client.backlog_bytes(), 0u);
+  EXPECT_EQ(registry.counter_total("gill_net_connects_total"), 1u);
+  if (server_fd >= 0) ::close(server_fd);
+}
+
+TEST(TcpSession, FaultyOverlayComposesOverTcp) {
+  // FaultyTransport (PR 1) stays a pure in-memory decorator: the socket
+  // pumps bytes through it via set_overlay, the daemon binds the overlay.
+  EventLoop loop;
+  metrics::Registry registry;
+  std::unique_ptr<TcpTransport> server;
+  std::unique_ptr<daemon::FaultyTransport> faulty;
+  std::unique_ptr<daemon::BgpDaemon> bgp_daemon;
+  TcpListener listener(loop, &registry);
+  ASSERT_TRUE(listener.listen(
+      "127.0.0.1", 0, [&](int fd, std::string, std::uint16_t) {
+        server = std::make_unique<TcpTransport>(loop, Role::kDaemonSide,
+                                                &registry);
+        server->adopt(fd);
+        faulty = std::make_unique<daemon::FaultyTransport>(
+            daemon::FaultProfile{});  // no faults: pure pass-through proof
+        server->set_overlay(*faulty);
+        bgp_daemon = std::make_unique<daemon::BgpDaemon>(
+            7, 65000, *faulty, nullptr, nullptr, &registry);
+        bgp_daemon->start(kNow);
+      }));
+  TcpTransport client(loop, Role::kPeerSide, &registry);
+  ASSERT_TRUE(client.dial("127.0.0.1", listener.port()));
+  daemon::FakePeer peer(65020, client);
+  ASSERT_TRUE(drive(
+      loop, 400,
+      [&] {
+        return bgp_daemon &&
+               bgp_daemon->state() == SessionState::kEstablished &&
+               peer.established();
+      },
+      [&] {
+        if (bgp_daemon) {
+          bgp_daemon->poll(kNow);
+          bgp_daemon->tick(kNow);
+          server->sync();
+        }
+        peer.poll();
+        client.sync();
+      }));
+  // Every byte crossed the fault layer.
+  EXPECT_GT(faulty->fault_stats().delivered, 0u);
+  EXPECT_EQ(bgp_daemon->peer_as(), 65020u);
+}
+
+// ---------------------------------------------------------------------------
+// The HTTP operator plane.
+// ---------------------------------------------------------------------------
+
+TEST(Http, MetricsResponseIsByteIdenticalToTheRegistry) {
+  EventLoop loop;
+  metrics::Registry endpoint_registry;  // the server's own counters
+  metrics::Registry served;             // the scraped registry
+  served.counter("gill_test_requests_total", "test counter").inc(41);
+  HttpEndpoint http(loop, &endpoint_registry);
+  http.serve_metrics(served);
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+  const std::string response = http_exchange(
+      loop, http.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(response.starts_with("HTTP/1.1 200 OK\r\n")) << response;
+  EXPECT_NE(response.find(std::string("Content-Type: ") +
+                          kPrometheusContentType + "\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  const auto split = response.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  EXPECT_EQ(response.substr(split + 4), served.expose_prometheus());
+  EXPECT_EQ(
+      endpoint_registry.counter_total("gill_net_http_requests_total"), 1u);
+}
+
+TEST(Http, RoutesQueriesAndErrors) {
+  EventLoop loop;
+  metrics::Registry registry;
+  HttpEndpoint http(loop, &registry);
+  http.route("/healthz", [] {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = "{\"ok\":true}";
+    return response;
+  });
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+  const auto healthz = http_exchange(
+      loop, http.port(), "GET /healthz?verbose=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(healthz.starts_with("HTTP/1.1 200 OK\r\n"));
+  EXPECT_NE(healthz.find("{\"ok\":true}"), std::string::npos);
+  EXPECT_NE(healthz.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+
+  const auto missing = http_exchange(
+      loop, http.port(), "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(missing.starts_with("HTTP/1.1 404 "));
+
+  const auto post = http_exchange(
+      loop, http.port(), "POST /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(post.starts_with("HTTP/1.1 405 "));
+
+  const auto garbage = http_exchange(loop, http.port(), "NONSENSE\r\n\r\n");
+  EXPECT_TRUE(garbage.starts_with("HTTP/1.1 400 "));
+  EXPECT_EQ(registry.counter_total("gill_net_http_bad_requests_total"), 3u);
+  EXPECT_EQ(http.open_connections(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: a live collector end to end — BGP session over TCP feeding
+// the Platform, /metrics serving the session's counters live.
+// ---------------------------------------------------------------------------
+
+TEST(LiveCollector, SessionCountersAppearOnTheMetricsEndpoint) {
+  ServerHarness server;
+  HttpEndpoint http(server.loop, &server.registry);
+  http.serve_metrics(server.registry);
+  http.route("/healthz", [&server] {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = collect::to_json(server.platform.health_snapshot());
+    return response;
+  });
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+
+  TcpFakePeer client(server, 65010);
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] {
+        return !server.accepted.empty() &&
+               server.platform.daemon_of(server.accepted[0]).state() ==
+                   SessionState::kEstablished &&
+               client.peer.established();
+      },
+      [&] {
+        server.pump();
+        client.pump();
+      }));
+  client.peer.send_synthetic_burst(25, 10u << 24);
+  const bgp::VpId vp = server.accepted[0];
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] { return server.platform.daemon_of(vp).rib().size() == 25; },
+      [&] {
+        server.pump();
+        client.pump();
+      }));
+
+  const std::string response = http_exchange(
+      server.loop, http.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_TRUE(response.starts_with("HTTP/1.1 200 OK\r\n"));
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+  // Live session and platform counters, scraped over the wire.
+  EXPECT_NE(body.find("gill_daemon_messages_received_total"),
+            std::string::npos);
+  EXPECT_NE(body.find("gill_daemon_updates_received_total{vp=\"0\"} 25"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("gill_collector_peers 1"), std::string::npos);
+  EXPECT_NE(body.find("gill_net_bytes_read_total"), std::string::npos);
+
+  const std::string healthz = http_exchange(
+      server.loop, http.port(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(healthz.find("\"peers\":1"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"status\":\"healthy\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"session\":\"Established\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gill::net

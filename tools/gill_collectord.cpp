@@ -1,0 +1,212 @@
+// The live collector daemon (§8): the GILL platform behind real sockets.
+// Listens for inbound BGP peerings (and optionally BMP feeds, RFC 7854)
+// over TCP, drives every session from one epoll event loop whose timer
+// wheel ticks the daemons (keepalives, hold timers, filter refreshes), and
+// serves the operator plane over HTTP: GET /metrics (Prometheus) and
+// GET /healthz (JSON peer health).
+//
+//   gill-collectord --listen-port 1790 --http-port 9179 &
+//   curl -s localhost:9179/metrics | grep gill_collector_peers
+//
+// Single-threaded by design (DESIGN.md §7): sessions are share-nothing
+// callbacks on the loop, so the daemon hot path never takes a lock.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "cli_util.hpp"
+#include "collector/platform.hpp"
+#include "daemon/bmp_ingest.hpp"
+#include "net/event_loop.hpp"
+#include "net/http_endpoint.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+constexpr const char* kUsage =
+    "usage: gill-collectord [options]\n"
+    "  --listen-port N        BGP listen port (default 1790; 179 needs root)\n"
+    "  --bmp-port N           BMP listen port (default: disabled)\n"
+    "  --http-port N          HTTP port for /metrics and /healthz (default 9179)\n"
+    "  --bind IP              bind address (default 0.0.0.0)\n"
+    "  --local-as N           our AS number (default 65000)\n"
+    "  --max-peers N          refuse sessions beyond this (default 4096)\n"
+    "  --tick-ms N            session tick interval (default 200)\n"
+    "  --rib-dump-interval N  per-session RIB snapshot period, seconds (default off)\n"
+    "  --archive PATH         save the MRT archive to PATH on shutdown\n"
+    "  --duration N           run N seconds then exit (default: until SIGINT)\n"
+    "  --metrics <path|->     dump the Prometheus exposition at exit\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gill;
+  const cli::Args args(argc, argv);
+  if (args.has("help")) cli::usage(kUsage);
+
+  const std::string bind_ip = args.get("bind", "0.0.0.0");
+  const auto listen_port =
+      static_cast<std::uint16_t>(args.get_int("listen-port", 1790));
+  const long bmp_port = args.get_int("bmp-port", 0);
+  const auto http_port =
+      static_cast<std::uint16_t>(args.get_int("http-port", 9179));
+  const auto local_as =
+      static_cast<bgp::AsNumber>(args.get_int("local-as", 65000));
+  const long max_peers = args.get_int("max-peers", 4096);
+  const long tick_ms = args.get_int("tick-ms", 200);
+  const long rib_dump_interval = args.get_int("rib-dump-interval", 0);
+  const long duration = args.get_int("duration", 0);
+
+  metrics::Registry& registry = metrics::default_registry();
+  // Destruction order matters: the loop must outlive every fd owner below.
+  net::EventLoop loop;
+
+  collect::PlatformConfig config;
+  config.local_as = local_as;
+  config.registry = &registry;
+  collect::Platform platform(config);
+
+  // The platform owns the transports (as daemon::Transport); this index
+  // keeps the TcpTransport view for per-step sync().
+  std::map<bgp::VpId, net::TcpTransport*> transports;
+  const auto now_seconds = [&loop] {
+    return static_cast<bgp::Timestamp>(loop.now_ms() / 1000);
+  };
+
+  net::TcpListener bgp_listener(loop, &registry);
+  const bool bgp_ok = bgp_listener.listen(
+      bind_ip, listen_port,
+      [&](int fd, std::string peer_ip, std::uint16_t peer_port) {
+        if (static_cast<long>(platform.peer_count()) >= max_peers) {
+          ::close(fd);
+          return;
+        }
+        auto transport = std::make_unique<net::TcpTransport>(
+            loop, net::Role::kDaemonSide, &registry);
+        auto* raw = transport.get();
+        transport->adopt(fd);
+        const bgp::VpId vp =
+            platform.add_remote_peer(/*peer_as=*/0, now_seconds(),
+                                     std::move(transport));
+        if (rib_dump_interval > 0) {
+          platform.daemon_mut(vp).enable_rib_dumps(
+              static_cast<bgp::Timestamp>(rib_dump_interval));
+        }
+        transports[vp] = raw;
+        std::fprintf(stderr, "[collectord] vp%u peering from %s:%u\n", vp,
+                     peer_ip.c_str(), peer_port);
+      });
+  if (!bgp_ok) {
+    std::fprintf(stderr, "error: cannot listen on %s:%u\n", bind_ip.c_str(),
+                 listen_port);
+    return 1;
+  }
+
+  // BMP feeds are ingest-only byte streams (no session FSM): one decoder
+  // per connection, read straight off the loop.
+  std::map<int, std::unique_ptr<daemon::BmpIngest>> bmp_streams;
+  bgp::VpId next_bmp_vp = 100000;  // label space disjoint from BGP VPs
+  net::TcpListener bmp_listener(loop, &registry);
+  if (bmp_port > 0) {
+    const bool bmp_ok = bmp_listener.listen(
+        bind_ip, static_cast<std::uint16_t>(bmp_port),
+        [&](int fd, std::string peer_ip, std::uint16_t) {
+          auto ingest = std::make_unique<daemon::BmpIngest>(
+              next_bmp_vp++, &platform.filters(), nullptr, &registry);
+          auto* raw = ingest.get();
+          bmp_streams.emplace(fd, std::move(ingest));
+          loop.add(fd, net::kReadable, [&, fd, raw](std::uint32_t) {
+            std::uint8_t buffer[16384];
+            for (;;) {
+              const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+              if (n > 0) {
+                raw->feed(std::span(buffer, static_cast<std::size_t>(n)),
+                          now_seconds());
+                continue;
+              }
+              if (n < 0 && errno == EINTR) continue;
+              if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+              loop.remove(fd);  // EOF or error: stream over
+              ::close(fd);
+              bmp_streams.erase(fd);
+              return;
+            }
+          });
+          std::fprintf(stderr, "[collectord] BMP feed from %s\n",
+                       peer_ip.c_str());
+        });
+    if (!bmp_ok) {
+      std::fprintf(stderr, "error: cannot listen on %s:%ld (BMP)\n",
+                   bind_ip.c_str(), bmp_port);
+      return 1;
+    }
+  }
+
+  net::HttpEndpoint http(loop, &registry);
+  http.serve_metrics(registry);
+  http.route("/healthz", [&platform] {
+    net::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = collect::to_json(platform.health_snapshot());
+    return response;
+  });
+  if (!http.listen(bind_ip, http_port)) {
+    std::fprintf(stderr, "error: cannot listen on %s:%u (HTTP)\n",
+                 bind_ip.c_str(), http_port);
+    return 1;
+  }
+
+  // The timer wheel drives every session: poll decoded bytes, expire hold
+  // timers, emit keepalives, refresh filters, flush socket backlogs.
+  loop.call_every(static_cast<std::uint64_t>(tick_ms), [&] {
+    platform.step(now_seconds());
+    for (auto& [vp, transport] : transports) transport->sync();
+  });
+  if (duration > 0) {
+    loop.call_after(static_cast<std::uint64_t>(duration) * 1000,
+                    [&loop] { loop.stop(); });
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::fprintf(stderr,
+               "[collectord] AS%u: BGP on %s:%u%s, HTTP on %s:%u "
+               "(/metrics, /healthz)\n",
+               local_as, bind_ip.c_str(), bgp_listener.port(),
+               bmp_port > 0 ? " (+BMP)" : "", bind_ip.c_str(), http.port());
+  while (!loop.stopped() && g_stop == 0) {
+    loop.run_once(100);
+  }
+
+  std::fprintf(stderr,
+               "[collectord] shutting down: %zu peers, %zu BMP streams, "
+               "%zu updates stored\n",
+               platform.peer_count(), bmp_streams.size(),
+               platform.store().stored());
+  const std::string archive = args.get("archive", "");
+  if (!archive.empty()) {
+    if (platform.store().save(archive)) {
+      std::fprintf(stderr, "[collectord] archive saved to %s\n",
+                   archive.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot save archive to %s\n",
+                   archive.c_str());
+    }
+  }
+  if (args.has("metrics") && !cli::dump_metrics(args.get("metrics", "-"))) {
+    return 1;
+  }
+  for (auto& [fd, stream] : bmp_streams) {
+    loop.remove(fd);
+    ::close(fd);
+  }
+  return 0;
+}

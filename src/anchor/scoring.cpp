@@ -1,10 +1,14 @@
 #include "anchor/scoring.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <unordered_map>
 
 #include "features/vp_graph.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace gill::anchor {
 
@@ -129,38 +133,146 @@ void normalize_columns(EventFeatureMatrix& matrix) {
   }
 }
 
+namespace {
+
+/// FNV-1a over the bit patterns of a VP's normalized feature rows across
+/// the refresh's event set — the "feature epoch" keying the score cache.
+/// Equal epochs mean the rows (and the event count) are identical, so a
+/// cached distance equals what a recompute would produce bit for bit.
+std::uint64_t feature_epoch(const std::vector<EventFeatureMatrix*>& used,
+                            std::size_t row) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const EventFeatureMatrix* matrix : used) {
+    for (std::size_t f = 0; f < feat::kEventVectorSize; ++f) {
+      std::uint64_t bits;
+      static_assert(sizeof bits == sizeof(double));
+      std::memcpy(&bits, &matrix->rows[row][f], sizeof bits);
+      h ^= bits;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::uint64_t pair_key(bgp::VpId a, bgp::VpId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | std::uint64_t{b};
+}
+
+}  // namespace
+
 std::vector<std::vector<double>> redundancy_scores(
-    std::vector<EventFeatureMatrix> matrices) {
+    std::vector<EventFeatureMatrix> matrices, const std::vector<VpId>& vps,
+    par::ThreadPool* pool, ScoreCache* cache) {
   std::size_t v = 0;
   for (const auto& matrix : matrices) v = std::max(v, matrix.rows.size());
   std::vector<std::vector<double>> distance(v, std::vector<double>(v, 0.0));
   if (v == 0) return distance;
+  if (pool != nullptr && par::serial_forced()) pool = nullptr;
 
-  std::size_t used_events = 0;
+  // Events whose matrix covers every VP participate; normalization is
+  // per-matrix independent, so it fans out across the pool.
+  std::vector<EventFeatureMatrix*> used;
+  used.reserve(matrices.size());
   for (auto& matrix : matrices) {
-    if (matrix.rows.size() != v) continue;
-    normalize_columns(matrix);
-    ++used_events;
+    if (matrix.rows.size() == v) used.push_back(&matrix);
+  }
+  const std::size_t used_events = used.size();
+  if (used_events == 0) return distance;
+  const auto normalize = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) normalize_columns(*used[i]);
+  };
+  if (pool != nullptr && used_events > 1) {
+    pool->parallel_for(used_events, normalize);
+  } else {
+    normalize(0, used_events);
+  }
+
+  // Feature epochs, only needed when the cache can key by VP id.
+  const bool use_cache = cache != nullptr && vps.size() == v;
+  std::vector<std::uint64_t> epochs;
+  if (use_cache) {
+    epochs.resize(v);
+    const auto hash_rows = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        epochs[i] = feature_epoch(used, i);
+      }
+    };
+    if (pool != nullptr && v > 1) {
+      pool->parallel_for(v, hash_rows);
+    } else {
+      hash_rows(0, v);
+    }
+  }
+
+  // The O(V²) pairwise stage, sharded by row across the upper triangle.
+  // Each cell belongs to exactly one shard and accumulates its events in
+  // matrix order — the serial path's floating-point sequence — so the
+  // result is identical at any thread count. Cache reads are const here;
+  // writes happen after the join, on the calling thread.
+  std::atomic<std::uint64_t> pair_hits{0};
+  std::atomic<std::uint64_t> pair_misses{0};
+  const auto score_rows = [&](std::size_t begin, std::size_t end) {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (std::size_t n = begin; n < end; ++n) {
+      for (std::size_t m = n + 1; m < v; ++m) {
+        double averaged = 0.0;
+        bool cached = false;
+        if (use_cache) {
+          const auto it = cache->pairs.find(pair_key(vps[n], vps[m]));
+          if (it != cache->pairs.end()) {
+            const auto lo = vps[n] <= vps[m] ? n : m;
+            const auto hi = vps[n] <= vps[m] ? m : n;
+            if (it->second.epoch_a == epochs[lo] &&
+                it->second.epoch_b == epochs[hi]) {
+              averaged = it->second.distance;
+              cached = true;
+            }
+          }
+        }
+        if (!cached) {
+          double acc = 0.0;
+          for (const EventFeatureMatrix* matrix : used) {
+            double sum = 0.0;
+            for (std::size_t f = 0; f < feat::kEventVectorSize; ++f) {
+              const double d = matrix->rows[n][f] - matrix->rows[m][f];
+              sum += d * d;  // the paper's ⋄ has no square root
+            }
+            acc += sum;
+          }
+          averaged = acc / static_cast<double>(used_events);
+        }
+        distance[n][m] = averaged;
+        distance[m][n] = averaged;
+        if (use_cache) cached ? ++hits : ++misses;
+      }
+    }
+    pair_hits.fetch_add(hits, std::memory_order_relaxed);
+    pair_misses.fetch_add(misses, std::memory_order_relaxed);
+  };
+  if (pool != nullptr && v > 2) {
+    pool->parallel_for(v, score_rows);
+  } else {
+    score_rows(0, v);
+  }
+  if (use_cache) {
+    cache->hits += pair_hits.load(std::memory_order_relaxed);
+    cache->misses += pair_misses.load(std::memory_order_relaxed);
     for (std::size_t n = 0; n < v; ++n) {
       for (std::size_t m = n + 1; m < v; ++m) {
-        double sum = 0.0;
-        for (std::size_t f = 0; f < feat::kEventVectorSize; ++f) {
-          const double d = matrix.rows[n][f] - matrix.rows[m][f];
-          sum += d * d;  // the paper's ⋄ has no square root
-        }
-        distance[n][m] += sum;
-        distance[m][n] += sum;
+        const auto lo = vps[n] <= vps[m] ? n : m;
+        const auto hi = vps[n] <= vps[m] ? m : n;
+        cache->pairs[pair_key(vps[n], vps[m])] =
+            ScoreCache::Entry{epochs[lo], epochs[hi], distance[n][m]};
       }
     }
   }
-  if (used_events == 0) return distance;
 
   double min_distance = std::numeric_limits<double>::infinity();
   double max_distance = 0.0;
   for (std::size_t n = 0; n < v; ++n) {
     for (std::size_t m = n + 1; m < v; ++m) {
-      distance[n][m] /= static_cast<double>(used_events);
-      distance[m][n] = distance[n][m];
       min_distance = std::min(min_distance, distance[n][m]);
       max_distance = std::max(max_distance, distance[n][m]);
     }
@@ -177,6 +289,11 @@ std::vector<std::vector<double>> redundancy_scores(
     }
   }
   return scores;
+}
+
+std::vector<std::vector<double>> redundancy_scores(
+    std::vector<EventFeatureMatrix> matrices) {
+  return redundancy_scores(std::move(matrices), {}, nullptr, nullptr);
 }
 
 }  // namespace gill::anchor

@@ -5,7 +5,10 @@
 // documents (the filter description and the anchor-VP list).
 #pragma once
 
+#include <chrono>
 #include <deque>
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +16,7 @@
 #include "daemon/daemon.hpp"
 #include "daemon/faults.hpp"
 #include "metrics/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sampling/gill_pipeline.hpp"
 #include "topology/topology.hpp"
 
@@ -48,6 +52,18 @@ struct PlatformConfig {
   /// Registry hosting the platform's and every session's metrics; when
   /// null the platform owns a private one (see Platform::metrics()).
   metrics::Registry* registry = nullptr;
+  /// Analysis worker threads (DESIGN.md §9). 0 keeps the historical
+  /// synchronous path: refresh_filters runs the pipeline inline on the
+  /// caller's thread. N >= 1 spawns a worker pool; refresh_filters then
+  /// snapshots the mirror, hands the pipeline to the pool and returns
+  /// immediately — the event loop keeps serving sessions and step()
+  /// installs the new filter generation when the job completes. The
+  /// GILL_ANALYSIS_SERIAL environment variable overrides this back to 0.
+  std::size_t analysis_threads = 0;
+  /// Test/chaos hook: runs on the worker at the start of every async
+  /// refresh job (e.g. to hold a job in flight deterministically while the
+  /// test asserts that sessions keep flowing). Ignored in synchronous mode.
+  std::function<void()> refresh_job_hook;
 };
 
 enum class PeerStatus : std::uint8_t {
@@ -161,13 +177,38 @@ class Platform {
   metrics::Registry& metrics() const noexcept { return *registry_; }
 
   /// Drives all sessions: polls daemons and remotes, expires hold timers,
-  /// and refreshes filters when a sampling period elapsed.
+  /// installs any completed asynchronous refresh job, and kicks off a new
+  /// refresh when a sampling period elapsed.
   void step(Timestamp now);
 
   /// Re-runs the GILL pipeline on the mirrored data and installs the new
   /// filters (invoked automatically by step(); public for tests/examples).
+  /// With analysis_threads == 0 this is the historical synchronous call;
+  /// otherwise it snapshots the mirror, submits the pipeline to the worker
+  /// pool and returns immediately — the result is installed by a later
+  /// step() (or wait_for_refresh()).
   void refresh_filters(Timestamp now,
                        const std::vector<topo::AsCategory>& categories = {});
+
+  /// True while at least one asynchronous refresh job is queued/computing.
+  bool refresh_in_flight() const noexcept { return !refresh_jobs_.empty(); }
+  /// Monotonic id of the installed filter set; bumps on every install.
+  /// A submitted job carries the generation it will produce; completed
+  /// jobs older than the newest submission are discarded as stale.
+  std::uint64_t filter_generation() const noexcept {
+    return installed_generation_;
+  }
+  /// Blocks until every in-flight refresh job completed and its result was
+  /// installed or discarded (tests, shutdown). No-op in synchronous mode.
+  void wait_for_refresh();
+  /// Workers in the analysis pool (0 = synchronous mode).
+  std::size_t analysis_thread_count() const noexcept {
+    return analysis_pool_ ? analysis_pool_->thread_count() : 0;
+  }
+  /// The cross-refresh pairwise-score cache (hit/miss counters for tests).
+  const anchor::ScoreCache& score_cache() const noexcept {
+    return score_cache_;
+  }
 
   /// All updates retained so far (the public database).
   const daemon::MrtStore& store() const noexcept { return store_; }
@@ -200,12 +241,45 @@ class Platform {
     metrics::Counter& mirrored_updates;
     metrics::Counter& forwarded_updates;
     metrics::Counter& filter_refreshes;
+    metrics::Counter& filter_refresh_stale;
     metrics::Counter& mirror_purged_updates;
     metrics::Counter& quarantines;
+    metrics::Counter& score_cache_hits;
+    metrics::Counter& score_cache_misses;
     metrics::Gauge& peers;
     metrics::Gauge& quarantined_peers;
     metrics::Histogram& filter_refresh_duration_us;
+    metrics::Histogram& filter_refresh_queue_us;
+    metrics::Histogram& filter_refresh_compute_us;
   };
+
+  /// What a refresh job hands back to the event-loop thread: the pipeline
+  /// output plus the bookkeeping the installer records. Jobs own every
+  /// input (mirror snapshot, config copy, cache copy) — they never touch
+  /// Platform state, so the loop keeps serving sessions while they run.
+  struct RefreshOutcome {
+    sample::GillPipelineResult result;
+    anchor::ScoreCache cache;
+    std::size_t purged = 0;       // mirrored updates dropped (quarantined VPs)
+    std::uint64_t cache_hits = 0;    // pair scores served from the cache
+    std::uint64_t cache_misses = 0;  // pair scores recomputed
+    std::int64_t queue_us = 0;    // submit -> worker pickup
+    std::int64_t compute_us = 0;  // worker pickup -> pipeline done
+  };
+  struct RefreshJob {
+    std::uint64_t generation = 0;
+    Timestamp submitted = 0;
+    std::future<RefreshOutcome> future;
+  };
+
+  RefreshOutcome run_refresh_job(
+      bgp::UpdateStream mirror, std::vector<topo::AsCategory> categories,
+      anchor::ScoreCache cache, std::vector<VpId> quarantined_vps,
+      std::chrono::steady_clock::time_point submitted_at);
+  void install_refresh(RefreshOutcome outcome);
+  /// Harvests completed jobs: installs the newest generation, discards
+  /// stale ones. `block` waits for completion instead of polling.
+  void poll_refresh_jobs(bool block);
 
   void forward(const bgp::Update& update) const;
   VpId add_peer_internal(bgp::AsNumber peer_as, Timestamp now,
@@ -224,6 +298,10 @@ class Platform {
   std::unique_ptr<metrics::Registry> own_registry_;  // when none configured
   metrics::Registry* registry_;
   PlatformCounters counters_;
+  /// Jobs own every input they read; the only Platform member a job may
+  /// touch is config_ (the refresh_job_hook), which is declared earlier and
+  /// therefore outlives the pool's drain-and-join destructor.
+  std::unique_ptr<par::ThreadPool> analysis_pool_;
   std::vector<std::pair<net::Prefix, ForwardingSink>> forwarding_rules_;
   std::map<VpId, Peer> peers_;
   VpId next_vp_ = 0;
@@ -235,6 +313,10 @@ class Platform {
   bgp::UpdateStream mirror_;
   Timestamp last_component1_ = 0;
   bool pipeline_ran_ = false;
+  anchor::ScoreCache score_cache_;
+  std::vector<RefreshJob> refresh_jobs_;
+  std::uint64_t submitted_generation_ = 0;
+  std::uint64_t installed_generation_ = 0;
 };
 
 /// The platform-growth model behind Fig. 2 and Fig. 3: calibrated to the

@@ -1,7 +1,10 @@
 #include "metrics/metrics.hpp"
 
+#include <ctime>
+
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -110,6 +113,18 @@ std::string escape_label_value(std::string_view value) {
   return out;
 }
 
+std::int64_t coarse_now_ms() noexcept {
+#if defined(CLOCK_MONOTONIC_COARSE)
+  timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC_COARSE, &ts) == 0) {
+    return std::int64_t{ts.tv_sec} * 1000 + ts.tv_nsec / 1000000;
+  }
+#endif
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void Gauge::add(double delta) noexcept {
   // CAS loop instead of the C++20 atomic<double>::fetch_add so the code
   // stays correct on standard libraries that lack the floating-point
@@ -119,6 +134,7 @@ void Gauge::add(double delta) noexcept {
                                        std::memory_order_relaxed,
                                        std::memory_order_relaxed)) {
   }
+  updated_ms_.store(coarse_now_ms(), std::memory_order_relaxed);
 }
 
 Histogram::Histogram(std::size_t finite_buckets)
@@ -197,9 +213,11 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
     switch (entry.type) {
       case MetricType::kCounter:
         sample.value = static_cast<double>(entry.counter->value());
+        sample.updated_ms = entry.counter->last_update_ms();
         break;
       case MetricType::kGauge:
         sample.value = entry.gauge->value();
+        sample.updated_ms = entry.gauge->last_update_ms();
         break;
       case MetricType::kHistogram: {
         const Histogram& histogram = *entry.histogram;
@@ -281,6 +299,9 @@ std::string Registry::expose_json() const {
              ",\"count\":" + std::to_string(sample.count);
     } else {
       out += ",\"value\":" + format_number(sample.value);
+      // JSON-only: the Prometheus text format stays byte-stable (golden
+      // tested) and real scrapers attach their own scrape timestamp.
+      out += ",\"updated_ms\":" + std::to_string(sample.updated_ms);
     }
     out += '}';
   }

@@ -42,19 +42,34 @@ enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
 
 std::string_view to_string(MetricType type) noexcept;
 
-/// Monotonic event count. The increment is a single relaxed atomic add:
-/// cheap enough for the per-update decode path of hundreds of sessions.
+/// Milliseconds on the coarse monotonic clock: a vDSO read (no syscall),
+/// cheap enough to stamp every counter increment. Tick granularity is the
+/// kernel's (typically 1-4 ms) — plenty for "when did this metric last
+/// move" staleness checks, which is all the timestamps are for.
+std::int64_t coarse_now_ms() noexcept;
+
+/// Monotonic event count. The increment is a relaxed atomic add plus a
+/// relaxed store of the coarse clock: still lock-free and cheap enough for
+/// the per-update decode path of hundreds of sessions.
 class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
     value_.fetch_add(n, std::memory_order_relaxed);
+    updated_ms_.store(coarse_now_ms(), std::memory_order_relaxed);
   }
   std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Coarse-monotonic milliseconds of the last inc(); 0 = never updated.
+  /// Exposed in the JSON exposition only — the Prometheus text format has
+  /// no per-sample metadata slot that scrapers tolerate.
+  std::int64_t last_update_ms() const noexcept {
+    return updated_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::int64_t> updated_ms_{0};
 };
 
 /// A value that goes up and down (peer counts, queue depths).
@@ -62,15 +77,21 @@ class Gauge {
  public:
   void set(double value) noexcept {
     value_.store(value, std::memory_order_relaxed);
+    updated_ms_.store(coarse_now_ms(), std::memory_order_relaxed);
   }
   void add(double delta) noexcept;
   void sub(double delta) noexcept { add(-delta); }
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Coarse-monotonic milliseconds of the last set()/add(); 0 = never.
+  std::int64_t last_update_ms() const noexcept {
+    return updated_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> value_{0.0};
+  std::atomic<std::int64_t> updated_ms_{0};
 };
 
 /// Histogram over non-negative integer observations (byte sizes,
@@ -151,6 +172,8 @@ struct MetricSnapshot {
   std::vector<Bucket> buckets;  // histogram only
   std::uint64_t sum = 0;        // histogram only
   std::uint64_t count = 0;      // histogram only
+  /// Counter/gauge only: coarse-monotonic ms of the last write (0 = never).
+  std::int64_t updated_ms = 0;
 };
 
 /// The registry: owns every metric, hands out stable references, and

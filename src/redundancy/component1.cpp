@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "parallel/thread_pool.hpp"
+
 namespace gill::red {
 
 namespace {
@@ -31,7 +33,8 @@ std::uint64_t selection_signature(const std::vector<Update>& updates,
 }  // namespace
 
 Component1Result find_redundant_updates(const bgp::UpdateStream& training,
-                                        const Component1Config& config) {
+                                        const Component1Config& config,
+                                        par::ThreadPool* pool) {
   Component1Result result;
   result.total_updates = training.size();
 
@@ -45,31 +48,50 @@ Component1Result find_redundant_updates(const bgp::UpdateStream& training,
     std::vector<VpId> selected;  // sorted
     std::size_t selected_updates = 0;
     std::uint64_t signature = 0;
+    double final_rp = 0.0;
   };
-  std::vector<PrefixSelection> selections;
-  selections.reserve(by_prefix.size());
+
+  // Steps 1-2 are per-prefix independent — the embarrassingly parallel hot
+  // stage. Every shard writes only its own index range of `selections`, and
+  // the aggregation below walks prefixes in map order, so the result (down
+  // to the floating-point mean) matches the serial loop exactly.
+  std::vector<std::vector<Update>*> prefix_updates;
+  std::vector<const net::Prefix*> prefix_keys;
+  prefix_updates.reserve(by_prefix.size());
+  prefix_keys.reserve(by_prefix.size());
+  for (auto& [prefix, updates] : by_prefix) {
+    prefix_keys.push_back(&prefix);
+    prefix_updates.push_back(&updates);
+  }
+  std::vector<PrefixSelection> selections(by_prefix.size());
+  const auto analyze = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::vector<Update>& updates = *prefix_updates[i];
+      PrefixSelection& selection = selections[i];
+      selection.prefix = *prefix_keys[i];
+      {
+        std::set<VpId> vps;
+        for (const Update& u : updates) vps.insert(u.vp);
+        selection.all_vps.assign(vps.begin(), vps.end());
+      }
+      PrefixReconstitution reconstitution(updates, config.correlation_window);
+      auto greedy = reconstitution.greedy_select(config.rp_threshold);
+      selection.final_rp = greedy.final_rp;
+      selection.selected = std::move(greedy.selected_vps);
+      std::sort(selection.selected.begin(), selection.selected.end());
+      selection.selected_updates = greedy.selected_update_count;
+      selection.signature = selection_signature(updates, selection.selected,
+                                                config.correlation_window);
+    }
+  };
+  if (pool != nullptr && !par::serial_forced() && selections.size() > 1) {
+    pool->parallel_for(selections.size(), analyze);
+  } else {
+    analyze(0, selections.size());
+  }
 
   double rp_sum = 0.0;
-  for (auto& [prefix, updates] : by_prefix) {
-    PrefixSelection selection;
-    selection.prefix = prefix;
-    {
-      std::set<VpId> vps;
-      for (const Update& u : updates) vps.insert(u.vp);
-      selection.all_vps.assign(vps.begin(), vps.end());
-    }
-
-    PrefixReconstitution reconstitution(updates, config.correlation_window);
-    auto greedy = reconstitution.greedy_select(config.rp_threshold);
-    rp_sum += greedy.final_rp;
-    selection.selected = std::move(greedy.selected_vps);
-    std::sort(selection.selected.begin(), selection.selected.end());
-    selection.selected_updates = greedy.selected_update_count;
-    selection.signature =
-        selection_signature(updates, selection.selected,
-                            config.correlation_window);
-    selections.push_back(std::move(selection));
-  }
+  for (const auto& selection : selections) rp_sum += selection.final_rp;
   result.mean_rp =
       selections.empty() ? 1.0 : rp_sum / static_cast<double>(selections.size());
 

@@ -15,6 +15,10 @@
 #include "bgp/update.hpp"
 #include "redundancy/reconstitution.hpp"
 
+namespace gill::par {
+class ThreadPool;
+}  // namespace gill::par
+
 namespace gill::red {
 
 struct Component1Config {
@@ -34,8 +38,17 @@ struct VpPrefix {
 
 struct VpPrefixHash {
   std::size_t operator()(const VpPrefix& key) const noexcept {
-    return static_cast<std::size_t>(net::hash_value(key.prefix) * 31 +
-                                    key.vp);
+    // splitmix64 finalizer: the VP id lands in the low bits, so the old
+    // `prefix_hash * 31 + vp` clustered dense VP populations (0..N) into
+    // runs of adjacent buckets; a full-width mix spreads both inputs.
+    std::uint64_t x = net::hash_value(key.prefix) +
+                      0x9E3779B97F4A7C15ull * (std::uint64_t{key.vp} + 1);
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
   }
 };
 
@@ -58,8 +71,13 @@ struct Component1Result {
   double mean_rp = 0.0;
 };
 
-/// Runs the full Component #1 pipeline over a training stream.
+/// Runs the full Component #1 pipeline over a training stream. With a pool,
+/// the per-prefix correlation/greedy stage (steps 1-2) fans out across the
+/// workers; the output is byte-identical to the serial path (per-prefix work
+/// is independent, and the cross-prefix aggregation preserves prefix order).
+/// A null pool — or GILL_ANALYSIS_SERIAL in the environment — runs serially.
 Component1Result find_redundant_updates(const bgp::UpdateStream& training,
-                                        const Component1Config& config = {});
+                                        const Component1Config& config = {},
+                                        par::ThreadPool* pool = nullptr);
 
 }  // namespace gill::red

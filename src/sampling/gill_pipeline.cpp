@@ -8,12 +8,13 @@ namespace gill::sample {
 
 GillPipelineResult run_gill_pipeline(
     const UpdateStream& rib, const UpdateStream& training,
-    const std::vector<topo::AsCategory>& categories,
-    const GillConfig& config) {
+    const std::vector<topo::AsCategory>& categories, const GillConfig& config,
+    const PipelineRuntime& runtime) {
   GillPipelineResult result;
 
   // Component #1: redundant updates.
-  result.component1 = red::find_redundant_updates(training, config.component1);
+  result.component1 =
+      red::find_redundant_updates(training, config.component1, runtime.pool);
 
   if (config.use_anchors) {
     // All VPs appearing in the training data.
@@ -35,7 +36,8 @@ GillPipelineResult run_gill_pipeline(
       // Components #2 steps 2-4.
       anchor::EventFeatureExtractor extractor(vps);
       auto matrices = extractor.extract(rib, training, events);
-      result.scores = anchor::redundancy_scores(std::move(matrices));
+      result.scores = anchor::redundancy_scores(
+          std::move(matrices), vps, runtime.pool, runtime.score_cache);
       result.scored_vps = vps;
 
       std::map<VpId, double> volume_by_vp;

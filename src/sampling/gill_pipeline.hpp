@@ -10,6 +10,10 @@
 #include "filters/filters.hpp"
 #include "redundancy/component1.hpp"
 
+namespace gill::par {
+class ThreadPool;
+}  // namespace gill::par
+
 namespace gill::sample {
 
 using bgp::UpdateStream;
@@ -46,10 +50,22 @@ struct GillPipelineResult {
   std::size_t events_used = 0;
 };
 
+/// Execution-time resources (as opposed to the algorithmic knobs in
+/// GillConfig): the worker pool the parallel stages fan out on, and the
+/// cross-refresh pairwise-score cache. Both optional; the defaults run the
+/// historical serial, cache-free pipeline.
+struct PipelineRuntime {
+  par::ThreadPool* pool = nullptr;
+  anchor::ScoreCache* score_cache = nullptr;
+};
+
 /// Runs the pipeline on a training window. `rib` is the RIB dump at the
 /// start of the window; `categories` stratifies event selection (Table 5).
+/// The parallel stages (per-prefix Component #1, pairwise VP scoring) are
+/// byte-deterministic: any `runtime` produces the serial path's result.
 GillPipelineResult run_gill_pipeline(
     const UpdateStream& rib, const UpdateStream& training,
-    const std::vector<topo::AsCategory>& categories, const GillConfig& config);
+    const std::vector<topo::AsCategory>& categories, const GillConfig& config,
+    const PipelineRuntime& runtime = {});
 
 }  // namespace gill::sample

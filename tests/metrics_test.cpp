@@ -245,6 +245,99 @@ TEST(Concurrency, ParallelIncrementsAllLand) {
   EXPECT_EQ(histogram.count(), kThreads * kPerThread);
 }
 
+// ---------------------------------------------------------------------------
+// Per-metric last-update timestamps: stamped by every counter/gauge write,
+// exposed in the JSON exposition only (the Prometheus text is golden).
+// ---------------------------------------------------------------------------
+
+TEST(Timestamps, CounterAndGaugeStampWrites) {
+  Registry registry;
+  Counter& counter = registry.counter("gill_test_stamped_total", "Stamped");
+  Gauge& gauge = registry.gauge("gill_test_stamped", "Stamped");
+  EXPECT_EQ(counter.last_update_ms(), 0) << "never written yet";
+  EXPECT_EQ(gauge.last_update_ms(), 0);
+
+  counter.inc();
+  const std::int64_t first = counter.last_update_ms();
+  EXPECT_GT(first, 0);
+  counter.inc(5);
+  EXPECT_GE(counter.last_update_ms(), first) << "coarse clock is monotonic";
+
+  gauge.set(1.0);
+  const std::int64_t set_stamp = gauge.last_update_ms();
+  EXPECT_GT(set_stamp, 0);
+  gauge.add(2.0);
+  EXPECT_GE(gauge.last_update_ms(), set_stamp);
+
+  const auto snapshot = registry.snapshot();
+  for (const auto& sample : snapshot) {
+    EXPECT_GT(sample.updated_ms, 0) << sample.name;
+  }
+}
+
+TEST(Timestamps, JsonExposesUpdatedMsPrometheusDoesNot) {
+  Registry registry;
+  registry.counter("gill_test_events_total", "Events").inc(3);
+  registry.gauge("gill_test_level", "Level").set(7);
+  registry.histogram("gill_test_lat_us", "Latency", {}, 4).observe(2);
+
+  const auto parsed = feed::Json::parse(registry.expose_json());
+  ASSERT_TRUE(parsed.has_value());
+  const auto snapshot = registry.snapshot();
+  const auto& samples = parsed->find("metrics")->as_array();
+  ASSERT_EQ(samples.size(), snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const feed::Json* stamp = samples[i].find("updated_ms");
+    if (snapshot[i].type == MetricType::kHistogram) {
+      EXPECT_EQ(stamp, nullptr) << "histograms carry no timestamp";
+    } else {
+      ASSERT_NE(stamp, nullptr) << snapshot[i].name;
+      EXPECT_EQ(static_cast<std::int64_t>(stamp->as_number()),
+                snapshot[i].updated_ms);
+      EXPECT_GT(stamp->as_number(), 0.0);
+    }
+  }
+  // The text exposition is consumed by version-pinned scrapers: no new
+  // fields, ever (the golden test above freezes the exact bytes).
+  EXPECT_EQ(registry.expose_prometheus().find("updated_ms"),
+            std::string::npos);
+}
+
+TEST(Concurrency, HistogramObserveWhileScraping) {
+  // N writer threads hammer one histogram (plus a stamped counter) while
+  // this thread scrapes both expositions: under TSan this verifies the
+  // whole exposition path against the relaxed-atomic write path.
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  Histogram& histogram =
+      registry.histogram("gill_test_lat_us", "Latency", {}, 16);
+  Counter& counter = registry.counter("gill_test_obs_total", "Observations");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, &counter, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.observe((i * 37 + static_cast<std::uint64_t>(t)) % 60'000);
+        counter.inc();
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    const std::string text = registry.expose_prometheus();
+    EXPECT_NE(text.find("gill_test_lat_us_count"), std::string::npos);
+    EXPECT_FALSE(registry.expose_json().empty());
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  std::uint64_t bucketed = histogram.overflow();
+  for (std::size_t i = 0; i < histogram.finite_buckets(); ++i) {
+    bucketed += histogram.bucket_count(i);
+  }
+  EXPECT_EQ(bucketed, histogram.count()) << "no observation lost a bucket";
+}
+
 TEST(Concurrency, ParallelRegistrationIsIdempotent) {
   Registry registry;
   constexpr int kThreads = 8;

@@ -15,9 +15,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <string>
@@ -193,7 +196,9 @@ struct ServerHarness {
   std::map<bgp::VpId, TcpTransport*> transports;
   std::vector<bgp::VpId> accepted;
 
-  ServerHarness() : platform(make_config()) {
+  explicit ServerHarness(
+      std::function<void(collect::PlatformConfig&)> tweak = {})
+      : platform(make_config(std::move(tweak))) {
     EXPECT_TRUE(listener.listen(
         "127.0.0.1", 0, [this](int fd, std::string, std::uint16_t) {
           auto transport =
@@ -210,9 +215,11 @@ struct ServerHarness {
         }));
   }
 
-  collect::PlatformConfig make_config() {
+  collect::PlatformConfig make_config(
+      std::function<void(collect::PlatformConfig&)> tweak) {
     collect::PlatformConfig config;
     config.registry = &registry;
+    if (tweak) tweak(config);
     return config;
   }
 
@@ -614,6 +621,78 @@ TEST(LiveCollector, SessionCountersAppearOnTheMetricsEndpoint) {
   EXPECT_NE(healthz.find("\"peers\":1"), std::string::npos) << healthz;
   EXPECT_NE(healthz.find("\"status\":\"healthy\""), std::string::npos);
   EXPECT_NE(healthz.find("\"session\":\"Established\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous analysis off the loop: a refresh job held in flight must not
+// stall the TCP sessions — updates keep flowing and the RIB keeps advancing
+// until the job completes and the new filter generation is installed.
+// ---------------------------------------------------------------------------
+
+TEST(LiveCollector, RibAdvancesWhileARefreshJobIsInFlight) {
+  std::promise<void> job_started;
+  auto started = job_started.get_future();
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  std::atomic<bool> armed{true};
+  ServerHarness server([&](collect::PlatformConfig& config) {
+    config.analysis_threads = 1;
+    config.refresh_job_hook = [&, release] {
+      if (armed.exchange(false)) {
+        job_started.set_value();
+        release.wait();
+      }
+    };
+  });
+  TcpFakePeer client(server, 65010);
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] {
+        return !server.accepted.empty() &&
+               server.platform.daemon_of(server.accepted[0]).state() ==
+                   SessionState::kEstablished &&
+               client.peer.established();
+      },
+      [&] {
+        server.pump();
+        client.pump();
+      }));
+  const bgp::VpId vp = server.accepted[0];
+
+  // Seed a first window so the pipeline has data, then pin its job.
+  client.peer.send_synthetic_burst(10, 10u << 24);
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] { return server.platform.daemon_of(vp).rib().size() == 10; },
+      [&] {
+        server.pump();
+        client.pump();
+      }));
+  server.platform.refresh_filters(kNow);
+  started.wait();  // the worker is inside the pipeline now
+  ASSERT_TRUE(server.platform.refresh_in_flight());
+
+  // The loop keeps serving the live session while the job computes: a
+  // second burst arrives over TCP and lands in the RIB.
+  client.peer.send_synthetic_burst(15, 11u << 24);
+  ASSERT_TRUE(drive(
+      server.loop, 400,
+      [&] { return server.platform.daemon_of(vp).rib().size() == 25; },
+      [&] {
+        server.pump();
+        client.pump();
+      }));
+  EXPECT_TRUE(server.platform.refresh_in_flight())
+      << "the RIB advanced with the job still pinned";
+  EXPECT_EQ(server.platform.filter_generation(), 0u);
+
+  release_promise.set_value();
+  server.platform.wait_for_refresh();
+  EXPECT_FALSE(server.platform.refresh_in_flight());
+  EXPECT_EQ(server.platform.filter_generation(), 1u);
+  server.pump();  // the session survives the install
+  EXPECT_EQ(server.platform.daemon_of(vp).state(),
+            SessionState::kEstablished);
 }
 
 }  // namespace

@@ -407,5 +407,55 @@ TEST(Component1, ThresholdControlsRetention) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// VpPrefixHash distribution: the platform's realistic key population is a
+// DENSE range of VP ids (0..N assigned in arrival order) crossed with a
+// prefix set. The old `prefix_hash * 31 + vp` mapped every VP of one prefix
+// into consecutive buckets — whole table regions collided. The splitmix
+// finalizer must keep bucket loads near uniform on exactly that population.
+// ---------------------------------------------------------------------------
+
+TEST(VpPrefixHash, DenseVpIdsSpreadAcrossBuckets) {
+  constexpr std::size_t kVps = 64;
+  constexpr std::size_t kPrefixes = 256;
+  constexpr std::size_t kBuckets = 1024;  // power of two, like libstdc++ isn't
+  std::vector<std::size_t> load(kBuckets, 0);
+  VpPrefixHash hash;
+  for (std::size_t p = 0; p < kPrefixes; ++p) {
+    const std::string text = "10." + std::to_string(p / 256) + '.' +
+                             std::to_string(p % 256) + ".0/24";
+    const net::Prefix prefix = pfx(text.c_str());
+    for (VpId vp = 0; vp < kVps; ++vp) {
+      ++load[hash(VpPrefix{vp, prefix}) & (kBuckets - 1)];
+    }
+  }
+  const double expected =
+      static_cast<double>(kVps * kPrefixes) / static_cast<double>(kBuckets);
+  std::size_t max_load = 0;
+  std::size_t empty = 0;
+  double chi2 = 0.0;
+  for (const std::size_t l : load) {
+    max_load = std::max(max_load, l);
+    if (l == 0) ++empty;
+    const double d = static_cast<double>(l) - expected;
+    chi2 += d * d / expected;
+  }
+  // Uniform hashing over 16384 keys into 1024 buckets: expected load 16,
+  // chi-square ~ kBuckets. Generous 2x margins keep the test stable while
+  // still failing hard for the old hash (which loaded runs of buckets with
+  // entire VP columns and left swaths empty).
+  EXPECT_LT(max_load, 3 * static_cast<std::size_t>(expected)) << "hot bucket";
+  EXPECT_LT(empty, kBuckets / 10) << "dead buckets";
+  EXPECT_LT(chi2, 2.0 * static_cast<double>(kBuckets));
+}
+
+TEST(VpPrefixHash, VpAndPrefixBothContribute) {
+  VpPrefixHash hash;
+  const net::Prefix a = pfx("10.0.0.0/24");
+  const net::Prefix b = pfx("10.0.1.0/24");
+  EXPECT_NE(hash(VpPrefix{1, a}), hash(VpPrefix{2, a}));
+  EXPECT_NE(hash(VpPrefix{1, a}), hash(VpPrefix{1, b}));
+}
+
 }  // namespace
 }  // namespace gill::red

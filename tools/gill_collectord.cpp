@@ -41,6 +41,8 @@ constexpr const char* kUsage =
     "  --max-peers N          refuse sessions beyond this (default 4096)\n"
     "  --tick-ms N            session tick interval (default 200)\n"
     "  --rib-dump-interval N  per-session RIB snapshot period, seconds (default off)\n"
+    "  --analysis-threads N   worker pool for filter refreshes: -1 auto,\n"
+    "                         0 synchronous on the loop thread (default -1)\n"
     "  --archive PATH         save the MRT archive to PATH on shutdown\n"
     "  --duration N           run N seconds then exit (default: until SIGINT)\n"
     "  --metrics <path|->     dump the Prometheus exposition at exit\n";
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
   const long max_peers = args.get_int("max-peers", 4096);
   const long tick_ms = args.get_int("tick-ms", 200);
   const long rib_dump_interval = args.get_int("rib-dump-interval", 0);
+  const long analysis_threads = args.get_int("analysis-threads", -1);
   const long duration = args.get_int("duration", 0);
 
   metrics::Registry& registry = metrics::default_registry();
@@ -72,6 +75,11 @@ int main(int argc, char** argv) {
   collect::PlatformConfig config;
   config.local_as = local_as;
   config.registry = &registry;
+  // Filter refreshes run on a worker pool so the loop thread never stalls
+  // mid-pipeline (DESIGN.md §9); the session hot path stays single-threaded.
+  config.analysis_threads =
+      analysis_threads < 0 ? par::auto_thread_count()
+                           : static_cast<std::size_t>(analysis_threads);
   collect::Platform platform(config);
 
   // The platform owns the transports (as daemon::Transport); this index
@@ -179,9 +187,10 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::fprintf(stderr,
                "[collectord] AS%u: BGP on %s:%u%s, HTTP on %s:%u "
-               "(/metrics, /healthz)\n",
+               "(/metrics, /healthz), analysis threads: %zu\n",
                local_as, bind_ip.c_str(), bgp_listener.port(),
-               bmp_port > 0 ? " (+BMP)" : "", bind_ip.c_str(), http.port());
+               bmp_port > 0 ? " (+BMP)" : "", bind_ip.c_str(), http.port(),
+               platform.analysis_thread_count());
   while (!loop.stopped() && g_stop == 0) {
     loop.run_once(100);
   }

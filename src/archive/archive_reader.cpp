@@ -1,0 +1,139 @@
+#include "archive/archive_reader.hpp"
+
+#include <filesystem>
+
+namespace gill::archive {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+metrics::Registry& resolve(metrics::Registry* registry) {
+  return registry != nullptr ? *registry : metrics::default_registry();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ArchiveReader
+// ---------------------------------------------------------------------------
+
+ArchiveReader::ArchiveReader(metrics::Registry* registry)
+    : queries_served_(resolve(registry).counter(
+          "gill_archive_queries_served_total",
+          "Archive queries started (query() calls)")),
+      records_streamed_(resolve(registry).counter(
+          "gill_archive_records_streamed_total",
+          "Records matched and streamed to archive consumers")) {}
+
+bool ArchiveReader::open(const std::string& directory, bool recover) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) return false;
+  if (recover && !recover_store(directory)) return false;
+  directory_ = directory;
+  segments_ = load_manifest(directory);
+  return true;
+}
+
+bool ArchiveReader::segment_may_match(const SegmentMeta& meta,
+                                      const QueryOptions& options) const {
+  if (meta.max_time < options.start || meta.min_time >= options.end) {
+    return false;
+  }
+  if (options.vp.has_value()) {
+    const auto it =
+        std::lower_bound(meta.vps.begin(), meta.vps.end(), *options.vp);
+    if (it == meta.vps.end() || *it != *options.vp) return false;
+  }
+  return true;  // no per-segment prefix index: prefixes filter per record
+}
+
+bool ArchiveReader::record_matches(const mrt::Reader::Record& record,
+                                   const QueryOptions& options) const {
+  const bgp::Update& update = record.update;
+  if (update.time < options.start || update.time >= options.end) return false;
+  if (options.vp.has_value() && update.vp != *options.vp) return false;
+  if (options.prefix.has_value() &&
+      !options.prefix->covers(update.prefix)) {
+    return false;
+  }
+  return true;
+}
+
+QueryCursor ArchiveReader::query(const QueryOptions& options) const {
+  queries_served_.inc();
+  return QueryCursor(this, options);
+}
+
+std::vector<mrt::Reader::Record> ArchiveReader::query_all(
+    const QueryOptions& options) const {
+  QueryCursor cursor = query(options);
+  std::string bytes;
+  while (cursor.next_chunk(bytes)) {
+  }
+  std::vector<mrt::Reader::Record> records;
+  mrt::Reader reader(
+      std::span(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                bytes.size()));
+  while (auto record = reader.next()) records.push_back(std::move(*record));
+  return records;
+}
+
+// ---------------------------------------------------------------------------
+// QueryCursor
+// ---------------------------------------------------------------------------
+
+QueryCursor::QueryCursor(const ArchiveReader* reader, QueryOptions options)
+    : reader_(reader), options_(std::move(options)) {}
+
+bool QueryCursor::load_next_segment() {
+  const auto& segments = reader_->segments_;
+  while (segment_index_ < segments.size()) {
+    const SegmentMeta& meta = segments[segment_index_++];
+    if (!reader_->segment_may_match(meta, options_)) continue;
+    const std::string path =
+        (fs::path(reader_->directory_) / meta.file).string();
+    auto file = read_file(path);
+    if (!file || file->size() < meta.payload_bytes) continue;  // vanished
+    file->resize(meta.payload_bytes);  // drop the footer
+    payload_ = std::move(*file);
+    payload_offset_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool QueryCursor::next_chunk(std::string& out, std::size_t max_bytes) {
+  const std::size_t start_size = out.size();
+  while (out.size() - start_size < max_bytes) {
+    if (payload_offset_ >= payload_.size()) {
+      if (!load_next_segment()) break;
+    }
+    // Matching records are copied verbatim from the segment payload: the
+    // stream is byte-identical to what the writer stored, record by record.
+    mrt::Reader reader(std::span<const std::uint8_t>(payload_)
+                           .subspan(payload_offset_));
+    std::size_t consumed = 0;
+    while (auto record = reader.next()) {
+      const std::size_t record_end = reader.offset();
+      if (reader_->record_matches(*record, options_)) {
+        const char* base =
+            reinterpret_cast<const char*>(payload_.data()) + payload_offset_;
+        out.append(base + consumed, record_end - consumed);
+        ++streamed_;
+        reader_->records_streamed_.inc();
+      }
+      consumed = record_end;
+      if (out.size() - start_size >= max_bytes) break;
+    }
+    payload_offset_ += consumed;
+    if (reader.done() || !reader.ok()) {
+      // Segment exhausted (sealed payloads are never torn; !ok would mean
+      // on-disk corruption — stop reading this segment either way).
+      payload_offset_ = payload_.size();
+    }
+  }
+  return out.size() != start_size;
+}
+
+}  // namespace gill::archive

@@ -1,0 +1,303 @@
+#include "archive/archive_writer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <utility>
+
+namespace gill::archive {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+metrics::Registry& resolve(metrics::Registry* registry) {
+  return registry != nullptr ? *registry : metrics::default_registry();
+}
+
+Timestamp align_down(Timestamp time, Timestamp step) {
+  return step > 0 ? time - time % step : time;
+}
+
+}  // namespace
+
+SegmentWriter::Instruments::Instruments(metrics::Registry& registry)
+    : segments_written(registry.counter(
+          "gill_archive_segments_written_total",
+          "Segments sealed, renamed and indexed on disk")),
+      bytes_written(registry.counter("gill_archive_bytes_written_total",
+                                     "Payload bytes appended to segments")),
+      records_appended(registry.counter(
+          "gill_archive_records_appended_total",
+          "MRT records (updates + RIB entries) accepted by the writer")),
+      recovered_segments(registry.counter(
+          "gill_archive_recovered_segments_total",
+          "Crash artifacts sealed into segments by the recovery scan")),
+      truncated_bytes(registry.counter(
+          "gill_archive_truncated_bytes_total",
+          "Torn tail bytes discarded by the recovery scan")),
+      rotate_us(registry.histogram(
+          "gill_archive_rotate_us",
+          "Microseconds to seal a segment (tail write, footer, fsync, "
+          "rename, manifest rewrite)")),
+      fsync_us(registry.histogram("gill_archive_fsync_us",
+                                  "Microseconds per fsync of the active "
+                                  "segment file")) {}
+
+SegmentWriter::SegmentWriter(SegmentWriterConfig config)
+    : config_(std::move(config)), instruments_(resolve(config_.registry)) {}
+
+SegmentWriter::~SegmentWriter() { close(); }
+
+std::string SegmentWriter::active_path() const {
+  return (fs::path(config_.directory) / kActiveSegmentName).string();
+}
+
+bool SegmentWriter::open() {
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  const auto recovered = recover_store(config_.directory);
+  if (!recovered) return false;
+  instruments_.recovered_segments.inc(recovered->recovered_segments);
+  instruments_.truncated_bytes.inc(recovered->truncated_bytes);
+  auto manifest = load_manifest(config_.directory);
+  next_seq_ = manifest.size() + 1;
+  std::lock_guard lock(mutex_);
+  sealed_ = std::move(manifest);
+  sealed_count_ = sealed_.size();
+  return true;
+}
+
+void SegmentWriter::store(const bgp::Update& update) {
+  append_record(update, /*rib_entry=*/false);
+}
+
+void SegmentWriter::store_rib_entry(const bgp::Update& entry) {
+  append_record(entry, /*rib_entry=*/true);
+}
+
+void SegmentWriter::append_record(const bgp::Update& update, bool rib_entry) {
+  if (failed()) return;
+  // A record past the window boundary seals the old window first, so a
+  // segment's updates never spill past its wall-clock range.
+  if (window_open_ &&
+      update.time >= window_start_ + config_.rotate_secs) {
+    rotate_now();
+  }
+  if (!window_open_) {
+    window_start_ = align_down(update.time, config_.rotate_secs);
+    window_open_ = true;
+  }
+  if (rib_entry) {
+    buffer_.write_rib_entry(update);
+  } else {
+    buffer_.write_update(update);
+  }
+  active_.observe(update, rib_entry);
+  ++records_appended_;
+  instruments_.records_appended.inc();
+  if (buffer_.buffer().size() - buffer_offset_ >= config_.flush_bytes) {
+    flush();
+  }
+}
+
+void SegmentWriter::tick(Timestamp now) {
+  if (window_open_ && now >= window_start_ + config_.rotate_secs) {
+    rotate_now();
+  }
+}
+
+void SegmentWriter::flush() {
+  const auto& bytes = buffer_.buffer();
+  if (buffer_offset_ >= bytes.size()) return;
+  std::vector<std::uint8_t> chunk(bytes.begin() + buffer_offset_,
+                                  bytes.end());
+  buffer_offset_ = bytes.size();
+  post([this, chunk = std::move(chunk)]() mutable {
+    do_append(std::move(chunk));
+  });
+}
+
+void SegmentWriter::rotate_now() {
+  if (!window_open_ || active_.records() == 0) return;
+  SegmentMeta meta = std::move(active_);
+  meta.payload_bytes = buffer_.buffer().size();
+  meta.file = segment_file_name(window_start_, next_seq_++);
+  std::vector<std::uint8_t> tail(buffer_.buffer().begin() + buffer_offset_,
+                                 buffer_.buffer().end());
+  buffer_ = mrt::Writer{};
+  buffer_offset_ = 0;
+  active_ = SegmentMeta{};
+  window_open_ = false;
+  post([this, tail = std::move(tail), meta = std::move(meta)]() mutable {
+    do_seal(std::move(tail), std::move(meta));
+  });
+}
+
+void SegmentWriter::post(std::function<void()> job) {
+  if (config_.pool == nullptr) {
+    job();  // inline mode: deterministic, no cross-thread handoff
+    return;
+  }
+  bool schedule = false;
+  {
+    std::lock_guard lock(mutex_);
+    jobs_.push_back(std::move(job));
+    if (!job_running_) {
+      job_running_ = true;
+      schedule = true;
+    }
+  }
+  // One run_jobs drains the whole queue: jobs of one writer never overlap
+  // even on a many-worker pool (append order = disk order).
+  if (schedule) config_.pool->post([this] { run_jobs(); });
+}
+
+void SegmentWriter::run_jobs() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::lock_guard lock(mutex_);
+      if (jobs_.empty()) {
+        job_running_ = false;
+        idle_.notify_all();
+        return;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+void SegmentWriter::do_append(std::vector<std::uint8_t> bytes) {
+  std::unique_lock lock(mutex_);
+  if (dead_) return;
+  if (active_fd_ < 0) {
+    active_fd_ = ::open(active_path().c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (active_fd_ < 0) {
+      dead_ = true;
+      return;
+    }
+  }
+  std::size_t limit = bytes.size();
+  if (fault_armed_) {
+    // The injected crash: a torn write with no fsync, then silence.
+    limit = std::min(limit, torn_write_bytes_);
+  }
+  std::size_t written = 0;
+  while (written < limit) {
+    const ssize_t n =
+        ::write(active_fd_, bytes.data() + written, limit - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      dead_ = true;
+      return;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (fault_armed_) {
+    fault_armed_ = false;
+    dead_ = true;
+    return;
+  }
+  instruments_.bytes_written.inc(written);
+  const metrics::Timer timer(instruments_.fsync_us);
+  if (::fsync(active_fd_) != 0) dead_ = true;
+}
+
+void SegmentWriter::do_seal(std::vector<std::uint8_t> tail, SegmentMeta meta) {
+  const metrics::Timer timer(instruments_.rotate_us);
+  do_append(std::move(tail));
+  std::unique_lock lock(mutex_);
+  if (dead_) return;
+  // An all-buffered segment (no flush ever ran) still needs its file.
+  if (active_fd_ < 0) {
+    active_fd_ = ::open(active_path().c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (active_fd_ < 0) {
+      dead_ = true;
+      return;
+    }
+  }
+  std::vector<std::uint8_t> footer;
+  append_footer(footer, meta);
+  std::size_t written = 0;
+  while (written < footer.size()) {
+    const ssize_t n =
+        ::write(active_fd_, footer.data() + written, footer.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      dead_ = true;
+      return;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(active_fd_) != 0) {
+    dead_ = true;
+    return;
+  }
+  ::close(active_fd_);
+  active_fd_ = -1;
+  const std::string sealed_path =
+      (fs::path(config_.directory) / meta.file).string();
+  if (::rename(active_path().c_str(), sealed_path.c_str()) != 0) {
+    dead_ = true;
+    return;
+  }
+  sealed_.push_back(std::move(meta));
+  ++sealed_count_;
+  const std::string json = manifest_to_json(sealed_);
+  const std::string manifest_path =
+      (fs::path(config_.directory) / kManifestName).string();
+  if (!write_file_atomic(
+          manifest_path,
+          std::span(reinterpret_cast<const std::uint8_t*>(json.data()),
+                    json.size()))) {
+    dead_ = true;
+    return;
+  }
+  instruments_.segments_written.inc();
+}
+
+void SegmentWriter::wait_idle() {
+  if (config_.pool == nullptr) return;  // inline mode: nothing pending
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return jobs_.empty() && !job_running_; });
+}
+
+void SegmentWriter::close() {
+  rotate_now();
+  wait_idle();
+  std::lock_guard lock(mutex_);
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+}
+
+std::vector<SegmentMeta> SegmentWriter::manifest() const {
+  std::lock_guard lock(mutex_);
+  return sealed_;
+}
+
+std::uint64_t SegmentWriter::segments_sealed() const {
+  std::lock_guard lock(mutex_);
+  return sealed_count_;
+}
+
+bool SegmentWriter::failed() const {
+  std::lock_guard lock(mutex_);
+  return dead_;
+}
+
+void SegmentWriter::fault_torn_write(std::size_t bytes) {
+  std::lock_guard lock(mutex_);
+  fault_armed_ = true;
+  torn_write_bytes_ = bytes;
+}
+
+}  // namespace gill::archive

@@ -1,0 +1,362 @@
+#include "archive/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include "feed/json.hpp"
+
+namespace gill::archive {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kFooterMagic = 0x47534547;  // "GSEG"
+constexpr std::uint32_t kTailMagic = 0x4C4C4947;    // "GILL"
+constexpr std::uint32_t kFooterVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  put_u32(out, static_cast<std::uint32_t>(value >> 32));
+  put_u32(out, static_cast<std::uint32_t>(value));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t at) {
+  return (static_cast<std::uint32_t>(data[at]) << 24) |
+         (static_cast<std::uint32_t>(data[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(data[at + 2]) << 8) |
+         static_cast<std::uint32_t>(data[at + 3]);
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> data, std::size_t at) {
+  return (static_cast<std::uint64_t>(get_u32(data, at)) << 32) |
+         get_u32(data, at + 4);
+}
+
+/// Fixed part of the footer: magic, version, payload_bytes, min/max time,
+/// update/rib counts, vp_count + trailing (footer_size, tail magic).
+constexpr std::size_t kFooterFixedBytes = 4 + 4 + 8 + 4 + 4 + 8 + 8 + 4 + 4 + 4;
+
+bool fsync_path(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+feed::Json meta_to_json(const SegmentMeta& meta) {
+  feed::JsonArray vps;
+  vps.reserve(meta.vps.size());
+  for (const VpId vp : meta.vps) vps.emplace_back(static_cast<double>(vp));
+  feed::JsonObject object;
+  object["file"] = meta.file;
+  object["min_time"] = static_cast<double>(meta.min_time);
+  object["max_time"] = static_cast<double>(meta.max_time);
+  object["updates"] = static_cast<double>(meta.updates);
+  object["rib_entries"] = static_cast<double>(meta.rib_entries);
+  object["payload_bytes"] = static_cast<double>(meta.payload_bytes);
+  object["vps"] = std::move(vps);
+  return feed::Json(std::move(object));
+}
+
+std::optional<SegmentMeta> meta_from_json(const feed::Json& json) {
+  const auto number = [&json](const char* key,
+                              std::uint64_t& out) -> bool {
+    const feed::Json* value = json.find(key);
+    if (value == nullptr || !value->is_number() || value->as_number() < 0) {
+      return false;
+    }
+    out = static_cast<std::uint64_t>(value->as_number());
+    return true;
+  };
+  SegmentMeta meta;
+  const feed::Json* file = json.find("file");
+  if (file == nullptr || !file->is_string()) return std::nullopt;
+  meta.file = file->as_string();
+  std::uint64_t min_time = 0;
+  std::uint64_t max_time = 0;
+  if (!number("min_time", min_time) || !number("max_time", max_time) ||
+      !number("updates", meta.updates) ||
+      !number("rib_entries", meta.rib_entries) ||
+      !number("payload_bytes", meta.payload_bytes)) {
+    return std::nullopt;
+  }
+  meta.min_time = static_cast<Timestamp>(min_time);
+  meta.max_time = static_cast<Timestamp>(max_time);
+  const feed::Json* vps = json.find("vps");
+  if (vps == nullptr || !vps->is_array()) return std::nullopt;
+  for (const feed::Json& vp : vps->as_array()) {
+    if (!vp.is_number()) return std::nullopt;
+    meta.vps.push_back(static_cast<VpId>(vp.as_number()));
+  }
+  return meta;
+}
+
+/// Sorts manifest rows into exposition order.
+void sort_manifest(std::vector<SegmentMeta>& segments) {
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentMeta& a, const SegmentMeta& b) {
+              return std::tie(a.min_time, a.file) < std::tie(b.min_time, b.file);
+            });
+}
+
+}  // namespace
+
+void SegmentMeta::observe(const mrt::Reader::Record& record) {
+  observe(record.update, record.type == mrt::RecordType::kTableDumpV2);
+}
+
+void SegmentMeta::observe(const bgp::Update& update, bool rib_entry) {
+  if (records() == 0 || update.time < min_time) min_time = update.time;
+  if (records() == 0 || update.time > max_time) max_time = update.time;
+  if (rib_entry) {
+    ++rib_entries;
+  } else {
+    ++updates;
+  }
+  const auto it = std::lower_bound(vps.begin(), vps.end(), update.vp);
+  if (it == vps.end() || *it != update.vp) {
+    vps.insert(it, update.vp);
+  }
+}
+
+std::string segment_file_name(Timestamp start, std::uint64_t seq) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "seg-%010llu-%06llu.mrt",
+                static_cast<unsigned long long>(start),
+                static_cast<unsigned long long>(seq));
+  return buffer;
+}
+
+void append_footer(std::vector<std::uint8_t>& out, const SegmentMeta& meta) {
+  const std::uint32_t footer_size = static_cast<std::uint32_t>(
+      kFooterFixedBytes + 4 * meta.vps.size());
+  put_u32(out, kFooterMagic);
+  put_u32(out, kFooterVersion);
+  put_u64(out, meta.payload_bytes);
+  put_u32(out, static_cast<std::uint32_t>(meta.min_time));
+  put_u32(out, static_cast<std::uint32_t>(meta.max_time));
+  put_u64(out, meta.updates);
+  put_u64(out, meta.rib_entries);
+  put_u32(out, static_cast<std::uint32_t>(meta.vps.size()));
+  for (const VpId vp : meta.vps) put_u32(out, vp);
+  put_u32(out, footer_size);
+  put_u32(out, kTailMagic);
+}
+
+std::optional<SegmentMeta> read_footer(std::span<const std::uint8_t> file) {
+  if (file.size() < kFooterFixedBytes) return std::nullopt;
+  if (get_u32(file, file.size() - 4) != kTailMagic) return std::nullopt;
+  const std::uint32_t footer_size = get_u32(file, file.size() - 8);
+  if (footer_size < kFooterFixedBytes || footer_size > file.size()) {
+    return std::nullopt;
+  }
+  const std::size_t at = file.size() - footer_size;
+  if (get_u32(file, at) != kFooterMagic ||
+      get_u32(file, at + 4) != kFooterVersion) {
+    return std::nullopt;
+  }
+  SegmentMeta meta;
+  meta.payload_bytes = get_u64(file, at + 8);
+  meta.min_time = static_cast<Timestamp>(get_u32(file, at + 16));
+  meta.max_time = static_cast<Timestamp>(get_u32(file, at + 20));
+  meta.updates = get_u64(file, at + 24);
+  meta.rib_entries = get_u64(file, at + 32);
+  const std::uint32_t vp_count = get_u32(file, at + 40);
+  if (footer_size != kFooterFixedBytes + 4 * static_cast<std::size_t>(vp_count) ||
+      meta.payload_bytes != at) {
+    return std::nullopt;
+  }
+  meta.vps.reserve(vp_count);
+  for (std::uint32_t i = 0; i < vp_count; ++i) {
+    meta.vps.push_back(static_cast<VpId>(get_u32(file, at + 44 + 4 * i)));
+  }
+  return meta;
+}
+
+SegmentMeta scan_payload(std::span<const std::uint8_t> payload) {
+  SegmentMeta meta;
+  mrt::Reader reader(payload);
+  while (auto record = reader.next()) {
+    meta.observe(*record);
+    meta.payload_bytes = reader.offset();
+  }
+  return meta;
+}
+
+std::string manifest_to_json(const std::vector<SegmentMeta>& segments) {
+  feed::JsonArray rows;
+  rows.reserve(segments.size());
+  for (const SegmentMeta& meta : segments) rows.push_back(meta_to_json(meta));
+  feed::JsonObject document;
+  document["segments"] = std::move(rows);
+  return feed::Json(std::move(document)).dump();
+}
+
+std::optional<std::vector<SegmentMeta>> manifest_from_json(
+    std::string_view text) {
+  const auto document = feed::Json::parse(text);
+  if (!document) return std::nullopt;
+  const feed::Json* rows = document->find("segments");
+  if (rows == nullptr || !rows->is_array()) return std::nullopt;
+  std::vector<SegmentMeta> segments;
+  for (const feed::Json& row : rows->as_array()) {
+    auto meta = meta_from_json(row);
+    if (!meta) return std::nullopt;
+    segments.push_back(std::move(*meta));
+  }
+  return segments;
+}
+
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced || ::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    return false;
+  }
+  // Persist the rename itself: without the directory fsync a crash can
+  // roll the store back to a state where the data blocks exist but the
+  // name does not.
+  const std::string parent = fs::path(path).parent_path().string();
+  return fsync_path(parent.empty() ? "." : parent, O_RDONLY | O_DIRECTORY);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(size > 0 ? static_cast<std::size_t>(size)
+                                          : 0);
+  const std::size_t read = std::fread(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (read != data.size()) return std::nullopt;
+  return data;
+}
+
+std::optional<RecoveryResult> recover_store(const std::string& directory) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) return std::nullopt;
+  RecoveryResult result;
+  std::vector<SegmentMeta> manifest = load_manifest(directory);
+  // A sealed name must never collide with an existing segment, including
+  // ones a previous recovery pass produced.
+  std::uint64_t next_seq = manifest.size() + 1;
+  std::set<std::string> taken;
+  for (const SegmentMeta& meta : manifest) taken.insert(meta.file);
+
+  std::vector<std::string> artifacts;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (entry.path().extension() == ".part") {
+      artifacts.push_back(entry.path().string());
+    }
+  }
+  std::sort(artifacts.begin(), artifacts.end());
+
+  for (const std::string& artifact : artifacts) {
+    const auto bytes = read_file(artifact);
+    if (!bytes) return std::nullopt;
+    SegmentMeta meta = scan_payload(*bytes);
+    result.truncated_bytes += bytes->size() - meta.payload_bytes;
+    if (meta.records() == 0) {  // nothing complete survived the crash
+      ::unlink(artifact.c_str());
+      ++result.deleted_segments;
+      continue;
+    }
+    std::vector<std::uint8_t> sealed(bytes->begin(),
+                                     bytes->begin() + meta.payload_bytes);
+    do {
+      meta.file = segment_file_name(meta.min_time, next_seq++);
+    } while (taken.contains(meta.file));
+    taken.insert(meta.file);
+    append_footer(sealed, meta);
+    const std::string path =
+        (fs::path(directory) / meta.file).string();
+    if (!write_file_atomic(path, sealed)) return std::nullopt;
+    ::unlink(artifact.c_str());
+    manifest.push_back(std::move(meta));
+    ++result.recovered_segments;
+  }
+
+  if (result.recovered_segments > 0) {
+    sort_manifest(manifest);
+    const std::string json = manifest_to_json(manifest);
+    const std::string path = (fs::path(directory) / kManifestName).string();
+    if (!write_file_atomic(
+            path, std::span(reinterpret_cast<const std::uint8_t*>(json.data()),
+                            json.size()))) {
+      return std::nullopt;
+    }
+  }
+  return result;
+}
+
+std::vector<SegmentMeta> load_manifest(const std::string& directory) {
+  std::vector<SegmentMeta> segments;
+  const std::string manifest_path =
+      (fs::path(directory) / kManifestName).string();
+  if (const auto bytes = read_file(manifest_path)) {
+    const std::string_view text(reinterpret_cast<const char*>(bytes->data()),
+                                bytes->size());
+    if (auto parsed = manifest_from_json(text)) segments = std::move(*parsed);
+  }
+  // Reconcile with the directory: drop rows whose file vanished, adopt
+  // sealed segments the manifest missed (crash between rename and rewrite).
+  std::error_code ec;
+  std::set<std::string> on_disk;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (entry.path().extension() == ".mrt") {
+      on_disk.insert(entry.path().filename().string());
+    }
+  }
+  std::erase_if(segments, [&on_disk](const SegmentMeta& meta) {
+    return !on_disk.contains(meta.file);
+  });
+  std::set<std::string> listed;
+  for (const SegmentMeta& meta : segments) listed.insert(meta.file);
+  for (const std::string& file : on_disk) {
+    if (listed.contains(file)) continue;
+    const auto bytes = read_file((fs::path(directory) / file).string());
+    if (!bytes) continue;
+    auto meta = read_footer(*bytes);
+    if (!meta) continue;  // not a sealed segment: ignore
+    meta->file = file;
+    segments.push_back(std::move(*meta));
+  }
+  sort_manifest(segments);
+  return segments;
+}
+
+}  // namespace gill::archive

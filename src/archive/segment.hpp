@@ -1,0 +1,111 @@
+// On-disk segment format of the archive store (DESIGN.md §10): one segment
+// is a run of framed MRT records (the existing RFC 6396-style framing from
+// mrt/) followed by a self-describing footer, so a directory of segments is
+// readable without any side channel. The footer records the segment's time
+// range, VP set, record counts and payload length; a trailing
+// (footer_size, magic) pair lets a reader locate it from the end of the
+// file in one tail read.
+//
+// Crash-safety protocol. The active segment is written as `current.part`
+// (payload only, no footer). Sealing appends the footer, fsyncs, renames
+// the file to its final `seg-<start>-<seq>.mrt` name and rewrites
+// `index.json` via write-to-temp + rename — every publish step is atomic,
+// so a crash at any point leaves either the old state or the new one,
+// never a torn manifest. A `.part` file found on open is a crash artifact:
+// recovery scans its records, truncates the torn tail at the last complete
+// record boundary, seals it with a freshly computed footer and folds it
+// into the manifest. Empty crash artifacts are deleted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/update.hpp"
+#include "mrt/mrt.hpp"
+
+namespace gill::archive {
+
+using bgp::Timestamp;
+using bgp::VpId;
+
+/// Name of the active (unsealed) segment inside a store directory.
+inline constexpr const char* kActiveSegmentName = "current.part";
+/// Name of the manifest inside a store directory.
+inline constexpr const char* kManifestName = "index.json";
+
+/// What a footer (and one manifest row) records about a sealed segment.
+struct SegmentMeta {
+  std::string file;  // basename; empty for an in-memory/unsealed segment
+  Timestamp min_time = 0;
+  Timestamp max_time = 0;
+  std::uint64_t updates = 0;      // BGP4MP records
+  std::uint64_t rib_entries = 0;  // TABLE_DUMP_V2 records
+  std::uint64_t payload_bytes = 0;
+  std::vector<VpId> vps;  // distinct VPs, ascending
+
+  std::uint64_t records() const noexcept { return updates + rib_entries; }
+
+  /// Folds one record into the running statistics.
+  void observe(const mrt::Reader::Record& record);
+  void observe(const bgp::Update& update, bool rib_entry);
+
+  friend bool operator==(const SegmentMeta&, const SegmentMeta&) = default;
+};
+
+/// Canonical sealed-segment name: seg-<start-time>-<sequence>.mrt.
+std::string segment_file_name(Timestamp start, std::uint64_t seq);
+
+/// Appends the binary footer for `meta` to `out` (payload must already be
+/// in place; meta.payload_bytes must equal the payload length).
+void append_footer(std::vector<std::uint8_t>& out, const SegmentMeta& meta);
+
+/// Parses the footer of a sealed segment from the full file image.
+/// Returns nullopt when the tail magic/length is missing or inconsistent
+/// (i.e. the file is not a sealed segment).
+std::optional<SegmentMeta> read_footer(std::span<const std::uint8_t> file);
+
+/// Walks the framed records of a (possibly torn) payload and returns the
+/// statistics of every *complete* record: meta.payload_bytes is the offset
+/// of the last complete record boundary, which is <= payload.size() when
+/// the tail record is torn. Never throws, never over-reads.
+SegmentMeta scan_payload(std::span<const std::uint8_t> payload);
+
+/// Serializes a manifest ({"segments":[...]}, ordered as given).
+std::string manifest_to_json(const std::vector<SegmentMeta>& segments);
+
+/// Parses a manifest document; nullopt on malformed input.
+std::optional<std::vector<SegmentMeta>> manifest_from_json(
+    std::string_view text);
+
+/// Writes `bytes` to `path` via a sibling temp file + fsync + rename, then
+/// fsyncs the containing directory. Returns false on any I/O failure.
+bool write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+/// Reads a whole file; nullopt when it cannot be opened/read.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+/// What recovery did to a store directory on open.
+struct RecoveryResult {
+  std::size_t recovered_segments = 0;  // .part files sealed into segments
+  std::size_t deleted_segments = 0;    // empty .part files removed
+  std::uint64_t truncated_bytes = 0;   // torn tail bytes discarded
+};
+
+/// Seals every crash artifact (`*.part`) in `directory`: truncates the
+/// torn tail, appends a footer, renames to a sealed name and rewrites the
+/// manifest. Idempotent; safe on a directory with no artifacts. Returns
+/// nullopt when the directory cannot be read or a rewrite fails.
+std::optional<RecoveryResult> recover_store(const std::string& directory);
+
+/// Loads the manifest of `directory`, reconciling it with the segment
+/// files actually on disk: rows without a file are dropped, sealed
+/// segments missing from the manifest (crash between rename and manifest
+/// rewrite) are re-read from their footers. The result is ordered by
+/// (min_time, file name).
+std::vector<SegmentMeta> load_manifest(const std::string& directory);
+
+}  // namespace gill::archive

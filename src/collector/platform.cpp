@@ -93,6 +93,19 @@ VpId Platform::add_remote_peer(bgp::AsNumber peer_as, Timestamp now,
                            /*make_fake_peer=*/false, /*arm_retry=*/false);
 }
 
+VpId Platform::add_dialed_peer(bgp::AsNumber peer_as, Timestamp now,
+                               std::unique_ptr<daemon::Transport> transport) {
+  // Outbound session: we dialed, so the transport's reconnect() re-dials
+  // and the daemon's retry policy can drive re-establishment.
+  return add_peer_internal(peer_as, now, std::move(transport),
+                           /*make_fake_peer=*/false, /*arm_retry=*/true);
+}
+
+void Platform::set_archive(mrt::Sink* archive) {
+  archive_ = archive;
+  for (auto& [vp, peer] : peers_) peer.daemon->set_archive(archive);
+}
+
 VpId Platform::add_peer_internal(
     bgp::AsNumber peer_as, Timestamp now,
     std::unique_ptr<daemon::Transport> transport, bool make_fake_peer,
@@ -104,6 +117,7 @@ VpId Platform::add_peer_internal(
   peer.transport = std::move(transport);
   peer.daemon = std::make_unique<daemon::BgpDaemon>(
       vp, config_.local_as, *peer.transport, &filters_, &store_, registry_);
+  if (archive_ != nullptr) peer.daemon->set_archive(archive_);
   peer.daemon->set_mirror([this, vp](const bgp::Update& update) {
     if (quarantined(vp)) return;  // a degraded feed must not poison sampling
     mirror_.push(update);

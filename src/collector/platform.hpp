@@ -148,6 +148,12 @@ class Platform {
   VpId add_remote_peer(bgp::AsNumber peer_as, Timestamp now,
                        std::unique_ptr<daemon::Transport> transport);
 
+  /// Like add_remote_peer, but for an *outbound* session we initiated
+  /// (gill-collectord --dial): the retry policy IS armed, because our side
+  /// owns the connection and the transport can re-dial on teardown.
+  VpId add_dialed_peer(bgp::AsNumber peer_as, Timestamp now,
+                       std::unique_ptr<daemon::Transport> transport);
+
   /// The scripted remote of an in-process session. Only valid for peers
   /// created by add_peer/add_faulty_peer (remote sessions have no local
   /// fake peer; see has_remote()).
@@ -212,6 +218,13 @@ class Platform {
 
   /// All updates retained so far (the public database).
   const daemon::MrtStore& store() const noexcept { return store_; }
+
+  /// Routes every daemon's stored records (updates that survive the
+  /// filters, plus RIB snapshots) into `archive` in addition to the
+  /// in-memory store — the collector passes its archive::SegmentWriter.
+  /// Applies to existing sessions and every session added later; nullptr
+  /// detaches.
+  void set_archive(mrt::Sink* archive);
 
   /// The mirror buffer currently held for the next sampling run.
   const bgp::UpdateStream& mirror() const noexcept { return mirror_; }
@@ -306,6 +319,7 @@ class Platform {
   std::map<VpId, Peer> peers_;
   VpId next_vp_ = 0;
   daemon::MrtStore store_;
+  mrt::Sink* archive_ = nullptr;
   filt::FilterTable filters_;
   std::vector<VpId> anchors_;
   /// Temporary full mirror feeding the sampling algorithms (Fig. 9); the

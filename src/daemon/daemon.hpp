@@ -132,11 +132,14 @@ struct RetryPolicy {
   Timestamp delay(std::size_t attempt) const;
 };
 
-/// The MRT archive sink shared by the daemons.
-class MrtStore {
+/// The in-memory MRT sink shared by the daemons (the on-disk counterpart
+/// is archive::SegmentWriter; both implement mrt::Sink).
+class MrtStore : public mrt::Sink {
  public:
-  void store(const Update& update) { writer_.write_update(update); }
-  void store_rib_entry(const Update& entry) { writer_.write_rib_entry(entry); }
+  void store(const Update& update) override { writer_.write_update(update); }
+  void store_rib_entry(const Update& entry) override {
+    writer_.write_rib_entry(entry);
+  }
   std::size_t stored() const noexcept { return writer_.record_count(); }
   const mrt::Writer& writer() const noexcept { return writer_; }
   bool save(const std::string& path) const { return writer_.save(path); }
@@ -231,6 +234,11 @@ class BgpDaemon {
     mirror_ = std::move(mirror);
   }
 
+  /// Second storage destination, written in addition to the MrtStore:
+  /// the collector points every daemon at its on-disk archive writer, so
+  /// acknowledged updates and RIB snapshots land in rotated segments.
+  void set_archive(mrt::Sink* archive) { archive_ = archive; }
+
   /// §8: "store either RIBs every eight hours or every update". Enables
   /// periodic RIB snapshots: the daemon tracks the session's table and
   /// tick() writes a TABLE_DUMP-style snapshot every `interval` seconds.
@@ -260,6 +268,7 @@ class BgpDaemon {
   Transport* transport_;
   const filt::FilterTable* filters_;
   MrtStore* store_;
+  mrt::Sink* archive_ = nullptr;
   std::unique_ptr<metrics::Registry> own_registry_;  // when none was supplied
   metrics::Registry* registry_;
   SessionCounters counters_;

@@ -38,6 +38,18 @@ enum class TableDumpSubtype : std::uint16_t {
   kRibGeneric = 6,
 };
 
+/// Abstract destination for archived records: the daemon's store stage
+/// writes through this, so an in-memory MrtStore and the on-disk archive
+/// (archive::SegmentWriter) are interchangeable — or stacked.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Records one BGP4MP update.
+  virtual void store(const Update& update) = 0;
+  /// Records one TABLE_DUMP_V2 RIB entry.
+  virtual void store_rib_entry(const Update& entry) = 0;
+};
+
 /// Serializes updates and RIB entries into one growing byte buffer.
 class Writer {
  public:
@@ -77,6 +89,10 @@ class Reader {
   std::optional<Record> next();
   bool ok() const noexcept { return ok_; }
   bool done() const noexcept { return offset_ >= data_.size(); }
+  /// Bytes consumed so far — always a record boundary, so after a failed
+  /// next() this is where a torn tail starts (the archive recovery scan
+  /// truncates here).
+  std::size_t offset() const noexcept { return offset_; }
 
  private:
   std::span<const std::uint8_t> data_;

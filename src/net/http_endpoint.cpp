@@ -28,10 +28,71 @@ std::string render(const HttpResponse& response) {
   out += status_text(response.status);
   out += "\r\nContent-Type: ";
   out += response.content_type;
+  if (response.producer) {
+    out += "\r\nTransfer-Encoding: chunked";
+    out += "\r\nConnection: close\r\n\r\n";
+    return out;  // chunks follow as the socket drains
+  }
   out += "\r\nContent-Length: ";
   out += std::to_string(response.body.size());
   out += "\r\nConnection: close\r\n\r\n";
   out += response.body;
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string url_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      const int hi = hex_digit(in[i + 1]);
+      const int lo = hex_digit(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += in[i] == '+' ? ' ' : in[i];
+  }
+  return out;
+}
+
+HttpRequest parse_target(std::string_view target) {
+  HttpRequest request;
+  const std::size_t question = target.find('?');
+  request.path = std::string(target.substr(0, question));
+  if (question == std::string_view::npos) return request;
+  std::string_view rest = target.substr(question + 1);
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair = rest.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (!pair.empty()) {
+      request.query[url_decode(pair.substr(0, eq))] =
+          eq == std::string_view::npos ? std::string()
+                                       : url_decode(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    rest = rest.substr(amp + 1);
+  }
+  return request;
+}
+
+std::string encode_chunk(const std::string& data) {
+  char size_line[32];
+  const int n =
+      std::snprintf(size_line, sizeof size_line, "%zx\r\n", data.size());
+  std::string out(size_line, static_cast<std::size_t>(n));
+  out += data;
+  out += "\r\n";
   return out;
 }
 
@@ -54,6 +115,11 @@ HttpEndpoint::HttpEndpoint(EventLoop& loop, metrics::Registry* registry)
 HttpEndpoint::~HttpEndpoint() { close(); }
 
 void HttpEndpoint::route(std::string path, Handler handler) {
+  routes_[std::move(path)] =
+      [handler = std::move(handler)](const HttpRequest&) { return handler(); };
+}
+
+void HttpEndpoint::route(std::string path, RouteHandler handler) {
   routes_[std::move(path)] = std::move(handler);
 }
 
@@ -66,9 +132,9 @@ void HttpEndpoint::serve_metrics(const metrics::Registry& registry) {
   });
 }
 
-bool HttpEndpoint::listen(const std::string& ipv4, std::uint16_t port) {
+bool HttpEndpoint::listen(const std::string& host, std::uint16_t port) {
   return listener_->listen(
-      ipv4, port, [this](int fd, std::string, std::uint16_t) { on_accept(fd); });
+      host, port, [this](int fd, std::string, std::uint16_t) { on_accept(fd); });
 }
 
 void HttpEndpoint::close() {
@@ -146,15 +212,15 @@ void HttpEndpoint::handle_request(Connection& connection) {
     response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
   } else {
     const std::string_view method = line.substr(0, method_end);
-    std::string_view target =
+    const std::string_view target =
         line.substr(method_end + 1, target_end - method_end - 1);
-    target = target.substr(0, target.find('?'));  // routes ignore queries
+    const HttpRequest parsed = parse_target(target);
     if (method != "GET") {
       bad_requests_.inc();
       response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
-    } else if (const auto it = routes_.find(std::string(target));
+    } else if (const auto it = routes_.find(parsed.path);
                it != routes_.end()) {
-      response = it->second();
+      response = it->second(parsed);
       requests_.inc();
     } else {
       bad_requests_.inc();
@@ -162,28 +228,47 @@ void HttpEndpoint::handle_request(Connection& connection) {
     }
   }
   connection.out = render(response);
+  connection.producer = std::move(response.producer);
   connection.responding = true;
 }
 
 void HttpEndpoint::flush(Connection& connection) {
   const int fd = connection.fd;
-  while (connection.out_offset < connection.out.size()) {
-    const ssize_t n = ::send(fd, connection.out.data() + connection.out_offset,
-                             connection.out.size() - connection.out_offset,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      connection.out_offset += static_cast<std::size_t>(n);
+  for (;;) {
+    while (connection.out_offset < connection.out.size()) {
+      const ssize_t n =
+          ::send(fd, connection.out.data() + connection.out_offset,
+                 connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        connection.out_offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        loop_->modify(fd, kReadable | kWritable);
+        return;  // EPOLLOUT resumes the flush
+      }
+      drop(fd);
+      return;
+    }
+    // Everything queued so far is on the wire. In chunked mode, pull the
+    // producer for the next chunk — one chunk in memory at a time.
+    if (connection.producer && !connection.final_chunk_queued) {
+      connection.out.clear();
+      connection.out_offset = 0;
+      std::string chunk;
+      const bool more = connection.producer(chunk);
+      if (more && !chunk.empty()) {
+        connection.out = encode_chunk(chunk);
+      } else {
+        connection.out = "0\r\n\r\n";  // terminating chunk
+        connection.final_chunk_queued = true;
+      }
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      loop_->modify(fd, kReadable | kWritable);
-      return;  // EPOLLOUT resumes the flush
-    }
-    drop(fd);
+    drop(fd);  // Connection: close — one response per connection
     return;
   }
-  drop(fd);  // Connection: close — one response per connection
 }
 
 void HttpEndpoint::drop(int fd) {

@@ -1,9 +1,15 @@
 // Minimal HTTP/1.1 server for the operator plane: GET /metrics (Prometheus
-// text exposition straight from a metrics::Registry) and GET /healthz
-// (JSON) — the scrape endpoint the ROADMAP deferred "once a network layer
-// exists". Deliberately tiny: GET only, no keep-alive (Connection: close),
-// 8 KiB request cap, one response per connection. A Prometheus scraper and
-// `curl` are the entire client population.
+// text exposition straight from a metrics::Registry), GET /healthz (JSON)
+// and the archive's data-retrieval routes (/data, /segments). Deliberately
+// tiny: GET only, no keep-alive (Connection: close), 8 KiB request cap,
+// one response per connection. A Prometheus scraper and `curl` are the
+// entire client population.
+//
+// Two response shapes exist. A plain response carries its whole body and
+// is sent with Content-Length. A *streaming* response sets `producer`: the
+// body is then sent with Transfer-Encoding: chunked, and the producer is
+// pulled for the next chunk only as the socket drains — a query over a
+// large archive never materializes in server memory.
 #pragma once
 
 #include <cstdint>
@@ -17,10 +23,30 @@
 
 namespace gill::net {
 
+/// One parsed GET request: the path and its percent-decoded query
+/// parameters (`/data?start=5&vp=2` -> path "/data", query {start: "5",
+/// vp: "2"}).
+struct HttpRequest {
+  std::string path;
+  std::map<std::string, std::string> query;
+
+  /// The parameter's value, or nullptr when absent.
+  const std::string* get(const std::string& key) const {
+    const auto it = query.find(key);
+    return it != query.end() ? &it->second : nullptr;
+  }
+};
+
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+
+  /// Streaming body: appends the next chunk to its argument and returns
+  /// true while more data may follow; false (or an empty append) ends the
+  /// stream. When set, `body` is ignored and the response is chunked.
+  using ChunkProducer = std::function<bool(std::string&)>;
+  ChunkProducer producer;
 };
 
 /// Prometheus exposition content type (text format v0.0.4).
@@ -30,6 +56,7 @@ inline constexpr const char* kPrometheusContentType =
 class HttpEndpoint {
  public:
   using Handler = std::function<HttpResponse()>;
+  using RouteHandler = std::function<HttpResponse(const HttpRequest&)>;
 
   explicit HttpEndpoint(EventLoop& loop,
                         metrics::Registry* registry = nullptr);
@@ -37,14 +64,19 @@ class HttpEndpoint {
   HttpEndpoint(const HttpEndpoint&) = delete;
   HttpEndpoint& operator=(const HttpEndpoint&) = delete;
 
-  /// Registers a GET route for an exact path (no patterns, no queries).
+  /// Registers a GET route for an exact path; queries are ignored.
   void route(std::string path, Handler handler);
+  /// Registers a GET route that sees the parsed request (query params) and
+  /// may answer with a streaming (chunked) response.
+  void route(std::string path, RouteHandler handler);
   /// Convenience: routes GET /metrics to `registry.expose_prometheus()`
   /// with the v0.0.4 content type. `registry` must outlive the endpoint.
   void serve_metrics(const metrics::Registry& registry);
 
-  /// Binds and starts serving. Port 0 picks an ephemeral port (see port()).
-  bool listen(const std::string& ipv4, std::uint16_t port);
+  /// Binds and starts serving. `host` may be an IPv4 literal, an IPv6
+  /// literal, or a bracketed IPv6 literal ("[::1]"). Port 0 picks an
+  /// ephemeral port (see port()).
+  bool listen(const std::string& host, std::uint16_t port);
   void close();
   bool listening() const noexcept;
   std::uint16_t port() const noexcept;
@@ -58,6 +90,8 @@ class HttpEndpoint {
     std::string out;
     std::size_t out_offset = 0;
     bool responding = false;
+    HttpResponse::ChunkProducer producer;  // chunked mode when set
+    bool final_chunk_queued = false;
   };
 
   void on_accept(int fd);
@@ -69,7 +103,7 @@ class HttpEndpoint {
   EventLoop* loop_;
   metrics::Registry& registry_;
   std::unique_ptr<class TcpListener> listener_;
-  std::map<std::string, Handler> routes_;
+  std::map<std::string, RouteHandler> routes_;
   std::map<int, Connection> connections_;
   metrics::Counter& requests_;
   metrics::Counter& bad_requests_;

@@ -17,17 +17,34 @@ metrics::Registry& resolve(metrics::Registry* registry) {
   return registry != nullptr ? *registry : metrics::default_registry();
 }
 
-bool fill_addr(const std::string& ipv4, std::uint16_t port,
-               sockaddr_in& addr) {
+/// Parses an IPv4 literal, an IPv6 literal, or a bracketed IPv6 literal
+/// ("[::1]") into a socket address. Returns the address length, 0 on a
+/// parse failure.
+socklen_t fill_addr(const std::string& host, std::uint16_t port,
+                    sockaddr_storage& addr) {
   addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  return inet_pton(AF_INET, ipv4.c_str(), &addr.sin_addr) == 1;
+  std::string bare = host;
+  if (bare.size() >= 2 && bare.front() == '[' && bare.back() == ']') {
+    bare = bare.substr(1, bare.size() - 2);
+  }
+  auto* v4 = reinterpret_cast<sockaddr_in*>(&addr);
+  if (inet_pton(AF_INET, bare.c_str(), &v4->sin_addr) == 1) {
+    v4->sin_family = AF_INET;
+    v4->sin_port = htons(port);
+    return sizeof(sockaddr_in);
+  }
+  auto* v6 = reinterpret_cast<sockaddr_in6*>(&addr);
+  if (inet_pton(AF_INET6, bare.c_str(), &v6->sin6_addr) == 1) {
+    v6->sin6_family = AF_INET6;
+    v6->sin6_port = htons(port);
+    return sizeof(sockaddr_in6);
+  }
+  return 0;
 }
 
-int make_tcp_socket() {
+int make_tcp_socket(int family) {
   const int fd =
-      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      ::socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd >= 0) {
     // BGP messages are small and latency-sensitive during the handshake;
     // the send path batches in the ByteQueue, so Nagle only adds delay.
@@ -35,6 +52,26 @@ int make_tcp_socket() {
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   }
   return fd;
+}
+
+/// Renders the peer of an accepted socket, whatever its family.
+std::string peer_ip(const sockaddr_storage& addr) {
+  char ip[INET6_ADDRSTRLEN] = "?";
+  if (addr.ss_family == AF_INET6) {
+    const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    inet_ntop(AF_INET6, &v6->sin6_addr, ip, sizeof ip);
+  } else {
+    const auto* v4 = reinterpret_cast<const sockaddr_in*>(&addr);
+    inet_ntop(AF_INET, &v4->sin_addr, ip, sizeof ip);
+  }
+  return ip;
+}
+
+std::uint16_t peer_port(const sockaddr_storage& addr) {
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
 }
 
 }  // namespace
@@ -62,18 +99,19 @@ TcpTransport::TcpTransport(EventLoop& loop, Role role,
 
 TcpTransport::~TcpTransport() { close_socket(/*and_endpoint=*/false); }
 
-bool TcpTransport::dial(const std::string& ipv4, std::uint16_t port) {
+bool TcpTransport::dial(const std::string& host, std::uint16_t port) {
   close_socket(/*and_endpoint=*/false);
-  sockaddr_in addr{};
-  if (!fill_addr(ipv4, port, addr)) return false;
-  fd_ = make_tcp_socket();
+  sockaddr_storage addr{};
+  const socklen_t addr_len = fill_addr(host, port, addr);
+  if (addr_len == 0) return false;
+  fd_ = make_tcp_socket(addr.ss_family);
   if (fd_ < 0) return false;
   can_redial_ = true;
-  redial_ip_ = ipv4;
+  redial_ip_ = host;
   redial_port_ = port;
   connect_done_ = false;
   const int rc =
-      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+      ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), addr_len);
   if (rc == 0) {
     connect_done_ = true;
     connects_.inc();
@@ -256,26 +294,34 @@ TcpListener::TcpListener(EventLoop& loop, metrics::Registry* registry)
 
 TcpListener::~TcpListener() { close(); }
 
-bool TcpListener::listen(const std::string& ipv4, std::uint16_t port,
+bool TcpListener::listen(const std::string& host, std::uint16_t port,
                          AcceptCallback on_accept, int backlog) {
   close();
-  sockaddr_in addr{};
-  if (!fill_addr(ipv4, port, addr)) return false;
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  sockaddr_storage addr{};
+  const socklen_t addr_len = fill_addr(host, port, addr);
+  if (addr_len == 0) return false;
+  fd_ = ::socket(addr.ss_family,
+                 SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return false;
   const int one = 1;
   setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-          0 ||
+  if (addr.ss_family == AF_INET6) {
+    // Dual-stack where the host allows it: an explicit v6 bind should not
+    // also claim the v4 port space decision — leave v6only off (default on
+    // Linux is configurable; pin it).
+    const int off = 0;
+    setsockopt(fd_, IPPROTO_IPV6, IPV6_V6ONLY, &off, sizeof off);
+  }
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), addr_len) != 0 ||
       ::listen(fd_, backlog) != 0) {
     ::close(fd_);
     fd_ = -1;
     return false;
   }
-  sockaddr_in bound{};
+  sockaddr_storage bound{};
   socklen_t len = sizeof bound;
   if (getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-    port_ = ntohs(bound.sin_port);
+    port_ = peer_port(bound);
   }
   on_accept_ = std::move(on_accept);
   loop_->add(fd_, kReadable, [this](std::uint32_t) { on_readable(); });
@@ -293,7 +339,7 @@ void TcpListener::close() {
 
 void TcpListener::on_readable() {
   for (;;) {
-    sockaddr_in peer{};
+    sockaddr_storage peer{};
     socklen_t len = sizeof peer;
     const int fd = ::accept4(fd_, reinterpret_cast<sockaddr*>(&peer), &len,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -303,10 +349,8 @@ void TcpListener::on_readable() {
       return;
     }
     accepts_.inc();
-    char ip[INET_ADDRSTRLEN] = "?";
-    inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
     if (on_accept_) {
-      on_accept_(fd, ip, ntohs(peer.sin_port));
+      on_accept_(fd, peer_ip(peer), peer_port(peer));
     } else {
       ::close(fd);
     }

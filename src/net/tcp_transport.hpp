@@ -55,11 +55,13 @@ class TcpTransport : public daemon::Transport {
                         metrics::Registry* registry = nullptr);
   ~TcpTransport() override;
 
-  /// Starts a non-blocking connect to `ipv4:port` (the handshake completes
+  /// Starts a non-blocking connect to `host:port` (the handshake completes
   /// on the loop; writes issued meanwhile are backlogged and flushed on
-  /// connect completion). Returns false when the socket cannot be created;
-  /// a refused/failed connect surfaces later as a disconnect.
-  bool dial(const std::string& ipv4, std::uint16_t port);
+  /// connect completion). `host` may be an IPv4 literal, an IPv6 literal,
+  /// or a bracketed IPv6 literal ("[::1]"). Returns false when the address
+  /// cannot be parsed or the socket cannot be created; a refused/failed
+  /// connect surfaces later as a disconnect.
+  bool dial(const std::string& host, std::uint16_t port);
 
   /// Takes ownership of an already-connected socket (listener accept).
   /// Adopted sessions cannot re-dial: the remote end re-establishes.
@@ -144,9 +146,12 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Binds `ipv4:port` (port 0 picks an ephemeral port, see port()) and
-  /// starts accepting. Returns false on bind/listen failure.
-  bool listen(const std::string& ipv4, std::uint16_t port,
+  /// Binds `host:port` (port 0 picks an ephemeral port, see port()) and
+  /// starts accepting. `host` may be an IPv4 literal, an IPv6 literal, or
+  /// a bracketed IPv6 literal ("[::1]"); v6 binds accept v4-mapped
+  /// connections too (IPV6_V6ONLY off). Returns false on bind/listen
+  /// failure.
+  bool listen(const std::string& host, std::uint16_t port,
               AcceptCallback on_accept, int backlog = 128);
   void close();
 

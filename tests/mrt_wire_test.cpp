@@ -85,6 +85,50 @@ TEST(Mrt, TruncatedBufferFailsCleanly) {
   EXPECT_FALSE(reader.ok());
 }
 
+TEST(Mrt, TruncationAtEveryByteBoundaryReadsThePrefixCleanly) {
+  // Fuzz-style sweep over the torn-tail space: a three-record stream cut at
+  // EVERY byte from the end of the second record to the end of the buffer.
+  // Whatever survives, the reader must hand back exactly the complete
+  // records, park offset() on the last complete boundary (the archive's
+  // recovery scan truncates there), and never over-read or throw.
+  mrt::Writer writer;
+  std::vector<Update> updates;
+  for (int i = 0; i < 3; ++i) {
+    Update u = sample_update();
+    u.time = 1000 + i;
+    u.vp = static_cast<bgp::VpId>(i);
+    u.prefix = i == 2 ? pfx("2001:db8::/48") : u.prefix;
+    updates.push_back(u);
+    writer.write_update(u);
+  }
+  const std::vector<std::uint8_t> full = writer.buffer();
+  mrt::Writer head;
+  head.write_update(updates[0]);
+  head.write_update(updates[1]);
+  const std::size_t tail_start = head.buffer().size();
+
+  for (std::size_t cut = tail_start; cut <= full.size(); ++cut) {
+    mrt::Reader reader(std::span<const std::uint8_t>(full).first(cut));
+    std::size_t decoded = 0;
+    while (auto record = reader.next()) {
+      ASSERT_LT(decoded, updates.size()) << "cut at " << cut;
+      EXPECT_EQ(record->update, updates[decoded]) << "cut at " << cut;
+      ++decoded;
+    }
+    if (cut == tail_start || cut == full.size()) {
+      // Cut on a record boundary: a clean, complete stream.
+      EXPECT_TRUE(reader.ok()) << "cut at " << cut;
+      EXPECT_EQ(decoded, cut == full.size() ? 3u : 2u) << "cut at " << cut;
+      EXPECT_EQ(reader.offset(), cut) << "cut at " << cut;
+    } else {
+      // Mid-record cut: the complete prefix decodes, the tail reports torn.
+      EXPECT_FALSE(reader.ok()) << "cut at " << cut;
+      EXPECT_EQ(decoded, 2u) << "cut at " << cut;
+      EXPECT_EQ(reader.offset(), tail_start) << "cut at " << cut;
+    }
+  }
+}
+
 TEST(Mrt, StreamRoundTripThroughMemory) {
   bgp::UpdateStream stream;
   for (int i = 0; i < 50; ++i) {

@@ -197,10 +197,11 @@ struct ServerHarness {
   std::vector<bgp::VpId> accepted;
 
   explicit ServerHarness(
-      std::function<void(collect::PlatformConfig&)> tweak = {})
+      std::function<void(collect::PlatformConfig&)> tweak = {},
+      const std::string& host = "127.0.0.1")
       : platform(make_config(std::move(tweak))) {
     EXPECT_TRUE(listener.listen(
-        "127.0.0.1", 0, [this](int fd, std::string, std::uint16_t) {
+        host, 0, [this](int fd, std::string, std::uint16_t) {
           auto transport =
               std::make_unique<TcpTransport>(loop, Role::kDaemonSide,
                                              &registry);
@@ -235,10 +236,11 @@ struct TcpFakePeer {
   TcpTransport transport;
   daemon::FakePeer peer;
 
-  TcpFakePeer(ServerHarness& server, bgp::AsNumber as)
+  TcpFakePeer(ServerHarness& server, bgp::AsNumber as,
+              const std::string& host = "127.0.0.1")
       : transport(server.loop, Role::kPeerSide, &server.registry),
         peer(as, transport) {
-    EXPECT_TRUE(transport.dial("127.0.0.1", server.listener.port()));
+    EXPECT_TRUE(transport.dial(host, server.listener.port()));
   }
 
   void pump() {
@@ -378,6 +380,124 @@ TEST(TcpSession, EightConcurrentPeersAllEstablishAndFeed) {
   for (int i = 0; i < 8; ++i)
     EXPECT_EQ(learned[static_cast<std::size_t>(i)],
               static_cast<bgp::AsNumber>(65100 + i));
+}
+
+TEST(TcpSession, Ipv6LoopbackHandshakeReachesEstablished) {
+  // The same collector accept path over AF_INET6: a bracketed bind
+  // ("[::1]") and a bare-literal dial ("::1") both parse.
+  ServerHarness server({}, "[::1]");
+  TcpFakePeer client(server, 65010, "::1");
+  const bool established = drive(
+      server.loop, 400,
+      [&] {
+        return server.accepted.size() == 1 &&
+               server.platform.daemon_of(server.accepted[0]).state() ==
+                   SessionState::kEstablished &&
+               client.peer.established();
+      },
+      [&] {
+        server.pump();
+        client.pump();
+      });
+  ASSERT_TRUE(established);
+  EXPECT_EQ(server.platform.daemon_of(server.accepted[0]).peer_as(), 65010u);
+  EXPECT_EQ(server.listener.accepted(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Outbound peerings (gill-collectord --dial): the collector initiates the
+// TCP connection and, unlike accepted sessions, re-dials after a teardown.
+// ---------------------------------------------------------------------------
+
+/// A scripted remote *router* that accepts inbound connections: each
+/// accepted socket becomes a kPeerSide transport driving a FakePeer — the
+/// far end of a --dial peering. A fresh FakePeer per connection mirrors a
+/// router restart (new TCP session, new handshake).
+struct FakeRouter {
+  EventLoop& loop;
+  metrics::Registry& registry;
+  bgp::AsNumber as;
+  TcpListener listener;
+  std::unique_ptr<TcpTransport> transport;
+  std::unique_ptr<daemon::FakePeer> peer;
+  std::size_t connections = 0;
+
+  FakeRouter(EventLoop& loop, metrics::Registry& registry, bgp::AsNumber as)
+      : loop(loop), registry(registry), as(as), listener(loop, &registry) {
+    EXPECT_TRUE(listener.listen(
+        "127.0.0.1", 0, [this](int fd, std::string, std::uint16_t) {
+          transport = std::make_unique<TcpTransport>(
+              this->loop, Role::kPeerSide, &this->registry);
+          transport->adopt(fd);
+          peer = std::make_unique<daemon::FakePeer>(this->as, *transport);
+          ++connections;
+        }));
+  }
+
+  void pump() {
+    if (peer) peer->poll();
+    if (transport) transport->sync();
+  }
+
+  /// The router dies: its side of the session closes (FIN to the dialer).
+  void restart() {
+    peer.reset();
+    transport.reset();  // closes the fd
+  }
+};
+
+TEST(TcpSession, DialOutEstablishesAndRedialsAfterRouterRestart) {
+  EventLoop loop;
+  metrics::Registry registry;
+  FakeRouter router(loop, registry, 65033);
+
+  collect::PlatformConfig config;
+  config.registry = &registry;
+  config.retry.base = 1;  // reconnect after one logical second
+  collect::Platform platform(config);
+  auto transport =
+      std::make_unique<TcpTransport>(loop, Role::kDaemonSide, &registry);
+  auto* raw = transport.get();
+  ASSERT_TRUE(raw->dial("127.0.0.1", router.listener.port()));
+  bgp::Timestamp now = kNow;
+  const bgp::VpId vp =
+      platform.add_dialed_peer(65033, now, std::move(transport));
+  // Unlike an accepted peer, the dialed session owns re-establishment.
+  EXPECT_TRUE(platform.daemon_of(vp).auto_reconnect());
+
+  const auto pump = [&] {
+    platform.step(now);
+    raw->sync();
+    router.pump();
+  };
+  ASSERT_TRUE(drive(
+      loop, 400,
+      [&] {
+        return platform.daemon_of(vp).state() == SessionState::kEstablished &&
+               router.peer && router.peer->established();
+      },
+      pump));
+  EXPECT_EQ(router.connections, 1u);
+
+  // The router restarts: our side observes the close and tears down...
+  router.restart();
+  ASSERT_TRUE(drive(
+      loop, 400,
+      [&] { return platform.daemon_of(vp).state() == SessionState::kIdle; },
+      pump));
+  // ...then the retry policy re-dials once the backoff elapses; the
+  // router's listener hands the fresh socket to a fresh FakePeer and the
+  // session re-establishes end to end.
+  ASSERT_TRUE(drive(
+      loop, 800,
+      [&] {
+        now += 1;  // logical clock: the backoff elapses as we pump
+        return platform.daemon_of(vp).state() == SessionState::kEstablished &&
+               router.peer && router.peer->established();
+      },
+      pump));
+  EXPECT_EQ(router.connections, 2u);
+  EXPECT_GE(platform.daemon_of(vp).stats().reconnects, 1u);
 }
 
 TEST(TcpSession, HalfCloseTearsTheSessionDown) {
@@ -561,6 +681,57 @@ TEST(Http, RoutesQueriesAndErrors) {
   EXPECT_TRUE(garbage.starts_with("HTTP/1.1 400 "));
   EXPECT_EQ(registry.counter_total("gill_net_http_bad_requests_total"), 3u);
   EXPECT_EQ(http.open_connections(), 0u);
+}
+
+TEST(Http, ChunkedStreamingResponsePullsTheProducerAsTheSocketDrains) {
+  EventLoop loop;
+  metrics::Registry registry;
+  HttpEndpoint http(loop, &registry);
+  int pulls = 0;
+  http.route("/stream", [&pulls](const HttpRequest& request) {
+    EXPECT_EQ(request.path, "/stream");
+    const std::string* count = request.get("chunks");
+    const int total = count ? std::stoi(*count) : 0;
+    HttpResponse response;
+    response.producer = [&pulls, total](std::string& out) {
+      if (pulls >= total) return false;
+      out += "chunk-" + std::to_string(pulls++) + ";";
+      return true;
+    };
+    return response;
+  });
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+  const std::string response = http_exchange(
+      loop, http.port(), "GET /stream?chunks=3 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(response.starts_with("HTTP/1.1 200 OK\r\n")) << response;
+  EXPECT_NE(response.find("Transfer-Encoding: chunked\r\n"),
+            std::string::npos);
+  EXPECT_EQ(response.find("Content-Length:"), std::string::npos);
+  // Each producer pull became one chunk; the stream ends with the
+  // zero-length terminator.
+  EXPECT_EQ(pulls, 3);
+  EXPECT_NE(response.find("chunk-0;"), std::string::npos);
+  EXPECT_NE(response.find("chunk-2;"), std::string::npos);
+  EXPECT_TRUE(response.ends_with("0\r\n\r\n")) << response;
+  EXPECT_EQ(http.open_connections(), 0u);
+}
+
+TEST(Http, QueryParametersArePercentDecoded) {
+  EventLoop loop;
+  metrics::Registry registry;
+  HttpEndpoint http(loop, &registry);
+  std::map<std::string, std::string> seen;
+  http.route("/q", [&seen](const HttpRequest& request) {
+    seen = request.query;
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+  http_exchange(loop, http.port(),
+                "GET /q?prefix=10.0.0.0%2F8&vp=7&flag HTTP/1.1\r\n"
+                "Host: t\r\n\r\n");
+  EXPECT_EQ(seen.at("prefix"), "10.0.0.0/8");
+  EXPECT_EQ(seen.at("vp"), "7");
+  EXPECT_EQ(seen.at("flag"), "");
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ class Args {
         } else {
           options_[key] = "1";  // boolean flag
         }
+        all_.emplace_back(key, options_[key]);
       } else {
         positionals_.push_back(arg);
       }
@@ -40,10 +41,20 @@ class Args {
                                                          nullptr, 10);
   }
   bool has(const std::string& key) const { return options_.contains(key); }
+  /// Every value of a repeatable option, in argv order (get() returns only
+  /// the last occurrence) — e.g. several --dial targets.
+  std::vector<std::string> get_all(const std::string& key) const {
+    std::vector<std::string> values;
+    for (const auto& [k, v] : all_) {
+      if (k == key) values.push_back(v);
+    }
+    return values;
+  }
   const std::vector<std::string>& positionals() const { return positionals_; }
 
  private:
   std::map<std::string, std::string> options_;
+  std::vector<std::pair<std::string, std::string>> all_;  // argv order
   std::vector<std::string> positionals_;
 };
 

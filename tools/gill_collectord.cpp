@@ -19,6 +19,8 @@
 #include <map>
 #include <memory>
 
+#include "archive/archive_reader.hpp"
+#include "archive/archive_writer.hpp"
 #include "cli_util.hpp"
 #include "collector/platform.hpp"
 #include "daemon/bmp_ingest.hpp"
@@ -36,16 +38,41 @@ constexpr const char* kUsage =
     "  --listen-port N        BGP listen port (default 1790; 179 needs root)\n"
     "  --bmp-port N           BMP listen port (default: disabled)\n"
     "  --http-port N          HTTP port for /metrics and /healthz (default 9179)\n"
-    "  --bind IP              bind address (default 0.0.0.0)\n"
+    "  --bind IP              bind address, IPv4 or IPv6 (default 0.0.0.0)\n"
+    "  --dial HOST:PORT:ASN   dial an outbound peering (repeatable; IPv6\n"
+    "                         hosts in brackets: [::1]:1790:65001)\n"
     "  --local-as N           our AS number (default 65000)\n"
     "  --max-peers N          refuse sessions beyond this (default 4096)\n"
     "  --tick-ms N            session tick interval (default 200)\n"
     "  --rib-dump-interval N  per-session RIB snapshot period, seconds (default off)\n"
     "  --analysis-threads N   worker pool for filter refreshes: -1 auto,\n"
     "                         0 synchronous on the loop thread (default -1)\n"
-    "  --archive PATH         save the MRT archive to PATH on shutdown\n"
+    "  --archive PATH         save the in-memory MRT archive to PATH on shutdown\n"
+    "  --archive-dir DIR      rotated on-disk segment store; serves GET /data\n"
+    "                         and GET /segments on the HTTP port\n"
+    "  --rotate-secs N        segment rotation boundary (default 900)\n"
+    "  --snapshot-secs N      RIB snapshot period into the segment store\n"
+    "                         (default: --rib-dump-interval)\n"
     "  --duration N           run N seconds then exit (default: until SIGINT)\n"
     "  --metrics <path|->     dump the Prometheus exposition at exit\n";
+
+/// Splits a --dial target HOST:PORT:ASN (host may be a bracketed IPv6
+/// literal, so parse from the right). Returns false on malformed input.
+bool parse_dial_target(const std::string& spec, std::string& host,
+                       std::uint16_t& port, gill::bgp::AsNumber& asn) {
+  const std::size_t asn_colon = spec.rfind(':');
+  if (asn_colon == std::string::npos || asn_colon == 0) return false;
+  const std::size_t port_colon = spec.rfind(':', asn_colon - 1);
+  if (port_colon == std::string::npos || port_colon == 0) return false;
+  host = spec.substr(0, port_colon);
+  const long port_value =
+      std::strtol(spec.c_str() + port_colon + 1, nullptr, 10);
+  const long asn_value = std::strtol(spec.c_str() + asn_colon + 1, nullptr, 10);
+  if (port_value <= 0 || port_value > 65535 || asn_value <= 0) return false;
+  port = static_cast<std::uint16_t>(port_value);
+  asn = static_cast<gill::bgp::AsNumber>(asn_value);
+  return !host.empty();
+}
 
 }  // namespace
 
@@ -67,6 +94,9 @@ int main(int argc, char** argv) {
   const long rib_dump_interval = args.get_int("rib-dump-interval", 0);
   const long analysis_threads = args.get_int("analysis-threads", -1);
   const long duration = args.get_int("duration", 0);
+  const std::string archive_dir = args.get("archive-dir", "");
+  const long rotate_secs = args.get_int("rotate-secs", 900);
+  const long snapshot_secs = args.get_int("snapshot-secs", rib_dump_interval);
 
   metrics::Registry& registry = metrics::default_registry();
   // Destruction order matters: the loop must outlive every fd owner below.
@@ -82,12 +112,42 @@ int main(int argc, char** argv) {
                            : static_cast<std::size_t>(analysis_threads);
   collect::Platform platform(config);
 
+  // The on-disk segment store (§8: "stores the collected BGP updates in a
+  // public database"). Disk I/O runs on a one-worker pool so the event
+  // loop never blocks in write()/fsync(); the writer serializes its jobs
+  // anyway, so one worker loses nothing.
+  std::unique_ptr<par::ThreadPool> archive_pool;
+  std::unique_ptr<archive::SegmentWriter> archive_writer;
+  if (!archive_dir.empty()) {
+    archive_pool = std::make_unique<par::ThreadPool>(1, &registry);
+    archive::SegmentWriterConfig archive_config;
+    archive_config.directory = archive_dir;
+    archive_config.rotate_secs = static_cast<bgp::Timestamp>(
+        rotate_secs > 0 ? rotate_secs : 900);
+    archive_config.pool = archive_pool.get();
+    archive_config.registry = &registry;
+    archive_writer =
+        std::make_unique<archive::SegmentWriter>(std::move(archive_config));
+    if (!archive_writer->open()) {
+      std::fprintf(stderr, "error: cannot open archive dir %s\n",
+                   archive_dir.c_str());
+      return 1;
+    }
+    platform.set_archive(archive_writer.get());
+  }
+
   // The platform owns the transports (as daemon::Transport); this index
   // keeps the TcpTransport view for per-step sync().
   std::map<bgp::VpId, net::TcpTransport*> transports;
   const auto now_seconds = [&loop] {
     return static_cast<bgp::Timestamp>(loop.now_ms() / 1000);
   };
+
+  // The per-session snapshot interval: --snapshot-secs routes RIB dumps
+  // into the segment store, --rib-dump-interval is the historical flag for
+  // the in-memory store; both feed the same daemon machinery.
+  const long effective_rib_interval =
+      snapshot_secs > 0 ? snapshot_secs : rib_dump_interval;
 
   net::TcpListener bgp_listener(loop, &registry);
   const bool bgp_ok = bgp_listener.listen(
@@ -104,9 +164,9 @@ int main(int argc, char** argv) {
         const bgp::VpId vp =
             platform.add_remote_peer(/*peer_as=*/0, now_seconds(),
                                      std::move(transport));
-        if (rib_dump_interval > 0) {
+        if (effective_rib_interval > 0) {
           platform.daemon_mut(vp).enable_rib_dumps(
-              static_cast<bgp::Timestamp>(rib_dump_interval));
+              static_cast<bgp::Timestamp>(effective_rib_interval));
         }
         transports[vp] = raw;
         std::fprintf(stderr, "[collectord] vp%u peering from %s:%u\n", vp,
@@ -116,6 +176,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot listen on %s:%u\n", bind_ip.c_str(),
                  listen_port);
     return 1;
+  }
+
+  // Outbound peerings (--dial): we initiate the TCP connection, so these
+  // sessions re-dial on teardown (retry policy armed, unlike accepted
+  // peers where the remote re-establishes).
+  for (const std::string& spec : args.get_all("dial")) {
+    std::string host;
+    std::uint16_t port = 0;
+    bgp::AsNumber asn = 0;
+    if (!parse_dial_target(spec, host, port, asn)) {
+      std::fprintf(stderr, "error: bad --dial target '%s' "
+                   "(want HOST:PORT:ASN)\n", spec.c_str());
+      return 1;
+    }
+    auto transport = std::make_unique<net::TcpTransport>(
+        loop, net::Role::kDaemonSide, &registry);
+    auto* raw = transport.get();
+    if (!raw->dial(host, port)) {
+      std::fprintf(stderr, "error: cannot dial %s\n", spec.c_str());
+      return 1;
+    }
+    const bgp::VpId vp =
+        platform.add_dialed_peer(asn, now_seconds(), std::move(transport));
+    if (effective_rib_interval > 0) {
+      platform.daemon_mut(vp).enable_rib_dumps(
+          static_cast<bgp::Timestamp>(effective_rib_interval));
+    }
+    transports[vp] = raw;
+    std::fprintf(stderr, "[collectord] vp%u dialing %s:%u (AS%u)\n", vp,
+                 host.c_str(), port, asn);
   }
 
   // BMP feeds are ingest-only byte streams (no session FSM): one decoder
@@ -166,6 +256,60 @@ int main(int argc, char** argv) {
     response.body = collect::to_json(platform.health_snapshot());
     return response;
   });
+  if (!archive_dir.empty()) {
+    // Data-retrieval plane (ISSUE: "serve the archive back out"): /data
+    // streams framed MRT chunked with bounded memory; /segments lists the
+    // manifest. Each request opens a fresh reader so it sees every segment
+    // sealed so far (and never touches the live writer's current.part).
+    http.route("/data", [&registry, archive_dir](
+                            const net::HttpRequest& request) {
+      archive::QueryOptions options;
+      if (const auto* start = request.get("start")) {
+        options.start = static_cast<bgp::Timestamp>(
+            std::strtoull(start->c_str(), nullptr, 10));
+      }
+      if (const auto* end = request.get("end")) {
+        options.end = static_cast<bgp::Timestamp>(
+            std::strtoull(end->c_str(), nullptr, 10));
+      }
+      if (const auto* vp = request.get("vp")) {
+        options.vp = static_cast<bgp::VpId>(
+            std::strtoul(vp->c_str(), nullptr, 10));
+      }
+      if (const auto* prefix = request.get("prefix")) {
+        const auto parsed = gill::net::Prefix::parse(*prefix);
+        if (!parsed) {
+          return net::HttpResponse{400, "text/plain; charset=utf-8",
+                                   "bad prefix\n", nullptr};
+        }
+        options.prefix = *parsed;
+      }
+      auto reader = std::make_shared<archive::ArchiveReader>(&registry);
+      if (!reader->open(archive_dir)) {
+        return net::HttpResponse{500, "text/plain; charset=utf-8",
+                                 "archive unavailable\n", nullptr};
+      }
+      auto cursor =
+          std::make_shared<archive::QueryCursor>(reader->query(options));
+      net::HttpResponse response;
+      response.content_type = "application/octet-stream";
+      response.producer = [reader, cursor](std::string& out) {
+        return cursor->next_chunk(out);
+      };
+      return response;
+    });
+    http.route("/segments", [&registry, archive_dir](const net::HttpRequest&) {
+      net::HttpResponse response;
+      archive::ArchiveReader reader(&registry);
+      if (!reader.open(archive_dir)) {
+        return net::HttpResponse{500, "text/plain; charset=utf-8",
+                                 "archive unavailable\n", nullptr};
+      }
+      response.content_type = "application/json";
+      response.body = reader.segments_json();
+      return response;
+    });
+  }
   if (!http.listen(bind_ip, http_port)) {
     std::fprintf(stderr, "error: cannot listen on %s:%u (HTTP)\n",
                  bind_ip.c_str(), http_port);
@@ -177,6 +321,7 @@ int main(int argc, char** argv) {
   loop.call_every(static_cast<std::uint64_t>(tick_ms), [&] {
     platform.step(now_seconds());
     for (auto& [vp, transport] : transports) transport->sync();
+    if (archive_writer) archive_writer->tick(now_seconds());
   });
   if (duration > 0) {
     loop.call_after(static_cast<std::uint64_t>(duration) * 1000,
@@ -209,6 +354,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot save archive to %s\n",
                    archive.c_str());
     }
+  }
+  // Drain every asynchronous producer BEFORE the final metrics dump: the
+  // archive writer's in-flight disk jobs and any filter refresh still on
+  // the analysis pool would otherwise mutate counters after (or while)
+  // the exposition is rendered — the dump must reflect the finished run.
+  platform.wait_for_refresh();
+  if (archive_writer) {
+    archive_writer->close();  // seal the active segment + wait for I/O
+    std::fprintf(stderr, "[collectord] archive: %llu segments sealed in %s\n",
+                 static_cast<unsigned long long>(
+                     archive_writer->segments_sealed()),
+                 archive_dir.c_str());
   }
   if (args.has("metrics") && !cli::dump_metrics(args.get("metrics", "-"))) {
     return 1;

@@ -1,0 +1,173 @@
+// Overload-control acceptance bench (DESIGN.md §11): a 10x ingest spike
+// fired at a stalled collector session. The inbound queue must be bounded
+// by the configured high watermark (plus at most one 16 KiB read chunk) —
+// backpressure sheds load in *time*, never in data: once the session layer
+// resumes, every update of the spike is delivered. Emits
+// BENCH_overload.json; the watermark bound is enforced even without
+// --strict (it is the correctness claim, not a speed floor).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "daemon/daemon.hpp"
+#include "net/event_loop.hpp"
+#include "net/overload.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace {
+
+using namespace gill;
+
+constexpr std::size_t kHighWatermark = 64 * 1024;
+constexpr std::size_t kReadChunk = 16384;  // TcpTransport's read size
+constexpr std::uint64_t kBaselineUpdates = 4000;
+constexpr std::uint64_t kSpikeUpdates = 10 * kBaselineUpdates;
+
+std::string json_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+  }
+  (void)strict;  // the memory bound below is always enforced
+  bench::header("Overload control: 10x ingest spike vs queue watermark",
+                "§11 watermark backpressure on a stalled session");
+
+  net::EventLoop loop;
+  metrics::Registry registry;
+  std::unique_ptr<net::TcpTransport> server;
+  std::unique_ptr<daemon::BgpDaemon> bgp_daemon;
+  net::TcpListener listener(loop, &registry);
+  if (!listener.listen("127.0.0.1", 0,
+                       [&](int fd, std::string, std::uint16_t) {
+                         server = std::make_unique<net::TcpTransport>(
+                             loop, net::Role::kDaemonSide, &registry);
+                         net::IngestLimits limits;
+                         limits.queue_high_watermark = kHighWatermark;
+                         server->set_ingest_limits(limits);
+                         server->adopt(fd);
+                         bgp_daemon = std::make_unique<daemon::BgpDaemon>(
+                             1, 65000, *server, nullptr, nullptr, &registry);
+                         bgp_daemon->start(1);
+                       })) {
+    std::fprintf(stderr, "error: cannot bind a loopback listener\n");
+    return 1;
+  }
+  net::TcpTransport client(loop, net::Role::kPeerSide, &registry);
+  if (!client.dial("127.0.0.1", listener.port())) {
+    std::fprintf(stderr, "error: cannot dial the loopback listener\n");
+    return 1;
+  }
+  daemon::FakePeer peer(65010, client);
+
+  const auto pump = [&](bool daemon_alive) {
+    loop.run_once(1);
+    if (daemon_alive && bgp_daemon) bgp_daemon->poll(1);
+    peer.poll();
+    client.sync();
+    if (server) server->sync();
+  };
+
+  for (int i = 0; i < 5000; ++i) {
+    if (bgp_daemon &&
+        bgp_daemon->state() == daemon::SessionState::kEstablished &&
+        peer.established()) {
+      break;
+    }
+    pump(true);
+  }
+  if (!bgp_daemon ||
+      bgp_daemon->state() != daemon::SessionState::kEstablished) {
+    std::fprintf(stderr, "error: session never established over loopback\n");
+    return 1;
+  }
+
+  // The spike: 10x a normal burst, fired while the session layer is
+  // stalled (the daemon never polls) — the worst case for queue growth.
+  const bench::Stopwatch watch;
+  peer.send_synthetic_burst(kSpikeUpdates, 10u << 24);
+  std::size_t max_queue = 0;
+  for (int i = 0; i < 3000; ++i) {
+    pump(false);
+    max_queue = std::max(max_queue, server->inbound_queue_bytes());
+  }
+  const std::uint64_t pauses =
+      registry.counter_total("gill_overload_read_pauses_total");
+
+  // Service resumes: drain the whole spike through the daemon.
+  std::uint64_t guard = 0;
+  while (bgp_daemon->stats().updates_received < kSpikeUpdates &&
+         ++guard < 3000000) {
+    pump(true);
+    max_queue = std::max(max_queue, server->inbound_queue_bytes());
+  }
+  const double seconds = watch.seconds();
+  const std::uint64_t received = bgp_daemon->stats().updates_received;
+  const double msgs_per_sec = static_cast<double>(received) / seconds;
+
+  bench::row({"metric", "value"}, 28);
+  bench::row({"spike_updates", bench::num(static_cast<double>(kSpikeUpdates),
+                                          0)},
+             28);
+  bench::row({"updates_delivered",
+              bench::num(static_cast<double>(received), 0)},
+             28);
+  bench::row({"queue_high_watermark",
+              bench::num(static_cast<double>(kHighWatermark), 0)},
+             28);
+  bench::row({"max_queue_bytes",
+              bench::num(static_cast<double>(max_queue), 0)},
+             28);
+  bench::row({"read_pauses", bench::num(static_cast<double>(pauses), 0)}, 28);
+  bench::row({"elapsed_s", bench::num(seconds, 3)}, 28);
+  bench::row({"msgs_per_sec", bench::num(msgs_per_sec, 0)}, 28);
+
+  std::string json = "{\"bench\":\"overload\",";
+  json += "\"spike_updates\":" + std::to_string(kSpikeUpdates) + ",";
+  json += "\"updates_delivered\":" + std::to_string(received) + ",";
+  json += "\"queue_high_watermark\":" + std::to_string(kHighWatermark) + ",";
+  json += "\"max_queue_bytes\":" + std::to_string(max_queue) + ",";
+  json += "\"queue_bound_bytes\":" +
+          std::to_string(kHighWatermark + kReadChunk) + ",";
+  json += "\"read_pauses\":" + std::to_string(pauses) + ",";
+  json += "\"elapsed_s\":" + json_number(seconds) + ",";
+  json += "\"msgs_per_sec\":" + json_number(msgs_per_sec) + "}\n";
+  std::FILE* out = std::fopen("BENCH_overload.json", "w");
+  if (out != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    bench::note("wrote BENCH_overload.json");
+  } else {
+    std::fprintf(stderr, "error: cannot write BENCH_overload.json\n");
+    return 1;
+  }
+
+  if (max_queue > kHighWatermark + kReadChunk) {
+    std::fprintf(stderr,
+                 "FAIL: queue peaked at %zu bytes, above the %zu bound\n",
+                 max_queue, kHighWatermark + kReadChunk);
+    return 1;
+  }
+  if (pauses == 0) {
+    std::fprintf(stderr, "FAIL: the spike never tripped a read pause\n");
+    return 1;
+  }
+  if (received < kSpikeUpdates) {
+    std::fprintf(stderr, "FAIL: only %llu of %llu updates arrived\n",
+                 static_cast<unsigned long long>(received),
+                 static_cast<unsigned long long>(kSpikeUpdates));
+    return 1;
+  }
+  return 0;
+}

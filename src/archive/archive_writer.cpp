@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <filesystem>
 #include <utility>
 
@@ -38,6 +39,12 @@ SegmentWriter::Instruments::Instruments(metrics::Registry& registry)
       truncated_bytes(registry.counter(
           "gill_archive_truncated_bytes_total",
           "Torn tail bytes discarded by the recovery scan")),
+      enospc_events(registry.counter(
+          "gill_archive_enospc_events_total",
+          "Appends dropped because the disk was full (writer stays alive)")),
+      enospc_dropped_bytes(registry.counter(
+          "gill_archive_enospc_dropped_bytes_total",
+          "Payload bytes dropped by ENOSPC degradation")),
       rotate_us(registry.histogram(
           "gill_archive_rotate_us",
           "Microseconds to seal a segment (tail write, footer, fsync, "
@@ -188,12 +195,37 @@ void SegmentWriter::do_append(std::vector<std::uint8_t> bytes) {
     // The injected crash: a torn write with no fsync, then silence.
     limit = std::min(limit, torn_write_bytes_);
   }
+  if (enospc_fault_armed_) {
+    enospc_fault_armed_ = false;
+    errno = ENOSPC;
+    ++enospc_events_;
+    instruments_.enospc_events.inc();
+    instruments_.enospc_dropped_bytes.inc(bytes.size());
+    std::fprintf(stderr,
+                 "gill-archive: ENOSPC on %s, dropped %zu bytes "
+                 "(collection continues)\n",
+                 active_path().c_str(), bytes.size());
+    return;
+  }
   std::size_t written = 0;
   while (written < limit) {
     const ssize_t n =
         ::write(active_fd_, bytes.data() + written, limit - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOSPC) {
+        // Full disk is an operational condition, not a bug: drop the rest
+        // of this chunk, count and log it, and keep the writer alive so
+        // collection resumes the moment the operator frees space.
+        ++enospc_events_;
+        instruments_.enospc_events.inc();
+        instruments_.enospc_dropped_bytes.inc(limit - written);
+        std::fprintf(stderr,
+                     "gill-archive: ENOSPC on %s, dropped %zu bytes "
+                     "(collection continues)\n",
+                     active_path().c_str(), limit - written);
+        break;
+      }
       dead_ = true;
       return;
     }
@@ -223,6 +255,12 @@ void SegmentWriter::do_seal(std::vector<std::uint8_t> tail, SegmentMeta meta) {
       return;
     }
   }
+  // The footer must describe what is actually on disk: after an ENOSPC
+  // drop the file is shorter than the buffered payload, and a footer
+  // claiming the buffered size would fail read_footer's consistency check
+  // (turning a counted degradation into a silently unreadable segment).
+  const off_t on_disk = ::lseek(active_fd_, 0, SEEK_END);
+  if (on_disk >= 0) meta.payload_bytes = static_cast<std::uint64_t>(on_disk);
   std::vector<std::uint8_t> footer;
   append_footer(footer, meta);
   std::size_t written = 0;
@@ -247,6 +285,15 @@ void SegmentWriter::do_seal(std::vector<std::uint8_t> tail, SegmentMeta meta) {
   if (::rename(active_path().c_str(), sealed_path.c_str()) != 0) {
     dead_ = true;
     return;
+  }
+  // The rename is durable only once the directory entry itself is on disk
+  // (write_file_atomic fsyncs the directory for the manifest; the sealed
+  // segment's new name needs the same).
+  const int dir_fd = ::open(config_.directory.c_str(),
+                            O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   sealed_.push_back(std::move(meta));
   ++sealed_count_;
@@ -298,6 +345,16 @@ void SegmentWriter::fault_torn_write(std::size_t bytes) {
   std::lock_guard lock(mutex_);
   fault_armed_ = true;
   torn_write_bytes_ = bytes;
+}
+
+void SegmentWriter::fault_enospc() {
+  std::lock_guard lock(mutex_);
+  enospc_fault_armed_ = true;
+}
+
+std::uint64_t SegmentWriter::enospc_events() const {
+  std::lock_guard lock(mutex_);
+  return enospc_events_;
 }
 
 }  // namespace gill::archive

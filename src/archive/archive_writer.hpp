@@ -84,13 +84,23 @@ class SegmentWriter : public mrt::Sink {
   std::uint64_t segments_sealed() const;
   std::uint64_t records_appended() const noexcept { return records_appended_; }
   /// True once an I/O failure (or the torn-write fault) killed the writer.
+  /// A full disk (ENOSPC) does NOT kill the writer: the chunk is dropped,
+  /// counted and logged, and appends resume if space comes back.
   bool failed() const;
+
+  /// Appends dropped because the disk was full (see failed()).
+  std::uint64_t enospc_events() const;
 
   /// Test/fault hook — simulates a crash mid-write: the next scheduled
   /// append writes only the first `bytes` bytes of its chunk to the active
   /// file, skips the fsync, and permanently disables the writer (every
   /// later job is a no-op), exactly as if the process died inside write().
   void fault_torn_write(std::size_t bytes);
+
+  /// Test/fault hook — the next scheduled append fails with ENOSPC: its
+  /// chunk is dropped and counted but the writer stays alive (degradation,
+  /// not failure — collection continues when the operator frees space).
+  void fault_enospc();
 
  private:
   struct Instruments {
@@ -100,6 +110,8 @@ class SegmentWriter : public mrt::Sink {
     metrics::Counter& records_appended;
     metrics::Counter& recovered_segments;
     metrics::Counter& truncated_bytes;
+    metrics::Counter& enospc_events;
+    metrics::Counter& enospc_dropped_bytes;
     metrics::Histogram& rotate_us;
     metrics::Histogram& fsync_us;
   };
@@ -134,6 +146,8 @@ class SegmentWriter : public mrt::Sink {
   bool dead_ = false;             // torn-write fault tripped or I/O failure
   std::size_t torn_write_bytes_ = SIZE_MAX;  // SIZE_MAX = fault unarmed
   bool fault_armed_ = false;
+  bool enospc_fault_armed_ = false;
+  std::uint64_t enospc_events_ = 0;
   int active_fd_ = -1;            // open fd of current.part (job thread)
   std::vector<SegmentMeta> sealed_;  // manifest mirror
   std::uint64_t sealed_count_ = 0;

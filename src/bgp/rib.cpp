@@ -1,5 +1,7 @@
 #include "bgp/rib.hpp"
 
+#include <algorithm>
+
 namespace gill::bgp {
 
 void Rib::apply(const Update& update) {
@@ -29,6 +31,37 @@ UpdateStream Rib::dump(VpId vp, Timestamp time) const {
   }
   out.sort();
   return out;
+}
+
+void Rib::mark_all_stale() {
+  for (auto& [prefix, route] : routes_) route.stale = true;
+}
+
+bool Rib::refresh(const net::Prefix& prefix) {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return false;
+  it->second.stale = false;
+  return true;
+}
+
+std::vector<net::Prefix> Rib::sweep_stale() {
+  std::vector<net::Prefix> swept;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second.stale) {
+      swept.push_back(it->first);
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(swept.begin(), swept.end());
+  return swept;
+}
+
+std::size_t Rib::stale_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [prefix, route] : routes_) n += route.stale ? 1 : 0;
+  return n;
 }
 
 void RibSet::apply(const UpdateStream& stream) {

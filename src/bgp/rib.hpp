@@ -16,6 +16,9 @@ struct Route {
   AsPath path;
   CommunitySet communities;
   Timestamp installed = 0;
+  /// RFC 4724 helper mode: the peer restarted and this entry has not yet
+  /// been re-advertised. Swept at End-of-RIB or on restart-timer expiry.
+  bool stale = false;
 
   friend bool operator==(const Route&, const Route&) noexcept = default;
 };
@@ -39,6 +42,19 @@ class Rib {
   /// Emits the RIB as a list of announcement updates stamped `time`
   /// (a TABLE_DUMP-style snapshot for VP `vp`).
   UpdateStream dump(VpId vp, Timestamp time) const;
+
+  /// RFC 4724 helper mode: marks every entry stale when the peer's session
+  /// drops. A subsequent apply() of an announcement replaces the entry with
+  /// a fresh (non-stale) route.
+  void mark_all_stale();
+  /// Clears the stale bit on `prefix` without touching the route (used when
+  /// a re-advertisement is byte-identical to the retained entry). Returns
+  /// false when the prefix is not present.
+  bool refresh(const net::Prefix& prefix);
+  /// Erases every entry still stale and returns their prefixes (sorted, so
+  /// the synthetic withdrawals the caller emits are deterministic).
+  std::vector<net::Prefix> sweep_stale();
+  std::size_t stale_count() const noexcept;
 
  private:
   std::unordered_map<net::Prefix, Route, net::PrefixHash> routes_;

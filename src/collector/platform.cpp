@@ -1,7 +1,10 @@
 #include "collector/platform.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <unordered_set>
 
@@ -14,9 +17,25 @@ std::string_view to_string(PeerStatus status) noexcept {
     case PeerStatus::kHealthy: return "healthy";
     case PeerStatus::kBackoff: return "backoff";
     case PeerStatus::kQuarantined: return "quarantined";
+    case PeerStatus::kShed: return "shed";
   }
   return "?";
 }
+
+namespace {
+/// Default memory probe: resident set size in bytes, via /proc/self/statm.
+std::size_t process_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long total = 0;
+  unsigned long resident = 0;
+  const int fields = std::fscanf(f, "%lu %lu", &total, &resident);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+}
+}  // namespace
 
 Platform::PlatformCounters::PlatformCounters(metrics::Registry& registry)
     : mirrored_updates(registry.counter(
@@ -43,11 +62,29 @@ Platform::PlatformCounters::PlatformCounters(metrics::Registry& registry)
       score_cache_misses(registry.counter(
           "gill_collector_score_cache_misses_total",
           "Pairwise VP scores recomputed (cache miss or stale epoch)")),
+      sheds(registry.counter(
+          "gill_overload_sheds_total",
+          "Peers frozen by the memory-watermark degraded mode")),
+      readmits(registry.counter(
+          "gill_overload_readmits_total",
+          "Shed peers re-admitted after memory recovered")),
+      refreshes_deferred(registry.counter(
+          "gill_overload_refreshes_deferred_total",
+          "Periodic filter refreshes skipped while degraded")),
       peers(registry.gauge("gill_collector_peers",
                            "Peering sessions managed by the platform")),
       quarantined_peers(registry.gauge(
           "gill_collector_quarantined_peers",
           "Peers currently frozen by the quarantine policy")),
+      degraded(registry.gauge(
+          "gill_overload_degraded",
+          "1 while the memory watermark holds the platform degraded")),
+      memory_bytes(registry.gauge(
+          "gill_overload_memory_bytes",
+          "Last memory-probe reading (process RSS by default)")),
+      shed_peers(registry.gauge(
+          "gill_overload_shed_peers",
+          "Peers currently frozen by overload shedding")),
       filter_refresh_duration_us(registry.histogram(
           "gill_collector_filter_refresh_duration_us",
           "Wall-clock microseconds per refresh_filters run")),
@@ -117,9 +154,10 @@ VpId Platform::add_peer_internal(
   peer.transport = std::move(transport);
   peer.daemon = std::make_unique<daemon::BgpDaemon>(
       vp, config_.local_as, *peer.transport, &filters_, &store_, registry_);
+  peer.daemon->set_graceful_restart(config_.gr);
   if (archive_ != nullptr) peer.daemon->set_archive(archive_);
   peer.daemon->set_mirror([this, vp](const bgp::Update& update) {
-    if (quarantined(vp)) return;  // a degraded feed must not poison sampling
+    if (excluded(vp)) return;  // a degraded feed must not poison sampling
     mirror_.push(update);
     counters_.mirrored_updates.inc();
     forward(update);  // §14 custom services run before any discarding
@@ -144,8 +182,12 @@ void Platform::step(Timestamp now) {
   // Install any refresh job that finished since the last tick before the
   // sessions run: this tick's updates then hit the freshest filters.
   poll_refresh_jobs(/*block=*/false);
+  update_overload(now);
   for (auto& [vp, peer] : peers_) {
     auto& health = peer.health;
+    if (health.status == PeerStatus::kShed) {
+      continue;  // frozen by overload shedding: no reads, no reconnects
+    }
     if (health.status == PeerStatus::kQuarantined) {
       if (config_.health.quarantine_duration > 0 &&
           now - health.quarantined_at >= config_.health.quarantine_duration) {
@@ -166,8 +208,90 @@ void Platform::step(Timestamp now) {
   if (refresh_jobs_.empty() &&
       now - last_component1_ >= config_.component1_refresh &&
       !mirror_.empty()) {
-    refresh_filters(now);
+    if (degraded_) {
+      // Degraded mode: the pipeline rerun is the most expensive thing the
+      // platform does — defer it; the mirror keeps accumulating.
+      counters_.refreshes_deferred.inc();
+    } else {
+      refresh_filters(now);
+    }
   }
+}
+
+void Platform::update_overload(Timestamp now) {
+  (void)now;
+  const auto& policy = config_.overload;
+  if (policy.mem_high_watermark == 0) return;
+  const std::size_t used =
+      policy.memory_probe ? policy.memory_probe() : process_rss_bytes();
+  counters_.memory_bytes.set(static_cast<double>(used));
+  const std::size_t low = policy.mem_low_watermark > 0
+                              ? policy.mem_low_watermark
+                              : policy.mem_high_watermark / 8 * 7;
+  if (!degraded_ && used >= policy.mem_high_watermark) enter_degraded();
+  if (degraded_ && used >= policy.mem_high_watermark) {
+    shed_peers(policy.shed_per_step);
+  }
+  if (degraded_ && used <= low) exit_degraded();
+}
+
+void Platform::enter_degraded() {
+  degraded_ = true;
+  counters_.degraded.set(1);
+  for (auto& [vp, peer] : peers_) peer.daemon->set_defer_rib_dumps(true);
+}
+
+void Platform::exit_degraded() {
+  degraded_ = false;
+  counters_.degraded.set(0);
+  for (auto& [vp, peer] : peers_) {
+    peer.daemon->set_defer_rib_dumps(false);
+    if (peer.health.status == PeerStatus::kShed) {
+      // Re-admit: the session is still down (we stopped driving it); the
+      // normal backoff/reconnect machinery takes over next step.
+      peer.health.status = PeerStatus::kBackoff;
+      peer.last_state = peer.daemon->state();
+      counters_.readmits.inc();
+      counters_.shed_peers.sub(1.0);
+    }
+  }
+}
+
+void Platform::shed_peers(std::size_t count) {
+  const std::size_t cap = static_cast<std::size_t>(
+      config_.overload.max_shed_fraction * static_cast<double>(peers_.size()));
+  const std::unordered_set<VpId> anchor_set(anchors_.begin(), anchors_.end());
+  for (std::size_t n = 0; n < count; ++n) {
+    if (shed_count() >= cap) return;
+    // Shed the lowest-volume feed first: losing it costs the least data,
+    // mirroring the VP ranking the sampling pipeline already encodes.
+    Peer* victim = nullptr;
+    std::size_t victim_updates = 0;
+    for (auto& [vp, peer] : peers_) {
+      if (peer.health.status != PeerStatus::kHealthy &&
+          peer.health.status != PeerStatus::kBackoff) {
+        continue;
+      }
+      if (anchor_set.contains(vp)) continue;  // anchors are always stored
+      const std::size_t updates = peer.daemon->stats().updates_received;
+      if (victim == nullptr || updates < victim_updates) {
+        victim = &peer;
+        victim_updates = updates;
+      }
+    }
+    if (victim == nullptr) return;
+    victim->health.status = PeerStatus::kShed;
+    counters_.sheds.inc();
+    counters_.shed_peers.add(1.0);
+  }
+}
+
+std::size_t Platform::shed_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [vp, peer] : peers_) {
+    if (peer.health.status == PeerStatus::kShed) ++n;
+  }
+  return n;
 }
 
 void Platform::observe_health(Peer& peer, Timestamp now) {
@@ -219,6 +343,7 @@ HealthSnapshot Platform::health_snapshot() const {
     entry.flaps = peer.health.flaps;
     entry.recent_flaps = peer.health.recent_flaps.size();
     entry.quarantines = peer.health.quarantines;
+    if (entry.status == PeerStatus::kShed) ++snapshot.shed;
     if (entry.status == PeerStatus::kQuarantined) {
       ++snapshot.quarantined;
       entry.quarantined_at = peer.health.quarantined_at;
@@ -235,7 +360,9 @@ HealthSnapshot Platform::health_snapshot() const {
 std::string format(const HealthSnapshot& snapshot) {
   std::ostringstream out;
   out << "# GILL peer health (" << snapshot.peers.size() << " peers, "
-      << snapshot.quarantined << " quarantined)\n";
+      << snapshot.quarantined << " quarantined";
+  if (snapshot.shed > 0) out << ", " << snapshot.shed << " shed";
+  out << ")\n";
   for (const auto& peer : snapshot.peers) {
     out << "vp" << peer.vp << " as" << peer.as << ' '
         << to_string(peer.status) << ' ' << daemon::to_string(peer.session)
@@ -275,6 +402,7 @@ std::string to_json(const HealthSnapshot& snapshot) {
   feed::JsonObject root;
   root["peers"] = static_cast<std::int64_t>(snapshot.peers.size());
   root["quarantined"] = static_cast<std::int64_t>(snapshot.quarantined);
+  root["shed"] = static_cast<std::int64_t>(snapshot.shed);
   root["sessions"] = std::move(sessions);
   return feed::Json(std::move(root)).dump();
 }

@@ -37,6 +37,26 @@ struct HealthPolicy {
   Timestamp quarantine_duration = 0;
 };
 
+/// Process-wide overload policy (DESIGN.md §11). When the memory probe
+/// reads above `mem_high_watermark` bytes the platform enters a degraded
+/// mode: filter refreshes and periodic RIB snapshots are deferred, and the
+/// lowest-volume non-anchor peers are shed (frozen, like quarantine but
+/// load-driven) a few per step. Everything is re-admitted once the probe
+/// drops below `mem_low_watermark`.
+struct OverloadPolicy {
+  /// Bytes of process memory that trigger degraded mode; 0 disables.
+  std::size_t mem_high_watermark = 0;
+  /// Recovery threshold; defaults to 7/8 of the high watermark when 0.
+  std::size_t mem_low_watermark = 0;
+  /// Peers shed per step while memory stays above the high watermark.
+  std::size_t shed_per_step = 1;
+  /// Never shed more than this fraction of the peer set.
+  double max_shed_fraction = 0.5;
+  /// Memory probe (bytes). Defaults to the process RSS (/proc/self/statm);
+  /// tests inject a deterministic source.
+  std::function<std::size_t()> memory_probe;
+};
+
 struct PlatformConfig {
   /// Component #1 refresh period (16 days in the paper, §7).
   Timestamp component1_refresh = 16 * 86400;
@@ -49,6 +69,11 @@ struct PlatformConfig {
   daemon::RetryPolicy retry;
   bool auto_reconnect = true;
   HealthPolicy health;
+  /// RFC 4724 graceful-restart policy applied to every session's daemon.
+  /// Negotiation still requires the peer to advertise the capability, so
+  /// plain peers keep the historical purge-and-replay behavior.
+  daemon::GracefulRestartConfig gr;
+  OverloadPolicy overload;
   /// Registry hosting the platform's and every session's metrics; when
   /// null the platform owns a private one (see Platform::metrics()).
   metrics::Registry* registry = nullptr;
@@ -70,6 +95,7 @@ enum class PeerStatus : std::uint8_t {
   kHealthy,      // session up
   kBackoff,      // torn down, waiting out the reconnect backoff
   kQuarantined,  // flapped too often: frozen and excluded from sampling
+  kShed,         // frozen by overload degraded mode; re-admitted on recovery
 };
 
 std::string_view to_string(PeerStatus status) noexcept;
@@ -103,6 +129,7 @@ struct PeerHealthEntry {
 /// deadlines; rendering is a separate concern (see format()).
 struct HealthSnapshot {
   std::size_t quarantined = 0;
+  std::size_t shed = 0;  // frozen by overload degraded mode
   std::vector<PeerHealthEntry> peers;  // ordered by VP id
 };
 
@@ -173,6 +200,9 @@ class Platform {
   /// Per-peer session health (flap counters and quarantine state).
   const PeerHealth& health(VpId vp) const { return peers_.at(vp).health; }
   std::size_t quarantined_count() const noexcept;
+  /// Overload degraded mode (memory watermark, DESIGN.md §11).
+  bool degraded() const noexcept { return degraded_; }
+  std::size_t shed_count() const noexcept;
   /// Structured per-peer health: status, session state, flap counters and
   /// quarantine deadlines. Render with format(snapshot) for the operator
   /// report or to_json(snapshot) for the HTTP /healthz payload.
@@ -259,8 +289,14 @@ class Platform {
     metrics::Counter& quarantines;
     metrics::Counter& score_cache_hits;
     metrics::Counter& score_cache_misses;
+    metrics::Counter& sheds;
+    metrics::Counter& readmits;
+    metrics::Counter& refreshes_deferred;
     metrics::Gauge& peers;
     metrics::Gauge& quarantined_peers;
+    metrics::Gauge& degraded;
+    metrics::Gauge& memory_bytes;
+    metrics::Gauge& shed_peers;
     metrics::Histogram& filter_refresh_duration_us;
     metrics::Histogram& filter_refresh_queue_us;
     metrics::Histogram& filter_refresh_compute_us;
@@ -301,11 +337,20 @@ class Platform {
   /// Detects session flaps (non-Idle -> Idle transitions) and applies the
   /// quarantine policy.
   void observe_health(Peer& peer, Timestamp now);
-  bool quarantined(VpId vp) const {
+  /// True when `vp`'s mirror data must not reach the sampling buffer
+  /// (quarantined or shed).
+  bool excluded(VpId vp) const {
     auto it = peers_.find(vp);
     return it != peers_.end() &&
-           it->second.health.status == PeerStatus::kQuarantined;
+           (it->second.health.status == PeerStatus::kQuarantined ||
+            it->second.health.status == PeerStatus::kShed);
   }
+  /// Memory-watermark state machine: enters/exits degraded mode and sheds
+  /// the lowest-volume non-anchor peers while memory stays high.
+  void update_overload(Timestamp now);
+  void enter_degraded();
+  void exit_degraded();
+  void shed_peers(std::size_t count);
 
   PlatformConfig config_;
   std::unique_ptr<metrics::Registry> own_registry_;  // when none configured
@@ -327,6 +372,7 @@ class Platform {
   bgp::UpdateStream mirror_;
   Timestamp last_component1_ = 0;
   bool pipeline_ran_ = false;
+  bool degraded_ = false;
   anchor::ScoreCache score_cache_;
   std::vector<RefreshJob> refresh_jobs_;
   std::uint64_t submitted_generation_ = 0;

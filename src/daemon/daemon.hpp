@@ -132,6 +132,23 @@ struct RetryPolicy {
   Timestamp delay(std::size_t attempt) const;
 };
 
+/// RFC 4724 graceful-restart policy for the collector's (helper) side of a
+/// session. When enabled and the peer also advertises the capability, a
+/// session drop retains the RIB as *stale* instead of purging it: entries
+/// the peer re-advertises before its End-of-RIB are refreshed in place,
+/// entries it does not are swept as synthetic withdrawals, and the whole
+/// stale set is flushed if the peer stays away past the restart window.
+/// A flap therefore costs a delta, not a full RIB replay, and mirrors /
+/// filters / storage see no spurious withdraw storm.
+struct GracefulRestartConfig {
+  bool enabled = true;
+  /// Restart time advertised in our OPEN (12-bit wire field, seconds).
+  std::uint16_t restart_time = 120;
+  /// Upper bound on stale-route retention, regardless of the restart time
+  /// the peer advertised.
+  Timestamp max_stale_time = 120;
+};
+
 /// The in-memory MRT sink shared by the daemons (the on-disk counterpart
 /// is archive::SegmentWriter; both implement mrt::Sink).
 class MrtStore : public mrt::Sink {
@@ -163,6 +180,14 @@ struct DaemonStats {
   std::size_t resyncs = 0;            // RIB cleared for replay on reconnect
   std::size_t reconnects = 0;         // OPENs re-sent after a teardown
   std::size_t keepalives_sent = 0;    // generated by tick()
+  // RFC 4724 graceful restart (gill_gr_*).
+  std::size_t gr_negotiated = 0;      // sessions established with GR agreed
+  std::size_t eor_sent = 0;           // End-of-RIB markers we sent
+  std::size_t eor_received = 0;       // End-of-RIB markers the peer sent
+  std::size_t stale_retained = 0;     // routes kept stale at teardown
+  std::size_t stale_refreshed = 0;    // identical re-advertisements suppressed
+  std::size_t stale_swept = 0;        // not re-advertised, withdrawn at EoR
+  std::size_t stale_expired = 0;      // flushed when the restart window closed
 };
 
 /// Registry-backed instruments for one peering session, resolved ONCE at
@@ -180,6 +205,13 @@ struct SessionCounters {
   metrics::Counter& resyncs;
   metrics::Counter& reconnects;
   metrics::Counter& keepalives_sent;
+  metrics::Counter& gr_negotiated;
+  metrics::Counter& eor_sent;
+  metrics::Counter& eor_received;
+  metrics::Counter& stale_retained;
+  metrics::Counter& stale_refreshed;
+  metrics::Counter& stale_swept;
+  metrics::Counter& stale_expired;
   metrics::Histogram& message_bytes;  // wire size of each decoded message
 };
 
@@ -209,6 +241,18 @@ class BgpDaemon {
   /// `policy.delay(attempt)`. Without a policy the session is single-shot.
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
   bool auto_reconnect() const noexcept { return retry_.has_value(); }
+
+  /// RFC 4724 policy (helper mode). Takes effect on the next OPEN we send;
+  /// GR is *negotiated* only when the peer's OPEN also carries the
+  /// capability, so sessions with plain peers behave exactly as before
+  /// (full purge + resync on reconnect).
+  void set_graceful_restart(const GracefulRestartConfig& gr) { gr_ = gr; }
+  /// True while the current (or most recent) Established session agreed GR.
+  bool gr_negotiated() const noexcept { return gr_negotiated_; }
+  /// True between a GR teardown and the resync sweep (stale routes held).
+  bool gr_syncing() const noexcept { return gr_syncing_; }
+  /// When stale routes are held, the time they get flushed; 0 otherwise.
+  Timestamp stale_deadline() const noexcept { return stale_deadline_; }
   /// When a reconnect is pending, the time it fires; 0 otherwise.
   Timestamp next_reconnect_at() const noexcept { return reconnect_at_; }
 
@@ -246,8 +290,13 @@ class BgpDaemon {
   const bgp::Rib& rib() const noexcept { return rib_; }
   std::size_t rib_dumps_written() const noexcept { return rib_dumps_; }
 
+  /// Overload degraded mode: while set, tick() skips periodic RIB
+  /// snapshots (they re-arm as soon as the platform recovers).
+  void set_defer_rib_dumps(bool defer) { defer_rib_dumps_ = defer; }
+
  private:
   void send(const wire::Message& message);
+  wire::OpenMessage make_open() const;
   void handle(const wire::Message& message, Timestamp now);
   /// Tears the session down. When `notify` is set a NOTIFICATION with
   /// `code`/`subcode` is sent first (pointless on a dead transport, where
@@ -256,6 +305,13 @@ class BgpDaemon {
                 std::uint8_t subcode);
   void reconnect_now(Timestamp now);
   void ingest_update(const wire::UpdateMessage& update, Timestamp now);
+  /// The shared per-update path: mirror, RIB, filters, storage. Synthetic
+  /// updates (stale-route sweeps) skip the updates_received counter — they
+  /// were never on the wire.
+  void process_update(Update update, bool synthetic);
+  /// Withdraws every still-stale RIB entry through process_update and ends
+  /// the resync window; `counter` says why (swept at EoR vs. expired).
+  void flush_stale(Timestamp now, metrics::Counter& counter);
   /// Bumps gill_daemon_decode_errors_total{vp=...,kind=...}; the per-kind
   /// children are resolved lazily (errors are off the hot path).
   void count_decode_error(wire::DecodeError error);
@@ -286,6 +342,14 @@ class BgpDaemon {
   Timestamp rib_dump_interval_ = 0;  // 0 = disabled
   Timestamp last_rib_dump_ = 0;
   std::size_t rib_dumps_ = 0;
+  bool defer_rib_dumps_ = false;
+  // RFC 4724 graceful restart (helper mode).
+  GracefulRestartConfig gr_;
+  bool peer_gr_enabled_ = false;       // peer's OPEN carried capability 64
+  std::uint16_t peer_gr_restart_time_ = 0;
+  bool gr_negotiated_ = false;         // both sides agreed, this session
+  bool gr_syncing_ = false;            // stale routes held, awaiting EoR
+  Timestamp stale_deadline_ = 0;
   // Reconnect FSM bookkeeping.
   std::optional<RetryPolicy> retry_;
   std::size_t attempt_ = 0;          // consecutive failed sessions
@@ -316,6 +380,18 @@ class FakePeer {
   /// Refreshes the daemon's hold timer.
   void send_keepalive();
 
+  /// Advertises RFC 4724 GR in this peer's OPEN replies; `restarting` sets
+  /// the Restart State flag (the peer claims it just came back).
+  void enable_graceful_restart(std::uint16_t restart_time = 120,
+                               bool restarting = false) {
+    gr_enabled_ = true;
+    gr_restart_time_ = restart_time;
+    gr_restarting_ = restarting;
+  }
+
+  /// Sends the RFC 4724 End-of-RIB marker (a minimal empty UPDATE).
+  void send_end_of_rib();
+
   bool established() const noexcept { return established_; }
 
  private:
@@ -324,6 +400,9 @@ class FakePeer {
   bgp::AsNumber as_;
   Transport* transport_;
   bool established_ = false;
+  bool gr_enabled_ = false;
+  bool gr_restarting_ = false;
+  std::uint16_t gr_restart_time_ = 120;
   std::vector<std::uint8_t> pending_;
   std::uint64_t seen_epoch_ = 0;
 };

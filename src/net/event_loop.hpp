@@ -51,7 +51,10 @@ class EventLoop {
   /// Registers `fd` with edge-triggered interest. Replaces any previous
   /// registration of the same fd. Returns false when epoll_ctl fails.
   bool add(int fd, std::uint32_t interest, FdCallback callback);
-  /// Changes the interest mask of a registered fd.
+  /// Changes the interest mask of a registered fd. An interest of 0 keeps
+  /// the registration but disarms both directions — the backpressure lever:
+  /// with EPOLLIN off, unread socket bytes close the kernel receive window
+  /// and the sender stalls (TcpTransport's watermark pause).
   bool modify(int fd, std::uint32_t interest);
   /// Deregisters `fd` (safe from inside its own callback; the fd is not
   /// closed). Unknown fds are ignored.

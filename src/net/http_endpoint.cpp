@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <vector>
 
 #include "net/tcp_transport.hpp"
 
@@ -110,7 +112,10 @@ HttpEndpoint::HttpEndpoint(EventLoop& loop, metrics::Registry* registry)
                                   "HTTP requests answered with 200")),
       bad_requests_(registry_.counter(
           "gill_net_http_bad_requests_total",
-          "HTTP requests rejected (parse error, bad method, unknown path)")) {}
+          "HTTP requests rejected (parse error, bad method, unknown path)")),
+      idle_evictions_(registry_.counter(
+          "gill_net_http_idle_evictions_total",
+          "HTTP connections dropped for inactivity (stalled readers)")) {}
 
 HttpEndpoint::~HttpEndpoint() { close(); }
 
@@ -133,11 +138,23 @@ void HttpEndpoint::serve_metrics(const metrics::Registry& registry) {
 }
 
 bool HttpEndpoint::listen(const std::string& host, std::uint16_t port) {
-  return listener_->listen(
+  const bool ok = listener_->listen(
       host, port, [this](int fd, std::string, std::uint16_t) { on_accept(fd); });
+  if (ok && idle_timeout_ms_ > 0 && sweep_timer_ == 0) {
+    // Sweep a few times per timeout so the worst-case overstay is a
+    // fraction of the configured limit, not double it.
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(50, idle_timeout_ms_ / 4);
+    sweep_timer_ = loop_->call_every(interval, [this] { sweep_idle(); });
+  }
+  return ok;
 }
 
 void HttpEndpoint::close() {
+  if (sweep_timer_ != 0) {
+    loop_->cancel(sweep_timer_);
+    sweep_timer_ = 0;
+  }
   listener_->close();
   while (!connections_.empty()) drop(connections_.begin()->first);
 }
@@ -151,6 +168,7 @@ std::uint16_t HttpEndpoint::port() const noexcept { return listener_->port(); }
 void HttpEndpoint::on_accept(int fd) {
   Connection connection;
   connection.fd = fd;
+  connection.last_activity_ms = loop_->now_ms();
   connections_.emplace(fd, std::move(connection));
   loop_->add(fd, kReadable,
              [this, fd](std::uint32_t events) { on_event(fd, events); });
@@ -165,6 +183,7 @@ void HttpEndpoint::on_event(int fd, std::uint32_t events) {
     for (;;) {
       const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
       if (n > 0) {
+        connection.last_activity_ms = loop_->now_ms();
         if (!connection.responding) {
           connection.in.append(buffer, static_cast<std::size_t>(n));
         }
@@ -241,6 +260,7 @@ void HttpEndpoint::flush(Connection& connection) {
                  connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
       if (n > 0) {
         connection.out_offset += static_cast<std::size_t>(n);
+        connection.last_activity_ms = loop_->now_ms();
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -275,6 +295,21 @@ void HttpEndpoint::drop(int fd) {
   loop_->remove(fd);
   ::close(fd);
   connections_.erase(fd);
+}
+
+void HttpEndpoint::sweep_idle() {
+  if (idle_timeout_ms_ == 0) return;
+  const std::uint64_t now = loop_->now_ms();
+  std::vector<int> stale;
+  for (const auto& [fd, connection] : connections_) {
+    if (now - connection.last_activity_ms >= idle_timeout_ms_) {
+      stale.push_back(fd);
+    }
+  }
+  for (const int fd : stale) {
+    idle_evictions_.inc();
+    drop(fd);  // releases the fd and any chunk producer (segment reader)
+  }
 }
 
 }  // namespace gill::net

@@ -81,6 +81,14 @@ class HttpEndpoint {
   bool listening() const noexcept;
   std::uint16_t port() const noexcept;
 
+  /// Evicts connections with no read *or* send progress for `timeout_ms`.
+  /// A stalled `GET /data` reader would otherwise pin its fd — and, in
+  /// chunked mode, the archive segment its producer holds — forever.
+  /// 0 disables the sweep. Takes effect at the next listen().
+  void set_idle_timeout_ms(std::uint64_t timeout_ms) {
+    idle_timeout_ms_ = timeout_ms;
+  }
+
   std::size_t open_connections() const noexcept { return connections_.size(); }
 
  private:
@@ -92,6 +100,7 @@ class HttpEndpoint {
     bool responding = false;
     HttpResponse::ChunkProducer producer;  // chunked mode when set
     bool final_chunk_queued = false;
+    std::uint64_t last_activity_ms = 0;
   };
 
   void on_accept(int fd);
@@ -99,14 +108,18 @@ class HttpEndpoint {
   void handle_request(Connection& connection);
   void flush(Connection& connection);
   void drop(int fd);
+  void sweep_idle();
 
   EventLoop* loop_;
   metrics::Registry& registry_;
   std::unique_ptr<class TcpListener> listener_;
   std::map<std::string, RouteHandler> routes_;
   std::map<int, Connection> connections_;
+  std::uint64_t idle_timeout_ms_ = 60000;
+  EventLoop::TimerId sweep_timer_ = 0;
   metrics::Counter& requests_;
   metrics::Counter& bad_requests_;
+  metrics::Counter& idle_evictions_;
 };
 
 }  // namespace gill::net

@@ -1,0 +1,45 @@
+#include "net/overload.hpp"
+
+namespace gill::net {
+
+namespace {
+metrics::Registry& resolve(metrics::Registry* registry) {
+  return registry != nullptr ? *registry : metrics::default_registry();
+}
+}  // namespace
+
+AcceptGovernor::AcceptGovernor(double rate_per_sec, double burst,
+                               metrics::Registry* registry)
+    : rate_(rate_per_sec),
+      burst_(burst > 0 ? burst : 2 * rate_per_sec),
+      admitted_(resolve(registry).counter(
+          "gill_overload_accepts_admitted_total",
+          "Connections admitted by the per-source accept governor")),
+      rejected_(resolve(registry).counter(
+          "gill_overload_accepts_rejected_total",
+          "Connections rejected by the per-source accept governor")) {}
+
+bool AcceptGovernor::admit(const std::string& source, std::uint64_t now_ms) {
+  if (rate_ <= 0) {  // governor disabled
+    admitted_.inc();
+    return true;
+  }
+  auto [it, inserted] = buckets_.try_emplace(source, rate_, burst_);
+  const bool ok = it->second.try_take(1.0, now_ms);
+  (ok ? admitted_ : rejected_).inc();
+  // Bound the table: quiet sources (full buckets) carry no state worth
+  // keeping. Amortized over inserts, so a storm from N sources tracks at
+  // most the noisy ones.
+  if (inserted && buckets_.size() > 1024) {
+    for (auto bucket = buckets_.begin(); bucket != buckets_.end();) {
+      if (bucket != it && bucket->second.full(now_ms)) {
+        bucket = buckets_.erase(bucket);
+      } else {
+        ++bucket;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace gill::net

@@ -95,7 +95,16 @@ TcpTransport::TcpTransport(EventLoop& loop, Role role,
           "Socket-level failures (connect errors, ECONNRESET, EPIPE, ...)")),
       remote_closes_(resolve(registry).counter(
           "gill_net_remote_closes_total",
-          "Orderly remote shutdowns observed (FIN / half-close)")) {}
+          "Orderly remote shutdowns observed (FIN / half-close)")),
+      read_pauses_(resolve(registry).counter(
+          "gill_overload_read_pauses_total",
+          "Times EPOLLIN was disarmed (rate ceiling or queue watermark)")),
+      read_resumes_(resolve(registry).counter(
+          "gill_overload_read_resumes_total",
+          "Times a paused session resumed reading")),
+      paused_sessions_(resolve(registry).gauge(
+          "gill_overload_paused_sessions",
+          "Sessions currently exerting TCP backpressure")) {}
 
 TcpTransport::~TcpTransport() { close_socket(/*and_endpoint=*/false); }
 
@@ -167,13 +176,52 @@ void TcpTransport::on_event(std::uint32_t events) {
   if ((events & kReadable) && fd_ >= 0) drain_socket();
 }
 
+void TcpTransport::set_ingest_limits(const IngestLimits& limits) {
+  limits_ = limits;
+  ingest_bucket_ = TokenBucket(limits.max_bytes_per_sec, limits.burst_bytes);
+}
+
+bool TcpTransport::maybe_pause_reads(std::size_t chunk) {
+  bool over = !ingest_bucket_.spend(static_cast<double>(chunk),
+                                    loop_->now_ms());
+  if (limits_.queue_high_watermark > 0 &&
+      inbound().size() >= limits_.queue_high_watermark) {
+    over = true;
+  }
+  if (!over || reads_paused_ || fd_ < 0) return false;
+  reads_paused_ = true;
+  loop_->modify(fd_, want_write_ ? kWritable : 0);
+  read_pauses_.inc();
+  paused_sessions_.add(1);
+  return true;
+}
+
+void TcpTransport::maybe_resume_reads() {
+  if (!reads_paused_ || fd_ < 0) return;
+  if (ingest_bucket_.in_debt(loop_->now_ms())) return;
+  if (limits_.queue_high_watermark > 0) {
+    const std::size_t low = limits_.queue_low_watermark > 0
+                                ? limits_.queue_low_watermark
+                                : limits_.queue_high_watermark / 4;
+    if (inbound().size() > low) return;
+  }
+  reads_paused_ = false;
+  loop_->modify(fd_, kReadable | (want_write_ ? kWritable : 0));
+  read_resumes_.inc();
+  paused_sessions_.sub(1);
+  // EPOLL_CTL_MOD re-reports a still-readable fd under EPOLLET, but drain
+  // now so the resume does not depend on that edge.
+  drain_socket();
+}
+
 void TcpTransport::drain_socket() {
   std::uint8_t buffer[16384];
-  for (;;) {
+  while (!reads_paused_ && fd_ >= 0) {
     const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
     if (n > 0) {
       bytes_read_.inc(static_cast<std::uint64_t>(n));
       deliver_inbound(std::span(buffer, static_cast<std::size_t>(n)));
+      maybe_pause_reads(static_cast<std::size_t>(n));
       continue;
     }
     if (n == 0) {
@@ -246,6 +294,7 @@ void TcpTransport::sync() {
     // disconnect(); nothing to do.
     return;
   }
+  maybe_resume_reads();
   flush_outbound();
 }
 
@@ -278,6 +327,10 @@ void TcpTransport::close_socket(bool and_endpoint) {
   }
   connect_done_ = false;
   want_write_ = false;
+  if (reads_paused_) {
+    reads_paused_ = false;
+    paused_sessions_.sub(1);
+  }
   if (and_endpoint && endpoint_->connected()) endpoint_->disconnect();
 }
 

@@ -38,6 +38,7 @@
 #include "daemon/daemon.hpp"
 #include "metrics/metrics.hpp"
 #include "net/event_loop.hpp"
+#include "net/overload.hpp"
 
 namespace gill::net {
 
@@ -97,6 +98,16 @@ class TcpTransport : public daemon::Transport {
   /// Bytes accepted by write_to_*() but not yet written to the socket.
   std::size_t backlog_bytes() const noexcept { return outbound().size(); }
 
+  /// Overload control (DESIGN.md §11): a byte-rate token bucket and/or an
+  /// inbound-queue watermark. When either trips, EPOLLIN is disarmed — the
+  /// kernel receive window fills and the peer gets real TCP backpressure.
+  /// sync() re-arms reads once the bucket refills and the session layer
+  /// has drained the queue below the low watermark.
+  void set_ingest_limits(const IngestLimits& limits);
+  bool reads_paused() const noexcept { return reads_paused_; }
+  /// Bytes read off the socket but not yet consumed by the session layer.
+  std::size_t inbound_queue_bytes() const noexcept { return inbound().size(); }
+
  private:
   void register_fd();
   void on_event(std::uint32_t events);
@@ -113,7 +124,17 @@ class TcpTransport : public daemon::Transport {
     return role_ == Role::kDaemonSide ? endpoint_->to_peer
                                       : endpoint_->to_daemon;
   }
+  const daemon::ByteQueue& inbound() const noexcept {
+    return role_ == Role::kDaemonSide ? endpoint_->to_daemon
+                                      : endpoint_->to_peer;
+  }
   void deliver_inbound(std::span<const std::uint8_t> chunk);
+  /// Charges `chunk` bytes to the ingest bucket and checks the watermark;
+  /// returns true when reads just paused (caller must stop draining).
+  bool maybe_pause_reads(std::size_t chunk);
+  /// Re-arms EPOLLIN when the pause conditions have cleared, then drains
+  /// whatever arrived while paused (EPOLLET would not re-report it).
+  void maybe_resume_reads();
 
   EventLoop* loop_;
   Role role_;
@@ -124,11 +145,17 @@ class TcpTransport : public daemon::Transport {
   bool can_redial_ = false;
   std::string redial_ip_;
   std::uint16_t redial_port_ = 0;
+  IngestLimits limits_;
+  TokenBucket ingest_bucket_;
+  bool reads_paused_ = false;
   metrics::Counter& bytes_read_;
   metrics::Counter& bytes_written_;
   metrics::Counter& connects_;
   metrics::Counter& socket_errors_;
   metrics::Counter& remote_closes_;
+  metrics::Counter& read_pauses_;
+  metrics::Counter& read_resumes_;
+  metrics::Gauge& paused_sessions_;
 };
 
 /// Accepts inbound BGP/BMP connections and hands the raw fds to the

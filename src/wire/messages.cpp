@@ -21,6 +21,14 @@ constexpr std::uint8_t kFlagExtendedLength = 0x10;
 
 constexpr std::uint8_t kAsPathSegmentSequence = 2;
 
+// Capability codes carried in the OPEN optional parameter (type 2).
+constexpr std::uint8_t kCapGracefulRestart = 64;  // RFC 4724
+constexpr std::uint8_t kCapAs4 = 65;              // RFC 6793
+// GR restart flags live in the top nibble of the first restart octet;
+// the remaining 12 bits are the restart time in seconds.
+constexpr std::uint16_t kGrRestartStateFlag = 0x8000;
+constexpr std::uint8_t kGrForwardingPreserved = 0x80;  // per-AFI flag
+
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
   out.push_back(v);
 }
@@ -132,15 +140,30 @@ std::vector<std::uint8_t> encode_open(const OpenMessage& open) {
                                  : static_cast<std::uint16_t>(open.as));
   put_u16(body, open.hold_time);
   put_u32(body, open.bgp_id);
-  // Optional parameter: capability 65 (4-octet AS).
-  std::vector<std::uint8_t> capability;
-  put_u8(capability, 2);  // param type: capability
-  put_u8(capability, 6);  // param length
-  put_u8(capability, 65); // capability code: AS4
-  put_u8(capability, 4);  // capability length
-  put_u32(capability, open.as);
-  put_u8(body, static_cast<std::uint8_t>(capability.size()));
-  body.insert(body.end(), capability.begin(), capability.end());
+  // Optional parameter of type 2 holding the capability list.
+  std::vector<std::uint8_t> capabilities;
+  put_u8(capabilities, kCapAs4);  // capability code: AS4
+  put_u8(capabilities, 4);        // capability length
+  put_u32(capabilities, open.as);
+  if (open.gr_enabled) {
+    // RFC 4724: flags/restart-time word, then one (AFI, SAFI, flags)
+    // tuple per address family whose state is preserved.
+    std::uint16_t restart = open.gr_restart_time & 0x0FFF;
+    if (open.gr_restarting) restart |= kGrRestartStateFlag;
+    put_u8(capabilities, kCapGracefulRestart);
+    put_u8(capabilities, 2 + 2 * 4);  // restart word + 2 AFI tuples
+    put_u16(capabilities, restart);
+    put_u16(capabilities, 1);  // AFI IPv4
+    put_u8(capabilities, 1);   // SAFI unicast
+    put_u8(capabilities, kGrForwardingPreserved);
+    put_u16(capabilities, 2);  // AFI IPv6
+    put_u8(capabilities, 1);   // SAFI unicast
+    put_u8(capabilities, kGrForwardingPreserved);
+  }
+  put_u8(body, static_cast<std::uint8_t>(capabilities.size() + 2));
+  put_u8(body, 2);  // param type: capability
+  put_u8(body, static_cast<std::uint8_t>(capabilities.size()));
+  body.insert(body.end(), capabilities.begin(), capabilities.end());
   return body;
 }
 
@@ -228,10 +251,17 @@ std::optional<OpenMessage> decode_open(Cursor body) {
     std::uint8_t length = 0;
     while (capabilities.remaining() >= 2) {
       if (!capabilities.u8(code) || !capabilities.u8(length)) break;
-      if (code == 65 && length == 4) {
+      if (code == kCapAs4 && length == 4) {
         std::uint32_t as4 = 0;
         if (!capabilities.u32(as4)) break;
         open.as = as4;
+      } else if (code == kCapGracefulRestart && length >= 2) {
+        std::uint16_t restart = 0;
+        if (!capabilities.u16(restart)) break;
+        open.gr_enabled = true;
+        open.gr_restarting = (restart & kGrRestartStateFlag) != 0;
+        open.gr_restart_time = restart & 0x0FFF;
+        if (!capabilities.skip(length - 2)) break;  // AFI tuples
       } else if (!capabilities.skip(length)) {
         break;
       }
@@ -351,6 +381,12 @@ std::optional<UpdateMessage> decode_update(Cursor body) {
 }
 
 }  // namespace
+
+bool is_end_of_rib(const UpdateMessage& update) noexcept {
+  return update.withdrawn.empty() && update.nlri.empty() &&
+         update.path.empty() && update.communities.empty() &&
+         update.nlri_v6.empty() && update.withdrawn_v6.empty();
+}
 
 MessageType type_of(const Message& message) noexcept {
   if (std::holds_alternative<OpenMessage>(message)) return MessageType::kOpen;

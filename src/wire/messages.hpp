@@ -32,6 +32,13 @@ struct OpenMessage {
   bgp::AsNumber as = 0;  // sent as AS_TRANS + AS4 capability when > 65535
   std::uint16_t hold_time = 90;
   std::uint32_t bgp_id = 0;
+  /// RFC 4724 graceful-restart capability (code 64). When `gr_enabled`,
+  /// the OPEN advertises GR with `gr_restart_time` seconds (12-bit field)
+  /// and, when `gr_restarting`, the Restart State flag — the sender came
+  /// back from a restart and will re-advertise its table.
+  bool gr_enabled = false;
+  bool gr_restarting = false;
+  std::uint16_t gr_restart_time = 120;
 
   friend bool operator==(const OpenMessage&, const OpenMessage&) noexcept =
       default;
@@ -66,6 +73,10 @@ struct KeepaliveMessage {
 
 using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage,
                              KeepaliveMessage>;
+
+/// RFC 4724 §2: the End-of-RIB marker is a minimal UPDATE — no withdrawn
+/// routes, no path attributes, no NLRI (23 bytes on the wire for IPv4).
+bool is_end_of_rib(const UpdateMessage& update) noexcept;
 
 MessageType type_of(const Message& message) noexcept;
 

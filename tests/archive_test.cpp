@@ -620,5 +620,47 @@ TEST(EndToEnd, DataEndpointServesOneVpsWindowAsFramedMrt) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Operational degradation: a full disk drops data, never the collector.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentWriter, EnospcDegradesToCountedDropsAndStaysAlive) {
+  const std::string dir = scratch_dir("enospc");
+  metrics::Registry registry;
+  SegmentWriterConfig config;
+  config.directory = dir;
+  config.rotate_secs = 900;
+  config.flush_bytes = 1;  // every record hits the disk path immediately
+  config.registry = &registry;
+  SegmentWriter writer(config);  // inline I/O: deterministic
+  ASSERT_TRUE(writer.open());
+
+  writer.store(make_update(0, 1000, "10.0.0.0/24"));
+  ASSERT_EQ(writer.enospc_events(), 0u);
+
+  // The disk fills for exactly one append: that chunk is dropped and
+  // counted, the writer does NOT die (contrast fault_torn_write).
+  writer.fault_enospc();
+  writer.store(make_update(0, 1010, "10.0.1.0/24"));
+  EXPECT_EQ(writer.enospc_events(), 1u);
+  EXPECT_FALSE(writer.failed());
+
+  // The operator freed space: collection resumes without intervention.
+  writer.store(make_update(0, 1020, "10.0.2.0/24"));
+  writer.close();
+  EXPECT_FALSE(writer.failed());
+  EXPECT_EQ(writer.enospc_events(), 1u);
+  EXPECT_EQ(registry.counter_total("gill_archive_enospc_events_total"), 1u);
+  EXPECT_GT(
+      registry.counter_total("gill_archive_enospc_dropped_bytes_total"), 0u);
+
+  // The window still sealed into a real, footered segment on disk.
+  const auto manifest = writer.manifest();
+  ASSERT_EQ(manifest.size(), 1u);
+  const auto file = read_file((fs::path(dir) / manifest[0].file).string());
+  ASSERT_TRUE(file.has_value());
+  EXPECT_TRUE(read_footer(*file).has_value());
+}
+
 }  // namespace
 }  // namespace gill::archive

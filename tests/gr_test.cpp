@@ -1,0 +1,373 @@
+// RFC 4724 graceful restart: the capability on the wire (encode/decode +
+// golden bytes), the End-of-RIB marker, the RIB's stale-entry machinery,
+// and the daemon's helper-mode FSM — a flapping GR peer resyncs by delta
+// (identical re-advertisements suppressed, missing entries swept at EoR)
+// instead of a full purge-and-replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "daemon/daemon.hpp"
+#include "wire/messages.hpp"
+
+namespace gill::daemon {
+namespace {
+
+net::Prefix pfx(const char* text) { return net::Prefix::parse(text).value(); }
+
+RetryPolicy no_jitter_policy() {
+  RetryPolicy policy;
+  policy.base = 1;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+/// True when `haystack` contains `needle` as a contiguous byte run.
+bool contains_bytes(const std::vector<std::uint8_t>& haystack,
+                    const std::vector<std::uint8_t>& needle) {
+  return std::search(haystack.begin(), haystack.end(), needle.begin(),
+                     needle.end()) != haystack.end();
+}
+
+// ---------------------------------------------------------------------------
+// Wire: the GR capability and the End-of-RIB marker.
+// ---------------------------------------------------------------------------
+
+TEST(GrWire, CapabilityRoundTrips) {
+  wire::OpenMessage open;
+  open.as = 65000;
+  open.gr_enabled = true;
+  open.gr_restarting = true;
+  open.gr_restart_time = 300;
+  const auto bytes = wire::encode(open);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& reopened = std::get<wire::OpenMessage>(*decoded);
+  EXPECT_TRUE(reopened.gr_enabled);
+  EXPECT_TRUE(reopened.gr_restarting);
+  EXPECT_EQ(reopened.gr_restart_time, 300);
+  EXPECT_EQ(reopened.as, 65000u);
+  EXPECT_EQ(consumed, bytes.size());
+}
+
+TEST(GrWire, CapabilityGoldenBytes) {
+  // RFC 4724 §3: code 64, two AFI/SAFI tuples (IPv4 + IPv6 unicast, both
+  // forwarding-preserved), restart word = Restart State flag | time.
+  wire::OpenMessage open;
+  open.as = 65000;
+  open.gr_enabled = true;
+  open.gr_restarting = true;
+  open.gr_restart_time = 300;  // 0x12C
+  const auto bytes = wire::encode(open);
+  const std::vector<std::uint8_t> capability{
+      64, 10,            // code, length (2 + 2 tuples x 4)
+      0x81, 0x2C,        // 0x8000 (restarting) | 300
+      0x00, 0x01, 0x01, 0x80,  // AFI 1 (v4), SAFI 1, forwarding preserved
+      0x00, 0x02, 0x01, 0x80,  // AFI 2 (v6), SAFI 1, forwarding preserved
+  };
+  EXPECT_TRUE(contains_bytes(bytes, capability));
+
+  // Without the Restart State flag the top bit clears.
+  open.gr_restarting = false;
+  const auto calm = wire::encode(open);
+  EXPECT_TRUE(contains_bytes(calm, {64, 10, 0x01, 0x2C}));
+}
+
+TEST(GrWire, PlainOpenCarriesNoGrCapability) {
+  wire::OpenMessage open;
+  open.as = 65000;
+  const auto bytes = wire::encode(open);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(std::get<wire::OpenMessage>(*decoded).gr_enabled);
+}
+
+TEST(GrWire, RestartTimeIsClampedToTwelveBits) {
+  wire::OpenMessage open;
+  open.as = 65000;
+  open.gr_enabled = true;
+  open.gr_restart_time = 0xFFFF;  // only the low 12 bits fit the field
+  const auto bytes = wire::encode(open);
+  std::size_t consumed = 0;
+  const auto decoded = wire::decode(bytes, consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<wire::OpenMessage>(*decoded).gr_restart_time, 0x0FFF);
+}
+
+TEST(GrWire, EndOfRibIsTheMinimalUpdate) {
+  // RFC 4724 §2: 23 bytes — header, zero withdrawn length, zero attribute
+  // length, no NLRI.
+  const auto bytes = wire::encode(wire::UpdateMessage{});
+  ASSERT_EQ(bytes.size(), 23u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(bytes[i], 0xFF);
+  EXPECT_EQ(bytes[16], 0x00);
+  EXPECT_EQ(bytes[17], 23);
+  EXPECT_EQ(bytes[18], 2);     // type UPDATE
+  EXPECT_EQ(bytes[19], 0x00);  // withdrawn routes length
+  EXPECT_EQ(bytes[20], 0x00);
+  EXPECT_EQ(bytes[21], 0x00);  // total path attribute length
+  EXPECT_EQ(bytes[22], 0x00);
+
+  EXPECT_TRUE(wire::is_end_of_rib(wire::UpdateMessage{}));
+  wire::UpdateMessage announce;
+  announce.nlri.push_back(pfx("10.0.0.0/24"));
+  EXPECT_FALSE(wire::is_end_of_rib(announce));
+  wire::UpdateMessage withdraw;
+  withdraw.withdrawn.push_back(pfx("10.0.0.0/24"));
+  EXPECT_FALSE(wire::is_end_of_rib(withdraw));
+  wire::UpdateMessage v6;
+  v6.nlri_v6.push_back(pfx("2001:db8::/32"));
+  EXPECT_FALSE(wire::is_end_of_rib(v6));
+}
+
+// ---------------------------------------------------------------------------
+// Rib: stale marking, refresh-in-place, deterministic sweep.
+// ---------------------------------------------------------------------------
+
+bgp::Update announce(const char* prefix, bgp::AsPath path) {
+  bgp::Update update;
+  update.prefix = pfx(prefix);
+  update.path = std::move(path);
+  return update;
+}
+
+TEST(GrRib, MarkRefreshAndSweep) {
+  bgp::Rib rib;
+  rib.apply(announce("10.0.0.0/24", {65010, 1}));
+  rib.apply(announce("10.0.1.0/24", {65010, 2}));
+  rib.apply(announce("10.0.2.0/24", {65010, 3}));
+  EXPECT_EQ(rib.stale_count(), 0u);
+
+  rib.mark_all_stale();
+  EXPECT_EQ(rib.stale_count(), 3u);
+  EXPECT_EQ(rib.size(), 3u);  // retained, not purged
+
+  // An identical re-advertisement refreshes in place...
+  EXPECT_TRUE(rib.refresh(pfx("10.0.0.0/24")));
+  EXPECT_FALSE(rib.refresh(pfx("10.9.9.0/24")));  // unknown prefix
+  // ...a changed one replaces the entry with a fresh route.
+  rib.apply(announce("10.0.1.0/24", {65010, 99}));
+  EXPECT_EQ(rib.stale_count(), 1u);
+
+  const auto swept = rib.sweep_stale();
+  ASSERT_EQ(swept.size(), 1u);
+  EXPECT_EQ(swept[0], pfx("10.0.2.0/24"));
+  EXPECT_EQ(rib.size(), 2u);
+  EXPECT_EQ(rib.stale_count(), 0u);
+  EXPECT_EQ(rib.find(pfx("10.0.2.0/24")), nullptr);
+  ASSERT_NE(rib.find(pfx("10.0.0.0/24")), nullptr);
+  EXPECT_FALSE(rib.find(pfx("10.0.0.0/24"))->stale);
+}
+
+TEST(GrRib, SweepReturnsSortedPrefixes) {
+  bgp::Rib rib;
+  rib.apply(announce("10.0.9.0/24", {1}));
+  rib.apply(announce("10.0.1.0/24", {1}));
+  rib.apply(announce("10.0.5.0/24", {1}));
+  rib.mark_all_stale();
+  const auto swept = rib.sweep_stale();
+  ASSERT_EQ(swept.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(swept.begin(), swept.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Daemon: the helper-mode FSM over the in-memory transport.
+// ---------------------------------------------------------------------------
+
+struct Harness {
+  Transport transport;
+  MrtStore store;
+  filt::FilterTable filters;
+  BgpDaemon daemon{1, 65000, transport, &filters, &store};
+  FakePeer peer{65010, transport};
+
+  void establish() {
+    daemon.start(0);
+    peer.poll();       // peer answers OPEN + KEEPALIVE
+    daemon.poll(1);    // daemon handles both, replies KEEPALIVE
+    peer.poll();       // peer sees the KEEPALIVE
+    daemon.tick(1);
+  }
+};
+
+TEST(GrSession, NegotiatedWhenBothSidesAdvertise) {
+  Harness h;
+  h.peer.enable_graceful_restart(120);
+  h.establish();
+  EXPECT_EQ(h.daemon.state(), SessionState::kEstablished);
+  EXPECT_TRUE(h.daemon.gr_negotiated());
+  EXPECT_EQ(h.daemon.stats().gr_negotiated, 1u);
+  EXPECT_EQ(h.daemon.stats().eor_sent, 1u);  // our table is empty: EoR now
+}
+
+TEST(GrSession, NotNegotiatedWithPlainPeer) {
+  Harness h;  // FakePeer defaults to no GR capability
+  h.establish();
+  EXPECT_EQ(h.daemon.state(), SessionState::kEstablished);
+  EXPECT_FALSE(h.daemon.gr_negotiated());
+  EXPECT_EQ(h.daemon.stats().gr_negotiated, 0u);
+  EXPECT_EQ(h.daemon.stats().eor_sent, 0u);
+}
+
+TEST(GrSession, NotNegotiatedWhenLocallyDisabled) {
+  Harness h;
+  GracefulRestartConfig gr;
+  gr.enabled = false;
+  h.daemon.set_graceful_restart(gr);
+  h.peer.enable_graceful_restart(120);
+  h.establish();
+  EXPECT_FALSE(h.daemon.gr_negotiated());
+}
+
+TEST(GrSession, FlapResyncsByDeltaNotFullReplay) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.daemon.enable_rib_dumps(8 * 3600);
+  h.peer.enable_graceful_restart(120);
+  h.establish();
+
+  const auto u0 = announce("10.0.0.0/24", {65010, 1});
+  const auto u1 = announce("10.0.1.0/24", {65010, 2});
+  const auto u2 = announce("10.0.2.0/24", {65010, 3});
+  h.peer.send_update(u0);
+  h.peer.send_update(u1);
+  h.peer.send_update(u2);
+  h.daemon.poll(5);
+  ASSERT_EQ(h.daemon.rib().size(), 3u);
+  ASSERT_EQ(h.daemon.stats().updates_stored, 3u);
+
+  // The peer flaps (hold expiry): the RIB is retained as stale, not purged.
+  h.daemon.tick(200);
+  EXPECT_EQ(h.daemon.state(), SessionState::kIdle);
+  EXPECT_TRUE(h.daemon.gr_syncing());
+  EXPECT_EQ(h.daemon.rib().size(), 3u);
+  EXPECT_EQ(h.daemon.rib().stale_count(), 3u);
+  EXPECT_EQ(h.daemon.stats().stale_retained, 3u);
+  EXPECT_EQ(h.daemon.stale_deadline(), 200 + 120);
+
+  // Reconnect: still no purge, no resync counted.
+  h.daemon.tick(201);
+  EXPECT_EQ(h.daemon.state(), SessionState::kOpenSent);
+  EXPECT_EQ(h.daemon.rib().size(), 3u);
+  EXPECT_EQ(h.daemon.stats().resyncs, 0u);
+
+  h.peer.poll();
+  h.daemon.poll(202);
+  ASSERT_EQ(h.daemon.state(), SessionState::kEstablished);
+  EXPECT_EQ(h.daemon.stats().gr_negotiated, 2u);
+
+  // The restarted peer re-advertises: u0 byte-identical (refreshed in
+  // place, nothing stored or mirrored again), u1 with a new path (a real
+  // delta), u2 not at all (swept as a synthetic withdrawal at EoR).
+  h.peer.send_update(u0);
+  auto changed = u1;
+  changed.path = bgp::AsPath{65010, 42};
+  h.peer.send_update(changed);
+  h.peer.send_end_of_rib();
+  h.daemon.poll(203);
+
+  EXPECT_FALSE(h.daemon.gr_syncing());
+  EXPECT_EQ(h.daemon.stale_deadline(), 0u);
+  EXPECT_EQ(h.daemon.stats().eor_received, 1u);
+  EXPECT_EQ(h.daemon.stats().stale_refreshed, 1u);  // u0 suppressed
+  EXPECT_EQ(h.daemon.stats().stale_swept, 1u);      // u2 withdrawn
+  EXPECT_EQ(h.daemon.stats().resyncs, 0u);          // never a full replay
+
+  // The surviving RIB is the delta-applied table.
+  EXPECT_EQ(h.daemon.rib().size(), 2u);
+  EXPECT_EQ(h.daemon.rib().stale_count(), 0u);
+  ASSERT_NE(h.daemon.rib().find(pfx("10.0.0.0/24")), nullptr);
+  EXPECT_EQ(h.daemon.rib().find(pfx("10.0.0.0/24"))->path, u0.path);
+  ASSERT_NE(h.daemon.rib().find(pfx("10.0.1.0/24")), nullptr);
+  EXPECT_EQ(h.daemon.rib().find(pfx("10.0.1.0/24"))->path, changed.path);
+  EXPECT_EQ(h.daemon.rib().find(pfx("10.0.2.0/24")), nullptr);
+
+  // Store cost of the flap: the changed route plus the synthetic
+  // withdrawal — NOT three re-stored routes (the flap cost a delta).
+  EXPECT_EQ(h.daemon.stats().updates_stored, 5u);
+  // updates_received counts wire traffic: 3 initial + 2 re-advertised.
+  EXPECT_EQ(h.daemon.stats().updates_received, 5u);
+}
+
+TEST(GrSession, StaleWindowExpiryFlushesTheTable) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.daemon.enable_rib_dumps(8 * 3600);
+  h.peer.enable_graceful_restart(120);
+  h.establish();
+  h.peer.send_update(announce("10.0.0.0/24", {65010, 1}));
+  h.peer.send_update(announce("10.0.1.0/24", {65010, 2}));
+  h.daemon.poll(5);
+  ASSERT_EQ(h.daemon.rib().size(), 2u);
+
+  h.daemon.tick(200);  // flap: stale retained, deadline 320
+  ASSERT_TRUE(h.daemon.gr_syncing());
+  // The peer never comes back; the restart window closes.
+  h.daemon.tick(321);
+  EXPECT_FALSE(h.daemon.gr_syncing());
+  EXPECT_EQ(h.daemon.rib().size(), 0u);
+  EXPECT_EQ(h.daemon.stats().stale_expired, 2u);
+  EXPECT_EQ(h.daemon.stats().stale_swept, 0u);
+}
+
+TEST(GrSession, ShorterPeerRestartTimeBoundsTheWindow) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.daemon.enable_rib_dumps(8 * 3600);
+  h.peer.enable_graceful_restart(30);  // the peer promises a fast restart
+  h.establish();
+  h.peer.send_update(announce("10.0.0.0/24", {65010, 1}));
+  h.daemon.poll(5);
+  h.daemon.tick(200);
+  EXPECT_EQ(h.daemon.stale_deadline(), 200 + 30);
+}
+
+TEST(GrSession, PeerReturningWithoutGrFlushesStale) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.daemon.enable_rib_dumps(8 * 3600);
+  h.peer.enable_graceful_restart(120);
+  h.establish();
+  h.peer.send_update(announce("10.0.0.0/24", {65010, 1}));
+  h.daemon.poll(5);
+
+  h.daemon.tick(200);  // flap with GR: stale retained
+  ASSERT_TRUE(h.daemon.gr_syncing());
+  h.daemon.tick(201);  // reconnect
+
+  // The peer comes back *without* the capability (new software, say): the
+  // stale table cannot be trusted to resync — flush it and count a resync.
+  FakePeer plain(65010, h.transport);
+  plain.poll();
+  h.daemon.poll(202);
+  ASSERT_EQ(h.daemon.state(), SessionState::kEstablished);
+  EXPECT_FALSE(h.daemon.gr_negotiated());
+  EXPECT_FALSE(h.daemon.gr_syncing());
+  EXPECT_EQ(h.daemon.rib().size(), 0u);
+  EXPECT_EQ(h.daemon.stats().stale_expired, 1u);
+  EXPECT_EQ(h.daemon.stats().resyncs, 1u);
+}
+
+TEST(GrSession, NonGrFlapKeepsLegacyPurgeAndReplay) {
+  Harness h;
+  h.daemon.set_retry_policy(no_jitter_policy());
+  h.daemon.enable_rib_dumps(8 * 3600);
+  h.establish();  // plain peer
+  h.peer.send_update(announce("10.0.0.0/24", {65010, 1}));
+  h.daemon.poll(5);
+  ASSERT_EQ(h.daemon.rib().size(), 1u);
+
+  h.daemon.tick(200);
+  EXPECT_FALSE(h.daemon.gr_syncing());
+  h.daemon.tick(201);  // reconnect purges for replay
+  EXPECT_EQ(h.daemon.rib().size(), 0u);
+  EXPECT_EQ(h.daemon.stats().resyncs, 1u);
+  EXPECT_EQ(h.daemon.stats().stale_retained, 0u);
+}
+
+}  // namespace
+}  // namespace gill::daemon

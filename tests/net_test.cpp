@@ -32,6 +32,7 @@
 #include "net/event_loop.hpp"
 #include "net/http_endpoint.hpp"
 #include "net/tcp_transport.hpp"
+#include "wire/messages.hpp"
 
 namespace gill::net {
 namespace {
@@ -625,6 +626,71 @@ TEST(TcpSession, FaultyOverlayComposesOverTcp) {
   EXPECT_EQ(bgp_daemon->peer_as(), 65020u);
 }
 
+// TCP is a byte stream: segment boundaries land anywhere, including inside
+// the 19-byte header or the GR capability. The session must reassemble the
+// OPEN/KEEPALIVE/UPDATE sequence no matter where the stream is cut.
+TEST(TcpSession, FramesSplitAtEverySegmentBoundaryStillParse) {
+  wire::OpenMessage open;
+  open.as = 65010;
+  open.hold_time = 90;
+  open.bgp_id = 0x0A000001;
+  open.gr_enabled = true;  // the capability bytes sit inside the split sweep
+  std::vector<std::uint8_t> stream = wire::encode(open);
+  const auto keepalive = wire::encode(wire::KeepaliveMessage{});
+  stream.insert(stream.end(), keepalive.begin(), keepalive.end());
+  wire::UpdateMessage update;
+  update.nlri = {pfx("10.9.0.0/24")};
+  update.path = bgp::AsPath{65010, 65020};
+  const auto update_bytes = wire::encode(update);
+  stream.insert(stream.end(), update_bytes.begin(), update_bytes.end());
+
+  ServerHarness server;
+  const auto feed = [&](const std::vector<std::size_t>& cuts) {
+    const int fd = raw_client(server.listener.port());
+    const std::size_t sessions = server.accepted.size();
+    std::size_t sent = 0;
+    std::size_t cut = 0;
+    const bool done = drive(
+        server.loop, 2000,
+        [&] {
+          if (server.accepted.size() <= sessions) return false;
+          const auto vp = server.accepted.back();
+          return server.platform.daemon_of(vp).state() ==
+                     SessionState::kEstablished &&
+                 server.platform.daemon_of(vp).rib().size() == 1;
+        },
+        [&] {
+          server.pump();
+          if (sent < stream.size()) {
+            const std::size_t until =
+                cut < cuts.size() ? cuts[cut] : stream.size();
+            const ssize_t n = ::send(fd, stream.data() + sent, until - sent,
+                                     MSG_NOSIGNAL);
+            if (n > 0) sent += static_cast<std::size_t>(n);
+            if (sent == until) ++cut;
+          }
+          char sink[4096];  // drain the daemon's OPEN/KEEPALIVE/EoR
+          while (::recv(fd, sink, sizeof sink, 0) > 0) {
+          }
+        });
+    EXPECT_TRUE(done) << "cut at " << (cuts.empty() ? 0 : cuts[0]);
+    if (done) {
+      const auto& rib = server.platform.daemon_of(server.accepted.back()).rib();
+      EXPECT_NE(rib.find(pfx("10.9.0.0/24")), nullptr);
+    }
+    ::close(fd);
+  };
+
+  // Two segments, cut at every byte boundary of the stream.
+  for (std::size_t split = 1; split < stream.size(); ++split) {
+    feed({split});
+  }
+  // The degenerate case: one byte per segment, every boundary at once.
+  std::vector<std::size_t> all_cuts;
+  for (std::size_t i = 1; i < stream.size(); ++i) all_cuts.push_back(i);
+  feed(all_cuts);
+}
+
 // ---------------------------------------------------------------------------
 // The HTTP operator plane.
 // ---------------------------------------------------------------------------
@@ -732,6 +798,73 @@ TEST(Http, QueryParametersArePercentDecoded) {
   EXPECT_EQ(seen.at("prefix"), "10.0.0.0/8");
   EXPECT_EQ(seen.at("vp"), "7");
   EXPECT_EQ(seen.at("flag"), "");
+}
+
+// A client that connects and never finishes its request would otherwise
+// hold a connection slot forever; the idle sweeper reclaims it.
+TEST(Http, StalledRequestIsEvictedByTheIdleTimeout) {
+  EventLoop loop;
+  metrics::Registry registry;
+  HttpEndpoint http(loop, &registry);
+  http.set_idle_timeout_ms(80);
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+
+  const int fd = raw_client(http.port());
+  const char* partial = "GET /metrics HT";  // never completes the request
+  for (int i = 0; i < 50 && http.open_connections() == 0; ++i) {
+    loop.run_once(2);
+    ::send(fd, partial, std::strlen(partial), MSG_NOSIGNAL);
+    partial = "";  // only once
+  }
+  ASSERT_EQ(http.open_connections(), 1u);
+  const auto start = loop.now_ms();
+  while (loop.now_ms() < start + 500 && http.open_connections() > 0) {
+    loop.run_once(5);
+  }
+  EXPECT_EQ(http.open_connections(), 0u);
+  EXPECT_EQ(registry.counter_total("gill_net_http_idle_evictions_total"), 1u);
+  ::close(fd);
+}
+
+// A chunked-stream reader that stops reading (full socket buffer, endless
+// producer) stalls the response; the sweeper drops it instead of letting
+// the connection pin producer state forever.
+TEST(Http, StalledChunkedReaderIsEvictedByTheIdleTimeout) {
+  EventLoop loop;
+  metrics::Registry registry;
+  HttpEndpoint http(loop, &registry);
+  http.set_idle_timeout_ms(80);
+  http.route("/stream", [](const HttpRequest&) {
+    HttpResponse response;
+    response.producer = [](std::string& out) {
+      out.assign(16384, 'x');  // endless: only backpressure stops it
+      return true;
+    };
+    return response;
+  });
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+
+  const int fd = raw_client(http.port());
+  const std::string request = "GET /stream HTTP/1.1\r\nHost: t\r\n\r\n";
+  std::size_t sent = 0;
+  for (int i = 0; i < 200 && http.open_connections() == 0; ++i) {
+    loop.run_once(2);
+    if (sent < request.size()) {
+      const ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+  }
+  ASSERT_EQ(http.open_connections(), 1u);
+  // Read nothing: the kernel buffers fill, the server's sends stall, and
+  // from then on the connection makes no progress until it is evicted.
+  const auto start = loop.now_ms();
+  while (loop.now_ms() < start + 2000 && http.open_connections() > 0) {
+    loop.run_once(5);
+  }
+  EXPECT_EQ(http.open_connections(), 0u);
+  EXPECT_EQ(registry.counter_total("gill_net_http_idle_evictions_total"), 1u);
+  ::close(fd);
 }
 
 // ---------------------------------------------------------------------------

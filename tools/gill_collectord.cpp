@@ -26,6 +26,7 @@
 #include "daemon/bmp_ingest.hpp"
 #include "net/event_loop.hpp"
 #include "net/http_endpoint.hpp"
+#include "net/overload.hpp"
 #include "net/tcp_transport.hpp"
 
 namespace {
@@ -54,6 +55,16 @@ constexpr const char* kUsage =
     "  --snapshot-secs N      RIB snapshot period into the segment store\n"
     "                         (default: --rib-dump-interval)\n"
     "  --duration N           run N seconds then exit (default: until SIGINT)\n"
+    "  --gr-timeout N         graceful-restart stale retention window, seconds\n"
+    "                         (default 120; 0 disables RFC 4724 GR)\n"
+    "  --max-peer-rate N      per-peer ingest cap, bytes/second (default off)\n"
+    "  --queue-watermark N    per-peer inbound queue high watermark, bytes;\n"
+    "                         reads pause above it (default 1 MiB; 0 off)\n"
+    "  --accept-rate N        per-source accepts/second before new\n"
+    "                         connections are refused (default off)\n"
+    "  --mem-watermark N      process RSS bytes that trigger degraded mode\n"
+    "                         (defer refreshes/snapshots, shed weakest VPs;\n"
+    "                         default off)\n"
     "  --metrics <path|->     dump the Prometheus exposition at exit\n";
 
 /// Splits a --dial target HOST:PORT:ASN (host may be a bracketed IPv6
@@ -97,6 +108,11 @@ int main(int argc, char** argv) {
   const std::string archive_dir = args.get("archive-dir", "");
   const long rotate_secs = args.get_int("rotate-secs", 900);
   const long snapshot_secs = args.get_int("snapshot-secs", rib_dump_interval);
+  const long gr_timeout = args.get_int("gr-timeout", 120);
+  const long max_peer_rate = args.get_int("max-peer-rate", 0);
+  const long queue_watermark = args.get_int("queue-watermark", 1024 * 1024);
+  const long accept_rate = args.get_int("accept-rate", 0);
+  const long mem_watermark = args.get_int("mem-watermark", 0);
 
   metrics::Registry& registry = metrics::default_registry();
   // Destruction order matters: the loop must outlive every fd owner below.
@@ -110,7 +126,27 @@ int main(int argc, char** argv) {
   config.analysis_threads =
       analysis_threads < 0 ? par::auto_thread_count()
                            : static_cast<std::size_t>(analysis_threads);
+  // RFC 4724 graceful restart: a flapping peer's RIB is retained as stale
+  // for --gr-timeout seconds and resynced by delta instead of replayed.
+  config.gr.enabled = gr_timeout > 0;
+  if (gr_timeout > 0) {
+    config.gr.max_stale_time = static_cast<bgp::Timestamp>(gr_timeout);
+    config.gr.restart_time = static_cast<std::uint16_t>(
+        gr_timeout < 4095 ? gr_timeout : 4095);  // 12-bit wire field
+  }
+  if (mem_watermark > 0) {
+    config.overload.mem_high_watermark =
+        static_cast<std::size_t>(mem_watermark);
+  }
   collect::Platform platform(config);
+
+  // Per-peer ingest policing: a token bucket caps bytes/second and a
+  // bounded inbound queue pauses EPOLLIN above the high watermark (real
+  // TCP backpressure — the sender's window closes, not our memory).
+  net::IngestLimits ingest_limits;
+  ingest_limits.max_bytes_per_sec = static_cast<double>(max_peer_rate);
+  ingest_limits.queue_high_watermark =
+      queue_watermark > 0 ? static_cast<std::size_t>(queue_watermark) : 0;
 
   // The on-disk segment store (§8: "stores the collected BGP updates in a
   // public database"). Disk I/O runs on a one-worker pool so the event
@@ -149,6 +185,11 @@ int main(int argc, char** argv) {
   const long effective_rib_interval =
       snapshot_secs > 0 ? snapshot_secs : rib_dump_interval;
 
+  // Per-source accept rate cap: a flap storm from one address is refused
+  // at accept() before it costs a session slot or an OPEN exchange.
+  net::AcceptGovernor accept_governor(static_cast<double>(accept_rate),
+                                      /*burst=*/0, &registry);
+
   net::TcpListener bgp_listener(loop, &registry);
   const bool bgp_ok = bgp_listener.listen(
       bind_ip, listen_port,
@@ -157,9 +198,14 @@ int main(int argc, char** argv) {
           ::close(fd);
           return;
         }
+        if (!accept_governor.admit(peer_ip, loop.now_ms())) {
+          ::close(fd);
+          return;
+        }
         auto transport = std::make_unique<net::TcpTransport>(
             loop, net::Role::kDaemonSide, &registry);
         auto* raw = transport.get();
+        raw->set_ingest_limits(ingest_limits);
         transport->adopt(fd);
         const bgp::VpId vp =
             platform.add_remote_peer(/*peer_as=*/0, now_seconds(),
@@ -193,6 +239,7 @@ int main(int argc, char** argv) {
     auto transport = std::make_unique<net::TcpTransport>(
         loop, net::Role::kDaemonSide, &registry);
     auto* raw = transport.get();
+    raw->set_ingest_limits(ingest_limits);
     if (!raw->dial(host, port)) {
       std::fprintf(stderr, "error: cannot dial %s\n", spec.c_str());
       return 1;

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Flap-storm soak: builds the soak-labeled chaos tests (tests/soak_test.cpp)
+# under BOTH sanitizer configurations and runs them in one invocation:
+#
+#   1. GILL_SANITIZE=ON      (ASan + UBSan — memory safety under the storm)
+#   2. GILL_SANITIZE=thread  (TSan — races in the session/transport layers)
+#
+# The storm size scales via the environment:
+#
+#   GILL_SOAK_PEERS=160 GILL_SOAK_ROUNDS=3 tools/soak.sh
+#
+# Each configuration builds into its own tree (build-soak-asan /
+# build-soak-tsan) so the soak never perturbs the main build/ directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+: "${GILL_SOAK_PEERS:=120}"
+: "${GILL_SOAK_ROUNDS:=3}"
+export GILL_SOAK_PEERS GILL_SOAK_ROUNDS
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_one() {
+  local mode="$1" dir="$2"
+  echo "=== soak [$mode]: ${GILL_SOAK_PEERS} peers x ${GILL_SOAK_ROUNDS} rounds ==="
+  cmake -B "$dir" -S . -DGILL_SANITIZE="$mode" > "$dir.configure.log" 2>&1 \
+    || { cat "$dir.configure.log"; return 1; }
+  cmake --build "$dir" -j"$jobs" --target soak_test > "$dir.build.log" 2>&1 \
+    || { tail -50 "$dir.build.log"; return 1; }
+  (cd "$dir" && ctest -L soak --output-on-failure)
+}
+
+run_one ON build-soak-asan
+run_one thread build-soak-tsan
+echo "=== soak: both sanitizer configurations passed ==="

@@ -1,0 +1,376 @@
+// Live distribution plane fan-out (DESIGN.md §12): one StreamHub pushing
+// every published update to 1000 concurrent loopback /v1/stream
+// subscribers, plus one deliberately stalled reader. Measures sustained
+// fan-out throughput (subscriber-messages/sec) and enforces the two
+// correctness claims of the backpressure design even without --strict:
+// no subscriber queue ever exceeds the configured high watermark, and the
+// stalled reader is evicted while every healthy subscriber receives every
+// message. Emits BENCH_stream.json; --strict adds a conservative 20000
+// fanout msgs/sec floor (the paper's busiest VP emits ~8 msgs/sec, so a
+// full RIS-scale mirror of ~2000 VPs stays >100x under it).
+#include <sys/resource.h>
+#include <sys/socket.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/event_loop.hpp"
+#include "net/http_endpoint.hpp"
+#include "net/stream.hpp"
+
+namespace {
+
+using namespace gill;
+
+constexpr std::size_t kSubscribers = 1000;
+constexpr std::size_t kConnectBatch = 64;     // stay under the accept backlog
+constexpr std::size_t kPublishBatch = 20;
+constexpr std::size_t kMessages = 600;        // fan-out phase (measured)
+// Backpressure phase: the kernel absorbs up to tcp_wmem[2] (typically 4 MiB)
+// per connection before the subscriber queue even starts to fill, so the
+// flood cap must comfortably exceed that in bytes.
+constexpr std::size_t kMaxFlood = 8000;       // x ~1.4 KiB ≈ 11 MiB cap
+constexpr std::size_t kQueueHighBytes = 16 * 1024;
+constexpr std::size_t kEvictAfterDrops = 64;
+constexpr double kStrictFanoutFloor = 20000.0;
+
+std::string json_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+/// Raises the fd soft limit toward the hard limit: ~2x subscribers + slack
+/// fds are needed (client and server end of every connection).
+void raise_fd_limit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+/// Incremental HTTP chunked-body parser: counts decoded payload bytes and
+/// NDJSON message terminators without buffering the whole stream.
+struct ChunkParser {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+
+  void feed(const char* data, std::size_t n) {
+    pending_.append(data, n);
+    if (!in_body_) {
+      const std::size_t split = pending_.find("\r\n\r\n");
+      if (split == std::string::npos) return;
+      pending_.erase(0, split + 4);
+      in_body_ = true;
+    }
+    for (;;) {
+      const std::size_t eol = pending_.find("\r\n");
+      if (eol == std::string::npos) return;
+      const std::size_t size =
+          std::strtoul(pending_.substr(0, eol).c_str(), nullptr, 16);
+      if (size == 0) return;  // terminating chunk
+      if (pending_.size() < eol + 2 + size + 2) return;  // chunk in flight
+      for (std::size_t i = eol + 2; i < eol + 2 + size; ++i) {
+        if (pending_[i] == '\n') ++messages;
+      }
+      payload_bytes += size;
+      pending_.erase(0, eol + 2 + size + 2);
+    }
+  }
+
+ private:
+  std::string pending_;
+  bool in_body_ = false;
+};
+
+struct Client {
+  int fd = -1;
+  ChunkParser parser;
+  bool reads = true;  // the stalled reader sets this false
+
+  bool connect_to(std::uint16_t port, const std::string& target, int rcvbuf) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) return false;
+    if (rcvbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    request_ = "GET " + target + " HTTP/1.1\r\nHost: b\r\n\r\n";
+    return rc == 0 || errno == EINPROGRESS;
+  }
+
+  void pump() {
+    if (sent_ < request_.size()) {
+      const ssize_t n = ::send(fd, request_.data() + sent_,
+                               request_.size() - sent_, MSG_NOSIGNAL);
+      if (n > 0) sent_ += static_cast<std::size_t>(n);
+    }
+    if (!reads) return;
+    char buffer[16384];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+      if (n <= 0) break;
+      parser.feed(buffer, static_cast<std::size_t>(n));
+    }
+  }
+
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+
+ private:
+  std::string request_;
+  std::size_t sent_ = 0;
+};
+
+bgp::Update make_update(std::size_t sequence) {
+  bgp::Update update;
+  update.vp = static_cast<bgp::VpId>(sequence % 16);
+  update.time = 1000 + static_cast<bgp::Timestamp>(sequence);
+  update.prefix =
+      net::Prefix::parse("10." + std::to_string(sequence % 200) + ".0.0/16")
+          .value();
+  update.path = bgp::AsPath({65010, 65020, 64500});
+  return update;
+}
+
+/// A ~1.4 KiB update (200-hop path) outside 10.0.0.0/8: it reaches only the
+/// firehose (stalled) subscriber, so the backpressure phase costs one
+/// socket's worth of bytes, not a thousand.
+bgp::Update make_flood_update(std::size_t sequence) {
+  bgp::Update update;
+  update.vp = 1;
+  update.time = 2000 + static_cast<bgp::Timestamp>(sequence);
+  update.prefix =
+      net::Prefix::parse("172.16." + std::to_string(sequence % 200) + ".0/24")
+          .value();
+  std::vector<bgp::AsNumber> hops(200);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    hops[i] = static_cast<bgp::AsNumber>(65000 + i);
+  }
+  update.path = bgp::AsPath(std::move(hops));
+  return update;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+  }
+  bench::header("Live distribution plane: /v1/stream fan-out",
+                "DESIGN.md §12 — 1000 loopback subscribers + 1 stalled");
+  raise_fd_limit();
+
+  net::EventLoop loop;
+  metrics::Registry registry;
+  net::HttpEndpoint http(loop, &registry);
+  net::StreamConfig config;
+  config.max_subscribers = kSubscribers + 1;
+  config.queue_high_bytes = kQueueHighBytes;
+  config.evict_after_drops = kEvictAfterDrops;
+  net::StreamHub hub(http, config, &registry);
+  if (!http.listen("127.0.0.1", 0)) {
+    std::fprintf(stderr, "error: cannot bind a loopback listener\n");
+    return 1;
+  }
+
+  // Subscribe in batches so the accept backlog never overflows. Healthy
+  // subscribers filter on 10.0.0.0/8 — the backpressure flood later stays
+  // off their feeds.
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(kSubscribers);
+  while (clients.size() < kSubscribers) {
+    const std::size_t target =
+        std::min(clients.size() + kConnectBatch, kSubscribers);
+    while (clients.size() < target) {
+      auto client = std::make_unique<Client>();
+      if (!client->connect_to(http.port(), "/v1/stream?prefix=10.0.0.0/8",
+                              0)) {
+        std::fprintf(stderr, "error: connect failed at subscriber %zu\n",
+                     clients.size());
+        return 1;
+      }
+      clients.push_back(std::move(client));
+    }
+    for (int i = 0; i < 5000 && hub.subscriber_count() < clients.size(); ++i) {
+      loop.run_once(1);
+      for (auto& client : clients) client->pump();
+    }
+    if (hub.subscriber_count() < clients.size()) {
+      std::fprintf(stderr, "error: only %zu of %zu subscriptions came up\n",
+                   hub.subscriber_count(), clients.size());
+      return 1;
+    }
+  }
+  // The stalled reader takes the firehose through a tiny receive window and
+  // never reads a byte past its request — the kernel buffers fill, then its
+  // queue, then it is trimmed and finally evicted.
+  auto stalled = std::make_unique<Client>();
+  if (!stalled->connect_to(http.port(), "/v1/stream", /*rcvbuf=*/1024)) {
+    std::fprintf(stderr, "error: stalled subscriber cannot connect\n");
+    return 1;
+  }
+  for (int i = 0; i < 5000 && hub.subscriber_count() < kSubscribers + 1; ++i) {
+    loop.run_once(1);
+    stalled->pump();
+    for (auto& client : clients) client->pump();
+  }
+  stalled->reads = false;
+  if (hub.subscriber_count() != kSubscribers + 1) {
+    std::fprintf(stderr, "error: %zu subscribers up, want %zu\n",
+                 hub.subscriber_count(), kSubscribers + 1);
+    return 1;
+  }
+  bench::note("all " + std::to_string(kSubscribers + 1) +
+              " subscriptions established");
+
+  // Phase 1 (measured): fan every update out to all 1001 subscribers,
+  // draining the healthy readers between batches.
+  const bench::Stopwatch watch;
+  std::size_t published = 0;
+  while (published < kMessages) {
+    for (std::size_t i = 0; i < kPublishBatch; ++i) {
+      hub.publish(make_update(published++));
+    }
+    loop.run_once(0);
+    for (auto& client : clients) client->pump();
+  }
+  // Drain the tail: every healthy subscriber catches up to `published`.
+  bool complete = false;
+  for (int i = 0; i < 20000 && !complete; ++i) {
+    loop.run_once(1);
+    complete = true;
+    for (auto& client : clients) {
+      client->pump();
+      complete = complete && client->parser.messages >= published;
+    }
+  }
+  const double seconds = watch.seconds();
+  const std::uint64_t fanout =
+      registry.counter_total("gill_stream_fanout_msgs_total");
+
+  // Phase 2: big updates outside 10.0.0.0/8 reach only the stalled
+  // firehose; its kernel buffers fill (up to tcp_wmem max), its queue tops
+  // out at the watermark, and kEvictAfterDrops trims later it is gone.
+  std::size_t flooded = 0;
+  while (flooded < kMaxFlood &&
+         registry.counter_total("gill_stream_evictions_total") == 0) {
+    hub.publish(make_flood_update(flooded++));
+    if (flooded % 64 == 0) loop.run_once(0);
+  }
+  bench::note("stalled reader evicted after " + std::to_string(flooded) +
+              " flood messages");
+
+  // The healthy fleet is untouched: one more matching update still lands
+  // on every subscriber.
+  hub.publish(make_update(published++));
+  complete = false;
+  for (int i = 0; i < 20000 && !complete; ++i) {
+    loop.run_once(1);
+    complete = true;
+    for (auto& client : clients) {
+      client->pump();
+      complete = complete && client->parser.messages >= published;
+    }
+  }
+
+  const std::uint64_t dropped =
+      registry.counter_total("gill_stream_dropped_msgs_total");
+  const std::uint64_t evictions =
+      registry.counter_total("gill_stream_evictions_total");
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t incomplete = 0;
+  for (const auto& client : clients) {
+    delivered_bytes += client->parser.payload_bytes;
+    if (client->parser.messages < published) ++incomplete;
+  }
+  const double fanout_per_sec = static_cast<double>(fanout) / seconds;
+
+  bench::row({"metric", "value"}, 28);
+  bench::row({"subscribers", bench::num(kSubscribers, 0)}, 28);
+  bench::row({"messages_published", bench::num(published, 0)}, 28);
+  bench::row({"flood_messages", bench::num(static_cast<double>(flooded), 0)},
+             28);
+  bench::row({"fanout_msgs", bench::num(static_cast<double>(fanout), 0)}, 28);
+  bench::row({"dropped_msgs", bench::num(static_cast<double>(dropped), 0)},
+             28);
+  bench::row({"evictions", bench::num(static_cast<double>(evictions), 0)}, 28);
+  bench::row({"max_queue_bytes",
+              bench::num(static_cast<double>(hub.max_subscriber_queue_bytes()),
+                         0)},
+             28);
+  bench::row({"elapsed_s", bench::num(seconds, 3)}, 28);
+  bench::row({"fanout_msgs_per_sec", bench::num(fanout_per_sec, 0)}, 28);
+
+  std::string json = "{\"bench\":\"stream_fanout\",";
+  json += "\"subscribers\":" + std::to_string(kSubscribers) + ",";
+  json += "\"messages_published\":" + std::to_string(published) + ",";
+  json += "\"flood_messages\":" + std::to_string(flooded) + ",";
+  json += "\"fanout_msgs\":" + std::to_string(fanout) + ",";
+  json += "\"dropped_msgs\":" + std::to_string(dropped) + ",";
+  json += "\"evictions\":" + std::to_string(evictions) + ",";
+  json += "\"incomplete_subscribers\":" + std::to_string(incomplete) + ",";
+  json += "\"queue_high_bytes\":" + std::to_string(kQueueHighBytes) + ",";
+  json += "\"max_subscriber_queue_bytes\":" +
+          std::to_string(hub.max_subscriber_queue_bytes()) + ",";
+  json += "\"delivered_bytes\":" + std::to_string(delivered_bytes) + ",";
+  json += "\"elapsed_s\":" + json_number(seconds) + ",";
+  json += "\"fanout_msgs_per_sec\":" + json_number(fanout_per_sec) + ",";
+  json += "\"strict_fanout_floor\":" + json_number(kStrictFanoutFloor) + "}\n";
+  std::FILE* out = std::fopen("BENCH_stream.json", "w");
+  if (out != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    bench::note("wrote BENCH_stream.json");
+  } else {
+    std::fprintf(stderr, "error: cannot write BENCH_stream.json\n");
+    return 1;
+  }
+
+  // Correctness claims hold even without --strict.
+  if (hub.max_subscriber_queue_bytes() > kQueueHighBytes) {
+    std::fprintf(stderr, "FAIL: a queue reached %zu bytes (watermark %zu)\n",
+                 hub.max_subscriber_queue_bytes(), kQueueHighBytes);
+    return 1;
+  }
+  if (evictions != 1) {
+    std::fprintf(stderr,
+                 "FAIL: %llu evictions after %zu messages (want exactly the "
+                 "stalled reader)\n",
+                 static_cast<unsigned long long>(evictions), published);
+    return 1;
+  }
+  if (incomplete != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu healthy subscribers missed messages "
+                 "(eviction disturbed the fan-out)\n",
+                 static_cast<unsigned long long>(incomplete));
+    return 1;
+  }
+  if (strict && fanout_per_sec < kStrictFanoutFloor) {
+    std::fprintf(stderr, "FAIL: %.0f fanout msgs/sec is below the %.0f floor\n",
+                 fanout_per_sec, kStrictFanoutFloor);
+    return 1;
+  }
+  return 0;
+}

@@ -161,6 +161,7 @@ VpId Platform::add_peer_internal(
     mirror_.push(update);
     counters_.mirrored_updates.inc();
     forward(update);  // §14 custom services run before any discarding
+    if (stream_publisher_) stream_publisher_(update);
   });
   if (config_.auto_reconnect && arm_retry) {
     auto retry = config_.retry;

@@ -276,6 +276,14 @@ class Platform {
     return forwarding_rules_.size();
   }
 
+  /// The live distribution plane's tap (net::StreamHub::publish): every
+  /// accepted update is handed over right after the mirror tee and the
+  /// custom-service forwarders, before any sampling/discarding. Excluded
+  /// (quarantined/shed) peers never publish. nullptr detaches.
+  void set_stream_publisher(ForwardingSink publisher) {
+    stream_publisher_ = std::move(publisher);
+  }
+
  private:
   /// Registry-backed platform-level instruments, resolved at construction.
   struct PlatformCounters {
@@ -361,6 +369,7 @@ class Platform {
   /// therefore outlives the pool's drain-and-join destructor.
   std::unique_ptr<par::ThreadPool> analysis_pool_;
   std::vector<std::pair<net::Prefix, ForwardingSink>> forwarding_rules_;
+  ForwardingSink stream_publisher_;
   std::map<VpId, Peer> peers_;
   VpId next_vp_ = 0;
   daemon::MrtStore store_;

@@ -111,6 +111,21 @@ std::string encode_live(const LiveMessage& message) {
   return out;
 }
 
+std::string encode_live_update(const bgp::Update& update) {
+  LiveMessage message;
+  message.vp = update.vp;
+  message.timestamp = update.time;
+  message.peer_asn = update.path.empty() ? 0 : update.path.first();
+  if (update.withdrawal) {
+    message.withdrawals.push_back(update.prefix);
+  } else {
+    message.path = update.path;
+    message.communities = update.communities;
+    message.announcements.push_back(update.prefix);
+  }
+  return encode_live(message) + '\n';
+}
+
 std::optional<LiveMessage> decode_live(std::string_view text) {
   auto message = decode_live_unmetered(text);
   if (message) {

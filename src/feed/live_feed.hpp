@@ -41,6 +41,10 @@ struct LiveMessage {
 /// Encodes one message as a single-line JSON document.
 std::string encode_live(const LiveMessage& message);
 
+/// Encodes one stored update as a newline-terminated live-feed document
+/// (the NDJSON line /v1/stream fans out per accepted update).
+std::string encode_live_update(const bgp::Update& update);
+
 /// Parses one JSON document; nullopt when malformed or not an UPDATE.
 std::optional<LiveMessage> decode_live(std::string_view text);
 

@@ -21,6 +21,7 @@ std::string_view status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
     default: return "Internal Server Error";
   }
 }
@@ -98,11 +99,44 @@ std::string encode_chunk(const std::string& data) {
   return out;
 }
 
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
 metrics::Registry& resolve(metrics::Registry* registry) {
   return registry != nullptr ? *registry : metrics::default_registry();
 }
 
 }  // namespace
+
+HttpResponse error_response(int status, std::string_view code,
+                            std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = "{\"error\":{\"code\":\"";
+  append_json_escaped(response.body, code);
+  response.body += "\",\"message\":\"";
+  append_json_escaped(response.body, message);
+  response.body += "\"}}";
+  return response;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
 
 HttpEndpoint::HttpEndpoint(EventLoop& loop, metrics::Registry* registry)
     : loop_(&loop),
@@ -119,22 +153,33 @@ HttpEndpoint::HttpEndpoint(EventLoop& loop, metrics::Registry* registry)
 
 HttpEndpoint::~HttpEndpoint() { close(); }
 
-void HttpEndpoint::route(std::string path, Handler handler) {
-  routes_[std::move(path)] =
-      [handler = std::move(handler)](const HttpRequest&) { return handler(); };
+bool HttpEndpoint::route(std::string path, Handler handler) {
+  return route(std::move(path),
+               RouteHandler([handler = std::move(handler)](
+                   const HttpRequest&) { return handler(); }));
 }
 
-void HttpEndpoint::route(std::string path, RouteHandler handler) {
-  routes_[std::move(path)] = std::move(handler);
+bool HttpEndpoint::route(std::string path, RouteHandler handler) {
+  if (routes_.contains(path) || aliases_.contains(path)) return false;
+  routes_.emplace(std::move(path), std::move(handler));
+  return true;
+}
+
+bool HttpEndpoint::alias(std::string path, std::string target) {
+  if (routes_.contains(path) || aliases_.contains(path)) return false;
+  if (!routes_.contains(target)) return false;  // alias to nothing
+  aliases_.emplace(std::move(path), std::move(target));
+  return true;
 }
 
 void HttpEndpoint::serve_metrics(const metrics::Registry& registry) {
-  route("/metrics", [&registry] {
+  route("/v1/metrics", [&registry] {
     HttpResponse response;
     response.content_type = kPrometheusContentType;
     response.body = registry.expose_prometheus();
     return response;
   });
+  alias("/metrics", "/v1/metrics");
 }
 
 bool HttpEndpoint::listen(const std::string& host, std::uint16_t port) {
@@ -165,6 +210,24 @@ bool HttpEndpoint::listening() const noexcept {
 
 std::uint16_t HttpEndpoint::port() const noexcept { return listener_->port(); }
 
+void HttpEndpoint::wake(StreamId id) {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  const auto connection = connections_.find(it->second);
+  if (connection == connections_.end() || !connection->second.responding) {
+    return;
+  }
+  // A parked stream pulls its producer again; a stream mid-send simply
+  // retries the flush (harmless if EPOLLOUT would have resumed it anyway).
+  flush(connection->second);
+}
+
+void HttpEndpoint::close_stream(StreamId id) {
+  const auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  drop(it->second);
+}
+
 void HttpEndpoint::on_accept(int fd) {
   Connection connection;
   connection.fd = fd;
@@ -190,7 +253,9 @@ void HttpEndpoint::on_event(int fd, std::uint32_t events) {
         continue;  // a response in flight: drain and ignore extra bytes
       }
       if (n == 0) {  // client closed before/while we answer
-        if (!connection.responding) {
+        if (!connection.responding || connection.live) {
+          // No request to answer — or a live stream whose consumer left:
+          // nobody is reading, so the subscription ends here.
           drop(fd);
           return;
         }
@@ -204,8 +269,8 @@ void HttpEndpoint::on_event(int fd, std::uint32_t events) {
     if (!connection.responding) {
       if (connection.in.size() > kMaxRequestBytes) {
         bad_requests_.inc();
-        connection.out = render({400, "text/plain; charset=utf-8",
-                                 "request too large\n"});
+        connection.out =
+            render(error_response(400, "bad_request", "request too large"));
         connection.responding = true;
       } else if (connection.in.find("\r\n\r\n") != std::string::npos) {
         handle_request(connection);
@@ -228,31 +293,43 @@ void HttpEndpoint::handle_request(Connection& connection) {
   if (method_end == std::string_view::npos ||
       target_end == std::string_view::npos) {
     bad_requests_.inc();
-    response = {400, "text/plain; charset=utf-8", "malformed request line\n"};
+    response = error_response(400, "bad_request", "malformed request line");
   } else {
     const std::string_view method = line.substr(0, method_end);
     const std::string_view target =
         line.substr(method_end + 1, target_end - method_end - 1);
     const HttpRequest parsed = parse_target(target);
+    auto it = routes_.find(parsed.path);
+    if (it == routes_.end()) {
+      const auto alias = aliases_.find(parsed.path);
+      if (alias != aliases_.end()) it = routes_.find(alias->second);
+    }
     if (method != "GET") {
       bad_requests_.inc();
-      response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
-    } else if (const auto it = routes_.find(parsed.path);
-               it != routes_.end()) {
+      response = error_response(405, "method_not_allowed",
+                                "only GET is supported");
+    } else if (it != routes_.end()) {
       response = it->second(parsed);
       requests_.inc();
     } else {
       bad_requests_.inc();
-      response = {404, "text/plain; charset=utf-8", "not found\n"};
+      response = error_response(404, "not_found", "no such route");
     }
   }
   connection.out = render(response);
   connection.producer = std::move(response.producer);
+  connection.live = response.live && connection.producer != nullptr;
   connection.responding = true;
+  if (connection.live) {
+    connection.stream_id = next_stream_id_++;
+    streams_[connection.stream_id] = connection.fd;
+    if (response.on_stream) response.on_stream(connection.stream_id);
+  }
 }
 
 void HttpEndpoint::flush(Connection& connection) {
   const int fd = connection.fd;
+  connection.parked = false;
   for (;;) {
     while (connection.out_offset < connection.out.size()) {
       const ssize_t n =
@@ -280,10 +357,19 @@ void HttpEndpoint::flush(Connection& connection) {
       const bool more = connection.producer(chunk);
       if (more && !chunk.empty()) {
         connection.out = encode_chunk(chunk);
-      } else {
-        connection.out = "0\r\n\r\n";  // terminating chunk
-        connection.final_chunk_queued = true;
+        continue;
       }
+      if (more && connection.live) {
+        // Live stream with nothing pending: park with the connection open
+        // and fully drained; wake(stream_id) resumes delivery. Quiet, not
+        // stalled — the idle sweep leaves parked streams alone.
+        connection.parked = true;
+        connection.last_activity_ms = loop_->now_ms();
+        loop_->modify(fd, kReadable);  // only client-close interest remains
+        return;
+      }
+      connection.out = "0\r\n\r\n";  // terminating chunk
+      connection.final_chunk_queued = true;
       continue;
     }
     drop(fd);  // Connection: close — one response per connection
@@ -292,6 +378,10 @@ void HttpEndpoint::flush(Connection& connection) {
 }
 
 void HttpEndpoint::drop(int fd) {
+  const auto it = connections_.find(fd);
+  if (it != connections_.end() && it->second.stream_id != 0) {
+    streams_.erase(it->second.stream_id);
+  }
   loop_->remove(fd);
   ::close(fd);
   connections_.erase(fd);
@@ -302,6 +392,11 @@ void HttpEndpoint::sweep_idle() {
   const std::uint64_t now = loop_->now_ms();
   std::vector<int> stale;
   for (const auto& [fd, connection] : connections_) {
+    // Idle means no *socket* progress while work is pending: an unfinished
+    // request, or response bytes the peer will not read. A parked live
+    // stream has delivered everything and owes nothing — a quiet feed must
+    // not cost a subscriber its connection.
+    if (connection.parked) continue;
     if (now - connection.last_activity_ms >= idle_timeout_ms_) {
       stale.push_back(fd);
     }

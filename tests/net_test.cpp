@@ -749,6 +749,84 @@ TEST(Http, RoutesQueriesAndErrors) {
   EXPECT_EQ(http.open_connections(), 0u);
 }
 
+// The one-release legacy bridge: an unversioned path must serve the exact
+// bytes of its /v1 canonical route.
+TEST(Http, LegacyAliasIsByteIdenticalToTheVersionedRoute) {
+  EventLoop loop;
+  metrics::Registry registry;
+  metrics::Registry served;
+  served.counter("gill_test_requests_total", "test counter").inc(7);
+  HttpEndpoint http(loop, &registry);
+  http.serve_metrics(served);
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+  const std::string versioned = http_exchange(
+      loop, http.port(), "GET /v1/metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  const std::string legacy = http_exchange(
+      loop, http.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(versioned.starts_with("HTTP/1.1 200 OK\r\n"));
+  EXPECT_EQ(versioned, legacy);
+}
+
+// A duplicate registration is a wiring bug, never a silent overwrite; an
+// alias must point at something real.
+TEST(Http, DuplicateRoutesAndDanglingAliasesAreRejected) {
+  EventLoop loop;
+  metrics::Registry registry;
+  HttpEndpoint http(loop, &registry);
+  EXPECT_TRUE(http.route("/v1/thing", [] { return HttpResponse{}; }));
+  EXPECT_FALSE(http.route("/v1/thing", [] { return HttpResponse{}; }));
+  EXPECT_TRUE(http.alias("/thing", "/v1/thing"));
+  EXPECT_FALSE(http.alias("/thing", "/v1/thing"));   // alias already taken
+  EXPECT_FALSE(http.route("/thing", [] { return HttpResponse{}; }));
+  EXPECT_FALSE(http.alias("/other", "/v1/missing"));  // alias to nothing
+}
+
+// The uniform JSON error envelope, byte for byte, on every built-in error.
+TEST(Http, BuiltInErrorsUseTheJsonEnvelope) {
+  EventLoop loop;
+  metrics::Registry registry;
+  HttpEndpoint http(loop, &registry);
+  http.route("/v1/thing", [] { return HttpResponse{}; });
+  ASSERT_TRUE(http.listen("127.0.0.1", 0));
+
+  const auto missing = http_exchange(
+      loop, http.port(), "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(missing.starts_with("HTTP/1.1 404 Not Found\r\n"));
+  EXPECT_NE(missing.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_TRUE(missing.ends_with(
+      "{\"error\":{\"code\":\"not_found\",\"message\":\"no such route\"}}"))
+      << missing;
+
+  const auto post = http_exchange(
+      loop, http.port(), "POST /v1/thing HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(post.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+  EXPECT_TRUE(post.ends_with("{\"error\":{\"code\":\"method_not_allowed\","
+                             "\"message\":\"only GET is supported\"}}"))
+      << post;
+
+  const auto garbage = http_exchange(loop, http.port(), "NONSENSE\r\n\r\n");
+  EXPECT_TRUE(garbage.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+  EXPECT_TRUE(garbage.ends_with(
+      "{\"error\":{\"code\":\"bad_request\",\"message\":"
+      "\"malformed request line\"}}"))
+      << garbage;
+}
+
+TEST(Http, ParseU64IsStrict) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", &value));
+  EXPECT_EQ(value, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("", &value));
+  EXPECT_FALSE(parse_u64("-1", &value));
+  EXPECT_FALSE(parse_u64("+1", &value));
+  EXPECT_FALSE(parse_u64("1 ", &value));
+  EXPECT_FALSE(parse_u64("0x10", &value));
+  EXPECT_FALSE(parse_u64("18446744073709551616", &value));  // overflow
+}
+
 TEST(Http, ChunkedStreamingResponsePullsTheProducerAsTheSocketDrains) {
   EventLoop loop;
   metrics::Registry registry;

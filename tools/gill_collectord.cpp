@@ -2,11 +2,16 @@
 // Listens for inbound BGP peerings (and optionally BMP feeds, RFC 7854)
 // over TCP, drives every session from one epoll event loop whose timer
 // wheel ticks the daemons (keepalives, hold timers, filter refreshes), and
-// serves the operator plane over HTTP: GET /metrics (Prometheus) and
-// GET /healthz (JSON peer health).
+// serves the versioned operator plane over HTTP: GET /v1/metrics
+// (Prometheus), GET /v1/healthz (JSON peer health), the archive retrieval
+// routes (/v1/data, /v1/segments) and the live distribution plane
+// (GET /v1/stream — every accepted update fanned out to filtered
+// subscribers in real time). Legacy unversioned paths remain as aliases
+// for one release.
 //
 //   gill-collectord --listen-port 1790 --http-port 9179 &
-//   curl -s localhost:9179/metrics | grep gill_collector_peers
+//   curl -s localhost:9179/v1/metrics | grep gill_collector_peers
+//   curl -N 'localhost:9179/v1/stream?prefix=10.0.0.0/8'
 //
 // Single-threaded by design (DESIGN.md §7): sessions are share-nothing
 // callbacks on the loop, so the daemon hot path never takes a lock.
@@ -27,6 +32,7 @@
 #include "net/event_loop.hpp"
 #include "net/http_endpoint.hpp"
 #include "net/overload.hpp"
+#include "net/stream.hpp"
 #include "net/tcp_transport.hpp"
 
 namespace {
@@ -38,7 +44,7 @@ constexpr const char* kUsage =
     "usage: gill-collectord [options]\n"
     "  --listen-port N        BGP listen port (default 1790; 179 needs root)\n"
     "  --bmp-port N           BMP listen port (default: disabled)\n"
-    "  --http-port N          HTTP port for /metrics and /healthz (default 9179)\n"
+    "  --http-port N          HTTP port for the /v1 operator plane (default 9179)\n"
     "  --bind IP              bind address, IPv4 or IPv6 (default 0.0.0.0)\n"
     "  --dial HOST:PORT:ASN   dial an outbound peering (repeatable; IPv6\n"
     "                         hosts in brackets: [::1]:1790:65001)\n"
@@ -49,8 +55,8 @@ constexpr const char* kUsage =
     "  --analysis-threads N   worker pool for filter refreshes: -1 auto,\n"
     "                         0 synchronous on the loop thread (default -1)\n"
     "  --archive PATH         save the in-memory MRT archive to PATH on shutdown\n"
-    "  --archive-dir DIR      rotated on-disk segment store; serves GET /data\n"
-    "                         and GET /segments on the HTTP port\n"
+    "  --archive-dir DIR      rotated on-disk segment store; serves GET /v1/data\n"
+    "                         and GET /v1/segments on the HTTP port\n"
     "  --rotate-secs N        segment rotation boundary (default 900)\n"
     "  --snapshot-secs N      RIB snapshot period into the segment store\n"
     "                         (default: --rib-dump-interval)\n"
@@ -65,6 +71,11 @@ constexpr const char* kUsage =
     "  --mem-watermark N      process RSS bytes that trigger degraded mode\n"
     "                         (defer refreshes/snapshots, shed weakest VPs;\n"
     "                         default off)\n"
+    "  --stream-max-subscribers N  concurrent /v1/stream subscribers before\n"
+    "                         new ones get 503 (default 1024)\n"
+    "  --stream-queue-bytes N per-subscriber queue high watermark, bytes;\n"
+    "                         slow readers are trimmed above it and evicted\n"
+    "                         if they never drain (default 1 MiB)\n"
     "  --metrics <path|->     dump the Prometheus exposition at exit\n";
 
 /// Splits a --dial target HOST:PORT:ASN (host may be a bracketed IPv6
@@ -113,6 +124,10 @@ int main(int argc, char** argv) {
   const long queue_watermark = args.get_int("queue-watermark", 1024 * 1024);
   const long accept_rate = args.get_int("accept-rate", 0);
   const long mem_watermark = args.get_int("mem-watermark", 0);
+  const long stream_max_subscribers =
+      args.get_int("stream-max-subscribers", 1024);
+  const long stream_queue_bytes =
+      args.get_int("stream-queue-bytes", 1024 * 1024);
 
   metrics::Registry& registry = metrics::default_registry();
   // Destruction order matters: the loop must outlive every fd owner below.
@@ -256,7 +271,10 @@ int main(int argc, char** argv) {
   }
 
   // BMP feeds are ingest-only byte streams (no session FSM): one decoder
-  // per connection, read straight off the loop.
+  // per connection, read straight off the loop. The stream hub is built
+  // later (it needs the HTTP endpoint); this pointer is filled in before
+  // the loop runs, so every accepted BMP feed publishes into it too.
+  net::StreamHub* live_stream = nullptr;
   std::map<int, std::unique_ptr<daemon::BmpIngest>> bmp_streams;
   bgp::VpId next_bmp_vp = 100000;  // label space disjoint from BGP VPs
   net::TcpListener bmp_listener(loop, &registry);
@@ -267,6 +285,9 @@ int main(int argc, char** argv) {
           auto ingest = std::make_unique<daemon::BmpIngest>(
               next_bmp_vp++, &platform.filters(), nullptr, &registry);
           auto* raw = ingest.get();
+          raw->set_mirror([&live_stream](const bgp::Update& update) {
+            if (live_stream != nullptr) live_stream->publish(update);
+          });
           bmp_streams.emplace(fd, std::move(ingest));
           loop.add(fd, net::kReadable, [&, fd, raw](std::uint32_t) {
             std::uint8_t buffer[16384];
@@ -297,44 +318,58 @@ int main(int argc, char** argv) {
 
   net::HttpEndpoint http(loop, &registry);
   http.serve_metrics(registry);
-  http.route("/healthz", [&platform] {
+  http.route("/v1/healthz", [&platform] {
     net::HttpResponse response;
     response.content_type = "application/json";
     response.body = collect::to_json(platform.health_snapshot());
     return response;
   });
+  http.alias("/healthz", "/v1/healthz");
   if (!archive_dir.empty()) {
-    // Data-retrieval plane (ISSUE: "serve the archive back out"): /data
-    // streams framed MRT chunked with bounded memory; /segments lists the
-    // manifest. Each request opens a fresh reader so it sees every segment
-    // sealed so far (and never touches the live writer's current.part).
-    http.route("/data", [&registry, archive_dir](
-                            const net::HttpRequest& request) {
+    // Data-retrieval plane (ISSUE: "serve the archive back out"): /v1/data
+    // streams framed MRT chunked with bounded memory; /v1/segments lists
+    // the manifest. Each request opens a fresh reader so it sees every
+    // segment sealed so far (and never touches the writer's current.part).
+    http.route("/v1/data", [&registry, archive_dir](
+                               const net::HttpRequest& request) {
       archive::QueryOptions options;
+      std::uint64_t value = 0;
       if (const auto* start = request.get("start")) {
-        options.start = static_cast<bgp::Timestamp>(
-            std::strtoull(start->c_str(), nullptr, 10));
+        if (!net::parse_u64(*start, &value)) {
+          return net::error_response(400, "bad_param",
+                                     "bad start '" + *start +
+                                         "': want a decimal timestamp");
+        }
+        options.start = static_cast<bgp::Timestamp>(value);
       }
       if (const auto* end = request.get("end")) {
-        options.end = static_cast<bgp::Timestamp>(
-            std::strtoull(end->c_str(), nullptr, 10));
+        if (!net::parse_u64(*end, &value)) {
+          return net::error_response(400, "bad_param",
+                                     "bad end '" + *end +
+                                         "': want a decimal timestamp");
+        }
+        options.end = static_cast<bgp::Timestamp>(value);
       }
       if (const auto* vp = request.get("vp")) {
-        options.vp = static_cast<bgp::VpId>(
-            std::strtoul(vp->c_str(), nullptr, 10));
+        if (!net::parse_u64(*vp, &value) || value > UINT32_MAX) {
+          return net::error_response(
+              400, "bad_param", "bad vp '" + *vp + "': want a decimal VP id");
+        }
+        options.vp = static_cast<bgp::VpId>(value);
       }
       if (const auto* prefix = request.get("prefix")) {
         const auto parsed = gill::net::Prefix::parse(*prefix);
         if (!parsed) {
-          return net::HttpResponse{400, "text/plain; charset=utf-8",
-                                   "bad prefix\n", nullptr};
+          return net::error_response(400, "bad_param",
+                                     "bad prefix '" + *prefix +
+                                         "': want CIDR like 10.0.0.0/8");
         }
         options.prefix = *parsed;
       }
       auto reader = std::make_shared<archive::ArchiveReader>(&registry);
       if (!reader->open(archive_dir)) {
-        return net::HttpResponse{500, "text/plain; charset=utf-8",
-                                 "archive unavailable\n", nullptr};
+        return net::error_response(500, "archive_unavailable",
+                                   "cannot open the segment store");
       }
       auto cursor =
           std::make_shared<archive::QueryCursor>(reader->query(options));
@@ -345,18 +380,38 @@ int main(int argc, char** argv) {
       };
       return response;
     });
-    http.route("/segments", [&registry, archive_dir](const net::HttpRequest&) {
-      net::HttpResponse response;
-      archive::ArchiveReader reader(&registry);
-      if (!reader.open(archive_dir)) {
-        return net::HttpResponse{500, "text/plain; charset=utf-8",
-                                 "archive unavailable\n", nullptr};
-      }
-      response.content_type = "application/json";
-      response.body = reader.segments_json();
-      return response;
-    });
+    http.route("/v1/segments",
+               [&registry, archive_dir](const net::HttpRequest&) {
+                 archive::ArchiveReader reader(&registry);
+                 if (!reader.open(archive_dir)) {
+                   return net::error_response(500, "archive_unavailable",
+                                              "cannot open the segment store");
+                 }
+                 net::HttpResponse response;
+                 response.content_type = "application/json";
+                 response.body = reader.segments_json();
+                 return response;
+               });
+    http.alias("/data", "/v1/data");
+    http.alias("/segments", "/v1/segments");
   }
+
+  // The live distribution plane (GET /v1/stream): every accepted update —
+  // BGP sessions and BMP feeds alike — fans out to filtered subscribers.
+  net::StreamConfig stream_config;
+  stream_config.max_subscribers =
+      stream_max_subscribers > 0
+          ? static_cast<std::size_t>(stream_max_subscribers)
+          : 0;
+  if (stream_queue_bytes > 0) {
+    stream_config.queue_high_bytes =
+        static_cast<std::size_t>(stream_queue_bytes);
+  }
+  net::StreamHub stream_hub(http, stream_config, &registry);
+  live_stream = &stream_hub;
+  platform.set_stream_publisher(
+      [&stream_hub](const bgp::Update& update) { stream_hub.publish(update); });
+
   if (!http.listen(bind_ip, http_port)) {
     std::fprintf(stderr, "error: cannot listen on %s:%u (HTTP)\n",
                  bind_ip.c_str(), http_port);
@@ -379,7 +434,8 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::fprintf(stderr,
                "[collectord] AS%u: BGP on %s:%u%s, HTTP on %s:%u "
-               "(/metrics, /healthz), analysis threads: %zu\n",
+               "(/v1/metrics, /v1/healthz, /v1/stream), "
+               "analysis threads: %zu\n",
                local_as, bind_ip.c_str(), bgp_listener.port(),
                bmp_port > 0 ? " (+BMP)" : "", bind_ip.c_str(), http.port(),
                platform.analysis_thread_count());

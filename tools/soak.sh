@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Flap-storm soak: builds the soak-labeled chaos tests (tests/soak_test.cpp)
+# Flap-storm soak: builds the soak-labeled chaos tests (tests/soak_test.cpp
+# and the /v1/stream distribution-plane tests in tests/stream_test.cpp)
 # under BOTH sanitizer configurations and runs them in one invocation:
 #
 #   1. GILL_SANITIZE=ON      (ASan + UBSan — memory safety under the storm)
@@ -25,7 +26,8 @@ run_one() {
   echo "=== soak [$mode]: ${GILL_SOAK_PEERS} peers x ${GILL_SOAK_ROUNDS} rounds ==="
   cmake -B "$dir" -S . -DGILL_SANITIZE="$mode" > "$dir.configure.log" 2>&1 \
     || { cat "$dir.configure.log"; return 1; }
-  cmake --build "$dir" -j"$jobs" --target soak_test > "$dir.build.log" 2>&1 \
+  cmake --build "$dir" -j"$jobs" --target soak_test stream_test \
+    > "$dir.build.log" 2>&1 \
     || { tail -50 "$dir.build.log"; return 1; }
   (cd "$dir" && ctest -L soak --output-on-failure)
 }

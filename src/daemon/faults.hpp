@@ -40,8 +40,9 @@ struct FaultStats {
 
 /// Transport decorator injecting seeded faults on every write. Endpoints
 /// are oblivious: corruption surfaces as decode errors, truncation as
-/// resynchronization, resets as a new transport epoch.
-class FaultyTransport final : public Transport {
+/// resynchronization, resets as a new transport epoch. Subclasses (e.g. the
+/// harness ShapedTransport) may layer timing models on top of the faults.
+class FaultyTransport : public Transport {
  public:
   explicit FaultyTransport(FaultProfile profile)
       : profile_(profile), rng_(profile.seed) {}

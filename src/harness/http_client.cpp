@@ -1,0 +1,237 @@
+#include "harness/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace gill::harness {
+
+namespace {
+
+int dial_blocking(const std::string& host, std::uint16_t port,
+                  int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_request(int fd, const std::string& target) {
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: harness\r\n"
+                              "Connection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parses status line + headers out of `raw`; returns the body offset or
+/// npos while incomplete. Sets `status` and `chunked`.
+std::size_t parse_headers(const std::string& raw, int* status,
+                          bool* chunked) {
+  const std::size_t end = raw.find("\r\n\r\n");
+  if (end == std::string::npos) return std::string::npos;
+  const std::size_t line_end = raw.find("\r\n");
+  *status = 0;
+  if (const std::size_t sp = raw.find(' ');
+      sp != std::string::npos && sp < line_end) {
+    *status = std::atoi(raw.c_str() + sp + 1);
+  }
+  *chunked = false;
+  std::size_t pos = line_end + 2;
+  while (pos < end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > end) eol = end;
+    std::string line = raw.substr(pos, eol - pos);
+    for (char& c : line) c = static_cast<char>(std::tolower(c));
+    if (line.find("transfer-encoding:") == 0 &&
+        line.find("chunked") != std::string::npos) {
+      *chunked = true;
+    }
+    pos = eol + 2;
+  }
+  return end + 4;
+}
+
+}  // namespace
+
+std::optional<HttpResult> http_get(const std::string& host,
+                                   std::uint16_t port,
+                                   const std::string& target,
+                                   int timeout_ms) {
+  const int fd = dial_blocking(host, port, timeout_ms);
+  if (fd < 0) return std::nullopt;
+  if (!send_request(fd, target)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string raw;
+  char buffer[16384];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      raw.append(buffer, static_cast<std::size_t>(n));
+      if (std::chrono::steady_clock::now() > deadline) break;
+      continue;
+    }
+    if (n < 0 && (errno == EINTR)) continue;
+    break;  // orderly close or error/timeout: Connection: close semantics
+  }
+  ::close(fd);
+
+  int status = 0;
+  bool chunked = false;
+  const std::size_t body_at = parse_headers(raw, &status, &chunked);
+  if (body_at == std::string::npos) return std::nullopt;
+  HttpResult result;
+  result.status = status;
+  if (!chunked) {
+    result.body = raw.substr(body_at);
+    return result;
+  }
+  // De-chunk.
+  std::size_t pos = body_at;
+  for (;;) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos) return std::nullopt;
+    const std::size_t size =
+        static_cast<std::size_t>(std::strtoul(raw.c_str() + pos, nullptr, 16));
+    pos = eol + 2;
+    if (size == 0) break;
+    if (pos + size > raw.size()) return std::nullopt;
+    result.body.append(raw, pos, size);
+    pos += size + 2;  // skip the chunk's trailing CRLF
+  }
+  return result;
+}
+
+StreamClient::~StreamClient() { close(); }
+
+bool StreamClient::connect(const std::string& host, std::uint16_t port,
+                           const std::string& target) {
+  close();
+  fd_ = dial_blocking(host, port, 2000);
+  if (fd_ < 0) return false;
+  if (!send_request(fd_, target)) {
+    close();
+    return false;
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  closed_ = false;
+  status_ = 0;
+  headers_done_ = false;
+  chunked_ = false;
+  raw_.clear();
+  raw_offset_ = 0;
+  chunk_remaining_ = 0;
+  payload_.clear();
+  return true;
+}
+
+void StreamClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool StreamClient::pump() {
+  if (fd_ < 0) return false;
+  char buffer[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      raw_.append(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    closed_ = true;  // orderly close or hard error
+    break;
+  }
+  parse();
+  if (closed_) close();
+  return !closed_;
+}
+
+void StreamClient::parse() {
+  if (!headers_done_) {
+    const std::size_t body_at = parse_headers(raw_, &status_, &chunked_);
+    if (body_at == std::string::npos) return;
+    headers_done_ = true;
+    raw_offset_ = body_at;
+  }
+  for (;;) {
+    if (chunk_remaining_ > 0) {
+      const std::size_t take =
+          std::min(chunk_remaining_, raw_.size() - raw_offset_);
+      payload_.insert(payload_.end(), raw_.begin() + raw_offset_,
+                      raw_.begin() + raw_offset_ + take);
+      raw_offset_ += take;
+      chunk_remaining_ -= take;
+      if (chunk_remaining_ > 0) return;  // need more bytes
+      // Skip the chunk's trailing CRLF once it arrives.
+      if (raw_.size() - raw_offset_ < 2) {
+        chunk_remaining_ = 0;
+        // Mark the CRLF as pending by borrowing the size-line path below:
+        // it tolerates a leading CRLF.
+      } else {
+        raw_offset_ += 2;
+      }
+    }
+    if (!chunked_) {
+      // Identity body (non-live responses): everything is payload.
+      payload_.insert(payload_.end(), raw_.begin() + raw_offset_, raw_.end());
+      raw_offset_ = raw_.size();
+      return;
+    }
+    // Tolerate the CRLF that terminates the previous chunk.
+    while (raw_offset_ + 1 < raw_.size() && raw_[raw_offset_] == '\r' &&
+           raw_[raw_offset_ + 1] == '\n') {
+      raw_offset_ += 2;
+    }
+    const std::size_t eol = raw_.find("\r\n", raw_offset_);
+    if (eol == std::string::npos) return;  // size line incomplete
+    const std::size_t size = static_cast<std::size_t>(
+        std::strtoul(raw_.c_str() + raw_offset_, nullptr, 16));
+    raw_offset_ = eol + 2;
+    if (size == 0) {
+      closed_ = true;
+      return;
+    }
+    chunk_remaining_ = size;
+  }
+}
+
+}  // namespace gill::harness

@@ -1,0 +1,67 @@
+// Minimal loopback HTTP/1.1 client for the harness: a one-shot blocking
+// GET (the verdict pull of /v1/data, /v1/segments, /v1/metrics) and a
+// non-blocking incremental consumer for live chunked streams
+// (/v1/stream?format=mrt), pumped from the driver loop while the replay is
+// in flight. Only what gill's own HttpEndpoint emits is supported:
+// HTTP/1.1, Connection: close, Content-Length or Transfer-Encoding:
+// chunked.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gill::harness {
+
+struct HttpResult {
+  int status = 0;
+  std::string body;  // de-chunked
+};
+
+/// Blocking GET http://host:port{target}; nullopt on connect/timeout/parse
+/// failure.
+std::optional<HttpResult> http_get(const std::string& host,
+                                   std::uint16_t port,
+                                   const std::string& target,
+                                   int timeout_ms = 10000);
+
+/// Incremental consumer of a chunked (live) response. connect() sends the
+/// request; pump() makes progress without blocking; payload() exposes the
+/// de-chunked bytes accumulated so far (a growing buffer — callers track
+/// their own parse offset).
+class StreamClient {
+ public:
+  StreamClient() = default;
+  ~StreamClient();
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+
+  bool connect(const std::string& host, std::uint16_t port,
+               const std::string& target);
+  /// Reads whatever the socket has; returns true while the stream is live.
+  bool pump();
+  void close();
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  bool closed_by_server() const noexcept { return closed_; }
+  int status() const noexcept { return status_; }
+  const std::vector<std::uint8_t>& payload() const noexcept {
+    return payload_;
+  }
+
+ private:
+  void parse();
+
+  int fd_ = -1;
+  bool closed_ = false;
+  int status_ = 0;
+  bool headers_done_ = false;
+  bool chunked_ = false;
+  std::string raw_;                   // undecoded bytes (headers + chunks)
+  std::size_t raw_offset_ = 0;        // parse position in raw_
+  std::size_t chunk_remaining_ = 0;   // bytes left of the current chunk
+  std::vector<std::uint8_t> payload_;
+};
+
+}  // namespace gill::harness

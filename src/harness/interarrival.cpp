@@ -1,0 +1,116 @@
+#include "harness/interarrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gill::harness {
+
+LongMemoryScheduler::LongMemoryScheduler(InterarrivalConfig config)
+    : config_(config), rng_(config.seed) {
+  const int k = std::max(0, config_.timescales);
+  components_.assign(static_cast<std::size_t>(k), 0.0);
+  rho_.resize(components_.size());
+  sigma_.resize(components_.size());
+  double timescale = std::max(1.0, config_.base_timescale);
+  // Equal stationary variance per component: the cascade's total variance
+  // is volatility^2 regardless of K, so K only widens the correlation span.
+  const double per_component_var =
+      components_.empty()
+          ? 0.0
+          : (config_.volatility * config_.volatility) /
+                static_cast<double>(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    rho_[i] = std::exp(-1.0 / timescale);
+    sigma_[i] = std::sqrt(per_component_var * (1.0 - rho_[i] * rho_[i]));
+    timescale *= 2.0;
+  }
+  // Warm the cascade to its stationary distribution so the first gaps are
+  // not biased toward the zero start.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = gauss_(rng_) * std::sqrt(per_component_var);
+  }
+  step_modulation();
+}
+
+void LongMemoryScheduler::step_modulation() {
+  double log_intensity = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i] = rho_[i] * components_[i] + sigma_[i] * gauss_(rng_);
+    log_intensity += components_[i];
+  }
+  // E[exp(X)] = exp(var/2) for Gaussian X: divide it out so the mean rate
+  // stays at the configured value whatever the volatility.
+  const double correction =
+      0.5 * config_.volatility * config_.volatility;
+  rate_ = config_.mean_rate_per_sec * std::exp(log_intensity - correction);
+  rate_ = std::max(rate_, config_.mean_rate_per_sec * 1e-3);
+}
+
+double LongMemoryScheduler::next_gap_ms() {
+  step_modulation();
+  std::exponential_distribution<double> gap(rate_);
+  return 1000.0 * gap(rng_);
+}
+
+std::vector<double> LongMemoryScheduler::pace(std::size_t n,
+                                              double duration_ms) {
+  std::vector<double> offsets(n, 0.0);
+  if (n == 0) return offsets;
+  double clock = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    clock += next_gap_ms();
+    offsets[i] = clock;
+  }
+  const double total = offsets.back();
+  if (total <= 0.0 || duration_ms <= 0.0) {
+    std::fill(offsets.begin(), offsets.end(), 0.0);
+    return offsets;
+  }
+  const double scale = duration_ms / total;
+  for (double& offset : offsets) offset *= scale;
+  return offsets;
+}
+
+double variance_time_hurst(const std::vector<double>& counts) {
+  // Aggregate the series at scales m = 1, 2, 4, ... and regress
+  // log Var(m) on log m; the slope is 2H - 1 for the *mean* of each block,
+  // i.e. Var(block mean at scale m) ~ m^(2H-2).
+  std::vector<double> log_m, log_var;
+  for (std::size_t m = 1; counts.size() / m >= 8; m *= 2) {
+    const std::size_t blocks = counts.size() / m;
+    std::vector<double> means(blocks, 0.0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < m; ++i) sum += counts[b * m + i];
+      means[b] = sum / static_cast<double>(m);
+    }
+    double mean = 0.0;
+    for (double v : means) mean += v;
+    mean /= static_cast<double>(blocks);
+    double var = 0.0;
+    for (double v : means) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(blocks);
+    if (var <= 0.0) continue;
+    log_m.push_back(std::log(static_cast<double>(m)));
+    log_var.push_back(std::log(var));
+  }
+  if (log_m.size() < 2) return 0.5;
+  // Least-squares slope.
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < log_m.size(); ++i) {
+    mx += log_m[i];
+    my += log_var[i];
+  }
+  mx /= static_cast<double>(log_m.size());
+  my /= static_cast<double>(log_m.size());
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < log_m.size(); ++i) {
+    sxx += (log_m[i] - mx) * (log_m[i] - mx);
+    sxy += (log_m[i] - mx) * (log_var[i] - my);
+  }
+  const double slope = sxx > 0.0 ? sxy / sxx : -1.0;
+  // slope = 2H - 2  =>  H = 1 + slope / 2.
+  return std::clamp(1.0 + slope / 2.0, 0.0, 1.0);
+}
+
+}  // namespace gill::harness

@@ -1,0 +1,68 @@
+// Long-memory update interarrival pacing (DESIGN.md §13). Kitsak et al.,
+// "Long-Range Correlations and Memory in the Dynamics of Internet
+// Interdomain Routing" (PAPERS.md), show BGP update arrivals are not
+// Poisson: counts are long-range correlated with Hurst exponents well above
+// 0.5 across hours of traffic. The standard generative recipe for such
+// dynamics is a doubly-stochastic (Cox) process — a Poisson process whose
+// rate is modulated by a slowly-wandering intensity. Summing K AR(1)
+// (discrete Ornstein-Uhlenbeck) components with geometrically spaced
+// relaxation times approximates 1/f log-intensity over K decades, which
+// yields long-range-dependent counts; a single AR(1) (K=1) degrades to
+// short memory and K=0 to plain Poisson, so the model nests the null
+// hypotheses the tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gill::harness {
+
+struct InterarrivalConfig {
+  double mean_rate_per_sec = 50.0;
+  /// AR(1) cascade components (decades of correlated timescales). 0 gives
+  /// plain Poisson (iid exponential gaps).
+  int timescales = 8;
+  /// Shortest relaxation time of the cascade, in events; each further
+  /// component relaxes 2x slower.
+  double base_timescale = 4.0;
+  /// Log-intensity amplitude: how strongly the modulation swings the rate.
+  double volatility = 0.6;
+  std::uint64_t seed = 1;
+};
+
+/// Generates interarrival gaps with long-range-dependent burst structure.
+class LongMemoryScheduler {
+ public:
+  explicit LongMemoryScheduler(InterarrivalConfig config);
+
+  /// The next gap, milliseconds of harness time.
+  double next_gap_ms();
+
+  /// Offsets (ms, ascending, starting at >= 0) for `n` events paced into
+  /// exactly `duration_ms`: gaps are drawn from the model and rescaled so
+  /// the last event lands at `duration_ms` — burst structure is preserved,
+  /// total replay time is controlled.
+  std::vector<double> pace(std::size_t n, double duration_ms);
+
+  /// Current modulated rate (events/s) — exposed for tests.
+  double current_rate_per_sec() const noexcept { return rate_; }
+
+ private:
+  void step_modulation();
+
+  InterarrivalConfig config_;
+  std::mt19937_64 rng_;
+  std::normal_distribution<double> gauss_{0.0, 1.0};
+  std::vector<double> components_;  // AR(1) states
+  std::vector<double> rho_;         // per-component persistence
+  std::vector<double> sigma_;       // per-component innovation scale
+  double rate_ = 0.0;
+};
+
+/// Variance-time Hurst estimate of a sequence of per-bin event counts:
+/// Var(aggregated counts at scale m) ~ m^(2H). Used by the tests to verify
+/// the scheduler produces long memory (H > 0.5) where Poisson gives ~0.5.
+double variance_time_hurst(const std::vector<double>& counts);
+
+}  // namespace gill::harness

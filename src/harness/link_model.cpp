@@ -1,0 +1,72 @@
+#include "harness/link_model.hpp"
+
+#include <algorithm>
+
+namespace gill::harness {
+
+namespace {
+// RFC 4271 header: 16 marker bytes, 2 length bytes, 1 type byte.
+constexpr std::size_t kHeaderSize = 19;
+constexpr std::uint8_t kUpdateType = 2;
+// An End-of-RIB marker is an empty UPDATE: header + 2 (withdrawn len) +
+// 2 (path attr len) = 23 bytes. Anything longer carries routes.
+constexpr std::size_t kEndOfRibSize = 23;
+}  // namespace
+
+bool ShapedTransport::is_droppable_update(
+    std::span<const std::uint8_t> message) {
+  return message.size() > kEndOfRibSize &&
+         message[kHeaderSize - 1] == kUpdateType;
+}
+
+void ShapedTransport::enqueue(std::deque<Pending>& queue,
+                              std::span<const std::uint8_t> message,
+                              bool lossy) {
+  if (!connected()) return;  // a dead pipe swallows writes, as the base does
+  // Deterministic draw order per write: jitter first, then the loss coin,
+  // so the RNG stream is a pure function of the write sequence.
+  const double jitter =
+      config_.jitter_ms > 0 ? uniform_(rng_) * config_.jitter_ms : 0.0;
+  const bool lost = lossy && config_.loss_rate > 0 &&
+                    uniform_(rng_) < config_.loss_rate &&
+                    is_droppable_update(message);
+  if (lost) {
+    ++shaping_.lost_updates;
+    return;
+  }
+  double due = now_ms_ + config_.latency_ms + jitter;
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    // The link serializes messages back to back: the transmission slot
+    // starts when the previous send finished (or now) and lasts
+    // bytes / bandwidth.
+    const double start = std::max(due, bandwidth_cursor_ms_);
+    const double transmit_ms =
+        1000.0 * static_cast<double>(message.size()) /
+        config_.bandwidth_bytes_per_sec;
+    due = start + transmit_ms;
+    bandwidth_cursor_ms_ = due;
+  }
+  // FIFO per direction: TCP never reorders, so neither may the model.
+  if (!queue.empty()) due = std::max(due, queue.back().due_ms);
+  shaping_.max_delay_ms = std::max(shaping_.max_delay_ms, due - now_ms_);
+  ++shaping_.shaped;
+  queue.push_back(Pending{due, {message.begin(), message.end()}});
+}
+
+void ShapedTransport::advance(double now_ms) {
+  now_ms_ = std::max(now_ms_, now_ms);
+  while (!to_daemon_pending_.empty() &&
+         to_daemon_pending_.front().due_ms <= now_ms_) {
+    const Pending message = std::move(to_daemon_pending_.front());
+    to_daemon_pending_.pop_front();
+    daemon::FaultyTransport::write_to_daemon(message.bytes);
+  }
+  while (!to_peer_pending_.empty() &&
+         to_peer_pending_.front().due_ms <= now_ms_) {
+    const Pending message = std::move(to_peer_pending_.front());
+    to_peer_pending_.pop_front();
+    daemon::FaultyTransport::write_to_peer(message.bytes);
+  }
+}
+
+}  // namespace gill::harness

@@ -1,0 +1,108 @@
+// Per-VP link shaping for the scenario harness (DESIGN.md §13): a
+// ShapedTransport decorates the session byte flow with the timing artifacts
+// a real VP-to-collector path shows — propagation latency, jitter, update
+// loss at the feed level, and a bandwidth cap — while FaultyTransport
+// underneath keeps supplying byte-level chaos (corruption, resets) when a
+// scenario asks for it.
+//
+// Composition. ShapedTransport *is a* FaultyTransport: writes enter the
+// shaping queue first (one entry per write call), and advance(now_ms)
+// releases every due message through the FaultyTransport hooks, so faults
+// apply at the moment a message would hit the wire. It serves both as the
+// overlay of a net::TcpTransport (live TCP harness: inbound socket chunks
+// are delayed, outbound messages are paced before the flusher drains them)
+// and as the transport a FakePeer/BgpDaemon binds to directly (in-memory
+// deterministic harness).
+//
+// Ordering. TCP never reorders, so shaping must not either: each direction
+// keeps FIFO release order (due times are clamped monotone per direction).
+// Loss is applied only to peer->daemon BGP UPDATE messages — dropping a
+// KEEPALIVE or OPEN would tear the session down and dropping an arbitrary
+// inbound TCP chunk would corrupt the stream, neither of which is "a lossy
+// feed". End-of-RIB markers (empty UPDATEs) are never dropped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "daemon/faults.hpp"
+
+namespace gill::harness {
+
+/// One VP's link parameters. All times are milliseconds of harness time
+/// (wall clock in the TCP driver, logical clock in the in-memory driver).
+struct LinkModelConfig {
+  double latency_ms = 0.0;   // fixed one-way propagation delay
+  double jitter_ms = 0.0;    // uniform [0, jitter_ms) added per message
+  double loss_rate = 0.0;    // P(drop) per peer->daemon UPDATE message
+  double bandwidth_bytes_per_sec = 0.0;  // 0 = unlimited
+  daemon::FaultProfile faults;           // byte-level chaos below shaping
+  std::uint64_t seed = 1;
+};
+
+struct ShapingStats {
+  std::size_t shaped = 0;        // messages that went through the queue
+  std::size_t lost_updates = 0;  // UPDATEs dropped by loss_rate
+  double max_delay_ms = 0.0;     // largest queueing delay applied
+};
+
+/// FaultyTransport with a timing model on top. Drive with advance(now_ms).
+class ShapedTransport : public daemon::FaultyTransport {
+ public:
+  explicit ShapedTransport(LinkModelConfig config)
+      : daemon::FaultyTransport(config.faults),
+        config_(config),
+        rng_(config.seed) {}
+
+  void write_to_daemon(std::span<const std::uint8_t> message) override {
+    enqueue(to_daemon_pending_, message, /*lossy=*/true);
+  }
+  void write_to_peer(std::span<const std::uint8_t> message) override {
+    enqueue(to_peer_pending_, message, /*lossy=*/false);
+  }
+
+  /// Releases every message whose due time has passed into the underlying
+  /// FaultyTransport (and so into the byte queues / the socket flusher).
+  void advance(double now_ms);
+
+  void disconnect() override {
+    to_daemon_pending_.clear();
+    to_peer_pending_.clear();
+    daemon::FaultyTransport::disconnect();
+  }
+  void reconnect() override {
+    // A fresh connection starts with an empty pipe and an idle link.
+    bandwidth_cursor_ms_ = now_ms_;
+    daemon::FaultyTransport::reconnect();
+  }
+
+  const ShapingStats& shaping_stats() const noexcept { return shaping_; }
+  bool shaping_idle() const noexcept {
+    return to_daemon_pending_.empty() && to_peer_pending_.empty();
+  }
+  double now_ms() const noexcept { return now_ms_; }
+
+ private:
+  struct Pending {
+    double due_ms = 0.0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void enqueue(std::deque<Pending>& queue,
+               std::span<const std::uint8_t> message, bool lossy);
+  static bool is_droppable_update(std::span<const std::uint8_t> message);
+
+  LinkModelConfig config_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  std::deque<Pending> to_daemon_pending_;
+  std::deque<Pending> to_peer_pending_;
+  double now_ms_ = 0.0;
+  double bandwidth_cursor_ms_ = 0.0;  // when the link finishes current sends
+  ShapingStats shaping_;
+};
+
+}  // namespace gill::harness

@@ -1,0 +1,187 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gill::harness {
+
+std::string_view to_string(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kRouteLeak:
+      return "route-leak";
+    case ScenarioKind::kSubprefixHijack:
+      return "subprefix-hijack";
+  }
+  return "unknown";
+}
+
+std::optional<ScenarioKind> parse_scenario_kind(std::string_view name) {
+  if (name == "route-leak") return ScenarioKind::kRouteLeak;
+  if (name == "subprefix-hijack") return ScenarioKind::kSubprefixHijack;
+  return std::nullopt;
+}
+
+bgp::Community scenario_tag(ScenarioKind kind) noexcept {
+  // 65535:666 / 65535:667: well outside the simulator's organic community
+  // ranges, so a tagged update is unambiguous evidence traffic.
+  return kind == ScenarioKind::kRouteLeak ? bgp::Community(65535, 666)
+                                          : bgp::Community(65535, 667);
+}
+
+namespace {
+
+/// The `count` highest-degree ASes, ties broken by id — hypergiants and
+/// Tier-1s, the ASes whose vantage sees the most of the anomaly.
+std::vector<bgp::AsNumber> pick_vp_hosts(const topo::AsTopology& topology,
+                                         std::size_t count) {
+  std::vector<bgp::AsNumber> order(topology.as_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](bgp::AsNumber a, bgp::AsNumber b) {
+                     return topology.degree(a) > topology.degree(b);
+                   });
+  order.resize(std::min(count, order.size()));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+bool contains(const std::vector<bgp::AsNumber>& hosts, bgp::AsNumber as) {
+  return std::find(hosts.begin(), hosts.end(), as) != hosts.end();
+}
+
+}  // namespace
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  Scenario scenario;
+  scenario.name = std::string(to_string(config.kind));
+  scenario.config = config;
+  scenario.tag = scenario_tag(config.kind);
+
+  topo::ArtificialParams params;
+  params.as_count = config.as_count;
+  params.seed = config.seed;
+  scenario.topology =
+      std::make_unique<topo::AsTopology>(topo::generate_artificial(params));
+  const topo::AsTopology& topology = *scenario.topology;
+
+  sim::InternetConfig internet_config;
+  internet_config.vp_hosts = pick_vp_hosts(topology, config.vp_count);
+  // Keep simulated propagation tight: the harness paces arrival times
+  // itself (LongMemoryScheduler), so wide simulated jitter would only
+  // scramble the replay order for no modeling gain.
+  internet_config.per_hop_delay = 1;
+  internet_config.jitter = 2;
+  internet_config.rng_seed = config.seed;
+  scenario.internet =
+      std::make_unique<sim::Internet>(topology, internet_config);
+  sim::Internet& internet = *scenario.internet;
+
+  scenario.rib = internet.rib_dump(config.start - 1);
+
+  // Background noise: unrelated community changes on prefixes owned by
+  // non-VP ASes, spread ahead of the anomaly.
+  bgp::Timestamp t = config.start;
+  std::mt19937_64 rng(config.seed ^ 0x5ce11a7a11bceull);
+  std::size_t emitted = 0;
+  for (bgp::AsNumber as = 0;
+       as < topology.as_count() && emitted < config.background_events; ++as) {
+    if (contains(internet_config.vp_hosts, as)) continue;
+    if (internet.prefixes()[as].empty()) continue;
+    if (rng() % 3 != 0) continue;
+    const net::Prefix& prefix = internet.prefixes()[as].front();
+    scenario.events.append(internet.change_community(
+        prefix,
+        bgp::Community(static_cast<std::uint16_t>(as % 65521),
+                       static_cast<std::uint16_t>(0x0400 | (as % 16))),
+        false, t));
+    t += 2;
+    ++emitted;
+  }
+
+  const std::size_t truths_before = internet.ground_truth().size();
+  const bgp::Timestamp anomaly_at = t + 2;
+
+  if (config.kind == ScenarioKind::kRouteLeak) {
+    // Classic leak shape: a multi-homed edge AS (>= 2 providers, no
+    // customers) re-exports provider/peer routes. Probe candidates until
+    // one actually moves traffic at the VPs.
+    for (bgp::AsNumber candidate = 0; candidate < topology.as_count();
+         ++candidate) {
+      if (!topology.is_stub(candidate)) continue;
+      if (topology.providers(candidate).size() < 2) continue;
+      if (contains(internet_config.vp_hosts, candidate)) continue;
+      bgp::UpdateStream leak =
+          internet.leak_routes(candidate, anomaly_at, 4, scenario.tag);
+      if (leak.size() == 0) continue;
+      scenario.actor = candidate;
+      scenario.events.append(leak);
+      break;
+    }
+    if (scenario.events.size() == 0 || scenario.actor == 0) {
+      // Degenerate topology (tiny seeds): fall back to any AS whose leak
+      // emits updates, transit or not.
+      for (bgp::AsNumber candidate = 1;
+           candidate < topology.as_count() && scenario.actor == 0;
+           ++candidate) {
+        bgp::UpdateStream leak =
+            internet.leak_routes(candidate, anomaly_at, 4, scenario.tag);
+        if (leak.size() == 0) continue;
+        scenario.actor = candidate;
+        scenario.events.append(leak);
+      }
+    }
+    if (scenario.actor == 0) {
+      throw std::runtime_error("route-leak scenario: no viable leaker");
+    }
+  } else {
+    // Sub-prefix hijack: a stub attacker announces the more-specific half
+    // of a remote stub's prefix with 2 extra self-prepends.
+    bgp::AsNumber victim = 0, attacker = 0;
+    for (bgp::AsNumber as = topology.as_count(); as-- > 0;) {
+      if (contains(internet_config.vp_hosts, as)) continue;
+      if (internet.prefixes()[as].empty()) continue;
+      if (victim == 0) {
+        victim = as;
+      } else if (attacker == 0 && as != victim &&
+                 !topology.adjacent(as, victim)) {
+        attacker = as;
+        break;
+      }
+    }
+    if (victim == 0 || attacker == 0) {
+      throw std::runtime_error(
+          "subprefix-hijack scenario: topology too small");
+    }
+    const net::Prefix& parent = internet.prefixes()[victim].front();
+    bgp::UpdateStream hijack = internet.start_subprefix_hijack(
+        attacker, parent, 2, anomaly_at, scenario.tag);
+    if (hijack.size() == 0) {
+      throw std::runtime_error(
+          "subprefix-hijack scenario: no VP observed the more-specific");
+    }
+    scenario.actor = attacker;
+    scenario.victim = victim;
+    scenario.events.append(hijack);
+  }
+
+  const std::vector<sim::GroundTruth>& truths = internet.ground_truth();
+  for (std::size_t i = truths_before; i < truths.size(); ++i) {
+    if (truths[i].kind != sim::GroundTruth::Kind::kRouteLeak &&
+        truths[i].kind != sim::GroundTruth::Kind::kSubprefixHijack) {
+      continue;
+    }
+    // A truth no vantage point observed produced no updates at all — the
+    // collector cannot detect what it was never sent, so it is out of
+    // scope for the closed-loop verdict.
+    if (truths[i].observers.empty()) continue;
+    scenario.anomaly_truths.push_back(truths[i]);
+  }
+  if (scenario.victim == 0 && !scenario.anomaly_truths.empty()) {
+    scenario.victim = scenario.anomaly_truths.front().origin;
+  }
+  scenario.events.sort();
+  return scenario;
+}
+
+}  // namespace gill::harness

@@ -1,0 +1,71 @@
+// Scenario construction for the closed-loop harness (DESIGN.md §13): each
+// scenario is a generated AS topology, a simulated Internet, an initial
+// RIB, and a scripted anomaly (route leak or sub-prefix hijack under
+// prepending) with ground truth, plus background noise so the anomaly is
+// not the only traffic. The driver replays the result into a collector and
+// the verdict layer scores what came back against `anomaly_truths`.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/interarrival.hpp"
+#include "harness/link_model.hpp"
+#include "simulator/internet.hpp"
+#include "topology/generator.hpp"
+
+namespace gill::harness {
+
+enum class ScenarioKind : std::uint8_t {
+  kRouteLeak,
+  kSubprefixHijack,
+};
+
+std::string_view to_string(ScenarioKind kind) noexcept;
+/// Parses "route-leak" / "subprefix-hijack"; nullopt otherwise.
+std::optional<ScenarioKind> parse_scenario_kind(std::string_view name);
+
+/// Community the scenario stamps on anomaly traffic (Krenc-style tagging:
+/// scenario filters and GILL-asp-comm style classification key on it).
+bgp::Community scenario_tag(ScenarioKind kind) noexcept;
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kRouteLeak;
+  std::uint32_t as_count = 48;
+  std::size_t vp_count = 6;
+  std::uint64_t seed = 1;
+  /// Simulation time of the first event (the RIB dump is at start - 1).
+  bgp::Timestamp start = 1000;
+  /// Background community-change events emitted before the anomaly so the
+  /// anomaly competes with unrelated traffic.
+  std::size_t background_events = 4;
+  /// Per-VP link shaping; the seed is varied per VP by the driver.
+  LinkModelConfig link;
+  InterarrivalConfig pacing;
+};
+
+/// A fully-built scenario, ready for a driver to replay.
+struct Scenario {
+  std::string name;
+  ScenarioConfig config;
+  std::unique_ptr<topo::AsTopology> topology;
+  std::unique_ptr<sim::Internet> internet;
+  bgp::UpdateStream rib;     // initial table, every VP
+  bgp::UpdateStream events;  // background + anomaly updates (sim seconds)
+  /// Ground truth of the anomaly alone (background truths excluded).
+  std::vector<sim::GroundTruth> anomaly_truths;
+  bgp::AsNumber actor = 0;   // leaker / attacker
+  bgp::AsNumber victim = 0;  // legitimate origin
+  bgp::Community tag{};
+};
+
+/// Builds the scenario: generates the topology, deploys VPs on the
+/// highest-degree ASes, selects the actor/victim, runs the anomaly through
+/// sim::Internet and captures its ground truth. Deterministic under
+/// `config.seed`.
+Scenario build_scenario(const ScenarioConfig& config);
+
+}  // namespace gill::harness

@@ -179,7 +179,6 @@ void HttpEndpoint::serve_metrics(const metrics::Registry& registry) {
     response.body = registry.expose_prometheus();
     return response;
   });
-  alias("/metrics", "/v1/metrics");
 }
 
 bool HttpEndpoint::listen(const std::string& host, std::uint16_t port) {

@@ -129,11 +129,9 @@ StreamHub::StreamHub(HttpEndpoint& http, StreamConfig config,
 }
 
 bool StreamHub::register_routes() {
-  const bool routed = http_->route(
+  return http_->route(
       "/v1/stream",
       [this](const HttpRequest& request) { return subscribe(request); });
-  const bool aliased = http_->alias("/stream", "/v1/stream");
-  return routed && aliased;
 }
 
 HttpResponse StreamHub::subscribe(const HttpRequest& request) {

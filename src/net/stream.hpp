@@ -77,8 +77,8 @@ struct StreamConfig {
 /// subscribe and drain all run there, so no state is locked.
 class StreamHub {
  public:
-  /// `http` must outlive the hub. Registers GET /v1/stream plus the legacy
-  /// /stream alias; returns false if either path was already taken.
+  /// `http` must outlive the hub. Registers GET /v1/stream; returns false
+  /// if the path was already taken.
   StreamHub(HttpEndpoint& http, StreamConfig config = {},
             metrics::Registry* registry = nullptr);
 

@@ -362,6 +362,98 @@ UpdateStream Internet::start_hijack(AsNumber attacker,
   return out;
 }
 
+UpdateStream Internet::leak_routes(AsNumber leaker, Timestamp t,
+                                   std::size_t max_prefixes,
+                                   std::optional<Community> tag) {
+  UpdateStream out;
+  std::size_t leaked = 0;
+  for (AsNumber origin = 0; origin < topology_->as_count(); ++origin) {
+    if (max_prefixes && leaked >= max_prefixes) break;
+    if (origin == leaker || config_.prefixes[origin].empty()) continue;
+    const DestinationRouting& tree = origin_trees_[origin];
+    if (tree.as_count() == 0) continue;
+    const RouteClass cls = tree.route_class(leaker);
+    if (cls != RouteClass::kProvider && cls != RouteClass::kPeer) continue;
+    // The leaker re-announces its current provider/peer-learned path as if
+    // it were a customer route. Seeding the leaker with its existing path as
+    // a forged tail reproduces that path byte-for-byte at the leaker while
+    // letting it propagate valley-violating (to the leaker's providers and
+    // peers, who now prefer the customer-class route through the leaker).
+    const bgp::AsPath leaker_path = tree.path(leaker);
+    const std::vector<AsNumber> tail(leaker_path.hops().begin() + 1,
+                                     leaker_path.hops().end());
+    for (const net::Prefix& prefix : config_.prefixes[origin]) {
+      if (max_prefixes && leaked >= max_prefixes) break;
+      if (overrides_.contains(prefix)) continue;  // don't stack events
+
+      GroundTruth truth;
+      truth.kind = GroundTruth::Kind::kRouteLeak;
+      truth.time = t;
+      truth.origin = origin;
+      truth.other_as = leaker;
+      truth.prefix = prefix;
+      if (tag) {
+        truth.community = *tag;
+        bgp::insert_community(community_overrides_[prefix], *tag);
+      }
+
+      DestinationRouting old_copy = routing_for(prefix);
+      PrefixOverride ov;
+      ov.routing = engine_.compute(
+          {Seed{origin, 0, {}},
+           Seed{leaker, static_cast<std::uint16_t>(tail.size()), tail}});
+      overrides_[prefix] = std::move(ov);
+
+      out.append(diff_and_emit({{&old_copy, &overrides_[prefix].routing}},
+                               {origin}, {&prefix}, t, &truth));
+      overrides_[prefix].truth = truth;
+      truths_.push_back(std::move(truth));
+      ++leaked;
+    }
+  }
+  out.sort();
+  return out;
+}
+
+UpdateStream Internet::start_subprefix_hijack(AsNumber attacker,
+                                              const net::Prefix& parent,
+                                              int prepends, Timestamp t,
+                                              std::optional<Community> tag) {
+  const AsNumber origin = origin_of(parent);
+  const net::Prefix sub(parent.address(), parent.length() + 1);
+  if (overrides_.contains(sub) || origin_by_prefix_.contains(sub)) return {};
+
+  GroundTruth truth;
+  truth.kind = GroundTruth::Kind::kSubprefixHijack;
+  truth.time = t;
+  truth.origin = origin;
+  truth.other_as = attacker;
+  truth.hijack_type = prepends;
+  truth.prefix = sub;
+  if (tag) {
+    truth.community = *tag;
+    bgp::insert_community(community_overrides_[sub], *tag);
+  }
+
+  // AS-path prepending: the attacker repeats itself `prepends` extra times,
+  // lengthening the path without hiding the bogus origin. The more-specific
+  // still wins on longest-prefix match at every VP.
+  const std::vector<AsNumber> tail(static_cast<std::size_t>(prepends),
+                                   attacker);
+  PrefixOverride ov;
+  ov.routing = engine_.compute(
+      {Seed{attacker, static_cast<std::uint16_t>(prepends), tail}});
+  overrides_[sub] = std::move(ov);
+
+  // The more-specific is brand new, so there is no "before" routing: every
+  // VP that reaches the attacker announces it.
+  UpdateStream out = diff_and_emit({{nullptr, &overrides_[sub].routing}},
+                                   {origin}, {&sub}, t, &truth);
+  overrides_[sub].truth = truth;
+  truths_.push_back(std::move(truth));
+  return out;
+}
+
 UpdateStream Internet::start_moas(AsNumber new_origin,
                                   const net::Prefix& prefix, Timestamp t) {
   const AsNumber origin = origin_of(prefix);
@@ -411,7 +503,13 @@ UpdateStream Internet::clear_prefix_override(const net::Prefix& prefix,
   if (it == overrides_.end()) return {};
   DestinationRouting old_copy = std::move(it->second.routing);
   overrides_.erase(it);
-  const AsNumber origin = origin_of(prefix);
+  // A prefix with no static origin (e.g. a hijacked more-specific) simply
+  // disappears once the override ends: every route to it is withdrawn.
+  auto origin_it = origin_by_prefix_.find(prefix);
+  if (origin_it == origin_by_prefix_.end()) {
+    return diff_and_emit({{&old_copy, nullptr}}, {0}, {&prefix}, t, nullptr);
+  }
+  const AsNumber origin = origin_it->second;
   return diff_and_emit({{&old_copy, &origin_trees_[origin]}}, {origin},
                        {&prefix}, t, nullptr);
 }

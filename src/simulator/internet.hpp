@@ -9,6 +9,10 @@
 //   * community changes                  -> action communities (IV) and
 //                                           unchanged-path updates (V)
 //   * path exploration                   -> transient paths (use case I)
+//   * route leaks                        -> a leaker re-exports provider /
+//                                           peer routes to all neighbors
+//   * sub-prefix hijacks                 -> a more-specific announced by an
+//                                           attacker under path prepending
 //
 // Every event records ground truth so benches can score detections.
 #pragma once
@@ -60,6 +64,8 @@ struct GroundTruth {
     kOriginChange,
     kCommunityChange,
     kTransientPath,
+    kRouteLeak,
+    kSubprefixHijack,
   };
   Kind kind{};
   Timestamp time = 0;
@@ -109,6 +115,25 @@ class Internet {
   /// `type` extra hops ending at the true origin.
   UpdateStream start_hijack(AsNumber attacker, const net::Prefix& prefix,
                             int type, Timestamp t);
+
+  /// `leaker` re-exports its provider/peer-learned routes to all neighbors
+  /// (the classic valley-violating route leak): every destination the leaker
+  /// reaches through a provider or peer is re-announced as if it were a
+  /// customer route, so the leaker's providers and peers prefer it. At most
+  /// `max_prefixes` destinations leak (0 = no cap). An optional community
+  /// `tag` marks the leaked routes (exercises GILL-asp-comm style filters).
+  UpdateStream leak_routes(AsNumber leaker, Timestamp t,
+                           std::size_t max_prefixes = 0,
+                           std::optional<Community> tag = std::nullopt);
+
+  /// `attacker` announces the low more-specific half of `parent` (length+1)
+  /// with `prepends` extra copies of itself on the path (prepending makes
+  /// the path look long while the more-specific still wins on longest-prefix
+  /// match everywhere). Optional community `tag` marks the hijacked routes.
+  UpdateStream start_subprefix_hijack(AsNumber attacker,
+                                      const net::Prefix& parent, int prepends,
+                                      Timestamp t,
+                                      std::optional<Community> tag = std::nullopt);
 
   /// Ends an ongoing hijack / MOAS / origin override on `prefix`.
   UpdateStream clear_prefix_override(const net::Prefix& prefix, Timestamp t);

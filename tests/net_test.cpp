@@ -704,7 +704,7 @@ TEST(Http, MetricsResponseIsByteIdenticalToTheRegistry) {
   http.serve_metrics(served);
   ASSERT_TRUE(http.listen("127.0.0.1", 0));
   const std::string response = http_exchange(
-      loop, http.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+      loop, http.port(), "GET /v1/metrics HTTP/1.1\r\nHost: t\r\n\r\n");
   EXPECT_TRUE(response.starts_with("HTTP/1.1 200 OK\r\n")) << response;
   EXPECT_NE(response.find(std::string("Content-Type: ") +
                           kPrometheusContentType + "\r\n"),
@@ -749,9 +749,10 @@ TEST(Http, RoutesQueriesAndErrors) {
   EXPECT_EQ(http.open_connections(), 0u);
 }
 
-// The one-release legacy bridge: an unversioned path must serve the exact
-// bytes of its /v1 canonical route.
-TEST(Http, LegacyAliasIsByteIdenticalToTheVersionedRoute) {
+// The one-release grace window for pre-/v1 unversioned paths is over: the
+// legacy spelling now 404s with the uniform error envelope while the
+// canonical /v1 route keeps serving.
+TEST(Http, RetiredLegacyPathAnswers404WithTheErrorEnvelope) {
   EventLoop loop;
   metrics::Registry registry;
   metrics::Registry served;
@@ -761,10 +762,11 @@ TEST(Http, LegacyAliasIsByteIdenticalToTheVersionedRoute) {
   ASSERT_TRUE(http.listen("127.0.0.1", 0));
   const std::string versioned = http_exchange(
       loop, http.port(), "GET /v1/metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_TRUE(versioned.starts_with("HTTP/1.1 200 OK\r\n"));
   const std::string legacy = http_exchange(
       loop, http.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
-  EXPECT_TRUE(versioned.starts_with("HTTP/1.1 200 OK\r\n"));
-  EXPECT_EQ(versioned, legacy);
+  EXPECT_TRUE(legacy.starts_with("HTTP/1.1 404 "));
+  EXPECT_NE(legacy.find("\"code\":\"not_found\""), std::string::npos);
 }
 
 // A duplicate registration is a wiring bug, never a silent overwrite; an
@@ -986,7 +988,7 @@ TEST(LiveCollector, SessionCountersAppearOnTheMetricsEndpoint) {
       }));
 
   const std::string response = http_exchange(
-      server.loop, http.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+      server.loop, http.port(), "GET /v1/metrics HTTP/1.1\r\nHost: t\r\n\r\n");
   ASSERT_TRUE(response.starts_with("HTTP/1.1 200 OK\r\n"));
   const std::string body = response.substr(response.find("\r\n\r\n") + 4);
   // Live session and platform counters, scraped over the wire.

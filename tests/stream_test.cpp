@@ -440,10 +440,14 @@ TEST(StreamHub, ClientDisconnectRetiresTheSubscription) {
 }
 
 // ---------------------------------------------------------------------------
-// The versioned surface: legacy alias, error envelopes, the 503 limit.
+// The versioned surface: retired legacy path, error envelopes, the 503
+// limit.
 // ---------------------------------------------------------------------------
 
-TEST(StreamHub, LegacyStreamAliasServesTheSameFeed) {
+// The pre-/v1 /stream spelling had a one-release grace window as an alias;
+// it is retired now and must answer 404 with the uniform error envelope
+// (never a silent empty feed), without consuming a subscriber slot.
+TEST(StreamHub, RetiredLegacyStreamPathAnswers404) {
   EventLoop loop;
   metrics::Registry registry;
   HttpEndpoint http(loop, &registry);
@@ -451,18 +455,16 @@ TEST(StreamHub, LegacyStreamAliasServesTheSameFeed) {
   ASSERT_TRUE(http.listen("127.0.0.1", 0));
 
   LiveClient client(http.port(), "/stream?vp=9");
-  for (int i = 0; i < 500 && hub.subscriber_count() < 1; ++i) {
+  for (int i = 0;
+       i < 500 && client.raw.find("\r\n\r\n") == std::string::npos; ++i) {
     loop.run_once(1);
     client.pump();
   }
-  ASSERT_EQ(hub.subscriber_count(), 1u);
-  hub.publish(make_update(9, "10.0.0.0/8", {65010}));
-  for (int i = 0; i < 500 && client.messages().empty(); ++i) {
-    loop.run_once(1);
-    client.pump();
-  }
-  ASSERT_EQ(client.messages().size(), 1u);
-  EXPECT_EQ(client.messages()[0].vp, 9u);
+  EXPECT_NE(client.raw.find("HTTP/1.1 404 Not Found"), std::string::npos)
+      << client.raw;
+  EXPECT_NE(client.raw.find("\"code\":\"not_found\""), std::string::npos)
+      << client.raw;
+  EXPECT_EQ(hub.subscriber_count(), 0u);
 }
 
 TEST(StreamHub, BadParameterGetsTheUniformErrorEnvelope) {

@@ -6,8 +6,8 @@
 // (Prometheus), GET /v1/healthz (JSON peer health), the archive retrieval
 // routes (/v1/data, /v1/segments) and the live distribution plane
 // (GET /v1/stream — every accepted update fanned out to filtered
-// subscribers in real time). Legacy unversioned paths remain as aliases
-// for one release.
+// subscribers in real time). The pre-/v1 unversioned spellings had a
+// one-release grace window as aliases and now answer 404.
 //
 //   gill-collectord --listen-port 1790 --http-port 9179 &
 //   curl -s localhost:9179/v1/metrics | grep gill_collector_peers
@@ -324,7 +324,6 @@ int main(int argc, char** argv) {
     response.body = collect::to_json(platform.health_snapshot());
     return response;
   });
-  http.alias("/healthz", "/v1/healthz");
   if (!archive_dir.empty()) {
     // Data-retrieval plane (ISSUE: "serve the archive back out"): /v1/data
     // streams framed MRT chunked with bounded memory; /v1/segments lists
@@ -392,8 +391,6 @@ int main(int argc, char** argv) {
                  response.body = reader.segments_json();
                  return response;
                });
-    http.alias("/data", "/v1/data");
-    http.alias("/segments", "/v1/segments");
   }
 
   // The live distribution plane (GET /v1/stream): every accepted update —

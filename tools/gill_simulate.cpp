@@ -32,12 +32,23 @@ int main(int argc, char** argv) {
       "gill_simulate_rib_entries_written_total", "RIB entries written");
   auto run_timer = std::make_unique<metrics::Timer>(registry.histogram(
       "gill_simulate_run_duration_us", "Wall-clock microseconds per run"));
-  const auto ases = static_cast<std::uint32_t>(args.get_int("ases", 400));
-  const auto vps = static_cast<std::uint32_t>(args.get_int("vps", 80));
+  const long ases_raw = args.get_int("ases", 400);
+  const long vps_raw = args.get_int("vps", 80);
   const auto hours = args.get_int("hours", 2);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const double hotspot = std::atof(args.get("hotspot", "0.3").c_str());
   const std::string out = args.get("out", "updates.mrt");
+  // Harness scripts branch on our status code: reject a nonsensical
+  // scenario up front instead of silently emitting a degenerate archive.
+  if (ases_raw <= 0 || vps_raw <= 0 || hours <= 0 || hotspot < 0.0 ||
+      hotspot > 1.0) {
+    std::fprintf(stderr,
+                 "error: --ases/--vps/--hours must be positive and "
+                 "--hotspot within [0,1]\n");
+    return 2;
+  }
+  const auto ases = static_cast<std::uint32_t>(ases_raw);
+  const auto vps = static_cast<std::uint32_t>(vps_raw);
 
   const auto topology = topo::generate_artificial({.as_count = ases,
                                                    .seed = seed});
@@ -73,8 +84,22 @@ int main(int argc, char** argv) {
   workload.duration = hours * 3600;
   workload.hotspot_fraction = hotspot;
   const auto stream = sim::generate_workload(internet, 10, workload);
+  if (stream.empty()) {
+    std::fprintf(stderr, "error: scenario produced no updates\n");
+    return 1;
+  }
   if (!mrt::write_stream(stream, out)) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  // Round-trip decode check: a truncated or malformed archive must fail
+  // the run, not get discovered by whatever consumes the file next.
+  const auto reread = mrt::read_stream(out);
+  if (!reread || reread->size() != stream.size()) {
+    std::fprintf(stderr,
+                 "error: %s does not decode back to the %zu updates "
+                 "written (got %zu)\n",
+                 out.c_str(), stream.size(), reread ? reread->size() : 0);
     return 1;
   }
   std::printf("wrote %zu updates (%zu VPs, %zu prefixes, %ldh) to %s\n",

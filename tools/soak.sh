@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Flap-storm soak: builds the soak-labeled chaos tests (tests/soak_test.cpp
 # and the /v1/stream distribution-plane tests in tests/stream_test.cpp)
-# under BOTH sanitizer configurations and runs them in one invocation:
+# plus the scenario-labeled closed-loop harness (tests/scenario_test.cpp:
+# route-leak and sub-prefix-hijack replays driving a real gill-collectord
+# over shaped loopback TCP) under BOTH sanitizer configurations and runs
+# them in one invocation:
 #
 #   1. GILL_SANITIZE=ON      (ASan + UBSan — memory safety under the storm)
 #   2. GILL_SANITIZE=thread  (TSan — races in the session/transport layers)
@@ -26,10 +29,12 @@ run_one() {
   echo "=== soak [$mode]: ${GILL_SOAK_PEERS} peers x ${GILL_SOAK_ROUNDS} rounds ==="
   cmake -B "$dir" -S . -DGILL_SANITIZE="$mode" > "$dir.configure.log" 2>&1 \
     || { cat "$dir.configure.log"; return 1; }
-  cmake --build "$dir" -j"$jobs" --target soak_test stream_test \
+  cmake --build "$dir" -j"$jobs" \
+    --target soak_test stream_test scenario_test bench_scenario \
+              gill-scenariod gill-collectord gill-simulate \
     > "$dir.build.log" 2>&1 \
     || { tail -50 "$dir.build.log"; return 1; }
-  (cd "$dir" && ctest -L soak --output-on-failure)
+  (cd "$dir" && ctest -L 'soak|scenario' --output-on-failure)
 }
 
 run_one ON build-soak-asan

@@ -22,7 +22,6 @@ std::string_view to_string(PeerStatus status) noexcept {
   return "?";
 }
 
-namespace {
 /// Default memory probe: resident set size in bytes, via /proc/self/statm.
 std::size_t process_rss_bytes() {
   std::FILE* f = std::fopen("/proc/self/statm", "r");
@@ -35,72 +34,72 @@ std::size_t process_rss_bytes() {
   return static_cast<std::size_t>(resident) *
          static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
 }
-}  // namespace
 
-Platform::PlatformCounters::PlatformCounters(metrics::Registry& registry)
+Platform::PlatformCounters::PlatformCounters(metrics::Registry& registry,
+                                             const metrics::Labels& labels)
     : mirrored_updates(registry.counter(
           "gill_collector_mirrored_updates_total",
-          "Updates mirrored into the sampling buffer")),
+          "Updates mirrored into the sampling buffer", labels)),
       forwarded_updates(registry.counter(
           "gill_collector_forwarded_updates_total",
-          "Updates pushed to operator forwarding rules (custom services)")),
+          "Updates pushed to operator forwarding rules (custom services)", labels)),
       filter_refreshes(registry.counter(
           "gill_collector_filter_refreshes_total",
-          "GILL pipeline reruns installing fresh filters")),
+          "GILL pipeline reruns installing fresh filters", labels)),
       filter_refresh_stale(registry.counter(
           "gill_collector_filter_refresh_stale_total",
           "Completed refresh jobs discarded because a newer generation "
-          "was already installed")),
+          "was already installed", labels)),
       mirror_purged_updates(registry.counter(
           "gill_collector_mirror_purged_updates_total",
-          "Mirrored updates dropped because their peer was quarantined")),
+          "Mirrored updates dropped because their peer was quarantined", labels)),
       quarantines(registry.counter("gill_collector_quarantines_total",
-                                   "Peers entering quarantine")),
+                                   "Peers entering quarantine", labels)),
       score_cache_hits(registry.counter(
           "gill_collector_score_cache_hits_total",
-          "Pairwise VP scores served from the cross-refresh cache")),
+          "Pairwise VP scores served from the cross-refresh cache", labels)),
       score_cache_misses(registry.counter(
           "gill_collector_score_cache_misses_total",
-          "Pairwise VP scores recomputed (cache miss or stale epoch)")),
+          "Pairwise VP scores recomputed (cache miss or stale epoch)", labels)),
       sheds(registry.counter(
           "gill_overload_sheds_total",
-          "Peers frozen by the memory-watermark degraded mode")),
+          "Peers frozen by the memory-watermark degraded mode", labels)),
       readmits(registry.counter(
           "gill_overload_readmits_total",
-          "Shed peers re-admitted after memory recovered")),
+          "Shed peers re-admitted after memory recovered", labels)),
       refreshes_deferred(registry.counter(
           "gill_overload_refreshes_deferred_total",
-          "Periodic filter refreshes skipped while degraded")),
+          "Periodic filter refreshes skipped while degraded", labels)),
       peers(registry.gauge("gill_collector_peers",
-                           "Peering sessions managed by the platform")),
+                           "Peering sessions managed by the platform", labels)),
       quarantined_peers(registry.gauge(
           "gill_collector_quarantined_peers",
-          "Peers currently frozen by the quarantine policy")),
+          "Peers currently frozen by the quarantine policy", labels)),
       degraded(registry.gauge(
           "gill_overload_degraded",
-          "1 while the memory watermark holds the platform degraded")),
+          "1 while the memory watermark holds the platform degraded", labels)),
       memory_bytes(registry.gauge(
           "gill_overload_memory_bytes",
-          "Last memory-probe reading (process RSS by default)")),
+          "Last memory-probe reading (process RSS by default)", labels)),
       shed_peers(registry.gauge(
           "gill_overload_shed_peers",
-          "Peers currently frozen by overload shedding")),
+          "Peers currently frozen by overload shedding", labels)),
       filter_refresh_duration_us(registry.histogram(
           "gill_collector_filter_refresh_duration_us",
-          "Wall-clock microseconds per refresh_filters run")),
+          "Wall-clock microseconds per refresh_filters run", labels)),
       filter_refresh_queue_us(registry.histogram(
           "gill_collector_filter_refresh_queue_us",
-          "Microseconds a refresh job waited for an analysis worker")),
+          "Microseconds a refresh job waited for an analysis worker", labels)),
       filter_refresh_compute_us(registry.histogram(
           "gill_collector_filter_refresh_compute_us",
-          "Microseconds a refresh job spent running the GILL pipeline")) {}
+          "Microseconds a refresh job spent running the GILL pipeline", labels)) {}
 
 Platform::Platform(PlatformConfig config)
     : config_(std::move(config)),
       own_registry_(config_.registry ? nullptr
                                      : std::make_unique<metrics::Registry>()),
       registry_(config_.registry ? config_.registry : own_registry_.get()),
-      counters_(*registry_),
+      counters_(*registry_, config_.metric_labels),
       analysis_pool_(config_.analysis_threads >= 1 && !par::serial_forced()
                          ? std::make_unique<par::ThreadPool>(
                                config_.analysis_threads, registry_)
@@ -147,7 +146,7 @@ VpId Platform::add_peer_internal(
     bgp::AsNumber peer_as, Timestamp now,
     std::unique_ptr<daemon::Transport> transport, bool make_fake_peer,
     bool arm_retry) {
-  const VpId vp = next_vp_++;
+  const VpId vp = config_.vp_allocator ? config_.vp_allocator() : next_vp_++;
   Peer peer;
   peer.vp = vp;
   peer.as = peer_as;
@@ -205,8 +204,9 @@ void Platform::step(Timestamp now) {
     observe_health(peer, now);
   }
   // One refresh at a time from the periodic trigger: while a job is in
-  // flight the mirror simply keeps accumulating the next window.
-  if (refresh_jobs_.empty() &&
+  // flight the mirror simply keeps accumulating the next window. An
+  // ingest-only shard never triggers: the merge plane owns the pipeline.
+  if (!config_.ingest_only && refresh_jobs_.empty() &&
       now - last_component1_ >= config_.component1_refresh &&
       !mirror_.empty()) {
     if (degraded_) {
@@ -558,6 +558,33 @@ void Platform::poll_refresh_jobs(bool block) {
 }
 
 void Platform::wait_for_refresh() { poll_refresh_jobs(/*block=*/true); }
+
+bgp::UpdateStream Platform::take_mirror() {
+  bgp::UpdateStream mirror = std::move(mirror_);
+  mirror_ = bgp::UpdateStream{};
+  return mirror;
+}
+
+void Platform::install_filters(filt::FilterTable filters,
+                               std::vector<VpId> anchors) {
+  // Mirrors the tail of install_refresh() without the job bookkeeping:
+  // the pipeline ran elsewhere (merge plane), this platform just adopts
+  // its output. Bumping both generation counters keeps the invariant
+  // that installed_generation_ never exceeds submitted_generation_.
+  filters_ = std::move(filters);
+  anchors_ = std::move(anchors);
+  installed_generation_ = ++submitted_generation_;
+  counters_.filter_refreshes.inc();
+  pipeline_ran_ = true;
+}
+
+std::vector<VpId> Platform::quarantined_vps() const {
+  std::vector<VpId> vps;
+  for (const auto& [vp, peer] : peers_) {
+    if (peer.health.status == PeerStatus::kQuarantined) vps.push_back(vp);
+  }
+  return vps;
+}
 
 void Platform::add_forwarding_rule(const net::Prefix& prefix,
                                    ForwardingSink sink) {

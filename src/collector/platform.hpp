@@ -77,6 +77,10 @@ struct PlatformConfig {
   /// Registry hosting the platform's and every session's metrics; when
   /// null the platform owns a private one (see Platform::metrics()).
   metrics::Registry* registry = nullptr;
+  /// Labels stamped on every platform-level instrument. The sharded
+  /// collector sets {{"shard","<i>"}} so N platforms sharing one registry
+  /// publish distinct series instead of clobbering one another's gauges.
+  metrics::Labels metric_labels;
   /// Analysis worker threads (DESIGN.md §9). 0 keeps the historical
   /// synchronous path: refresh_filters runs the pipeline inline on the
   /// caller's thread. N >= 1 spawns a worker pool; refresh_filters then
@@ -89,6 +93,17 @@ struct PlatformConfig {
   /// refresh job (e.g. to hold a job in flight deterministically while the
   /// test asserts that sessions keep flowing). Ignored in synchronous mode.
   std::function<void()> refresh_job_hook;
+  /// Sharded-ingest role (DESIGN.md §14): an ingest-only platform owns
+  /// sessions and mirrors their updates, but never runs the sampling
+  /// pipeline itself — step() skips the periodic refresh trigger. The
+  /// merge plane harvests the mirror (take_mirror()) and pushes the
+  /// merged pipeline result back in (install_filters()).
+  bool ingest_only = false;
+  /// VP-id allocator. Empty keeps the historical platform-local counter;
+  /// the sharded collector injects one shared atomic counter so ids stay
+  /// unique across shards and independent of which shard a session lands
+  /// on (part of the shard-count-invariance contract).
+  std::function<VpId()> vp_allocator;
 };
 
 enum class PeerStatus : std::uint8_t {
@@ -139,6 +154,12 @@ std::string format(const HealthSnapshot& snapshot);
 /// Renders a snapshot as one JSON document (the /healthz payload of the
 /// HTTP endpoint): {"peers":N,"quarantined":N,"sessions":[...]}.
 std::string to_json(const HealthSnapshot& snapshot);
+
+/// Resident set size in bytes (/proc/self/statm) — the default memory
+/// probe. Public so the sharded collector can take ONE reading per tick
+/// and fan the same number out to every shard's watermark check (the
+/// watermark must act globally; see OverloadPolicy::memory_probe).
+std::size_t process_rss_bytes();
 
 /// One managed peering session. `remote` is null for sessions whose peer
 /// lives across a real socket (add_remote_peer): there is nothing local to
@@ -259,6 +280,21 @@ class Platform {
   /// The mirror buffer currently held for the next sampling run.
   const bgp::UpdateStream& mirror() const noexcept { return mirror_; }
 
+  /// Drains the mirror (the window restarts empty) and hands it to the
+  /// caller — the sharded merge plane's harvest primitive. Must run on the
+  /// thread that owns this platform (the shard's loop thread).
+  bgp::UpdateStream take_mirror();
+
+  /// Installs an externally computed filter set and anchor roster and
+  /// bumps the filter generation — the write half of the sharded split:
+  /// the merge plane runs ONE pipeline over the merged mirrors, then
+  /// installs the identical result into every shard's platform.
+  void install_filters(filt::FilterTable filters, std::vector<VpId> anchors);
+
+  /// VPs currently frozen by the quarantine policy (merge-plane input:
+  /// their mirrored updates are purged before sampling).
+  std::vector<VpId> quarantined_vps() const;
+
   const filt::FilterTable& filters() const noexcept { return filters_; }
   const std::vector<VpId>& anchors() const noexcept { return anchors_; }
 
@@ -287,7 +323,8 @@ class Platform {
  private:
   /// Registry-backed platform-level instruments, resolved at construction.
   struct PlatformCounters {
-    explicit PlatformCounters(metrics::Registry& registry);
+    PlatformCounters(metrics::Registry& registry,
+                     const metrics::Labels& labels);
 
     metrics::Counter& mirrored_updates;
     metrics::Counter& forwarded_updates;

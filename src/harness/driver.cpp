@@ -202,6 +202,7 @@ ScenarioVerdict ScenarioDriver::run_tcp() {
   }
   ScenarioVerdict verdict =
       scorer.finish(last_send_ms - first_send_ms, lost);
+  verdict.ingest_shards = config_.ingest_shards;
   stream.close();
   return verdict;
 }
@@ -308,7 +309,9 @@ ScenarioVerdict ScenarioDriver::run_in_memory() {
   for (ShapedTransport* transport : shaped) {
     lost += transport->shaping_stats().lost_updates;
   }
-  return scorer.finish(last_send_ms - first_send_ms, lost);
+  ScenarioVerdict verdict = scorer.finish(last_send_ms - first_send_ms, lost);
+  verdict.ingest_shards = 1;  // the embedded platform is unsharded
+  return verdict;
 }
 
 }  // namespace gill::harness

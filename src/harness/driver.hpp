@@ -37,6 +37,9 @@ struct DriverConfig {
   double timeout_ms = 60000.0;
   // In-memory mode: the embedded platform's analysis pool size.
   std::size_t analysis_threads = 0;
+  /// Ingest shards the TARGET collector runs with (--ingest-shards); the
+  /// driver only records it in the verdict, the collector owns the plane.
+  std::size_t ingest_shards = 1;
 };
 
 class ScenarioDriver {

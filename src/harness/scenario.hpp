@@ -35,7 +35,7 @@ bgp::Community scenario_tag(ScenarioKind kind) noexcept;
 struct ScenarioConfig {
   ScenarioKind kind = ScenarioKind::kRouteLeak;
   std::uint32_t as_count = 48;
-  std::size_t vp_count = 6;
+  std::size_t vp_count = 12;
   std::uint64_t seed = 1;
   /// Simulation time of the first event (the RIB dump is at start - 1).
   bgp::Timestamp start = 1000;

@@ -1,11 +1,13 @@
 #include "net/event_loop.hpp"
 
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <utility>
 
 namespace gill::net {
 
@@ -30,10 +32,53 @@ std::uint32_t to_epoll(std::uint32_t interest) noexcept {
 EventLoop::EventLoop(std::uint32_t granularity_ms)
     : epoll_fd_(epoll_create1(EPOLL_CLOEXEC)),
       start_ns_(monotonic_ns()),
-      granularity_ms_(std::max<std::uint32_t>(1, granularity_ms)) {}
+      granularity_ms_(std::max<std::uint32_t>(1, granularity_ms)) {
+  // The wakeup eventfd lives outside handlers_ so it never shows up in
+  // watched_count()/watched() — it is loop plumbing, not a session fd.
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ >= 0 && epoll_fd_ >= 0) {
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLET;
+    event.data.fd = wake_fd_;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) != 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+    }
+  }
+}
 
 EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::post(std::function<void()> task) {
+  if (wake_fd_ < 0) return false;
+  {
+    const std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wake();
+  return true;
+}
+
+void EventLoop::wake() noexcept {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::run_posted() {
+  // Swap the batch out under the lock, run it outside: a task may post
+  // again (even to this loop) without deadlocking. Tasks posted while the
+  // batch runs land in the next iteration — the wake() they issued keeps
+  // epoll_wait from blocking on them.
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> lock(post_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& task : batch) task();
 }
 
 std::uint64_t EventLoop::now_ms() const {
@@ -179,6 +224,7 @@ void EventLoop::advance_wheel() {
 }
 
 int EventLoop::run_once(int max_wait_ms) {
+  owner_.store(std::this_thread::get_id(), std::memory_order_release);
   int timeout = max_wait_ms;
   if (timer_count_ > 0) {
     timeout = std::min<int>(timeout < 0 ? static_cast<int>(granularity_ms_)
@@ -193,6 +239,12 @@ int EventLoop::run_once(int max_wait_ms) {
   }
   for (int i = 0; i < n; ++i) {
     const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {  // drain the counter; tasks run below
+      std::uint64_t count = 0;
+      while (::read(wake_fd_, &count, sizeof count) > 0) {
+      }
+      continue;
+    }
     const auto it = handlers_.find(fd);
     if (it == handlers_.end()) continue;  // removed by an earlier callback
     std::uint32_t mask = 0;
@@ -203,13 +255,16 @@ int EventLoop::run_once(int max_wait_ms) {
     const auto handler = it->second;  // keep alive across self-removal
     (*handler)(mask);
   }
+  run_posted();
   advance_wheel();
   return n;
 }
 
 void EventLoop::run() {
-  stopped_ = false;
-  while (!stopped_) run_once(static_cast<int>(granularity_ms_));
+  stopped_.store(false, std::memory_order_release);
+  owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  while (!stopped()) run_once(static_cast<int>(granularity_ms_));
+  owner_.store(std::thread::id{}, std::memory_order_release);
 }
 
 }  // namespace gill::net

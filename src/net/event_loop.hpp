@@ -16,12 +16,19 @@
 //     work without cascading). tick() scheduling for the BGP daemons —
 //     keepalives, hold timers, reconnect backoff — costs O(1) per timer
 //     per wheel step, independent of the peer count.
+//   * Sharded ingest (DESIGN.md §14) runs one loop per core. The ONLY
+//     cross-thread entry points are post() (task hand-off via an eventfd
+//     wakeup) and stop(); everything else keeps the one-thread-owns-every-
+//     fd contract, which in_loop_thread() lets callers assert.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace gill::net {
@@ -81,11 +88,35 @@ class EventLoop {
 
   /// Runs until stop(). Blocks in epoll_wait between events.
   void run();
-  /// Makes run() return after the current iteration; callable from any
-  /// callback (and async-signal-safe to request via a flag the caller
-  /// checks — see gill_collectord).
-  void stop() noexcept { stopped_ = true; }
-  bool stopped() const noexcept { return stopped_; }
+  /// Makes run() return after the current iteration. Callable from any
+  /// callback, and — unlike every other method except post() — from any
+  /// thread: the atomic store pairs with a wakeup write so a loop parked
+  /// in epoll_wait notices immediately.
+  void stop() noexcept {
+    stopped_.store(true, std::memory_order_release);
+    wake();
+  }
+  bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
+
+  /// Enqueues `task` to run on the loop thread during its next iteration
+  /// and wakes the loop (eventfd). THREAD-SAFE — this is the cross-shard
+  /// hand-off primitive: an accept dispatcher posts adopted fds to the
+  /// owning shard, the merge plane posts mirror harvests and filter
+  /// installs. Tasks run in post order, after fd dispatch, before timers.
+  /// Returns false when the loop has no wakeup fd (construction failed).
+  bool post(std::function<void()> task);
+  /// Forces the next epoll_wait to return (no-op without a wakeup fd).
+  void wake() noexcept;
+
+  /// True when the calling thread is the one inside run()/run_once() —
+  /// the owner allowed to touch fds and timers. Loops that were never run
+  /// have no owner yet and answer true (single-threaded setup phase).
+  bool in_loop_thread() const noexcept {
+    const auto owner = owner_.load(std::memory_order_acquire);
+    return owner == std::thread::id{} || owner == std::this_thread::get_id();
+  }
 
   /// Monotonic milliseconds since the loop was constructed (CLOCK_MONOTONIC;
   /// immune to wall-clock steps).
@@ -105,11 +136,16 @@ class EventLoop {
                    TimerCallback callback);
   void insert(Timer&& timer);
   void advance_wheel();
+  void run_posted();
 
   int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: post()/stop() from other threads
   std::uint64_t start_ns_ = 0;
   std::uint32_t granularity_ms_;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::thread::id> owner_{};  // thread inside run()/run_once()
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
   // shared_ptr so a handler that removes itself (or another fd) mid-dispatch
   // cannot free a callback the dispatcher is still executing.
   std::map<int, std::shared_ptr<FdCallback>> handlers_;

@@ -1,20 +1,23 @@
 // The live collector daemon (§8): the GILL platform behind real sockets.
 // Listens for inbound BGP peerings (and optionally BMP feeds, RFC 7854)
-// over TCP, drives every session from one epoll event loop whose timer
-// wheel ticks the daemons (keepalives, hold timers, filter refreshes), and
-// serves the versioned operator plane over HTTP: GET /v1/metrics
-// (Prometheus), GET /v1/healthz (JSON peer health), the archive retrieval
-// routes (/v1/data, /v1/segments) and the live distribution plane
+// over TCP, drives the sessions from a sharded ingest plane — N epoll
+// event loops, one per core (--ingest-shards), each owning its sessions
+// outright (DESIGN.md §14) — and serves the versioned operator plane over
+// HTTP from a separate control loop: GET /v1/metrics (Prometheus),
+// GET /v1/healthz (JSON peer health), the archive retrieval routes
+// (/v1/data, /v1/segments) and the live distribution plane
 // (GET /v1/stream — every accepted update fanned out to filtered
 // subscribers in real time). The pre-/v1 unversioned spellings had a
 // one-release grace window as aliases and now answer 404.
 //
-//   gill-collectord --listen-port 1790 --http-port 9179 &
+//   gill-collectord --listen-port 1790 --http-port 9179 --ingest-shards -1 &
 //   curl -s localhost:9179/v1/metrics | grep gill_collector_peers
 //   curl -N 'localhost:9179/v1/stream?prefix=10.0.0.0/8'
 //
-// Single-threaded by design (DESIGN.md §7): sessions are share-nothing
-// callbacks on the loop, so the daemon hot path never takes a lock.
+// Share-nothing by design (DESIGN.md §7/§14): a session's transport, FSM
+// and RIB live on exactly one shard's loop thread, so the daemon hot path
+// never takes a lock; the merge plane stitches per-shard mirrors into one
+// deterministic stream for the sampling pipeline.
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -28,6 +31,7 @@
 #include "archive/archive_writer.hpp"
 #include "cli_util.hpp"
 #include "collector/platform.hpp"
+#include "collector/sharded.hpp"
 #include "daemon/bmp_ingest.hpp"
 #include "net/event_loop.hpp"
 #include "net/http_endpoint.hpp"
@@ -49,6 +53,8 @@ constexpr const char* kUsage =
     "  --dial HOST:PORT:ASN   dial an outbound peering (repeatable; IPv6\n"
     "                         hosts in brackets: [::1]:1790:65001)\n"
     "  --local-as N           our AS number (default 65000)\n"
+    "  --ingest-shards N      ingest event loops (one thread + SO_REUSEPORT\n"
+    "                         listener each): -1 one per core, default 1\n"
     "  --max-peers N          refuse sessions beyond this (default 4096)\n"
     "  --tick-ms N            session tick interval (default 200)\n"
     "  --rib-dump-interval N  per-session RIB snapshot period, seconds (default off)\n"
@@ -112,6 +118,7 @@ int main(int argc, char** argv) {
   const auto local_as =
       static_cast<bgp::AsNumber>(args.get_int("local-as", 65000));
   const long max_peers = args.get_int("max-peers", 4096);
+  const long ingest_shards = args.get_int("ingest-shards", 1);
   const long tick_ms = args.get_int("tick-ms", 200);
   const long rib_dump_interval = args.get_int("rib-dump-interval", 0);
   const long analysis_threads = args.get_int("analysis-threads", -1);
@@ -130,38 +137,63 @@ int main(int argc, char** argv) {
       args.get_int("stream-queue-bytes", 1024 * 1024);
 
   metrics::Registry& registry = metrics::default_registry();
+  // The control loop: HTTP, BMP feeds, stream fan-out, archive rotation
+  // and the merge cadence. BGP sessions live on the ingest shards.
   // Destruction order matters: the loop must outlive every fd owner below.
   net::EventLoop loop;
 
-  collect::PlatformConfig config;
-  config.local_as = local_as;
-  config.registry = &registry;
-  // Filter refreshes run on a worker pool so the loop thread never stalls
-  // mid-pipeline (DESIGN.md §9); the session hot path stays single-threaded.
+  collect::ShardedPlatformConfig config;
+  config.shards = ingest_shards < 0
+                      ? par::auto_thread_count()
+                      : static_cast<std::size_t>(
+                            ingest_shards > 0 ? ingest_shards : 1);
+  config.platform.local_as = local_as;
+  config.platform.registry = &registry;
+  // The merged filter refresh runs on the merge plane's worker pool so no
+  // loop thread ever stalls mid-pipeline (DESIGN.md §9/§14).
   config.analysis_threads =
       analysis_threads < 0 ? par::auto_thread_count()
                            : static_cast<std::size_t>(analysis_threads);
   // RFC 4724 graceful restart: a flapping peer's RIB is retained as stale
   // for --gr-timeout seconds and resynced by delta instead of replayed.
-  config.gr.enabled = gr_timeout > 0;
+  config.platform.gr.enabled = gr_timeout > 0;
   if (gr_timeout > 0) {
-    config.gr.max_stale_time = static_cast<bgp::Timestamp>(gr_timeout);
-    config.gr.restart_time = static_cast<std::uint16_t>(
+    config.platform.gr.max_stale_time = static_cast<bgp::Timestamp>(gr_timeout);
+    config.platform.gr.restart_time = static_cast<std::uint16_t>(
         gr_timeout < 4095 ? gr_timeout : 4095);  // 12-bit wire field
   }
   if (mem_watermark > 0) {
-    config.overload.mem_high_watermark =
+    // The watermark acts globally: the control tick samples the RSS once
+    // and every shard's check reads that same number.
+    config.platform.overload.mem_high_watermark =
         static_cast<std::size_t>(mem_watermark);
   }
-  collect::Platform platform(config);
-
   // Per-peer ingest policing: a token bucket caps bytes/second and a
   // bounded inbound queue pauses EPOLLIN above the high watermark (real
-  // TCP backpressure — the sender's window closes, not our memory).
-  net::IngestLimits ingest_limits;
-  ingest_limits.max_bytes_per_sec = static_cast<double>(max_peer_rate);
-  ingest_limits.queue_high_watermark =
+  // TCP backpressure — the sender's window closes, not our memory). Both
+  // stay shard-local: they police one session each, lock-free.
+  config.ingest_limits.max_bytes_per_sec = static_cast<double>(max_peer_rate);
+  config.ingest_limits.queue_high_watermark =
       queue_watermark > 0 ? static_cast<std::size_t>(queue_watermark) : 0;
+  config.max_peers = static_cast<std::size_t>(max_peers);
+  // Per-source accept rate cap, shared across every shard's listener: a
+  // flap storm spread over N SO_REUSEPORT sockets is still one storm.
+  config.accept_rate = static_cast<double>(accept_rate);
+  config.on_session = [](std::size_t shard, bgp::VpId vp,
+                         const std::string& peer_ip) {
+    std::fprintf(stderr, "[collectord] vp%u peering from %s (shard %zu)\n",
+                 vp, peer_ip.c_str(), shard);
+  };
+  // The per-session snapshot interval: --snapshot-secs routes RIB dumps
+  // into the segment store, --rib-dump-interval is the historical flag for
+  // the in-memory store; both feed the same daemon machinery.
+  const long effective_rib_interval =
+      snapshot_secs > 0 ? snapshot_secs : rib_dump_interval;
+  if (effective_rib_interval > 0) {
+    config.rib_dump_interval =
+        static_cast<bgp::Timestamp>(effective_rib_interval);
+  }
+  collect::ShardedPlatform platform(config);
 
   // The on-disk segment store (§8: "stores the collected BGP updates in a
   // public database"). Disk I/O runs on a one-worker pool so the event
@@ -184,56 +216,23 @@ int main(int argc, char** argv) {
                    archive_dir.c_str());
       return 1;
     }
-    platform.set_archive(archive_writer.get());
+  }
+  // N shard threads write the archive tee concurrently; the LockedSink
+  // serializes them (and the control thread's rotation ticks below).
+  std::unique_ptr<collect::LockedSink> archive_sink;
+  if (archive_writer) {
+    archive_sink = std::make_unique<collect::LockedSink>(archive_writer.get());
+    platform.set_archive(archive_sink.get());
   }
 
-  // The platform owns the transports (as daemon::Transport); this index
-  // keeps the TcpTransport view for per-step sync().
-  std::map<bgp::VpId, net::TcpTransport*> transports;
   const auto now_seconds = [&loop] {
     return static_cast<bgp::Timestamp>(loop.now_ms() / 1000);
   };
 
-  // The per-session snapshot interval: --snapshot-secs routes RIB dumps
-  // into the segment store, --rib-dump-interval is the historical flag for
-  // the in-memory store; both feed the same daemon machinery.
-  const long effective_rib_interval =
-      snapshot_secs > 0 ? snapshot_secs : rib_dump_interval;
-
-  // Per-source accept rate cap: a flap storm from one address is refused
-  // at accept() before it costs a session slot or an OPEN exchange.
-  net::AcceptGovernor accept_governor(static_cast<double>(accept_rate),
-                                      /*burst=*/0, &registry);
-
-  net::TcpListener bgp_listener(loop, &registry);
-  const bool bgp_ok = bgp_listener.listen(
-      bind_ip, listen_port,
-      [&](int fd, std::string peer_ip, std::uint16_t peer_port) {
-        if (static_cast<long>(platform.peer_count()) >= max_peers) {
-          ::close(fd);
-          return;
-        }
-        if (!accept_governor.admit(peer_ip, loop.now_ms())) {
-          ::close(fd);
-          return;
-        }
-        auto transport = std::make_unique<net::TcpTransport>(
-            loop, net::Role::kDaemonSide, &registry);
-        auto* raw = transport.get();
-        raw->set_ingest_limits(ingest_limits);
-        transport->adopt(fd);
-        const bgp::VpId vp =
-            platform.add_remote_peer(/*peer_as=*/0, now_seconds(),
-                                     std::move(transport));
-        if (effective_rib_interval > 0) {
-          platform.daemon_mut(vp).enable_rib_dumps(
-              static_cast<bgp::Timestamp>(effective_rib_interval));
-        }
-        transports[vp] = raw;
-        std::fprintf(stderr, "[collectord] vp%u peering from %s:%u\n", vp,
-                     peer_ip.c_str(), peer_port);
-      });
-  if (!bgp_ok) {
+  // One SO_REUSEPORT listener per shard (kernel spreads the sessions); the
+  // round-robin dispatcher takes over automatically where the option is
+  // unavailable. Admission (peer cap, accept governor) is global.
+  if (!platform.listen(bind_ip, listen_port)) {
     std::fprintf(stderr, "error: cannot listen on %s:%u\n", bind_ip.c_str(),
                  listen_port);
     return 1;
@@ -241,7 +240,8 @@ int main(int argc, char** argv) {
 
   // Outbound peerings (--dial): we initiate the TCP connection, so these
   // sessions re-dial on teardown (retry policy armed, unlike accepted
-  // peers where the remote re-establishes).
+  // peers where the remote re-establishes). Spread round-robin over the
+  // shards before the fleet starts.
   for (const std::string& spec : args.get_all("dial")) {
     std::string host;
     std::uint16_t port = 0;
@@ -251,22 +251,11 @@ int main(int argc, char** argv) {
                    "(want HOST:PORT:ASN)\n", spec.c_str());
       return 1;
     }
-    auto transport = std::make_unique<net::TcpTransport>(
-        loop, net::Role::kDaemonSide, &registry);
-    auto* raw = transport.get();
-    raw->set_ingest_limits(ingest_limits);
-    if (!raw->dial(host, port)) {
+    if (!platform.dial(host, port, asn)) {
       std::fprintf(stderr, "error: cannot dial %s\n", spec.c_str());
       return 1;
     }
-    const bgp::VpId vp =
-        platform.add_dialed_peer(asn, now_seconds(), std::move(transport));
-    if (effective_rib_interval > 0) {
-      platform.daemon_mut(vp).enable_rib_dumps(
-          static_cast<bgp::Timestamp>(effective_rib_interval));
-    }
-    transports[vp] = raw;
-    std::fprintf(stderr, "[collectord] vp%u dialing %s:%u (AS%u)\n", vp,
+    std::fprintf(stderr, "[collectord] dialing %s:%u (AS%u)\n",
                  host.c_str(), port, asn);
   }
 
@@ -415,12 +404,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // The timer wheel drives every session: poll decoded bytes, expire hold
-  // timers, emit keepalives, refresh filters, flush socket backlogs.
+  // Each shard's own timer wheel drives its sessions (poll decoded bytes,
+  // expire hold timers, emit keepalives, flush socket backlogs); the
+  // control tick here samples the memory watermark, fans the stream
+  // outboxes into the hub, runs the merge cadence and rotates the archive.
+  platform.start(static_cast<std::uint64_t>(tick_ms));
   loop.call_every(static_cast<std::uint64_t>(tick_ms), [&] {
-    platform.step(now_seconds());
-    for (auto& [vp, transport] : transports) transport->sync();
-    if (archive_writer) archive_writer->tick(now_seconds());
+    platform.control_tick(now_seconds());
+    if (archive_writer) {
+      archive_sink->with_lock([&] { archive_writer->tick(now_seconds()); });
+    }
   });
   if (duration > 0) {
     loop.call_after(static_cast<std::uint64_t>(duration) * 1000,
@@ -430,24 +423,28 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::fprintf(stderr,
-               "[collectord] AS%u: BGP on %s:%u%s, HTTP on %s:%u "
-               "(/v1/metrics, /v1/healthz, /v1/stream), "
-               "analysis threads: %zu\n",
-               local_as, bind_ip.c_str(), bgp_listener.port(),
-               bmp_port > 0 ? " (+BMP)" : "", bind_ip.c_str(), http.port(),
-               platform.analysis_thread_count());
+               "[collectord] AS%u: BGP on %s:%u%s (%zu ingest shard%s, %s), "
+               "HTTP on %s:%u (/v1/metrics, /v1/healthz, /v1/stream)\n",
+               local_as, bind_ip.c_str(), platform.port(),
+               bmp_port > 0 ? " (+BMP)" : "", platform.shard_count(),
+               platform.shard_count() == 1 ? "" : "s",
+               platform.reuse_port_active() ? "SO_REUSEPORT" : "dispatcher",
+               bind_ip.c_str(), http.port());
   while (!loop.stopped() && g_stop == 0) {
     loop.run_once(100);
   }
 
+  // Quiesce the ingest fleet first: once the shard threads are joined,
+  // every harvest below runs single-threaded.
+  platform.stop();
   std::fprintf(stderr,
                "[collectord] shutting down: %zu peers, %zu BMP streams, "
                "%zu updates stored\n",
                platform.peer_count(), bmp_streams.size(),
-               platform.store().stored());
+               platform.stored_updates());
   const std::string archive = args.get("archive", "");
   if (!archive.empty()) {
-    if (platform.store().save(archive)) {
+    if (platform.save_archive(archive)) {
       std::fprintf(stderr, "[collectord] archive saved to %s\n",
                    archive.c_str());
     } else {
@@ -456,9 +453,9 @@ int main(int argc, char** argv) {
     }
   }
   // Drain every asynchronous producer BEFORE the final metrics dump: the
-  // archive writer's in-flight disk jobs and any filter refresh still on
-  // the analysis pool would otherwise mutate counters after (or while)
-  // the exposition is rendered — the dump must reflect the finished run.
+  // archive writer's in-flight disk jobs and any merged filter refresh
+  // still on the analysis pool would otherwise mutate counters after (or
+  // while) the exposition is rendered — the dump must reflect the run.
   platform.wait_for_refresh();
   if (archive_writer) {
     archive_writer->close();  // seal the active segment + wait for I/O

@@ -52,7 +52,10 @@ constexpr const char* kUsage =
     "  --loss P               UPDATE loss probability, 0..1 (default 0.01)\n"
     "  --bandwidth-kbps N     per-session serialization cap (default off)\n"
     "  --ases N               topology size (default 48)\n"
-    "  --vps N                vantage-point sessions (default 6)\n"
+    "  --vps N                vantage-point sessions (default 12)\n"
+    "  --shards N             run the forked collectord with\n"
+    "                         --ingest-shards N (default 1; -1 per core);\n"
+    "                         recorded in the verdict\n"
     "  --seed N               scenario + shaping + pacing seed (default 1)\n"
     "  --rate N               mean event rate/s for the pacing model (default 50)\n"
     "  --replay-ms N          event replay window (default 3000)\n"
@@ -88,7 +91,7 @@ struct Collectord {
 
   ~Collectord() { stop(); }
 
-  bool start(const std::string& binary) {
+  bool start(const std::string& binary, long ingest_shards) {
     bgp_port = pick_free_port();
     http_port = pick_free_port();
     if (bgp_port == 0 || http_port == 0 || bgp_port == http_port) {
@@ -99,13 +102,15 @@ struct Collectord {
     archive_dir = dir_template;
     const std::string bgp = std::to_string(bgp_port);
     const std::string http = std::to_string(http_port);
+    const std::string shards = std::to_string(ingest_shards);
     pid = ::fork();
     if (pid < 0) return false;
     if (pid == 0) {
       ::execl(binary.c_str(), binary.c_str(), "--bind", "127.0.0.1",
               "--listen-port", bgp.c_str(), "--http-port", http.c_str(),
               "--archive-dir", archive_dir.c_str(), "--rotate-secs", "1",
-              "--tick-ms", "20", static_cast<char*>(nullptr));
+              "--tick-ms", "20", "--ingest-shards", shards.c_str(),
+              static_cast<char*>(nullptr));
       std::fprintf(stderr, "scenariod: exec %s failed: %s\n", binary.c_str(),
                    std::strerror(errno));
       ::_exit(127);
@@ -183,7 +188,7 @@ int main(int argc, char** argv) {
 
   harness::ScenarioConfig base;
   base.as_count = static_cast<std::size_t>(args.get_int("ases", 48));
-  base.vp_count = static_cast<std::size_t>(args.get_int("vps", 6));
+  base.vp_count = static_cast<std::size_t>(args.get_int("vps", 12));
   base.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   base.link.latency_ms = static_cast<double>(args.get_int("latency-ms", 10));
   base.link.jitter_ms = static_cast<double>(args.get_int("jitter-ms", 4));
@@ -201,6 +206,7 @@ int main(int argc, char** argv) {
       static_cast<double>(args.get_int("timeout-ms", 60000));
   driver_config.analysis_threads =
       static_cast<std::size_t>(args.get_int("analysis-threads", 0));
+  const long ingest_shards = args.get_int("shards", 1);
 
   bool all_passed = true;
   std::string json = "{\"scenarios\":[";
@@ -213,13 +219,15 @@ int main(int argc, char** argv) {
     harness::DriverConfig run_config = driver_config;
     if (!in_memory) {
       if (!collectord_path.empty()) {
-        if (!child.start(collectord_path)) {
+        if (!child.start(collectord_path, ingest_shards)) {
           std::fprintf(stderr, "scenariod: cannot start %s\n",
                        collectord_path.c_str());
           return 1;
         }
         run_config.bgp_port = child.bgp_port;
         run_config.http_port = child.http_port;
+        run_config.ingest_shards = static_cast<std::size_t>(
+            ingest_shards > 0 ? ingest_shards : 1);
       } else {
         run_config.bgp_port =
             static_cast<std::uint16_t>(args.get_int("bgp-port", 0));

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Flap-storm soak: builds the soak-labeled chaos tests (tests/soak_test.cpp
-# and the /v1/stream distribution-plane tests in tests/stream_test.cpp)
+# Flap-storm soak: builds the soak-labeled chaos tests (tests/soak_test.cpp,
+# the /v1/stream distribution-plane tests in tests/stream_test.cpp and the
+# sharded ingest-plane storm in tests/sharded_test.cpp: flaps spread across
+# a 4-shard fleet while merge refreshes run on the analysis pool)
 # plus the scenario-labeled closed-loop harness (tests/scenario_test.cpp:
 # route-leak and sub-prefix-hijack replays driving a real gill-collectord
 # over shaped loopback TCP) under BOTH sanitizer configurations and runs
@@ -30,7 +32,7 @@ run_one() {
   cmake -B "$dir" -S . -DGILL_SANITIZE="$mode" > "$dir.configure.log" 2>&1 \
     || { cat "$dir.configure.log"; return 1; }
   cmake --build "$dir" -j"$jobs" \
-    --target soak_test stream_test scenario_test bench_scenario \
+    --target soak_test stream_test sharded_test scenario_test bench_scenario \
               gill-scenariod gill-collectord gill-simulate \
     > "$dir.build.log" 2>&1 \
     || { tail -50 "$dir.build.log"; return 1; }

@@ -45,7 +45,10 @@ bool ArchiveReader::segment_may_match(const SegmentMeta& meta,
         std::lower_bound(meta.vps.begin(), meta.vps.end(), *options.vp);
     if (it == meta.vps.end() || *it != *options.vp) return false;
   }
-  return true;  // no per-segment prefix index: prefixes filter per record
+  if (options.prefix.has_value() && !meta.bloom.may_cover(*options.prefix)) {
+    return false;  // v1 segments carry an empty (match-all) bloom
+  }
+  return true;
 }
 
 bool ArchiveReader::record_matches(const mrt::Reader::Record& record,
@@ -94,9 +97,22 @@ bool QueryCursor::load_next_segment() {
     const std::string path =
         (fs::path(reader_->directory_) / meta.file).string();
     auto file = read_file(path);
-    if (!file || file->size() < meta.payload_bytes) continue;  // vanished
-    file->resize(meta.payload_bytes);  // drop the footer
-    payload_ = std::move(*file);
+    if (!file) continue;  // vanished
+    // Decode by the file's own footer: the compressed image may have
+    // atomically replaced the raw seal after this reader's manifest row
+    // was loaded (same records, different encoding).
+    const auto actual = read_footer(std::span<const std::uint8_t>(*file));
+    if (!actual || file->size() < actual->payload_bytes) continue;
+    file->resize(actual->payload_bytes);  // drop the footer
+    if (actual->codec == kCodecZstd) {
+      auto raw = decompress_payload(*file, actual->raw_bytes);
+      if (!raw) continue;  // zstd-less build or corrupt payload
+      payload_ = std::move(*raw);
+    } else if (actual->codec != kCodecNone) {
+      continue;  // unknown future codec: skip, don't misparse
+    } else {
+      payload_ = std::move(*file);
+    }
     payload_offset_ = 0;
     return true;
   }

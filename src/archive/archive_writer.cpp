@@ -45,6 +45,21 @@ SegmentWriter::Instruments::Instruments(metrics::Registry& registry)
       enospc_dropped_bytes(registry.counter(
           "gill_archive_enospc_dropped_bytes_total",
           "Payload bytes dropped by ENOSPC degradation")),
+      compressed_segments(registry.counter(
+          "gill_archive_compressed_segments_total",
+          "Segments sealed with a zstd-compressed payload")),
+      compression_saved_bytes(registry.counter(
+          "gill_archive_compression_saved_bytes_total",
+          "raw - compressed payload bytes across compressed seals")),
+      gc_deleted_segments(registry.counter(
+          "gill_archive_gc_deleted_segments_total",
+          "Sealed windows deleted by retention/GC")),
+      gc_deleted_bytes(registry.counter(
+          "gill_archive_gc_deleted_bytes_total",
+          "On-disk payload bytes reclaimed by retention/GC")),
+      gc_skipped_pinned(registry.counter(
+          "gill_archive_gc_skipped_pinned_total",
+          "GC victims spared because a live cursor pinned them")),
       rotate_us(registry.histogram(
           "gill_archive_rotate_us",
           "Microseconds to seal a segment (tail write, footer, fsync, "
@@ -261,6 +276,9 @@ void SegmentWriter::do_seal(std::vector<std::uint8_t> tail, SegmentMeta meta) {
   // (turning a counted degradation into a silently unreadable segment).
   const off_t on_disk = ::lseek(active_fd_, 0, SEEK_END);
   if (on_disk >= 0) meta.payload_bytes = static_cast<std::uint64_t>(on_disk);
+  meta.raw_bytes = meta.payload_bytes;
+  meta.codec = kCodecNone;
+  meta.bloom.finalize();
   std::vector<std::uint8_t> footer;
   append_footer(footer, meta);
   std::size_t written = 0;
@@ -295,8 +313,36 @@ void SegmentWriter::do_seal(std::vector<std::uint8_t> tail, SegmentMeta meta) {
     ::fsync(dir_fd);
     ::close(dir_fd);
   }
+  // Compression is a second, independent publish: the raw seal above is
+  // already crash-safe (rename is atomic), so the compressed image simply
+  // replaces the sealed file under the SAME name via write-to-temp +
+  // rename. A crash at any point leaves a valid sealed segment — raw
+  // before the swap, zstd after — never a duplicate and never a hole. Any
+  // failure here (codec, I/O) keeps the raw seal and moves on.
+  if (config_.compress && compression_available() && meta.payload_bytes > 0) {
+    auto raw = read_file(sealed_path);
+    if (raw && raw->size() >= meta.payload_bytes) {
+      raw->resize(meta.payload_bytes);
+      if (auto compressed = compress_payload(*raw)) {
+        SegmentMeta zmeta = meta;
+        zmeta.codec = kCodecZstd;
+        zmeta.payload_bytes = compressed->size();
+        std::vector<std::uint8_t> image = std::move(*compressed);
+        append_footer(image, zmeta);
+        if (write_file_atomic(sealed_path, image)) {
+          instruments_.compressed_segments.inc();
+          if (zmeta.raw_bytes > zmeta.payload_bytes) {
+            instruments_.compression_saved_bytes.inc(zmeta.raw_bytes -
+                                                     zmeta.payload_bytes);
+          }
+          meta = std::move(zmeta);
+        }
+      }
+    }
+  }
   sealed_.push_back(std::move(meta));
   ++sealed_count_;
+  ++manifest_generation_;
   const std::string json = manifest_to_json(sealed_);
   const std::string manifest_path =
       (fs::path(config_.directory) / kManifestName).string();
@@ -326,9 +372,40 @@ void SegmentWriter::close() {
   }
 }
 
+void SegmentWriter::run_retention(
+    const RetentionPolicy& policy, const SegmentPins* pins, Timestamp now,
+    std::function<void(const std::string&)> on_deleted) {
+  if (!policy.enabled()) return;
+  // A serialized job, like sealing: GC and seals rewrite the same manifest
+  // and must never interleave.
+  post([this, policy, pins, now, on_deleted = std::move(on_deleted)] {
+    std::unique_lock lock(mutex_);
+    if (dead_) return;
+    auto result = run_gc(config_.directory, sealed_, policy, pins, now);
+    if (!result) {
+      dead_ = true;  // the manifest rewrite failed; nothing was deleted
+      return;
+    }
+    instruments_.gc_skipped_pinned.inc(result->skipped_pinned);
+    if (result->deleted_files.empty()) return;
+    sealed_ = std::move(result->remaining);
+    ++manifest_generation_;
+    instruments_.gc_deleted_segments.inc(result->deleted_files.size());
+    instruments_.gc_deleted_bytes.inc(result->deleted_bytes);
+    if (on_deleted) {
+      for (const std::string& file : result->deleted_files) on_deleted(file);
+    }
+  });
+}
+
 std::vector<SegmentMeta> SegmentWriter::manifest() const {
   std::lock_guard lock(mutex_);
   return sealed_;
+}
+
+std::uint64_t SegmentWriter::manifest_generation() const {
+  std::lock_guard lock(mutex_);
+  return manifest_generation_;
 }
 
 std::uint64_t SegmentWriter::segments_sealed() const {

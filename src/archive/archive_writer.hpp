@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "archive/retention.hpp"
 #include "archive/segment.hpp"
 #include "metrics/metrics.hpp"
 #include "mrt/mrt.hpp"
@@ -38,6 +39,10 @@ struct SegmentWriterConfig {
   /// Buffered bytes that trigger an asynchronous append to the active
   /// segment file (batches small records into few write syscalls).
   std::size_t flush_bytes = 64 * 1024;
+  /// zstd-compress segment payloads at seal time (--archive-compress).
+  /// The active `current.part` stays raw either way, so recovery is
+  /// unchanged; a build without zstd degrades to raw sealing.
+  bool compress = false;
   /// I/O executor; nullptr runs every job inline on the caller's thread.
   par::ThreadPool* pool = nullptr;
   /// Registry hosting the gill_archive_* instruments; nullptr uses
@@ -78,8 +83,23 @@ class SegmentWriter : public mrt::Sink {
   /// sealed, indexed and fsynced. Called by the destructor.
   void close();
 
+  /// Runs one retention/GC pass as a serialized writer job: deletes aged
+  /// and over-budget sealed windows (oldest first), skipping any segment
+  /// pinned by a live cursor, with the crash-safe manifest-first ordering
+  /// of retention.hpp. `on_deleted` (may be empty) is invoked once per
+  /// deleted file name — the daemon uses it to invalidate the segment
+  /// cache. No-op when the policy is disabled.
+  void run_retention(const RetentionPolicy& policy, const SegmentPins* pins,
+                     Timestamp now,
+                     std::function<void(const std::string&)> on_deleted = {});
+
   /// Sealed segments, oldest first (a snapshot; safe from any thread).
   std::vector<SegmentMeta> manifest() const;
+
+  /// Bumped on every manifest change (seal, GC). The daemon refreshes its
+  /// shared QueryEngine only when this moves — satellite (a)'s fix for the
+  /// reload-the-manifest-per-request pattern.
+  std::uint64_t manifest_generation() const;
 
   std::uint64_t segments_sealed() const;
   std::uint64_t records_appended() const noexcept { return records_appended_; }
@@ -112,6 +132,11 @@ class SegmentWriter : public mrt::Sink {
     metrics::Counter& truncated_bytes;
     metrics::Counter& enospc_events;
     metrics::Counter& enospc_dropped_bytes;
+    metrics::Counter& compressed_segments;
+    metrics::Counter& compression_saved_bytes;
+    metrics::Counter& gc_deleted_segments;
+    metrics::Counter& gc_deleted_bytes;
+    metrics::Counter& gc_skipped_pinned;
     metrics::Histogram& rotate_us;
     metrics::Histogram& fsync_us;
   };
@@ -151,6 +176,7 @@ class SegmentWriter : public mrt::Sink {
   int active_fd_ = -1;            // open fd of current.part (job thread)
   std::vector<SegmentMeta> sealed_;  // manifest mirror
   std::uint64_t sealed_count_ = 0;
+  std::uint64_t manifest_generation_ = 0;
 };
 
 }  // namespace gill::archive

@@ -1,0 +1,142 @@
+#include "archive/retention.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+namespace gill::archive {
+
+namespace fs = std::filesystem;
+
+void SegmentPins::pin(const std::vector<std::string>& files) {
+  std::lock_guard lock(mutex_);
+  pin_locked(files);
+}
+
+void SegmentPins::pin_locked(const std::vector<std::string>& files) {
+  for (const std::string& file : files) ++counts_[file];
+}
+
+bool SegmentPins::pinned_locked(const std::string& file) const {
+  return counts_.contains(file);
+}
+
+void SegmentPins::unpin(const std::vector<std::string>& files) {
+  std::lock_guard lock(mutex_);
+  for (const std::string& file : files) {
+    const auto it = counts_.find(file);
+    if (it == counts_.end()) continue;
+    if (--it->second == 0) counts_.erase(it);
+  }
+}
+
+bool SegmentPins::pinned(const std::string& file) const {
+  std::lock_guard lock(mutex_);
+  return counts_.contains(file);
+}
+
+std::size_t SegmentPins::pinned_count() const {
+  std::lock_guard lock(mutex_);
+  return counts_.size();
+}
+
+std::vector<std::size_t> select_expired(
+    const std::vector<SegmentMeta>& manifest, const RetentionPolicy& policy,
+    Timestamp now) {
+  std::vector<std::size_t> victims;
+  std::vector<bool> condemned(manifest.size(), false);
+  // Age first: a window is expired when even its newest record is older
+  // than the horizon. Whole windows only — a segment is the deletion unit.
+  if (policy.max_age_secs > 0 && now > policy.max_age_secs) {
+    const Timestamp horizon = now - policy.max_age_secs;
+    for (std::size_t i = 0; i < manifest.size(); ++i) {
+      if (manifest[i].max_time < horizon) condemned[i] = true;
+    }
+  }
+  // Then the byte budget over what survives, oldest-first.
+  if (policy.max_bytes > 0) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < manifest.size(); ++i) {
+      if (!condemned[i]) total += manifest[i].payload_bytes;
+    }
+    for (std::size_t i = 0; i < manifest.size() && total > policy.max_bytes;
+         ++i) {
+      if (condemned[i]) continue;
+      condemned[i] = true;
+      total -= manifest[i].payload_bytes;
+    }
+  }
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    if (condemned[i]) victims.push_back(i);
+  }
+  return victims;
+}
+
+std::optional<GcResult> run_gc(const std::string& directory,
+                               std::vector<SegmentMeta> manifest,
+                               const RetentionPolicy& policy,
+                               const SegmentPins* pins, Timestamp now) {
+  GcResult result;
+  const std::vector<std::size_t> expired =
+      select_expired(manifest, policy, now);
+  std::set<std::size_t> doomed;
+  for (const std::size_t index : expired) {
+    if (pins != nullptr && pins->pinned(manifest[index].file)) {
+      ++result.skipped_pinned;  // a live cursor holds it: next pass
+      continue;
+    }
+    doomed.insert(index);
+  }
+  if (doomed.empty()) {
+    result.remaining = std::move(manifest);
+    return result;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> victims;  // file, bytes
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    if (doomed.contains(i)) {
+      victims.emplace_back(manifest[i].file, manifest[i].payload_bytes);
+    } else {
+      result.remaining.push_back(std::move(manifest[i]));
+    }
+  }
+  // Manifest first, unlink second: a reader loading the store mid-pass
+  // either still sees the victim rows (files intact) or already does not
+  // (files may lag, but load_manifest drops rows without files and GC
+  // converges) — never a row pointing at a hole.
+  const std::string json = manifest_to_json(result.remaining);
+  const std::string manifest_path =
+      (fs::path(directory) / kManifestName).string();
+  if (!write_file_atomic(
+          manifest_path,
+          std::span(reinterpret_cast<const std::uint8_t*>(json.data()),
+                    json.size()))) {
+    return std::nullopt;
+  }
+  // Unlink with a per-file pin re-check under the ledger lock: a cursor
+  // that pinned between our selection above and this unlink spares its
+  // file (it stays on disk, drops out of the manifest, and load_manifest
+  // re-adopts it — the next pass deletes it once unpinned).
+  for (const auto& [file, bytes] : victims) {
+    bool spared = false;
+    const std::string path = (fs::path(directory) / file).string();
+    if (pins != nullptr) {
+      pins->locked([&] {
+        spared = pins->pinned_locked(file);
+        if (!spared) ::unlink(path.c_str());
+      });
+    } else {
+      ::unlink(path.c_str());
+    }
+    if (spared) {
+      ++result.skipped_pinned;
+    } else {
+      result.deleted_files.push_back(file);
+      result.deleted_bytes += bytes;
+    }
+  }
+  return result;
+}
+
+}  // namespace gill::archive

@@ -1,0 +1,93 @@
+// Retention/GC of aged archive windows (DESIGN.md §15): a store otherwise
+// grows without bound. A RetentionPolicy caps the store by total payload
+// bytes and/or by age; GC deletes whole sealed windows oldest-first until
+// the policy holds again.
+//
+// Safety protocol. (1) Crash-safe ordering: the manifest is rewritten
+// WITHOUT the victims first (atomic temp+rename, like sealing), then the
+// segment files are unlinked — a crash between the two leaves orphaned
+// sealed files that load_manifest re-adopts and the next GC pass deletes
+// again; either way the store converges. (2) Cursor safety: every live
+// query cursor pins the segments of its manifest snapshot in a shared
+// SegmentPins ledger; GC skips pinned segments this pass (they are counted
+// and retried on the next timer tick), so an in-flight GET /v1/data never
+// has a segment deleted out from under it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "archive/segment.hpp"
+
+namespace gill::archive {
+
+struct RetentionPolicy {
+  /// Delete oldest windows while the summed on-disk payload exceeds this
+  /// (0 = unbounded).
+  std::uint64_t max_bytes = 0;
+  /// Delete windows whose max_time is older than now - max_age_secs
+  /// (0 = unbounded).
+  Timestamp max_age_secs = 0;
+
+  bool enabled() const noexcept { return max_bytes > 0 || max_age_secs > 0; }
+};
+
+/// Reference counts of segments held by in-flight query cursors. Shared
+/// between the query engine (pin on cursor start, unpin on cursor end) and
+/// GC (skip pinned). Thread-safe.
+class SegmentPins {
+ public:
+  void pin(const std::vector<std::string>& files);
+  void unpin(const std::vector<std::string>& files);
+  bool pinned(const std::string& file) const;
+  /// Distinct pinned segment files (observability/tests).
+  std::size_t pinned_count() const;
+
+  /// Runs `fn` under the ledger lock. This is how the pin/unlink race is
+  /// closed: a cursor pins its snapshot AND verifies the files still exist
+  /// in one critical section, while GC re-checks the pin AND unlinks in
+  /// another — the lock totally orders the two, so either the cursor sees
+  /// the file already gone (and silently drops it from its plan) or GC
+  /// sees the pin (and spares the file). Use the *_locked variants inside.
+  template <typename F>
+  void locked(F&& fn) const {
+    std::lock_guard lock(mutex_);
+    fn();
+  }
+  void pin_locked(const std::vector<std::string>& files);
+  bool pinned_locked(const std::string& file) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::uint64_t> counts_;
+};
+
+struct GcResult {
+  std::vector<SegmentMeta> remaining;  // manifest after the pass, sorted
+  std::vector<std::string> deleted_files;
+  std::uint64_t deleted_bytes = 0;  // on-disk payload bytes reclaimed
+  std::size_t skipped_pinned = 0;   // victims spared by a live cursor
+};
+
+/// Indices into `manifest` (assumed oldest-first) that the policy condemns
+/// at `now`, ignoring pins: every aged window plus the oldest windows
+/// needed to get back under max_bytes. Pure — used by run_gc and tests.
+std::vector<std::size_t> select_expired(
+    const std::vector<SegmentMeta>& manifest, const RetentionPolicy& policy,
+    Timestamp now);
+
+/// One GC pass over `directory` holding `manifest` (the caller's current
+/// view, oldest-first): rewrites the manifest without the victims, then
+/// unlinks their files. Pinned victims are skipped this pass. Returns
+/// nullopt when the manifest rewrite fails (nothing was deleted in that
+/// case — the unlink phase only runs after the rewrite landed).
+std::optional<GcResult> run_gc(const std::string& directory,
+                               std::vector<SegmentMeta> manifest,
+                               const RetentionPolicy& policy,
+                               const SegmentPins* pins, Timestamp now);
+
+}  // namespace gill::archive

@@ -12,7 +12,56 @@
 
 #include "feed/json.hpp"
 
+#ifdef GILL_HAVE_ZSTD
+#include <zstd.h>
+#endif
+
 namespace gill::archive {
+
+// ---------------------------------------------------------------------------
+// Payload codec. zstd when the toolchain provides it; otherwise the gate
+// degrades: compression_available() is false, --archive-compress seals raw
+// and zstd segments cannot be decoded on this build.
+// ---------------------------------------------------------------------------
+
+bool compression_available() noexcept {
+#ifdef GILL_HAVE_ZSTD
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::optional<std::vector<std::uint8_t>> compress_payload(
+    std::span<const std::uint8_t> raw) {
+#ifdef GILL_HAVE_ZSTD
+  std::vector<std::uint8_t> out(ZSTD_compressBound(raw.size()));
+  const std::size_t written =
+      ZSTD_compress(out.data(), out.size(), raw.data(), raw.size(),
+                    /*compressionLevel=*/3);
+  if (ZSTD_isError(written)) return std::nullopt;
+  out.resize(written);
+  return out;
+#else
+  (void)raw;
+  return std::nullopt;
+#endif
+}
+
+std::optional<std::vector<std::uint8_t>> decompress_payload(
+    std::span<const std::uint8_t> compressed, std::uint64_t raw_size) {
+#ifdef GILL_HAVE_ZSTD
+  std::vector<std::uint8_t> out(raw_size);
+  const std::size_t written = ZSTD_decompress(
+      out.data(), out.size(), compressed.data(), compressed.size());
+  if (ZSTD_isError(written) || written != raw_size) return std::nullopt;
+  return out;
+#else
+  (void)compressed;
+  (void)raw_size;
+  return std::nullopt;
+#endif
+}
 
 namespace {
 
@@ -20,7 +69,8 @@ namespace fs = std::filesystem;
 
 constexpr std::uint32_t kFooterMagic = 0x47534547;  // "GSEG"
 constexpr std::uint32_t kTailMagic = 0x4C4C4947;    // "GILL"
-constexpr std::uint32_t kFooterVersion = 1;
+constexpr std::uint32_t kFooterVersionV1 = 1;
+constexpr std::uint32_t kFooterVersionV2 = 2;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
   out.push_back(static_cast<std::uint8_t>(value >> 24));
@@ -46,9 +96,14 @@ std::uint64_t get_u64(std::span<const std::uint8_t> data, std::size_t at) {
          get_u32(data, at + 4);
 }
 
-/// Fixed part of the footer: magic, version, payload_bytes, min/max time,
-/// update/rib counts, vp_count + trailing (footer_size, tail magic).
+/// Fixed part of the v1 footer: magic, version, payload_bytes, min/max
+/// time, update/rib counts, vp_count + trailing (footer_size, tail magic).
 constexpr std::size_t kFooterFixedBytes = 4 + 4 + 8 + 4 + 4 + 8 + 8 + 4 + 4 + 4;
+
+/// Fixed part of the v2 footer: v1's fields plus raw_bytes (u64), codec
+/// (u32) and the bloom header (hashes u32 + byte length u64); the VP list
+/// and bloom bit array are the variable tail.
+constexpr std::size_t kFooterFixedBytesV2 = kFooterFixedBytes + 8 + 4 + 12;
 
 bool fsync_path(const std::string& path, int flags) {
   const int fd = ::open(path.c_str(), flags);
@@ -58,7 +113,7 @@ bool fsync_path(const std::string& path, int flags) {
   return ok;
 }
 
-feed::Json meta_to_json(const SegmentMeta& meta) {
+feed::Json meta_to_json(const SegmentMeta& meta, bool include_bloom) {
   feed::JsonArray vps;
   vps.reserve(meta.vps.size());
   for (const VpId vp : meta.vps) vps.emplace_back(static_cast<double>(vp));
@@ -69,7 +124,13 @@ feed::Json meta_to_json(const SegmentMeta& meta) {
   object["updates"] = static_cast<double>(meta.updates);
   object["rib_entries"] = static_cast<double>(meta.rib_entries);
   object["payload_bytes"] = static_cast<double>(meta.payload_bytes);
+  object["raw_bytes"] = static_cast<double>(meta.raw_bytes);
+  object["codec"] = static_cast<double>(meta.codec);
   object["vps"] = std::move(vps);
+  if (include_bloom && !meta.bloom.empty()) {
+    object["bloom_k"] = static_cast<double>(meta.bloom.hashes());
+    object["bloom"] = meta.bloom.to_hex();
+  }
   return feed::Json(std::move(object));
 }
 
@@ -97,6 +158,27 @@ std::optional<SegmentMeta> meta_from_json(const feed::Json& json) {
   }
   meta.min_time = static_cast<Timestamp>(min_time);
   meta.max_time = static_cast<Timestamp>(max_time);
+  // Pre-v2 manifests lack these rows: a missing raw size means the payload
+  // is stored raw, a missing codec means none, a missing bloom matches all.
+  meta.raw_bytes = meta.payload_bytes;
+  if (json.find("raw_bytes") != nullptr && !number("raw_bytes", meta.raw_bytes)) {
+    return std::nullopt;
+  }
+  std::uint64_t codec = kCodecNone;
+  if (json.find("codec") != nullptr && !number("codec", codec)) {
+    return std::nullopt;
+  }
+  meta.codec = static_cast<std::uint32_t>(codec);
+  if (const feed::Json* bloom_hex = json.find("bloom")) {
+    std::uint64_t bloom_k = 0;
+    if (!bloom_hex->is_string() || !number("bloom_k", bloom_k)) {
+      return std::nullopt;
+    }
+    auto bloom = PrefixBloom::from_hex(bloom_hex->as_string(),
+                                       static_cast<std::uint32_t>(bloom_k));
+    if (!bloom) return std::nullopt;
+    meta.bloom = std::move(*bloom);
+  }
   const feed::Json* vps = json.find("vps");
   if (vps == nullptr || !vps->is_array()) return std::nullopt;
   for (const feed::Json& vp : vps->as_array()) {
@@ -128,6 +210,7 @@ void SegmentMeta::observe(const bgp::Update& update, bool rib_entry) {
   } else {
     ++updates;
   }
+  bloom.observe(update.prefix);
   const auto it = std::lower_bound(vps.begin(), vps.end(), update.vp);
   if (it == vps.end() || *it != update.vp) {
     vps.insert(it, update.vp);
@@ -143,10 +226,31 @@ std::string segment_file_name(Timestamp start, std::uint64_t seq) {
 }
 
 void append_footer(std::vector<std::uint8_t>& out, const SegmentMeta& meta) {
+  std::vector<std::uint8_t> bloom;
+  meta.bloom.serialize(bloom);
+  const std::uint32_t footer_size = static_cast<std::uint32_t>(
+      kFooterFixedBytesV2 + 4 * meta.vps.size() + meta.bloom.bits().size());
+  put_u32(out, kFooterMagic);
+  put_u32(out, kFooterVersionV2);
+  put_u64(out, meta.payload_bytes);
+  put_u64(out, meta.raw_bytes);
+  put_u32(out, meta.codec);
+  put_u32(out, static_cast<std::uint32_t>(meta.min_time));
+  put_u32(out, static_cast<std::uint32_t>(meta.max_time));
+  put_u64(out, meta.updates);
+  put_u64(out, meta.rib_entries);
+  put_u32(out, static_cast<std::uint32_t>(meta.vps.size()));
+  for (const VpId vp : meta.vps) put_u32(out, vp);
+  out.insert(out.end(), bloom.begin(), bloom.end());
+  put_u32(out, footer_size);
+  put_u32(out, kTailMagic);
+}
+
+void append_footer_v1(std::vector<std::uint8_t>& out, const SegmentMeta& meta) {
   const std::uint32_t footer_size = static_cast<std::uint32_t>(
       kFooterFixedBytes + 4 * meta.vps.size());
   put_u32(out, kFooterMagic);
-  put_u32(out, kFooterVersion);
+  put_u32(out, kFooterVersionV1);
   put_u64(out, meta.payload_bytes);
   put_u32(out, static_cast<std::uint32_t>(meta.min_time));
   put_u32(out, static_cast<std::uint32_t>(meta.max_time));
@@ -158,18 +262,11 @@ void append_footer(std::vector<std::uint8_t>& out, const SegmentMeta& meta) {
   put_u32(out, kTailMagic);
 }
 
-std::optional<SegmentMeta> read_footer(std::span<const std::uint8_t> file) {
-  if (file.size() < kFooterFixedBytes) return std::nullopt;
-  if (get_u32(file, file.size() - 4) != kTailMagic) return std::nullopt;
-  const std::uint32_t footer_size = get_u32(file, file.size() - 8);
-  if (footer_size < kFooterFixedBytes || footer_size > file.size()) {
-    return std::nullopt;
-  }
-  const std::size_t at = file.size() - footer_size;
-  if (get_u32(file, at) != kFooterMagic ||
-      get_u32(file, at + 4) != kFooterVersion) {
-    return std::nullopt;
-  }
+namespace {
+
+std::optional<SegmentMeta> read_footer_v1(std::span<const std::uint8_t> file,
+                                          std::size_t at,
+                                          std::uint32_t footer_size) {
   SegmentMeta meta;
   meta.payload_bytes = get_u64(file, at + 8);
   meta.min_time = static_cast<Timestamp>(get_u32(file, at + 16));
@@ -185,7 +282,62 @@ std::optional<SegmentMeta> read_footer(std::span<const std::uint8_t> file) {
   for (std::uint32_t i = 0; i < vp_count; ++i) {
     meta.vps.push_back(static_cast<VpId>(get_u32(file, at + 44 + 4 * i)));
   }
+  // A v1 segment is raw with no bloom: prefix queries scan it.
+  meta.raw_bytes = meta.payload_bytes;
+  meta.codec = kCodecNone;
   return meta;
+}
+
+std::optional<SegmentMeta> read_footer_v2(std::span<const std::uint8_t> file,
+                                          std::size_t at,
+                                          std::uint32_t footer_size) {
+  if (footer_size < kFooterFixedBytesV2) return std::nullopt;
+  SegmentMeta meta;
+  meta.payload_bytes = get_u64(file, at + 8);
+  meta.raw_bytes = get_u64(file, at + 16);
+  meta.codec = get_u32(file, at + 24);
+  meta.min_time = static_cast<Timestamp>(get_u32(file, at + 28));
+  meta.max_time = static_cast<Timestamp>(get_u32(file, at + 32));
+  meta.updates = get_u64(file, at + 36);
+  meta.rib_entries = get_u64(file, at + 44);
+  const std::uint32_t vp_count = get_u32(file, at + 52);
+  if (meta.payload_bytes != at ||
+      footer_size < kFooterFixedBytesV2 + 4 * static_cast<std::size_t>(vp_count)) {
+    return std::nullopt;
+  }
+  meta.vps.reserve(vp_count);
+  for (std::uint32_t i = 0; i < vp_count; ++i) {
+    meta.vps.push_back(static_cast<VpId>(get_u32(file, at + 56 + 4 * i)));
+  }
+  std::size_t cursor = at + 56 + 4 * static_cast<std::size_t>(vp_count);
+  auto bloom = PrefixBloom::deserialize(file, cursor);
+  if (!bloom) return std::nullopt;
+  meta.bloom = std::move(*bloom);
+  // Everything between the fixed header and the trailer must be accounted
+  // for: a size mismatch means a torn or forged footer.
+  if (cursor + 8 != at + footer_size) return std::nullopt;
+  return meta;
+}
+
+}  // namespace
+
+std::optional<SegmentMeta> read_footer(std::span<const std::uint8_t> file) {
+  if (file.size() < kFooterFixedBytes) return std::nullopt;
+  if (get_u32(file, file.size() - 4) != kTailMagic) return std::nullopt;
+  const std::uint32_t footer_size = get_u32(file, file.size() - 8);
+  if (footer_size < kFooterFixedBytes || footer_size > file.size()) {
+    return std::nullopt;
+  }
+  const std::size_t at = file.size() - footer_size;
+  if (get_u32(file, at) != kFooterMagic) return std::nullopt;
+  const std::uint32_t version = get_u32(file, at + 4);
+  if (version == kFooterVersionV1) {
+    return read_footer_v1(file, at, footer_size);
+  }
+  if (version == kFooterVersionV2) {
+    return read_footer_v2(file, at, footer_size);
+  }
+  return std::nullopt;
 }
 
 SegmentMeta scan_payload(std::span<const std::uint8_t> payload) {
@@ -195,13 +347,18 @@ SegmentMeta scan_payload(std::span<const std::uint8_t> payload) {
     meta.observe(*record);
     meta.payload_bytes = reader.offset();
   }
+  meta.raw_bytes = meta.payload_bytes;
+  meta.bloom.finalize();
   return meta;
 }
 
-std::string manifest_to_json(const std::vector<SegmentMeta>& segments) {
+std::string manifest_to_json(const std::vector<SegmentMeta>& segments,
+                             bool include_bloom) {
   feed::JsonArray rows;
   rows.reserve(segments.size());
-  for (const SegmentMeta& meta : segments) rows.push_back(meta_to_json(meta));
+  for (const SegmentMeta& meta : segments) {
+    rows.push_back(meta_to_json(meta, include_bloom));
+  }
   feed::JsonObject document;
   document["segments"] = std::move(rows);
   return feed::Json(std::move(document)).dump();

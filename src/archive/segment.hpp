@@ -15,6 +15,17 @@
 // recovery scans its records, truncates the torn tail at the last complete
 // record boundary, seals it with a freshly computed footer and folds it
 // into the manifest. Empty crash artifacts are deleted.
+//
+// Footer versions. v1 recorded (time range, VP set, counts, payload size)
+// for a raw payload. v2 — what sealing writes today — additionally records
+// a payload codec (none/zstd), the *uncompressed* payload size and a
+// per-prefix bloom filter (bloom.hpp) so prefix queries can prune segments
+// from the index alone. Readers accept both: a v1 segment opens as
+// codec-none with an empty (match-all) bloom, so a pre-v2 store directory
+// keeps serving with prefix queries falling back to scan-all. The active
+// `current.part` is ALWAYS raw framed MRT regardless of codec — compression
+// happens at seal time — so torn-tail recovery never has to understand
+// compressed bytes.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "archive/bloom.hpp"
 #include "bgp/update.hpp"
 #include "mrt/mrt.hpp"
 
@@ -36,6 +48,24 @@ inline constexpr const char* kActiveSegmentName = "current.part";
 /// Name of the manifest inside a store directory.
 inline constexpr const char* kManifestName = "index.json";
 
+/// Payload codec of a sealed segment (footer v2 field).
+inline constexpr std::uint32_t kCodecNone = 0;
+inline constexpr std::uint32_t kCodecZstd = 1;
+
+/// True when this build can zstd-compress/decompress segment payloads.
+/// Without it --archive-compress degrades to raw sealing (logged once) and
+/// zstd segments written elsewhere cannot be decoded here.
+bool compression_available() noexcept;
+
+/// zstd-compresses `raw`; nullopt when unavailable or on codec failure.
+std::optional<std::vector<std::uint8_t>> compress_payload(
+    std::span<const std::uint8_t> raw);
+
+/// Inflates a zstd payload whose uncompressed size is `raw_size` (from the
+/// footer). nullopt when unavailable, corrupt, or the size disagrees.
+std::optional<std::vector<std::uint8_t>> decompress_payload(
+    std::span<const std::uint8_t> compressed, std::uint64_t raw_size);
+
 /// What a footer (and one manifest row) records about a sealed segment.
 struct SegmentMeta {
   std::string file;  // basename; empty for an in-memory/unsealed segment
@@ -43,12 +73,19 @@ struct SegmentMeta {
   Timestamp max_time = 0;
   std::uint64_t updates = 0;      // BGP4MP records
   std::uint64_t rib_entries = 0;  // TABLE_DUMP_V2 records
+  /// Bytes of payload on disk (compressed size when codec != none).
   std::uint64_t payload_bytes = 0;
+  /// Uncompressed payload size; equals payload_bytes when codec == none.
+  std::uint64_t raw_bytes = 0;
+  std::uint32_t codec = kCodecNone;
   std::vector<VpId> vps;  // distinct VPs, ascending
+  /// Per-prefix pruning filter; empty for v1 segments (match-all).
+  PrefixBloom bloom;
 
   std::uint64_t records() const noexcept { return updates + rib_entries; }
 
-  /// Folds one record into the running statistics.
+  /// Folds one record into the running statistics (and the bloom's key
+  /// set — call bloom.finalize() before serializing).
   void observe(const mrt::Reader::Record& record);
   void observe(const bgp::Update& update, bool rib_entry);
 
@@ -58,9 +95,14 @@ struct SegmentMeta {
 /// Canonical sealed-segment name: seg-<start-time>-<sequence>.mrt.
 std::string segment_file_name(Timestamp start, std::uint64_t seq);
 
-/// Appends the binary footer for `meta` to `out` (payload must already be
-/// in place; meta.payload_bytes must equal the payload length).
+/// Appends the binary v2 footer for `meta` to `out` (payload must already
+/// be in place; meta.payload_bytes must equal the on-disk payload length
+/// and meta.bloom must be finalized).
 void append_footer(std::vector<std::uint8_t>& out, const SegmentMeta& meta);
+
+/// Appends a legacy v1 footer (no codec, no bloom) — kept so tests can
+/// fabricate pre-v2 segments and prove mixed-version directories open.
+void append_footer_v1(std::vector<std::uint8_t>& out, const SegmentMeta& meta);
 
 /// Parses the footer of a sealed segment from the full file image.
 /// Returns nullopt when the tail magic/length is missing or inconsistent
@@ -73,8 +115,12 @@ std::optional<SegmentMeta> read_footer(std::span<const std::uint8_t> file);
 /// the tail record is torn. Never throws, never over-reads.
 SegmentMeta scan_payload(std::span<const std::uint8_t> payload);
 
-/// Serializes a manifest ({"segments":[...]}, ordered as given).
-std::string manifest_to_json(const std::vector<SegmentMeta>& segments);
+/// Serializes a manifest ({"segments":[...]}, ordered as given). The
+/// on-disk index.json carries the bloom bits (hex) so a reader can prune
+/// without touching footers; the GET /v1/segments exposition passes
+/// `include_bloom = false` to keep the operator payload lean.
+std::string manifest_to_json(const std::vector<SegmentMeta>& segments,
+                             bool include_bloom = true);
 
 /// Parses a manifest document; nullopt on malformed input.
 std::optional<std::vector<SegmentMeta>> manifest_from_json(

@@ -1,0 +1,139 @@
+#include "archive/segment_cache.hpp"
+
+#include <filesystem>
+#include <utility>
+
+namespace gill::archive {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+metrics::Registry& resolve(metrics::Registry* registry) {
+  return registry != nullptr ? *registry : metrics::default_registry();
+}
+
+std::string cache_key(const std::string& directory, const std::string& file) {
+  return directory + "/" + file;
+}
+
+}  // namespace
+
+SegmentCache::SegmentCache(SegmentCacheConfig config)
+    : config_(config),
+      hits_counter_(resolve(config.registry)
+                        .counter("gill_archive_cache_hits_total",
+                                 "Segment payloads served from the hot "
+                                 "cache (zero disk reads)")),
+      misses_counter_(resolve(config.registry)
+                          .counter("gill_archive_cache_misses_total",
+                                   "Segment payloads loaded from disk on a "
+                                   "cache miss")),
+      evictions_counter_(resolve(config.registry)
+                             .counter("gill_archive_cache_evictions_total",
+                                      "Payloads evicted to stay under the "
+                                      "cache byte budget")),
+      bytes_gauge_(resolve(config.registry)
+                       .gauge("gill_archive_cache_bytes",
+                              "Decompressed payload bytes held by the "
+                              "segment cache")) {}
+
+SegmentCache::Payload SegmentCache::load_segment(const std::string& directory,
+                                                 const SegmentMeta& meta) {
+  auto file = read_file((fs::path(directory) / meta.file).string());
+  if (!file) return nullptr;
+  // Decode by the file's OWN footer, not the caller's manifest row: sealing
+  // publishes a segment twice (raw rename, then the compressed image
+  // atomically replaces it under the same name), so a snapshot taken
+  // between the two holds a raw row for what is now a zstd file. Same
+  // records either way — the footer says which encoding this read got.
+  const auto actual = read_footer(std::span<const std::uint8_t>(*file));
+  if (!actual || file->size() < actual->payload_bytes) return nullptr;
+  file->resize(actual->payload_bytes);  // drop the footer
+  if (actual->codec == kCodecNone) {
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(*file));
+  }
+  if (actual->codec != kCodecZstd) return nullptr;  // unknown future codec
+  auto raw = decompress_payload(*file, actual->raw_bytes);
+  if (!raw) return nullptr;
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(*raw));
+}
+
+void SegmentCache::note_use(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);  // move to most-recent
+}
+
+SegmentCache::Payload SegmentCache::get(const std::string& directory,
+                                        const SegmentMeta& meta) {
+  const std::string key = cache_key(directory, meta.file);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      note_use(it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_counter_.inc();
+      return it->second->payload;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_counter_.inc();
+  // Load outside the lock: a disk read or zstd inflate must never stall a
+  // concurrent query hitting a different (cached) segment.
+  Payload payload = load_segment(directory, meta);
+  if (payload == nullptr) return nullptr;
+  disk_reads_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.max_bytes == 0 || payload->size() > config_.max_bytes) {
+    return payload;  // cache disabled or the payload alone overflows it
+  }
+  std::lock_guard lock(mutex_);
+  if (index_.contains(key)) {  // a racing miss inserted first: reuse it
+    note_use(index_[key]);
+    return index_[key]->payload;
+  }
+  while (!lru_.empty() && bytes_ + payload->size() > config_.max_bytes) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.payload->size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_counter_.inc();
+  }
+  lru_.push_front(Entry{key, payload});
+  index_[key] = lru_.begin();
+  bytes_ += payload->size();
+  bytes_gauge_.set(static_cast<double>(bytes_));
+  return payload;
+}
+
+void SegmentCache::invalidate(const std::string& directory,
+                              const std::string& file) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(cache_key(directory, file));
+  if (it == index_.end()) return;
+  bytes_ -= it->second->payload->size();
+  lru_.erase(it->second);
+  index_.erase(it);
+  bytes_gauge_.set(static_cast<double>(bytes_));
+}
+
+void SegmentCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  bytes_gauge_.set(0.0);
+}
+
+std::size_t SegmentCache::bytes() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+std::size_t SegmentCache::entries() const {
+  std::lock_guard lock(mutex_);
+  return index_.size();
+}
+
+}  // namespace gill::archive

@@ -1,0 +1,90 @@
+// LRU cache of hot decompressed segment payloads (DESIGN.md §15), shared
+// by every concurrent GET /v1/data request: the second query over a window
+// costs a map lookup and a memcpy-speed scan instead of a disk read and a
+// zstd inflate. Bounded by a byte budget (--archive-cache-bytes); the
+// least-recently-used payload is evicted when an insert would overflow it.
+//
+// Payloads are handed out as shared_ptr<const ...>: an eviction — or a GC
+// deleting the underlying file — never invalidates a payload a cursor is
+// still scanning; the memory is freed when the last holder drops it.
+// Thread-safe; the disk load on a miss runs OUTSIDE the lock, so a slow
+// read or inflate never serializes unrelated queries (two racing misses on
+// the same segment may both load it; the second insert is a no-op).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "archive/segment.hpp"
+#include "metrics/metrics.hpp"
+
+namespace gill::archive {
+
+struct SegmentCacheConfig {
+  /// Byte budget over the cached (decompressed) payloads. 0 disables
+  /// caching entirely: every get() loads from disk.
+  std::size_t max_bytes = 256 * 1024 * 1024;
+  /// Registry hosting gill_archive_cache_*; nullptr uses the default.
+  metrics::Registry* registry = nullptr;
+};
+
+class SegmentCache {
+ public:
+  using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  explicit SegmentCache(SegmentCacheConfig config = {});
+
+  /// The decompressed payload of `meta` under `directory`: cached copy on
+  /// a hit, loaded (and decompressed when meta.codec != none) on a miss.
+  /// nullptr when the file vanished, is shorter than the footer claims, or
+  /// cannot be decoded.
+  Payload get(const std::string& directory, const SegmentMeta& meta);
+
+  /// Drops a segment (a GC pass deleted its file). No-op when absent.
+  void invalidate(const std::string& directory, const std::string& file);
+  void clear();
+
+  std::uint64_t hits() const noexcept { return hits_.load(); }
+  std::uint64_t misses() const noexcept { return misses_.load(); }
+  std::uint64_t evictions() const noexcept { return evictions_.load(); }
+  /// Disk loads performed (each miss that found its file).
+  std::uint64_t disk_reads() const noexcept { return disk_reads_.load(); }
+  std::size_t bytes() const;
+  std::size_t entries() const;
+
+  /// Loads + decodes one segment payload with no cache involved — the
+  /// shared loader used on misses and by cache-less readers. nullptr on a
+  /// vanished file or decode failure.
+  static Payload load_segment(const std::string& directory,
+                              const SegmentMeta& meta);
+
+ private:
+  struct Entry {
+    std::string key;
+    Payload payload;
+  };
+
+  void note_use(std::list<Entry>::iterator it);
+
+  const SegmentCacheConfig config_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> disk_reads_{0};
+  metrics::Counter& hits_counter_;
+  metrics::Counter& misses_counter_;
+  metrics::Counter& evictions_counter_;
+  metrics::Gauge& bytes_gauge_;
+};
+
+}  // namespace gill::archive

@@ -20,6 +20,8 @@
 
 #include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
+#include "archive/bloom.hpp"
+#include "archive/retention.hpp"
 #include "archive/segment.hpp"
 #include "collector/platform.hpp"
 #include "net/event_loop.hpp"
@@ -76,12 +78,14 @@ TEST(SegmentFormat, FooterRoundTripsThroughTheFileImage) {
   SegmentMeta meta;
   meta.file = "seg-test.mrt";
   meta.payload_bytes = file.size();
+  meta.raw_bytes = file.size();
   for (const auto& update : updates) meta.observe(update, false);
   EXPECT_EQ(meta.min_time, 1000u);
   EXPECT_EQ(meta.max_time, 1090u);
   EXPECT_EQ(meta.updates, 3u);
   EXPECT_EQ(meta.vps, (std::vector<VpId>{1, 3}));
 
+  meta.bloom.finalize();  // the v2 footer carries the frozen filter
   append_footer(file, meta);
   auto parsed = read_footer(file);
   ASSERT_TRUE(parsed.has_value());
@@ -660,6 +664,383 @@ TEST(SegmentWriter, EnospcDegradesToCountedDropsAndStaysAlive) {
   const auto file = read_file((fs::path(dir) / manifest[0].file).string());
   ASSERT_TRUE(file.has_value());
   EXPECT_TRUE(read_footer(*file).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// PrefixBloom: ancestor-insertion semantics and serialization round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(PrefixBloom, AncestorKeysAnswerEqualOrMoreSpecific) {
+  PrefixBloom bloom;
+  bloom.observe(pfx("10.0.0.0/24"));
+  bloom.observe(pfx("2001:db8:1::/48"));
+  bloom.finalize();
+  ASSERT_FALSE(bloom.empty());
+  // The record prefix itself and every less-specific ancestor must match:
+  // a query at any of those lengths covers the stored record.
+  EXPECT_TRUE(bloom.may_cover(pfx("10.0.0.0/24")));
+  EXPECT_TRUE(bloom.may_cover(pfx("10.0.0.0/16")));
+  EXPECT_TRUE(bloom.may_cover(pfx("10.0.0.0/8")));
+  EXPECT_TRUE(bloom.may_cover(pfx("0.0.0.0/0")));
+  EXPECT_TRUE(bloom.may_cover(pfx("2001:db8::/32")));
+  EXPECT_TRUE(bloom.may_cover(pfx("2001:db8:1::/48")));
+  // Disjoint space prunes, and so does a query MORE specific than the
+  // stored record (10.0.0.0/25 does not cover the stored /24). These are
+  // deterministic given the fixed hash function.
+  EXPECT_FALSE(bloom.may_cover(pfx("192.168.0.0/16")));
+  EXPECT_FALSE(bloom.may_cover(pfx("10.0.0.0/25")));
+  EXPECT_FALSE(bloom.may_cover(pfx("2001:db9::/32")));
+}
+
+TEST(PrefixBloom, EmptyFilterIsMatchAll) {
+  PrefixBloom bloom;  // never observed, never finalized: a v1 segment
+  EXPECT_TRUE(bloom.empty());
+  EXPECT_TRUE(bloom.may_cover(pfx("10.0.0.0/8")));
+  EXPECT_TRUE(bloom.may_cover(pfx("2001:db8::/32")));
+  bloom.finalize();  // observe-less finalize stays match-all
+  EXPECT_TRUE(bloom.empty());
+  EXPECT_TRUE(bloom.may_cover(pfx("192.168.0.0/24")));
+}
+
+TEST(PrefixBloom, SerializeAndHexFormsRoundTrip) {
+  PrefixBloom bloom;
+  for (int i = 0; i < 64; ++i) {
+    bloom.observe(pfx("10." + std::to_string(i) + ".0.0/16"));
+  }
+  bloom.finalize();
+  std::vector<std::uint8_t> bytes;
+  bloom.serialize(bytes);
+  std::size_t at = 0;
+  const auto binary = PrefixBloom::deserialize(bytes, at);
+  ASSERT_TRUE(binary.has_value());
+  EXPECT_EQ(at, bytes.size());
+  EXPECT_EQ(*binary, bloom);
+  const auto hex = PrefixBloom::from_hex(bloom.to_hex(), bloom.hashes());
+  ASSERT_TRUE(hex.has_value());
+  EXPECT_EQ(*hex, bloom);
+}
+
+// ---------------------------------------------------------------------------
+// Footer/manifest versioning: v1 segments keep opening, mixed directories
+// serve, and prefix queries fall back to scan-all where no bloom exists.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentFormat, V1FooterOpensAsRawWithMatchAllBloom) {
+  const std::vector<bgp::Update> updates = {
+      make_update(0, 1000, "10.0.0.0/24"),
+      make_update(1, 1100, "10.1.0.0/24"),
+  };
+  std::vector<std::uint8_t> file = encode(updates);
+  SegmentMeta meta;
+  meta.payload_bytes = file.size();
+  for (const auto& update : updates) meta.observe(update, false);
+  append_footer_v1(file, meta);
+  const auto parsed = read_footer(file);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->codec, kCodecNone);
+  EXPECT_EQ(parsed->raw_bytes, parsed->payload_bytes);
+  EXPECT_TRUE(parsed->bloom.empty());
+  EXPECT_EQ(parsed->min_time, 1000u);
+  EXPECT_EQ(parsed->updates, 2u);
+  EXPECT_EQ(parsed->vps, (std::vector<VpId>{0, 1}));
+}
+
+TEST(MixedVersions, V1AndV2SegmentsServeFromOneDirectory) {
+  const std::string dir = scratch_dir("mixed");
+  // Fabricate a pre-v2 store: one sealed segment with a v1 footer and no
+  // manifest row — exactly what a directory written before the format bump
+  // looks like after a crash-between-rename-and-manifest.
+  const std::vector<bgp::Update> old_updates = {
+      make_update(0, 1000, "10.0.0.0/24"),
+      make_update(1, 1100, "172.16.0.0/24"),
+  };
+  std::vector<std::uint8_t> v1_file = encode(old_updates);
+  SegmentMeta v1_meta;
+  v1_meta.payload_bytes = v1_file.size();
+  for (const auto& update : old_updates) v1_meta.observe(update, false);
+  append_footer_v1(v1_file, v1_meta);
+  ASSERT_TRUE(write_file_atomic(
+      (fs::path(dir) / segment_file_name(900, 1)).string(), v1_file));
+
+  // A current writer adopts the v1 segment and seals a v2 one next to it.
+  SegmentWriterConfig config;
+  config.directory = dir;
+  config.rotate_secs = 900;
+  config.compress = compression_available();
+  SegmentWriter writer(config);
+  ASSERT_TRUE(writer.open());
+  writer.store(make_update(2, 2000, "10.0.5.0/24"));
+  writer.store(make_update(2, 2100, "192.168.1.0/24"));
+  writer.close();
+
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(dir));
+  ASSERT_EQ(reader.segments().size(), 2u);
+  EXPECT_EQ(reader.segments()[0].codec, kCodecNone);
+  EXPECT_TRUE(reader.segments()[0].bloom.empty());
+  EXPECT_FALSE(reader.segments()[1].bloom.empty());
+
+  // A prefix query crosses both: the v1 segment has no bloom and falls
+  // back to scan-all (its matching record is found), the v2 segment is
+  // answered through its bloom.
+  QueryOptions options;
+  options.prefix = pfx("10.0.0.0/8");
+  const auto records = reader.query_all(options);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].update.prefix, pfx("10.0.0.0/24"));
+  EXPECT_EQ(records[1].update.prefix, pfx("10.0.5.0/24"));
+}
+
+// ---------------------------------------------------------------------------
+// Compression: sealed payloads round-trip byte-identically and the crash
+// protocol is untouched (the active file is always raw).
+// ---------------------------------------------------------------------------
+
+TEST(Compression, CompressedSealRoundTripsByteIdentically) {
+  if (!compression_available()) GTEST_SKIP() << "build lacks zstd";
+  const std::string dir = scratch_dir("zstd");
+  SegmentWriterConfig config;
+  config.directory = dir;
+  config.rotate_secs = 900;
+  config.compress = true;
+  SegmentWriter writer(config);
+  ASSERT_TRUE(writer.open());
+  std::vector<bgp::Update> sent;
+  for (int i = 0; i < 120; ++i) {
+    auto update = make_update(static_cast<VpId>(i % 4),
+                              static_cast<Timestamp>(1000 + i * 30),
+                              "10.3." + std::to_string(i % 200) + ".0/24");
+    writer.store(update);
+    sent.push_back(std::move(update));
+  }
+  writer.close();
+  EXPECT_FALSE(writer.failed());
+
+  const auto manifest = writer.manifest();
+  ASSERT_GE(manifest.size(), 3u);
+  for (const auto& meta : manifest) {
+    EXPECT_EQ(meta.codec, kCodecZstd) << meta.file;
+    EXPECT_GT(meta.raw_bytes, 0u);
+    // The footer's payload size is the on-disk (compressed) size.
+    const auto file = read_file((fs::path(dir) / meta.file).string());
+    ASSERT_TRUE(file.has_value()) << meta.file;
+    const auto footer = read_footer(*file);
+    ASSERT_TRUE(footer.has_value()) << meta.file;
+    EXPECT_EQ(footer->payload_bytes, meta.payload_bytes);
+    EXPECT_EQ(footer->raw_bytes, meta.raw_bytes);
+    EXPECT_LT(meta.payload_bytes, meta.raw_bytes);  // MRT framing compresses
+  }
+
+  // The stream a reader serves is byte-identical to the raw append order —
+  // compression is invisible to consumers.
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(dir));
+  QueryCursor cursor = reader.query({});
+  std::string streamed;
+  while (cursor.next_chunk(streamed)) {
+  }
+  const std::vector<std::uint8_t> expected = encode(sent);
+  ASSERT_EQ(streamed.size(), expected.size());
+  EXPECT_EQ(0,
+            std::memcmp(streamed.data(), expected.data(), expected.size()));
+}
+
+TEST(Compression, TornTailRecoveryStillWorksWithCompressionOn) {
+  if (!compression_available()) GTEST_SKIP() << "build lacks zstd";
+  const std::string dir = scratch_dir("zstd_crash");
+  std::vector<bgp::Update> acknowledged;
+  {
+    SegmentWriterConfig config;
+    config.directory = dir;
+    config.rotate_secs = 900;
+    config.compress = true;
+    SegmentWriter writer(config);
+    ASSERT_TRUE(writer.open());
+    writer.store(make_update(0, 1000, "10.0.0.0/24"));
+    writer.store(make_update(0, 1900, "10.0.1.0/24"));  // seals window 1
+    acknowledged.push_back(make_update(0, 1000, "10.0.0.0/24"));
+    writer.flush();
+    acknowledged.push_back(make_update(0, 1900, "10.0.1.0/24"));
+    writer.fault_torn_write(7);
+    writer.store(make_update(1, 2000, "10.0.2.0/24"));
+    writer.flush();
+    EXPECT_TRUE(writer.failed());
+  }
+  // The crash artifact is RAW framed MRT even though the store compresses:
+  // recovery's scan_payload applies unchanged.
+  ASSERT_TRUE(fs::exists(fs::path(dir) / kActiveSegmentName));
+  SegmentWriterConfig config;
+  config.directory = dir;
+  config.compress = true;
+  SegmentWriter reopened(config);
+  ASSERT_TRUE(reopened.open());
+  EXPECT_FALSE(fs::exists(fs::path(dir) / kActiveSegmentName));
+
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(dir));
+  ASSERT_EQ(reader.segments().size(), 2u);
+  EXPECT_EQ(reader.segments()[0].codec, kCodecZstd);   // sealed pre-crash
+  EXPECT_EQ(reader.segments()[1].codec, kCodecNone);   // recovery seals raw
+  QueryCursor cursor = reader.query({});
+  std::string streamed;
+  while (cursor.next_chunk(streamed)) {
+  }
+  const std::vector<std::uint8_t> expected = encode(acknowledged);
+  ASSERT_EQ(streamed.size(), expected.size());
+  EXPECT_EQ(0,
+            std::memcmp(streamed.data(), expected.data(), expected.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Retention/GC: policy selection, crash-safe deletion, pin protocol.
+// ---------------------------------------------------------------------------
+
+SegmentMeta fake_meta(const std::string& file, Timestamp min_time,
+                      Timestamp max_time, std::uint64_t bytes) {
+  SegmentMeta meta;
+  meta.file = file;
+  meta.min_time = min_time;
+  meta.max_time = max_time;
+  meta.payload_bytes = bytes;
+  meta.raw_bytes = bytes;
+  return meta;
+}
+
+TEST(Retention, SelectExpiredByAgeThenByteBudget) {
+  const std::vector<SegmentMeta> manifest = {
+      fake_meta("a", 900, 1790, 100),
+      fake_meta("b", 1800, 2690, 100),
+      fake_meta("c", 2700, 3590, 100),
+      fake_meta("d", 3600, 4490, 100),
+  };
+  RetentionPolicy age_only;
+  age_only.max_age_secs = 1000;
+  // now=3700: horizon 2700 — windows whose newest record predates it go.
+  EXPECT_EQ(select_expired(manifest, age_only, 3700),
+            (std::vector<std::size_t>{0, 1}));
+
+  RetentionPolicy bytes_only;
+  bytes_only.max_bytes = 250;  // 400 bytes stored: shed oldest until <= 250
+  EXPECT_EQ(select_expired(manifest, bytes_only, 5000),
+            (std::vector<std::size_t>{0, 1}));
+
+  RetentionPolicy both;
+  both.max_age_secs = 1000;
+  both.max_bytes = 150;  // age kills {0,1}; budget then sheds 2 as well
+  EXPECT_EQ(select_expired(manifest, both, 3700),
+            (std::vector<std::size_t>{0, 1, 2}));
+
+  EXPECT_TRUE(select_expired(manifest, RetentionPolicy{}, 9999).empty());
+}
+
+TEST(Retention, GcDeletesOldestFirstAndManifestStaysConsistent) {
+  const std::string dir = scratch_dir("gc");
+  SegmentWriterConfig config;
+  config.directory = dir;
+  config.rotate_secs = 900;
+  SegmentWriter writer(config);
+  ASSERT_TRUE(writer.open());
+  for (int w = 0; w < 3; ++w) {
+    writer.store(make_update(0, static_cast<Timestamp>(1000 + w * 900),
+                             "10.0." + std::to_string(w) + ".0/24"));
+  }
+  writer.close();
+  auto manifest = writer.manifest();
+  ASSERT_EQ(manifest.size(), 3u);
+
+  RetentionPolicy policy;
+  policy.max_age_secs = 900;
+  const auto result =
+      run_gc(dir, manifest, policy, nullptr, /*now=*/manifest[1].max_time +
+                                                 policy.max_age_secs + 1);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->deleted_files.size(), 2u);
+  EXPECT_EQ(result->deleted_files[0], manifest[0].file);
+  EXPECT_EQ(result->deleted_files[1], manifest[1].file);
+  EXPECT_GT(result->deleted_bytes, 0u);
+  ASSERT_EQ(result->remaining.size(), 1u);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / manifest[0].file));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / manifest[1].file));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / manifest[2].file));
+  // The on-disk manifest and a fresh load agree with the pass's result.
+  EXPECT_EQ(load_manifest(dir), result->remaining);
+  // The survivor still serves.
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(dir));
+  EXPECT_EQ(reader.query_all({}).size(), 1u);
+}
+
+TEST(Retention, GcSparesPinnedSegmentsUntilUnpinned) {
+  const std::string dir = scratch_dir("gc_pins");
+  SegmentWriterConfig config;
+  config.directory = dir;
+  config.rotate_secs = 900;
+  SegmentWriter writer(config);
+  ASSERT_TRUE(writer.open());
+  writer.store(make_update(0, 1000, "10.0.0.0/24"));
+  writer.store(make_update(0, 1900, "10.0.1.0/24"));
+  writer.close();
+  const auto manifest = writer.manifest();
+  ASSERT_EQ(manifest.size(), 2u);
+
+  SegmentPins pins;
+  pins.pin({manifest[0].file});  // a live cursor holds the oldest window
+  RetentionPolicy policy;
+  policy.max_age_secs = 1;
+  auto result = run_gc(dir, manifest, policy, &pins, /*now=*/100000);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->skipped_pinned, 1u);
+  ASSERT_EQ(result->deleted_files.size(), 1u);
+  EXPECT_EQ(result->deleted_files[0], manifest[1].file);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / manifest[0].file));
+  // The spared window stayed in the manifest: a later pass sees it again.
+  ASSERT_EQ(result->remaining.size(), 1u);
+  EXPECT_EQ(result->remaining[0].file, manifest[0].file);
+
+  pins.unpin({manifest[0].file});
+  EXPECT_EQ(pins.pinned_count(), 0u);
+  result = run_gc(dir, load_manifest(dir), policy, &pins, /*now=*/100000);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->skipped_pinned, 0u);
+  ASSERT_EQ(result->deleted_files.size(), 1u);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / manifest[0].file));
+  EXPECT_TRUE(result->remaining.empty());
+}
+
+TEST(Retention, WriterRetentionJobUpdatesManifestAndGeneration) {
+  const std::string dir = scratch_dir("gc_writer");
+  metrics::Registry registry;
+  SegmentWriterConfig config;
+  config.directory = dir;
+  config.rotate_secs = 900;
+  config.registry = &registry;
+  SegmentWriter writer(config);  // inline jobs: deterministic
+  ASSERT_TRUE(writer.open());
+  for (int w = 0; w < 3; ++w) {
+    writer.store(make_update(0, static_cast<Timestamp>(1000 + w * 900),
+                             "10.0." + std::to_string(w) + ".0/24"));
+  }
+  writer.rotate_now();
+  const std::uint64_t generation = writer.manifest_generation();
+  EXPECT_EQ(generation, 3u);  // one bump per seal
+
+  std::vector<std::string> invalidated;
+  RetentionPolicy policy;
+  policy.max_bytes = 1;  // condemn every window
+  writer.run_retention(policy, nullptr, /*now=*/100000,
+                       [&](const std::string& file) {
+                         invalidated.push_back(file);
+                       });
+  EXPECT_EQ(writer.manifest_generation(), generation + 1);
+  EXPECT_TRUE(writer.manifest().empty());
+  EXPECT_EQ(invalidated.size(), 3u);
+  EXPECT_EQ(registry.counter_total("gill_archive_gc_deleted_segments_total"),
+            3u);
+  EXPECT_TRUE(load_manifest(dir).empty());
+  // A disabled policy is a no-op, not a delete-everything.
+  writer.run_retention(RetentionPolicy{}, nullptr, 100000);
+  EXPECT_EQ(writer.manifest_generation(), generation + 1);
+  writer.close();
 }
 
 }  // namespace

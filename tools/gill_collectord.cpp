@@ -27,8 +27,8 @@
 #include <map>
 #include <memory>
 
-#include "archive/archive_reader.hpp"
 #include "archive/archive_writer.hpp"
+#include "archive/query_engine.hpp"
 #include "cli_util.hpp"
 #include "collector/platform.hpp"
 #include "collector/sharded.hpp"
@@ -64,6 +64,16 @@ constexpr const char* kUsage =
     "  --archive-dir DIR      rotated on-disk segment store; serves GET /v1/data\n"
     "                         and GET /v1/segments on the HTTP port\n"
     "  --rotate-secs N        segment rotation boundary (default 900)\n"
+    "  --archive-compress     zstd-compress segment payloads at seal time\n"
+    "                         (raw fallback when the build lacks zstd)\n"
+    "  --archive-cache-bytes N  hot-segment cache budget over decompressed\n"
+    "                         payloads (default 64 MiB; 0 disables)\n"
+    "  --archive-query-threads N  scan pool for /v1/data: -1 auto, 0 scans\n"
+    "                         inline on the control loop (default -1)\n"
+    "  --archive-max-bytes N  retention: delete oldest windows while the\n"
+    "                         store exceeds N payload bytes (default off)\n"
+    "  --archive-max-age-secs N  retention: delete windows older than N\n"
+    "                         seconds (default off)\n"
     "  --snapshot-secs N      RIB snapshot period into the segment store\n"
     "                         (default: --rib-dump-interval)\n"
     "  --duration N           run N seconds then exit (default: until SIGINT)\n"
@@ -125,6 +135,12 @@ int main(int argc, char** argv) {
   const long duration = args.get_int("duration", 0);
   const std::string archive_dir = args.get("archive-dir", "");
   const long rotate_secs = args.get_int("rotate-secs", 900);
+  const bool archive_compress = args.has("archive-compress");
+  const long archive_cache_bytes =
+      args.get_int("archive-cache-bytes", 64 * 1024 * 1024);
+  const long archive_query_threads = args.get_int("archive-query-threads", -1);
+  const long archive_max_bytes = args.get_int("archive-max-bytes", 0);
+  const long archive_max_age_secs = args.get_int("archive-max-age-secs", 0);
   const long snapshot_secs = args.get_int("snapshot-secs", rib_dump_interval);
   const long gr_timeout = args.get_int("gr-timeout", 120);
   const long max_peer_rate = args.get_int("max-peer-rate", 0);
@@ -199,19 +215,64 @@ int main(int argc, char** argv) {
   // public database"). Disk I/O runs on a one-worker pool so the event
   // loop never blocks in write()/fsync(); the writer serializes its jobs
   // anyway, so one worker loses nothing.
-  std::unique_ptr<par::ThreadPool> archive_pool;
+  // Destruction runs in reverse declaration order, and it matters: the
+  // writer's retention jobs invalidate the cache (cache after writer is
+  // destroyed-before — so declare cache FIRST), engine cursors scan on the
+  // query pool through cache and pins, and the engine itself dies before
+  // any of them.
+  std::unique_ptr<par::ThreadPool> archive_pool;        // writer I/O (1 thread)
+  std::unique_ptr<par::ThreadPool> archive_query_pool;  // /v1/data scans
+  std::unique_ptr<archive::SegmentCache> archive_cache;
+  std::unique_ptr<archive::SegmentPins> archive_pins;
   std::unique_ptr<archive::SegmentWriter> archive_writer;
+  std::unique_ptr<archive::QueryEngine> archive_engine;
   if (!archive_dir.empty()) {
     archive_pool = std::make_unique<par::ThreadPool>(1, &registry);
     archive::SegmentWriterConfig archive_config;
     archive_config.directory = archive_dir;
     archive_config.rotate_secs = static_cast<bgp::Timestamp>(
         rotate_secs > 0 ? rotate_secs : 900);
+    archive_config.compress = archive_compress;
     archive_config.pool = archive_pool.get();
     archive_config.registry = &registry;
     archive_writer =
         std::make_unique<archive::SegmentWriter>(std::move(archive_config));
     if (!archive_writer->open()) {
+      std::fprintf(stderr, "error: cannot open archive dir %s\n",
+                   archive_dir.c_str());
+      return 1;
+    }
+    if (archive_compress && !archive::compression_available()) {
+      std::fprintf(stderr,
+                   "[collectord] warning: --archive-compress but this build "
+                   "lacks zstd; sealing raw\n");
+    }
+    // The query plane (DESIGN.md §15): ONE engine shared by every request,
+    // refreshed only when the writer's manifest generation moves — not a
+    // fresh manifest load per GET like the old per-request reader.
+    const std::size_t query_threads =
+        archive_query_threads < 0
+            ? par::auto_thread_count()
+            : static_cast<std::size_t>(archive_query_threads);
+    if (query_threads > 0) {
+      archive_query_pool =
+          std::make_unique<par::ThreadPool>(query_threads, &registry);
+    }
+    archive::SegmentCacheConfig cache_config;
+    cache_config.max_bytes = archive_cache_bytes > 0
+                                 ? static_cast<std::size_t>(archive_cache_bytes)
+                                 : 0;
+    cache_config.registry = &registry;
+    archive_cache = std::make_unique<archive::SegmentCache>(cache_config);
+    archive_pins = std::make_unique<archive::SegmentPins>();
+    archive::QueryEngineConfig engine_config;
+    engine_config.directory = archive_dir;
+    engine_config.pool = archive_query_pool.get();
+    engine_config.cache = archive_cache.get();
+    engine_config.pins = archive_pins.get();
+    engine_config.registry = &registry;
+    archive_engine = std::make_unique<archive::QueryEngine>(engine_config);
+    if (!archive_engine->open()) {
       std::fprintf(stderr, "error: cannot open archive dir %s\n",
                    archive_dir.c_str());
       return 1;
@@ -313,13 +374,14 @@ int main(int argc, char** argv) {
     response.body = collect::to_json(platform.health_snapshot());
     return response;
   });
-  if (!archive_dir.empty()) {
-    // Data-retrieval plane (ISSUE: "serve the archive back out"): /v1/data
-    // streams framed MRT chunked with bounded memory; /v1/segments lists
-    // the manifest. Each request opens a fresh reader so it sees every
-    // segment sealed so far (and never touches the writer's current.part).
-    http.route("/v1/data", [&registry, archive_dir](
-                               const net::HttpRequest& request) {
+  if (archive_engine) {
+    // Data-retrieval plane: /v1/data streams framed MRT chunked with
+    // bounded memory through the shared query engine — bloom-pruned,
+    // scanned in parallel, served from the hot-segment cache, and the
+    // cursor pins its snapshot so retention never deletes under it.
+    // /v1/segments lists the manifest from the same snapshot.
+    auto* engine = archive_engine.get();
+    http.route("/v1/data", [engine](const net::HttpRequest& request) {
       archive::QueryOptions options;
       std::uint64_t value = 0;
       if (const auto* start = request.get("start")) {
@@ -354,32 +416,20 @@ int main(int argc, char** argv) {
         }
         options.prefix = *parsed;
       }
-      auto reader = std::make_shared<archive::ArchiveReader>(&registry);
-      if (!reader->open(archive_dir)) {
-        return net::error_response(500, "archive_unavailable",
-                                   "cannot open the segment store");
-      }
-      auto cursor =
-          std::make_shared<archive::QueryCursor>(reader->query(options));
+      auto cursor = engine->query(options);
       net::HttpResponse response;
       response.content_type = "application/octet-stream";
-      response.producer = [reader, cursor](std::string& out) {
+      response.producer = [cursor](std::string& out) {
         return cursor->next_chunk(out);
       };
       return response;
     });
-    http.route("/v1/segments",
-               [&registry, archive_dir](const net::HttpRequest&) {
-                 archive::ArchiveReader reader(&registry);
-                 if (!reader.open(archive_dir)) {
-                   return net::error_response(500, "archive_unavailable",
-                                              "cannot open the segment store");
-                 }
-                 net::HttpResponse response;
-                 response.content_type = "application/json";
-                 response.body = reader.segments_json();
-                 return response;
-               });
+    http.route("/v1/segments", [engine](const net::HttpRequest&) {
+      net::HttpResponse response;
+      response.content_type = "application/json";
+      response.body = engine->segments_json();
+      return response;
+    });
   }
 
   // The live distribution plane (GET /v1/stream): every accepted update —
@@ -409,12 +459,41 @@ int main(int argc, char** argv) {
   // control tick here samples the memory watermark, fans the stream
   // outboxes into the hub, runs the merge cadence and rotates the archive.
   platform.start(static_cast<std::uint64_t>(tick_ms));
+  std::uint64_t seen_manifest_generation = 0;
   loop.call_every(static_cast<std::uint64_t>(tick_ms), [&] {
     platform.control_tick(now_seconds());
     if (archive_writer) {
       archive_sink->with_lock([&] { archive_writer->tick(now_seconds()); });
+      // The engine re-reads the manifest only when it actually changed
+      // (seal or GC) — the whole point of the shared engine over the old
+      // per-request reader.
+      const std::uint64_t generation = archive_writer->manifest_generation();
+      if (generation != seen_manifest_generation) {
+        seen_manifest_generation = generation;
+        archive_engine->refresh();
+      }
     }
   });
+  // Retention/GC runs on its own slower cadence as a serialized writer job
+  // (never racing a seal); deleted files leave the cache immediately.
+  archive::RetentionPolicy retention_policy;
+  retention_policy.max_bytes =
+      archive_max_bytes > 0 ? static_cast<std::uint64_t>(archive_max_bytes)
+                            : 0;
+  retention_policy.max_age_secs =
+      archive_max_age_secs > 0
+          ? static_cast<bgp::Timestamp>(archive_max_age_secs)
+          : 0;
+  if (archive_writer && retention_policy.enabled()) {
+    loop.call_every(5000, [&] {
+      archive_writer->run_retention(
+          retention_policy, archive_pins.get(), now_seconds(),
+          [cache = archive_cache.get(),
+           directory = archive_dir](const std::string& file) {
+            cache->invalidate(directory, file);
+          });
+    });
+  }
   if (duration > 0) {
     loop.call_after(static_cast<std::uint64_t>(duration) * 1000,
                     [&loop] { loop.stop(); });
